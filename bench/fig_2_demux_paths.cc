@@ -1,0 +1,152 @@
+// Figures 2-1 / 2-2 / 2-3: the *structural* costs of the three delivery
+// paths, counted exactly from the cost ledger for one delivered packet:
+//   fig. 2-1  demultiplexing in a user process (switches, syscalls, copies)
+//   fig. 2-2  demultiplexing in the kernel (packet filter)
+//   fig. 2-3  kernel-resident protocol: overhead packets (acks) confined to
+//             the kernel — domain crossings per *data* packet stay constant
+//             as protocol overhead packets are added.
+#include <cstdio>
+
+#include "bench/recv_common.h"
+#include "src/kernel/kernel_ip.h"
+#include "src/kernel/kernel_tcp.h"
+
+namespace {
+
+struct PathCounts {
+  uint64_t switches = 0;
+  uint64_t syscalls = 0;
+  uint64_t copies = 0;
+};
+
+PathCounts CountPath(bool user_demux) {
+  pfsim::Simulator sim;
+  pflink::EthernetSegment segment(&sim, pflink::LinkType::kEthernet10Mb);
+  pfkern::Machine receiver(&sim, &segment, pflink::MacAddr::Dix(8, 0, 0, 0, 0, 2),
+                           pfkern::MicroVaxUltrixCosts(), "receiver");
+  pflink::LinkHeader link;
+  link.dst = receiver.link_addr();
+  link.src = pflink::MacAddr::Dix(8, 0, 0, 0, 0, 1);
+  link.ether_type = 0x3333;
+  const pflink::Frame frame = *pflink::BuildFrame(pflink::LinkType::kEthernet10Mb, link,
+                                                  std::vector<uint8_t>(100, 1));
+
+  std::unique_ptr<pfkern::MessagePipe> pipe;
+  std::unique_ptr<pfnet::UserDemuxProcess> demux;
+  bool got = false;
+  auto destination = [&]() -> pfsim::Task {
+    const int pid = receiver.NewPid();
+    pf::PortId port = pf::kInvalidPort;
+    if (user_demux) {
+      pipe = std::make_unique<pfkern::MessagePipe>(&receiver, 64);
+      demux = co_await pfnet::UserDemuxProcess::Create(&receiver, pf::Program{}, false,
+                                                       pipe.get());
+      demux->Start();
+      receiver.ledger().Reset();
+      got = (co_await pipe->Read(pid, pfsim::Seconds(10))).has_value();
+    } else {
+      port = co_await receiver.pf().Open(pid);
+      co_await receiver.pf().SetFilter(pid, port, pf::Program{});
+      receiver.ledger().Reset();
+      got = !(co_await receiver.pf().Read(pid, port, pfsim::Seconds(10))).empty();
+    }
+  };
+  sim.Spawn(destination());
+  sim.Schedule(pfsim::Milliseconds(100), [&] { receiver.OnFrameDelivered(frame, sim.Now()); });
+  sim.RunUntil(pfsim::TimePoint{} + pfsim::Seconds(30));
+
+  PathCounts counts;
+  counts.switches = receiver.ledger().count(pfkern::Cost::kContextSwitch);
+  counts.syscalls = receiver.ledger().count(pfkern::Cost::kSyscall);
+  counts.copies = receiver.ledger().count(pfkern::Cost::kCopy);
+  if (!got) {
+    std::printf("    WARNING: packet was not delivered\n");
+  }
+  return counts;
+}
+
+// Fig. 2-3: total user/kernel domain crossings on the receiver while a
+// kernel-resident protocol (TCP-lite) moves N data segments whose acks stay
+// in the kernel.
+void KernelResidentCrossings() {
+  pfsim::Simulator sim;
+  pflink::EthernetSegment segment(&sim, pflink::LinkType::kEthernet10Mb);
+  pfkern::Machine alice(&sim, &segment, pflink::MacAddr::Dix(8, 0, 0, 0, 0, 1),
+                        pfkern::MicroVaxUltrixCosts(), "alice");
+  pfkern::Machine bob(&sim, &segment, pflink::MacAddr::Dix(8, 0, 0, 0, 0, 2),
+                      pfkern::MicroVaxUltrixCosts(), "bob");
+  pfkern::KernelIpStack alice_stack(&alice, pfproto::MakeIpv4(10, 0, 0, 1));
+  pfkern::KernelIpStack bob_stack(&bob, pfproto::MakeIpv4(10, 0, 0, 2));
+  alice.AddNeighbor(pfproto::MakeIpv4(10, 0, 0, 2), bob.link_addr());
+  bob.AddNeighbor(pfproto::MakeIpv4(10, 0, 0, 1), alice.link_addr());
+  pfkern::KernelTcp alice_tcp(&alice_stack);
+  pfkern::KernelTcp bob_tcp(&bob_stack);
+  bob_tcp.Listen(80);
+
+  size_t received = 0;
+  uint64_t receiver_syscalls = 0;
+  auto server = [&]() -> pfsim::Task {
+    pfkern::TcpConnection* conn = co_await bob_tcp.Accept(bob.NewPid(), 80, pfsim::Seconds(10));
+    if (conn == nullptr) {
+      co_return;
+    }
+    const int pid = bob.NewPid();
+    bob.ledger().Reset();
+    while (received < 64 * 1024 && !conn->eof()) {
+      const auto chunk = co_await conn->Recv(pid, 16 * 1024, pfsim::Seconds(10));
+      if (chunk.empty() && !conn->eof()) {
+        break;
+      }
+      received += chunk.size();
+      // Application think time lets the kernel buffer several segments, so
+      // crossings per frame shrink (the fig. 2-3 effect).
+      co_await sim.Delay(pfsim::Milliseconds(25));
+    }
+    receiver_syscalls = bob.ledger().count(pfkern::Cost::kSyscall);
+  };
+  auto client = [&]() -> pfsim::Task {
+    pfkern::TcpConnection* conn = co_await alice_tcp.Connect(
+        alice.NewPid(), pfproto::MakeIpv4(10, 0, 0, 2), 80, 4000, pfsim::Seconds(10));
+    if (conn == nullptr) {
+      co_return;
+    }
+    const int pid = alice.NewPid();
+    for (int i = 0; i < 16; ++i) {
+      co_await conn->Send(pid, std::vector<uint8_t>(4096, 7));
+    }
+    co_await conn->Close(pid);
+  };
+  sim.Spawn(server());
+  sim.Spawn(client());
+  sim.RunUntil(pfsim::TimePoint{} + pfsim::Seconds(600));
+
+  const auto& tcp_stats = bob.nic_stats();
+  std::printf("\n=== Fig. 2-3: kernel-resident protocols reduce domain crossing ===\n");
+  std::printf("    64 KB received over kernel TCP-lite:\n");
+  std::printf("      frames handled in the kernel:  %llu (data + handshake; every ack the\n",
+              (unsigned long long)tcp_stats.frames_in);
+  std::printf("      receiver sent also stayed in the kernel)\n");
+  std::printf("      read() crossings by the user process: %llu (several frames per crossing)\n",
+              (unsigned long long)receiver_syscalls);
+}
+
+}  // namespace
+
+int main() {
+  const PathCounts kernel = CountPath(false);
+  const PathCounts user = CountPath(true);
+
+  std::printf("=== Figs. 2-1 / 2-2: events to deliver ONE packet to its process ===\n");
+  std::printf("    %-34s %10s %10s %8s\n", "", "switches", "syscalls", "copies");
+  std::printf("    %-34s %10llu %10llu %8llu   (fig. 2-2)\n", "demultiplexing in the kernel",
+              (unsigned long long)kernel.switches, (unsigned long long)kernel.syscalls,
+              (unsigned long long)kernel.copies);
+  std::printf("    %-34s %10llu %10llu %8llu   (fig. 2-1)\n", "demultiplexing in a user process",
+              (unsigned long long)user.switches, (unsigned long long)user.syscalls,
+              (unsigned long long)user.copies);
+  std::printf("    paper: user-process demultiplexing needs \"at least two context switches\n");
+  std::printf("    and three system calls per received packet\"; kernel demux one of each.\n");
+
+  KernelResidentCrossings();
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Figures 3-4 / 3-5: per-packet overheads without and with received-packet
+// batching — counted events (wakeup switches + read syscalls) for a burst
+// of N packets delivered to one port.
+#include <cstdio>
+
+#include "bench/recv_common.h"
+
+namespace {
+
+struct Events {
+  uint64_t switches = 0;
+  uint64_t syscalls = 0;
+  uint64_t copies = 0;
+  int packets = 0;
+};
+
+Events CountBurst(bool batching, int burst) {
+  pfsim::Simulator sim;
+  pflink::EthernetSegment segment(&sim, pflink::LinkType::kEthernet10Mb);
+  pfkern::Machine receiver(&sim, &segment, pflink::MacAddr::Dix(8, 0, 0, 0, 0, 2),
+                           pfkern::MicroVaxUltrixCosts(), "receiver");
+  pflink::LinkHeader link;
+  link.dst = receiver.link_addr();
+  link.src = pflink::MacAddr::Dix(8, 0, 0, 0, 0, 1);
+  link.ether_type = 0x3333;
+  const pflink::Frame frame = *pflink::BuildFrame(pflink::LinkType::kEthernet10Mb, link,
+                                                  std::vector<uint8_t>(100, 1));
+  Events events;
+  auto destination = [&]() -> pfsim::Task {
+    const int pid = receiver.NewPid();
+    const pf::PortId port = co_await receiver.pf().Open(pid);
+    co_await receiver.pf().SetFilter(pid, port, pf::Program{});
+    pfkern::PacketFilterDevice::PortOptions options;
+    options.batching = batching;
+    options.queue_limit = 256;
+    co_await receiver.pf().Configure(pid, port, options);
+    receiver.ledger().Reset();
+    while (events.packets < burst) {
+      const auto packets = co_await receiver.pf().Read(pid, port, pfsim::Seconds(10));
+      if (packets.empty()) {
+        break;
+      }
+      events.packets += static_cast<int>(packets.size());
+    }
+    events.switches = receiver.ledger().count(pfkern::Cost::kContextSwitch);
+    events.syscalls = receiver.ledger().count(pfkern::Cost::kSyscall);
+    events.copies = receiver.ledger().count(pfkern::Cost::kCopy);
+  };
+  sim.Spawn(destination());
+  sim.Schedule(pfsim::Milliseconds(100), [&] {
+    for (int i = 0; i < burst; ++i) {
+      receiver.OnFrameDelivered(frame, sim.Now());
+    }
+  });
+  sim.RunUntil(pfsim::TimePoint{} + pfsim::Seconds(60));
+  return events;
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kBurst = 16;
+  const Events without = CountBurst(false, kBurst);
+  const Events with = CountBurst(true, kBurst);
+
+  std::printf("=== Figs. 3-4 / 3-5: delivery without / with received-packet batching ===\n");
+  std::printf("    burst of %d packets delivered to one port:\n\n", kBurst);
+  std::printf("    %-28s %10s %10s %8s\n", "", "switches", "syscalls", "copies");
+  std::printf("    %-28s %10llu %10llu %8llu   (fig. 3-4)\n", "without batching",
+              (unsigned long long)without.switches, (unsigned long long)without.syscalls,
+              (unsigned long long)without.copies);
+  std::printf("    %-28s %10llu %10llu %8llu   (fig. 3-5)\n", "with batching",
+              (unsigned long long)with.switches, (unsigned long long)with.syscalls,
+              (unsigned long long)with.copies);
+  std::printf(
+      "\n    batching \"can amortize the overhead of performing a system call over several\n"
+      "    packets\" (§3) — crossings collapse to ~1 per burst; copies remain per-packet.\n");
+  return 0;
+}

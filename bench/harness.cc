@@ -1,0 +1,58 @@
+#include "bench/harness.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "src/proto/ip.h"
+
+namespace pfbench {
+
+void PrintTable(const std::string& title, const std::string& citation,
+                const std::string& unit, const std::vector<Row>& rows) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("    (%s)\n", citation.c_str());
+  std::printf("    %-44s %12s %12s %8s\n", "configuration", ("paper " + unit).c_str(),
+              ("ours " + unit).c_str(), "ratio");
+  for (const Row& row : rows) {
+    if (std::isnan(row.paper)) {
+      std::printf("    %-44s %12s %12.2f %8s\n", row.label.c_str(), "-", row.measured, "-");
+    } else {
+      std::printf("    %-44s %12.2f %12.2f %7.2fx\n", row.label.c_str(), row.paper,
+                  row.measured, row.measured / row.paper);
+    }
+  }
+}
+
+void PrintNote(const std::string& note) { std::printf("    note: %s\n", note.c_str()); }
+
+Duo::Duo(pflink::LinkType link_type, pfkern::CostModel costs)
+    : segment_(&sim_, link_type) {
+  const bool experimental = link_type == pflink::LinkType::kExperimental3Mb;
+  const pflink::MacAddr client_mac =
+      experimental ? pflink::MacAddr::Experimental(1) : pflink::MacAddr::Dix(8, 0, 0, 0, 0, 1);
+  const pflink::MacAddr server_mac =
+      experimental ? pflink::MacAddr::Experimental(2) : pflink::MacAddr::Dix(8, 0, 0, 0, 0, 2);
+  client_ = std::make_unique<pfkern::Machine>(&sim_, &segment_, client_mac, costs, "client");
+  server_ = std::make_unique<pfkern::Machine>(&sim_, &segment_, server_mac, costs, "server");
+}
+
+uint32_t Duo::client_ip_addr() const { return pfproto::MakeIpv4(10, 0, 0, 1); }
+uint32_t Duo::server_ip_addr() const { return pfproto::MakeIpv4(10, 0, 0, 2); }
+
+void Duo::AddIpStacks() {
+  client_ip_ = std::make_unique<pfkern::KernelIpStack>(client_.get(), client_ip_addr());
+  server_ip_ = std::make_unique<pfkern::KernelIpStack>(server_.get(), server_ip_addr());
+  client_->AddNeighbor(server_ip_addr(), server_->link_addr());
+  server_->AddNeighbor(client_ip_addr(), client_->link_addr());
+}
+
+double ElapsedMs(pfsim::TimePoint start, pfsim::TimePoint end) {
+  return pfsim::ToMilliseconds(end - start);
+}
+
+double RateKBps(size_t bytes, pfsim::TimePoint start, pfsim::TimePoint end) {
+  const double seconds = pfsim::ToSeconds(end - start);
+  return seconds > 0 ? static_cast<double>(bytes) / 1024.0 / seconds : 0.0;
+}
+
+}  // namespace pfbench

@@ -1,0 +1,80 @@
+// Shared infrastructure for the table/figure reproduction benchmarks.
+//
+// Each bench binary regenerates one table or figure from the paper's §6,
+// printing the paper's reported value next to the value measured on the
+// simulated MicroVAX-II (see src/kernel/cost_model.h for the calibration).
+// EXPERIMENTS.md records and discusses the outputs.
+#ifndef BENCH_HARNESS_H_
+#define BENCH_HARNESS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/kernel/kernel_ip.h"
+#include "src/kernel/kernel_tcp.h"
+#include "src/kernel/kernel_vmtp.h"
+#include "src/kernel/machine.h"
+#include "src/kernel/pf_device.h"
+#include "src/link/segment.h"
+#include "src/sim/simulator.h"
+
+namespace pfbench {
+
+// --- Output formatting ---
+
+struct Row {
+  std::string label;
+  double paper;     // the value the paper reports (NaN if not reported)
+  double measured;  // our simulated/measured value
+};
+
+// Prints a header (title + paper citation) and rows with a paper/measured
+// ratio column.
+void PrintTable(const std::string& title, const std::string& citation,
+                const std::string& unit, const std::vector<Row>& rows);
+
+// A free-form note under a table.
+void PrintNote(const std::string& note);
+
+// --- Canonical two-machine scenario ---
+
+// Two machines ("client" and "server") on one segment, with optional kernel
+// IP stacks and neighbor entries pre-wired. The paper's measurements all use
+// identical machines at both ends (§6.3).
+class Duo {
+ public:
+  explicit Duo(pflink::LinkType link_type,
+               pfkern::CostModel costs = pfkern::MicroVaxUltrixCosts());
+
+  pfsim::Simulator& sim() { return sim_; }
+  pflink::EthernetSegment& segment() { return segment_; }
+  pfkern::Machine& client() { return *client_; }
+  pfkern::Machine& server() { return *server_; }
+
+  // Lazily adds kernel IP stacks (10.0.0.1 client, 10.0.0.2 server) with
+  // neighbor entries both ways.
+  void AddIpStacks();
+  pfkern::KernelIpStack& client_ip() { return *client_ip_; }
+  pfkern::KernelIpStack& server_ip() { return *server_ip_; }
+  uint32_t client_ip_addr() const;
+  uint32_t server_ip_addr() const;
+
+ private:
+  pfsim::Simulator sim_;
+  pflink::EthernetSegment segment_;
+  std::unique_ptr<pfkern::Machine> client_;
+  std::unique_ptr<pfkern::Machine> server_;
+  std::unique_ptr<pfkern::KernelIpStack> client_ip_;
+  std::unique_ptr<pfkern::KernelIpStack> server_ip_;
+};
+
+// Milliseconds between two simulated time points.
+double ElapsedMs(pfsim::TimePoint start, pfsim::TimePoint end);
+
+// KBytes/sec for `bytes` transferred over [start, end].
+double RateKBps(size_t bytes, pfsim::TimePoint start, pfsim::TimePoint end);
+
+}  // namespace pfbench
+
+#endif  // BENCH_HARNESS_H_

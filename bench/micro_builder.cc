@@ -1,0 +1,62 @@
+// Wall-clock microbenchmarks of filter construction: building ("compiling at
+// run time by a library procedure", §3.1), validating (§7's ahead-of-time
+// checks), decision-tree compilation of an active filter set, and
+// disassembly.
+#include <benchmark/benchmark.h>
+
+#include "src/net/pup_endpoint.h"
+#include "src/pf/builder.h"
+#include "src/pf/decision_tree.h"
+#include "src/pf/disasm.h"
+#include "src/pf/validate.h"
+
+namespace {
+
+void BM_BuildFig39(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pf::PaperFig39Filter());
+  }
+}
+BENCHMARK(BM_BuildFig39);
+
+void BM_Validate(benchmark::State& state) {
+  const pf::Program program = pf::PaperFig38Filter();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pf::Validate(program));
+  }
+}
+BENCHMARK(BM_Validate);
+
+void BM_ExtractConjunction(benchmark::State& state) {
+  const pf::Program program = pf::PaperFig39Filter();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pf::ExtractConjunction(program));
+  }
+}
+BENCHMARK(BM_ExtractConjunction);
+
+void BM_DecisionTreeBuild(benchmark::State& state) {
+  const int ports = static_cast<int>(state.range(0));
+  std::vector<std::pair<uint32_t, std::vector<pf::FieldTest>>> filters;
+  for (int socket = 1; socket <= ports; ++socket) {
+    const auto tests =
+        pf::ExtractConjunction(pfnet::MakePupSocketFilter(static_cast<uint32_t>(socket), 10));
+    filters.emplace_back(static_cast<uint32_t>(socket), *tests);
+  }
+  for (auto _ : state) {
+    pf::DecisionTree tree;
+    tree.Build(filters);
+    benchmark::DoNotOptimize(tree.node_count());
+  }
+}
+BENCHMARK(BM_DecisionTreeBuild)->Arg(4)->Arg(64);
+
+void BM_Disassemble(benchmark::State& state) {
+  const pf::Program program = pf::PaperFig38Filter();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pf::Disassemble(program));
+  }
+}
+BENCHMARK(BM_Disassemble);
+
+}  // namespace

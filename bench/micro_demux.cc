@@ -1,0 +1,97 @@
+// Wall-clock microbenchmarks of the demultiplexer: sequential filter
+// application vs the §7 decision-tree compiler, priority ordering, and
+// busy-reordering — the ablations DESIGN.md §6 calls out.
+#include <benchmark/benchmark.h>
+
+#include "src/net/pup_endpoint.h"
+#include "src/pf/demux.h"
+#include "tests/test_packets.h"
+
+namespace {
+
+// A demux with `ports` Pup-socket filters (sockets 1..ports, equal
+// priority); traffic goes to `target`.
+pf::PacketFilter MakeDemux(int ports, bool tree) {
+  pf::PacketFilter filter;
+  filter.SetUseDecisionTree(tree);
+  for (int socket = 1; socket <= ports; ++socket) {
+    const pf::PortId port = filter.OpenPort();
+    filter.SetFilter(port, pfnet::MakePupSocketFilter(static_cast<uint32_t>(socket), 10));
+    filter.SetQueueLimit(port, 1);  // keep the queues from growing
+  }
+  return filter;
+}
+
+void BM_DemuxSequential(benchmark::State& state) {
+  const int ports = static_cast<int>(state.range(0));
+  pf::PacketFilter filter = MakeDemux(ports, false);
+  // Worst case: the matching filter is the last one applied.
+  const auto packet = pftest::MakePupFrame(8, static_cast<uint32_t>(ports));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.Demux(packet));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DemuxSequential)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_DemuxDecisionTree(benchmark::State& state) {
+  const int ports = static_cast<int>(state.range(0));
+  pf::PacketFilter filter = MakeDemux(ports, true);
+  const auto packet = pftest::MakePupFrame(8, static_cast<uint32_t>(ports));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.Demux(packet));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DemuxDecisionTree)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+// §3.2's priority argument: the busy filter first vs last.
+void BM_DemuxMatchFirst(benchmark::State& state) {
+  pf::PacketFilter filter;
+  for (int socket = 1; socket <= 32; ++socket) {
+    const pf::PortId port = filter.OpenPort();
+    // Socket 1 gets the highest priority.
+    filter.SetFilter(port, pfnet::MakePupSocketFilter(static_cast<uint32_t>(socket),
+                                                      static_cast<uint8_t>(255 - socket)));
+    filter.SetQueueLimit(port, 1);
+  }
+  const auto packet = pftest::MakePupFrame(8, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.Demux(packet));
+  }
+}
+BENCHMARK(BM_DemuxMatchFirst);
+
+void BM_DemuxMatchLast(benchmark::State& state) {
+  pf::PacketFilter filter;
+  for (int socket = 1; socket <= 32; ++socket) {
+    const pf::PortId port = filter.OpenPort();
+    filter.SetFilter(port, pfnet::MakePupSocketFilter(static_cast<uint32_t>(socket),
+                                                      static_cast<uint8_t>(socket)));
+    filter.SetQueueLimit(port, 1);
+  }
+  const auto packet = pftest::MakePupFrame(8, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.Demux(packet));
+  }
+}
+BENCHMARK(BM_DemuxMatchLast);
+
+// Busy-reordering recovers most of the ordering win automatically.
+void BM_DemuxMatchLastWithReordering(benchmark::State& state) {
+  pf::PacketFilter filter;
+  filter.SetBusyReordering(true);
+  for (int socket = 1; socket <= 32; ++socket) {
+    const pf::PortId port = filter.OpenPort();
+    // Equal priority: application order is open order, then busyness.
+    filter.SetFilter(port, pfnet::MakePupSocketFilter(static_cast<uint32_t>(socket), 10));
+    filter.SetQueueLimit(port, 1);
+  }
+  const auto packet = pftest::MakePupFrame(8, 32);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.Demux(packet));
+  }
+}
+BENCHMARK(BM_DemuxMatchLastWithReordering);
+
+}  // namespace

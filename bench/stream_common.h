@@ -1,0 +1,224 @@
+// Shared byte-stream measurements: kernel TCP-lite and user-level BSP bulk
+// transfer (tables 6-3, 6-6) and character streams (table 6-7).
+//
+// Direction matches the paper's file-transfer framing: the *server* sends
+// bulk data to the client.
+#ifndef BENCH_STREAM_COMMON_H_
+#define BENCH_STREAM_COMMON_H_
+
+#include <memory>
+
+#include "bench/harness.h"
+#include "src/net/bsp.h"
+
+namespace pfbench {
+
+// Bulk rate over kernel TCP-lite at the given MSS. `total` bytes transferred.
+inline double MeasureTcpBulkKBps(size_t total, size_t mss,
+                                 pflink::LinkType link = pflink::LinkType::kEthernet10Mb,
+                                 pfkern::CostModel costs = pfkern::MicroVaxUltrixCosts()) {
+  Duo duo(link, costs);
+  duo.AddIpStacks();
+  pfkern::KernelTcp client_tcp(&duo.client_ip());
+  pfkern::KernelTcp server_tcp(&duo.server_ip());
+  client_tcp.set_mss(mss);
+  server_tcp.set_mss(mss);
+  server_tcp.Listen(80);
+
+  double kbps = 0;
+  size_t received = 0;
+
+  auto server = [&]() -> pfsim::Task {
+    pfkern::TcpConnection* conn =
+        co_await server_tcp.Accept(duo.server().NewPid(), 80, pfsim::Seconds(30));
+    if (conn == nullptr) {
+      co_return;
+    }
+    const int pid = duo.server().NewPid();
+    const std::vector<uint8_t> chunk(4096, 0x42);
+    for (size_t sent = 0; sent < total; sent += chunk.size()) {
+      co_await conn->Send(pid, chunk);
+    }
+    co_await conn->Close(pid);
+  };
+
+  auto client = [&]() -> pfsim::Task {
+    pfkern::TcpConnection* conn = co_await client_tcp.Connect(
+        duo.client().NewPid(), duo.server_ip_addr(), 80, 4000, pfsim::Seconds(30));
+    if (conn == nullptr) {
+      co_return;
+    }
+    const int pid = duo.client().NewPid();
+    const pfsim::TimePoint start = duo.sim().Now();
+    while (received < total && !conn->eof()) {
+      const auto chunk = co_await conn->Recv(pid, 8192, pfsim::Seconds(30));
+      if (chunk.empty() && !conn->eof()) {
+        break;
+      }
+      received += chunk.size();
+    }
+    kbps = RateKBps(received, start, duo.sim().Now());
+  };
+
+  duo.sim().Spawn(server());
+  duo.sim().Spawn(client());
+  duo.sim().RunUntil(pfsim::TimePoint{} + pfsim::Seconds(3600));
+  return kbps;
+}
+
+// Bulk rate over user-level BSP (568-byte Pup packets through the packet
+// filter).
+inline double MeasureBspBulkKBps(size_t total,
+                                 pflink::LinkType link = pflink::LinkType::kEthernet10Mb,
+                                 pfkern::CostModel costs = pfkern::MicroVaxUltrixCosts()) {
+  Duo duo(link, costs);
+  double kbps = 0;
+  size_t received = 0;
+  std::unique_ptr<pfnet::BspListener> listener;
+  std::unique_ptr<pfnet::BspStream> server_stream;
+  std::unique_ptr<pfnet::BspStream> client_stream;
+
+  auto server = [&]() -> pfsim::Task {
+    const int pid = duo.server().NewPid();
+    listener = co_await pfnet::BspListener::Create(&duo.server(), pid,
+                                                   pfproto::PupPort{0, 2, 0x100});
+    server_stream = co_await listener->Accept(pid, pfsim::Seconds(30));
+    if (server_stream == nullptr) {
+      co_return;
+    }
+    std::vector<uint8_t> data(total, 0x42);
+    co_await server_stream->Send(pid, std::move(data));
+    co_await server_stream->Close(pid);
+  };
+
+  auto client = [&]() -> pfsim::Task {
+    const int pid = duo.client().NewPid();
+    co_await duo.sim().Delay(pfsim::Milliseconds(50));  // listener first
+    client_stream = co_await pfnet::BspStream::Connect(&duo.client(), pid,
+                                                       pfproto::PupPort{0, 1, 0x200},
+                                                       pfproto::PupPort{0, 2, 0x100},
+                                                       pfsim::Seconds(10));
+    if (client_stream == nullptr) {
+      co_return;
+    }
+    const pfsim::TimePoint start = duo.sim().Now();
+    while (received < total && !client_stream->eof()) {
+      const auto chunk = co_await client_stream->Recv(pid, 8192, pfsim::Seconds(30));
+      if (chunk.empty() && !client_stream->eof()) {
+        break;
+      }
+      received += chunk.size();
+    }
+    kbps = RateKBps(received, start, duo.sim().Now());
+  };
+
+  duo.sim().Spawn(server());
+  duo.sim().Spawn(client());
+  duo.sim().RunUntil(pfsim::TimePoint{} + pfsim::Seconds(3600));
+  return kbps;
+}
+
+// Character-stream ("Telnet") throughput in chars/second: the server prints
+// characters in `chunk_chars` flushes; the client displays them at a device
+// limited to `display_cps` (charged as per-character display time).
+inline double MeasureTelnetCps(bool use_tcp, pflink::LinkType link, double display_cps,
+                               size_t chunk_chars, size_t total_chars,
+                               size_t recv_chunk = 4096) {
+  Duo duo(link);
+  const pfsim::Duration per_char =
+      pfsim::Nanoseconds(static_cast<int64_t>(1e9 / display_cps));
+  double cps = 0;
+  size_t displayed = 0;
+
+  std::unique_ptr<pfkern::KernelTcp> client_tcp;
+  std::unique_ptr<pfkern::KernelTcp> server_tcp;
+  std::unique_ptr<pfnet::BspListener> listener;
+  std::unique_ptr<pfnet::BspStream> server_stream;
+  std::unique_ptr<pfnet::BspStream> client_stream;
+  if (use_tcp) {
+    duo.AddIpStacks();
+    client_tcp = std::make_unique<pfkern::KernelTcp>(&duo.client_ip());
+    server_tcp = std::make_unique<pfkern::KernelTcp>(&duo.server_ip());
+    // Keep TCP segments within the experimental Ethernet's MTU as well.
+    client_tcp->set_mss(514);
+    server_tcp->set_mss(514);
+    server_tcp->Listen(23);
+  }
+
+  auto server = [&]() -> pfsim::Task {
+    const int pid = duo.server().NewPid();
+    const std::vector<uint8_t> chunk(chunk_chars, 'x');
+    if (use_tcp) {
+      pfkern::TcpConnection* conn = co_await server_tcp->Accept(pid, 23, pfsim::Seconds(30));
+      if (conn == nullptr) {
+        co_return;
+      }
+      for (size_t sent = 0; sent < total_chars; sent += chunk_chars) {
+        co_await conn->Send(pid, chunk);
+      }
+      co_await conn->Close(pid);
+    } else {
+      listener = co_await pfnet::BspListener::Create(&duo.server(), pid,
+                                                     pfproto::PupPort{0, 2, 0x017});
+      server_stream = co_await listener->Accept(pid, pfsim::Seconds(30));
+      if (server_stream == nullptr) {
+        co_return;
+      }
+      for (size_t sent = 0; sent < total_chars; sent += chunk_chars) {
+        co_await server_stream->Send(pid, chunk);
+      }
+      co_await server_stream->Close(pid);
+    }
+  };
+
+  auto client = [&]() -> pfsim::Task {
+    const int pid = duo.client().NewPid();
+    pfsim::TimePoint start{};
+    if (use_tcp) {
+      pfkern::TcpConnection* conn = co_await client_tcp->Connect(
+          pid, duo.server_ip_addr(), 23, 4000, pfsim::Seconds(30));
+      if (conn == nullptr) {
+        co_return;
+      }
+      start = duo.sim().Now();
+      while (displayed < total_chars && !conn->eof()) {
+        const auto chars = co_await conn->Recv(pid, recv_chunk, pfsim::Seconds(30));
+        if (chars.empty() && !conn->eof()) {
+          break;
+        }
+        co_await duo.client().Run(pid, pfkern::Cost::kDisplay,
+                                  per_char * static_cast<int64_t>(chars.size()));
+        displayed += chars.size();
+      }
+    } else {
+      co_await duo.sim().Delay(pfsim::Milliseconds(50));
+      client_stream = co_await pfnet::BspStream::Connect(&duo.client(), pid,
+                                                         pfproto::PupPort{0, 1, 0x018},
+                                                         pfproto::PupPort{0, 2, 0x017},
+                                                         pfsim::Seconds(10));
+      if (client_stream == nullptr) {
+        co_return;
+      }
+      start = duo.sim().Now();
+      while (displayed < total_chars && !client_stream->eof()) {
+        const auto chars = co_await client_stream->Recv(pid, recv_chunk, pfsim::Seconds(30));
+        if (chars.empty() && !client_stream->eof()) {
+          break;
+        }
+        co_await duo.client().Run(pid, pfkern::Cost::kDisplay,
+                                  per_char * static_cast<int64_t>(chars.size()));
+        displayed += chars.size();
+      }
+    }
+    cps = static_cast<double>(displayed) / pfsim::ToSeconds(duo.sim().Now() - start);
+  };
+
+  duo.sim().Spawn(server());
+  duo.sim().Spawn(client());
+  duo.sim().RunUntil(pfsim::TimePoint{} + pfsim::Seconds(3600));
+  return cps;
+}
+
+}  // namespace pfbench
+
+#endif  // BENCH_STREAM_COMMON_H_

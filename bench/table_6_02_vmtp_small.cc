@@ -1,0 +1,32 @@
+// Table 6-2: "Relative performance of VMTP for small messages" — elapsed
+// time for a minimal round-trip operation (reading zero bytes from a file)
+// under the packet-filter implementation, the Unix-kernel implementation,
+// and the V-kernel cost preset. The paper's headline: "the penalty for
+// user-level implementation is almost exactly a factor of two."
+#include "bench/vmtp_common.h"
+
+int main() {
+  using pfbench::MeasureVmtp;
+  using pfbench::VmtpConfig;
+
+  VmtpConfig pf_config;
+  VmtpConfig kernel_config;
+  kernel_config.kernel = true;
+  VmtpConfig vkernel_config;
+  vkernel_config.kernel = true;
+  vkernel_config.costs = pfkern::VKernelCosts();
+
+  const double pf_rtt = MeasureVmtp(pf_config).rtt_ms;
+  const double kernel_rtt = MeasureVmtp(kernel_config).rtt_ms;
+  const double vkernel_rtt = MeasureVmtp(vkernel_config).rtt_ms;
+
+  pfbench::PrintTable("Table 6-2: Relative performance of VMTP for small messages",
+                      "elapsed time per minimal operation, §6.3", "(ms)",
+                      {
+                          {"Packet filter", 14.7, pf_rtt},
+                          {"Unix kernel", 7.44, kernel_rtt},
+                          {"V kernel", 7.32, vkernel_rtt},
+                      });
+  std::printf("    user-level penalty: paper 1.98x, ours %.2fx\n", pf_rtt / kernel_rtt);
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Table 6-8: "Per-packet cost of user-level demultiplexing" — elapsed time
+// to receive a packet when demultiplexing is done in the kernel (packet
+// filter, fig. 2-2) vs. in a user process forwarding through a pipe
+// (fig. 2-1). No batching.
+#include "bench/recv_common.h"
+
+int main() {
+  using pfbench::MeasureReceivePerPacketMs;
+  using pfbench::RecvConfig;
+
+  RecvConfig kernel128;
+  kernel128.frame_total = 128;
+  RecvConfig kernel1500 = kernel128;
+  kernel1500.frame_total = 1500;
+  RecvConfig user128 = kernel128;
+  user128.user_demux = true;
+  RecvConfig user1500 = kernel1500;
+  user1500.user_demux = true;
+
+  pfbench::PrintTable(
+      "Table 6-8: Per-packet cost of user-level demultiplexing",
+      "elapsed receive time, no batching, §6.5.3", "(ms)",
+      {
+          {"128 bytes, demux in kernel", 2.3, MeasureReceivePerPacketMs(kernel128)},
+          {"128 bytes, demux in user process", 5.0, MeasureReceivePerPacketMs(user128)},
+          {"1500 bytes, demux in kernel", 4.0, MeasureReceivePerPacketMs(kernel1500)},
+          {"1500 bytes, demux in user process", 9.0, MeasureReceivePerPacketMs(user1500)},
+      });
+  pfbench::PrintNote(
+      "the user-process path adds 2 context switches, 2 syscalls, and 2 copies per packet "
+      "(the paper's analytical model, §6.5.1).");
+  return 0;
+}

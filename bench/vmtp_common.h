@@ -1,0 +1,153 @@
+// Shared VMTP measurement flows for tables 6-2 .. 6-5.
+//
+// The workload matches §6.3: "a minimal round-trip operation (reading zero
+// bytes from a file)" for latency, and "repeatedly reading the same segment
+// of a file, which therefore stayed in the file system buffer cache" (16 KB
+// segments, ~1 MB total) for bulk throughput.
+#ifndef BENCH_VMTP_COMMON_H_
+#define BENCH_VMTP_COMMON_H_
+
+#include <memory>
+
+#include "bench/harness.h"
+#include "src/net/demux_process.h"
+#include "src/net/vmtp.h"
+
+namespace pfbench {
+
+inline constexpr uint32_t kFileServerId = 0x5eef;
+inline constexpr uint32_t kClientId = 0xc11e;
+inline constexpr size_t kSegmentBytes = 16384;
+
+struct VmtpConfig {
+  bool kernel = false;            // kernel-resident vs packet-filter implementation
+  bool batching = true;           // read batching (user-level only)
+  bool demux_process = false;     // client receives via demux process + pipe (§6.5)
+  pfkern::CostModel costs = pfkern::MicroVaxUltrixCosts();
+};
+
+struct VmtpResult {
+  double rtt_ms = 0;     // minimal transaction
+  double bulk_kbps = 0;  // 16 KB reads, ~1 MB total
+};
+
+// The user-level file server: answers "read" requests with a cached
+// segment; zero-length requests get zero-length responses.
+inline pfsim::Task UserFileServer(pfkern::Machine* machine, pfnet::UserVmtpServer* server) {
+  const int pid = machine->NewPid();
+  const std::vector<uint8_t> segment(kSegmentBytes, 0x6f);
+  for (;;) {
+    auto request = co_await server->ReceiveRequest(pid, pfsim::Seconds(10));
+    if (!request.has_value()) {
+      co_return;  // measurement over
+    }
+    std::vector<uint8_t> response;
+    if (!request->data.empty() && request->data[0] == 'R') {
+      response = segment;
+    }
+    co_await server->SendResponse(pid, *request, std::move(response));
+  }
+}
+
+inline pfsim::Task KernelFileServer(pfkern::Machine* machine, pfkern::KernelVmtp* vmtp) {
+  const int pid = machine->NewPid();
+  const std::vector<uint8_t> segment(kSegmentBytes, 0x6f);
+  for (;;) {
+    auto request = co_await vmtp->ReceiveRequest(pid, kFileServerId, pfsim::Seconds(10));
+    if (!request.has_value()) {
+      co_return;
+    }
+    std::vector<uint8_t> response;
+    if (!request->data.empty() && request->data[0] == 'R') {
+      response = segment;
+    }
+    co_await vmtp->SendResponse(pid, *request, std::move(response));
+  }
+}
+
+inline VmtpResult MeasureVmtp(const VmtpConfig& config, int rtt_transactions = 20,
+                              int bulk_segments = 64) {
+  Duo duo(pflink::LinkType::kEthernet10Mb, config.costs);
+  VmtpResult result;
+
+  std::unique_ptr<pfkern::KernelVmtp> kernel_client;
+  std::unique_ptr<pfkern::KernelVmtp> kernel_server;
+  if (config.kernel) {
+    kernel_client = std::make_unique<pfkern::KernelVmtp>(&duo.client());
+    kernel_server = std::make_unique<pfkern::KernelVmtp>(&duo.server());
+    kernel_server->RegisterServer(kFileServerId);
+    duo.sim().Spawn(KernelFileServer(&duo.server(), kernel_server.get()));
+  }
+
+  // Owned at function scope: protocol objects must outlive every spawned
+  // task, and MeasureVmtp only returns once the simulation has drained.
+  std::unique_ptr<pfnet::UserVmtpServer> user_server;
+  std::unique_ptr<pfnet::UserVmtpClient> user_client;
+  std::unique_ptr<pfkern::MessagePipe> pipe;
+  std::unique_ptr<pfnet::UserDemuxProcess> demux;
+  std::unique_ptr<pfnet::PipePacketSource> pipe_source;
+
+  auto client_task = [&]() -> pfsim::Task {
+    const int pid = duo.client().NewPid();
+    if (!config.kernel) {
+      user_server = co_await pfnet::UserVmtpServer::Create(&duo.server(),
+                                                           duo.server().NewPid(),
+                                                           kFileServerId, config.batching);
+      duo.sim().Spawn(UserFileServer(&duo.server(), user_server.get()));
+      if (config.demux_process) {
+        pipe = std::make_unique<pfkern::MessagePipe>(&duo.client(), 256);
+        demux = co_await pfnet::UserDemuxProcess::Create(
+            &duo.client(), pfnet::MakeVmtpClientFilter(kClientId, 12), config.batching,
+            pipe.get());
+        demux->Start();
+        pipe_source = std::make_unique<pfnet::PipePacketSource>(pipe.get());
+        user_client = pfnet::UserVmtpClient::CreateWithSource(&duo.client(), kClientId,
+                                                              pipe_source.get());
+      } else {
+        user_client = co_await pfnet::UserVmtpClient::Create(&duo.client(), pid, kClientId,
+                                                             config.batching);
+      }
+    }
+
+    auto transact = [&](char op) -> pfsim::ValueTask<bool> {
+      std::vector<uint8_t> request = {static_cast<uint8_t>(op)};
+      if (config.kernel) {
+        auto response = co_await kernel_client->Transact(pid, kClientId,
+                                                         duo.server().link_addr(),
+                                                         kFileServerId, std::move(request),
+                                                         pfsim::Seconds(5));
+        co_return response.has_value();
+      }
+      auto response = co_await user_client->Transact(pid, duo.server().link_addr(),
+                                                     kFileServerId, std::move(request),
+                                                     pfsim::Seconds(5));
+      co_return response.has_value();
+    };
+
+    // Warm-up.
+    co_await transact('0');
+
+    // Minimal round-trip operation.
+    pfsim::TimePoint start = duo.sim().Now();
+    for (int i = 0; i < rtt_transactions; ++i) {
+      co_await transact('0');
+    }
+    result.rtt_ms = ElapsedMs(start, duo.sim().Now()) / rtt_transactions;
+
+    // Bulk: repeated 16 KB reads.
+    start = duo.sim().Now();
+    for (int i = 0; i < bulk_segments; ++i) {
+      co_await transact('R');
+    }
+    result.bulk_kbps =
+        RateKBps(static_cast<size_t>(bulk_segments) * kSegmentBytes, start, duo.sim().Now());
+  };
+
+  duo.sim().Spawn(client_task());
+  duo.sim().RunUntil(pfsim::TimePoint{} + pfsim::Seconds(3600));
+  return result;
+}
+
+}  // namespace pfbench
+
+#endif  // BENCH_VMTP_COMMON_H_

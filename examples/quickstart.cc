@@ -1,0 +1,70 @@
+// Quickstart: the packet filter in a dozen lines of user code.
+//
+// Two simulated machines share a 3 Mbit/s Experimental Ethernet. The
+// receiver opens a packet-filter port, binds a fig. 3-9-style filter for
+// Pup socket 35, and blocks in read(); the sender write()s two frames — one
+// matching, one not. Exactly one is delivered, and the receiver's cost
+// ledger shows what the kernel spent doing it.
+#include <cstdio>
+
+#include "src/kernel/machine.h"
+#include "src/kernel/pf_device.h"
+#include "src/net/monitor.h"
+#include "src/net/pup_endpoint.h"
+#include "src/pf/disasm.h"
+#include "src/util/hexdump.h"
+#include "tests/test_packets.h"
+
+using pfkern::Machine;
+using pfsim::Task;
+
+int main() {
+  pfsim::Simulator sim;
+  pflink::EthernetSegment wire(&sim, pflink::LinkType::kExperimental3Mb);
+  Machine sender(&sim, &wire, pflink::MacAddr::Experimental(1),
+                 pfkern::MicroVaxUltrixCosts(), "sender");
+  Machine receiver(&sim, &wire, pflink::MacAddr::Experimental(2),
+                   pfkern::MicroVaxUltrixCosts(), "receiver");
+
+  auto receive_process = [&]() -> Task {
+    const int pid = receiver.NewPid();
+    const pf::PortId port = co_await receiver.pf().Open(pid);
+
+    // "Compiled at run time by a library procedure" (§3.1):
+    const pf::Program filter = pfnet::MakePupSocketFilter(/*socket=*/35, /*priority=*/10);
+    std::printf("binding filter:\n%s\n", pf::Disassemble(filter).c_str());
+    co_await receiver.pf().SetFilter(pid, port, filter);
+
+    const pf::DeviceInfo info = receiver.pf().GetDeviceInfo();
+    std::printf("device: addr_len=%u header_len=%u max_packet=%u\n\n", info.addr_len,
+                info.header_len, info.max_packet);
+
+    const auto packets = co_await receiver.pf().Read(pid, port, pfsim::Seconds(5));
+    for (const auto& packet : packets) {
+      std::printf("received %zu-byte frame:\n%s\n", packet.bytes.size(),
+                  pfutil::Hexdump(packet.bytes).c_str());
+      std::printf("decoded: %s\n\n",
+                  pfnet::NetworkMonitor::DescribeFrame(pflink::LinkType::kExperimental3Mb,
+                                                       packet.bytes)
+                      .c_str());
+    }
+    std::printf("receiver kernel costs for this delivery:\n%s",
+                receiver.ledger().Format().c_str());
+  };
+
+  auto send_process = [&]() -> Task {
+    const int pid = sender.NewPid();
+    co_await sim.Delay(pfsim::Milliseconds(10));
+    // write() takes the complete frame, data-link header included (§3).
+    co_await sender.pf().Write(pid, pftest::MakePupFrame(8, 35, /*dst_host=*/2));
+    co_await sender.pf().Write(pid, pftest::MakePupFrame(8, 99, /*dst_host=*/2));  // filtered
+  };
+
+  sim.Spawn(receive_process());
+  sim.Spawn(send_process());
+  sim.Run();
+
+  std::printf("\nsimulated time elapsed: %.3f ms\n",
+              pfsim::ToMilliseconds(sim.Now().time_since_epoch()));
+  return 0;
+}

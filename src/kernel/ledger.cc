@@ -1,0 +1,68 @@
+#include "src/kernel/ledger.h"
+
+#include <cstdio>
+
+namespace pfkern {
+
+std::string ToString(Cost category) {
+  switch (category) {
+    case Cost::kContextSwitch:
+      return "context switch";
+    case Cost::kSyscall:
+      return "syscall crossing";
+    case Cost::kCopy:
+      return "kernel<->user copy";
+    case Cost::kInterrupt:
+      return "interrupt+driver in";
+    case Cost::kFilterEval:
+      return "filter evaluation";
+    case Cost::kPfBookkeeping:
+      return "pf bookkeeping";
+    case Cost::kTimestamp:
+      return "timestamping";
+    case Cost::kIpInput:
+      return "ip input";
+    case Cost::kTransportInput:
+      return "transport input";
+    case Cost::kIpOutput:
+      return "ip output";
+    case Cost::kTransportOutput:
+      return "transport output";
+    case Cost::kChecksum:
+      return "checksumming";
+    case Cost::kDriverSend:
+      return "driver send";
+    case Cost::kPipe:
+      return "pipe transfer";
+    case Cost::kProtocolUser:
+      return "user protocol code";
+    case Cost::kProtocolKernel:
+      return "kernel protocol code";
+    case Cost::kDisplay:
+      return "character display";
+    case Cost::kCount:
+      break;
+  }
+  return "?";
+}
+
+std::string Ledger::Format() const {
+  std::string out;
+  char line[128];
+  for (size_t i = 0; i < static_cast<size_t>(Cost::kCount); ++i) {
+    const auto category = static_cast<Cost>(i);
+    if (count(category) == 0) {
+      continue;
+    }
+    std::snprintf(line, sizeof(line), "  %-22s %10.3f ms  (%llu charges)\n",
+                  ToString(category).c_str(), pfsim::ToMilliseconds(total(category)),
+                  static_cast<unsigned long long>(count(category)));
+    out += line;
+  }
+  std::snprintf(line, sizeof(line), "  %-22s %10.3f ms\n", "TOTAL",
+                pfsim::ToMilliseconds(grand_total()));
+  out += line;
+  return out;
+}
+
+}  // namespace pfkern

@@ -1,0 +1,113 @@
+#include "src/kernel/machine.h"
+
+#include "src/kernel/pf_device.h"
+
+namespace pfkern {
+
+Machine::Machine(pfsim::Simulator* sim, pflink::EthernetSegment* segment, pflink::MacAddr addr,
+                 CostModel costs, std::string name)
+    : sim_(sim),
+      segment_(segment),
+      addr_(addr),
+      costs_(costs),
+      name_(std::move(name)),
+      cpu_(sim) {
+  pf_device_ = std::make_unique<PacketFilterDevice>(this);
+  segment_->Attach(this);
+}
+
+Machine::~Machine() { segment_->Detach(this); }
+
+pfsim::ValueTask<void> Machine::Run(int ctx, Cost category, pfsim::Duration work) {
+  return RunMulti(ctx, {{category, work}});
+}
+
+pfsim::ValueTask<void> Machine::RunMulti(int ctx, std::vector<Charge> charges) {
+  co_await cpu_.Lock();
+  if (ctx != kInterruptContext && cpu_owner_ != ctx) {
+    ledger_.Charge(Cost::kContextSwitch, costs_.context_switch);
+    co_await sim_->Delay(costs_.context_switch);
+    cpu_owner_ = ctx;
+  }
+  for (const Charge& charge : charges) {
+    if (charge.second.count() > 0) {
+      ledger_.Charge(charge.first, charge.second);
+      co_await sim_->Delay(charge.second);
+    }
+  }
+  cpu_.Unlock();
+}
+
+void Machine::MarkBlocked(int ctx) {
+  if (cpu_owner_ == ctx) {
+    cpu_owner_ = kIdleContext;
+  }
+}
+
+std::optional<pflink::MacAddr> Machine::Resolve(uint32_t ip) const {
+  const auto it = neighbors_.find(ip);
+  if (it == neighbors_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+pfsim::ValueTask<bool> Machine::TransmitRaw(int ctx, std::vector<uint8_t> frame_bytes) {
+  const pflink::LinkProperties& props = link_properties();
+  if (frame_bytes.size() < props.header_len ||
+      frame_bytes.size() > props.header_len + props.mtu) {
+    co_return false;
+  }
+  co_await Run(ctx, Cost::kDriverSend, costs_.driver_send);
+  ++nic_stats_.frames_out;
+  segment_->Transmit(this, pflink::Frame{std::move(frame_bytes)});
+  co_return true;
+}
+
+pfsim::ValueTask<bool> Machine::TransmitFrame(int ctx, pflink::MacAddr dst, uint16_t ether_type,
+                                              std::vector<uint8_t> payload) {
+  pflink::LinkHeader header;
+  header.dst = dst;
+  header.src = addr_;
+  header.ether_type = ether_type;
+  auto frame = pflink::BuildFrame(link_properties().type, header, payload);
+  if (!frame.has_value()) {
+    co_return false;
+  }
+  co_return co_await TransmitRaw(ctx, std::move(frame->bytes));
+}
+
+void Machine::RegisterKernelProtocol(uint16_t ether_type, FrameHandler handler) {
+  kernel_handlers_[ether_type] = std::move(handler);
+}
+
+void Machine::OnFrameDelivered(const pflink::Frame& frame, pfsim::TimePoint at) {
+  (void)at;
+  sim_->Spawn(ReceiveTask(frame));
+}
+
+pfsim::Task Machine::ReceiveTask(pflink::Frame frame) {
+  ++nic_stats_.frames_in;
+  co_await Run(kInterruptContext, Cost::kInterrupt, costs_.recv_interrupt);
+
+  bool claimed = false;
+  const auto header = pflink::ParseHeader(link_properties().type, frame.AsSpan());
+  if (header.has_value()) {
+    const auto it = kernel_handlers_.find(header->ether_type);
+    if (it != kernel_handlers_.end()) {
+      ++nic_stats_.frames_to_kernel;
+      co_await it->second(frame, *header);
+      claimed = true;
+    }
+  }
+  // §4: "The packet filter is called from the network interface drivers
+  // upon receipt of packets not destined for kernel-resident protocols."
+  // (Or for every packet when the fig. 3-3 tap is on.)
+  if (!claimed || tap_all_to_pf_) {
+    ++nic_stats_.frames_to_pf;
+    co_await pf_device_->HandlePacket(frame.bytes,
+                                      static_cast<uint64_t>(sim_->Now().time_since_epoch().count()));
+  }
+}
+
+}  // namespace pfkern

@@ -1,0 +1,146 @@
+// A simulated host: one CPU with context-switch accounting, a network
+// interface on an Ethernet segment, the packet-filter pseudodevice, and
+// registration points for kernel-resident protocol stacks.
+//
+// The execution model mirrors the paper's analysis (§6.5.1):
+//   * All work is charged to the single CPU (an AsyncMutex): interrupt
+//     handlers, kernel protocol input, and user processes serialize.
+//   * Each charge carries an execution context. When a non-interrupt
+//     context acquires the CPU and the previous owner differs, a context
+//     switch is charged (0.4 ms on the MicroVAX). Interrupt handlers borrow
+//     the current context — they never charge a switch.
+//   * A process that is about to block calls MarkBlocked(); the CPU owner
+//     becomes "idle", so its next charge pays a switch — while a process
+//     that kept running (e.g. batch-reading a busy port) pays none. That is
+//     exactly the paper's "in the best case the receiving process will
+//     never be suspended, and no context switches take place".
+#ifndef SRC_KERNEL_MACHINE_H_
+#define SRC_KERNEL_MACHINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/kernel/cost_model.h"
+#include "src/kernel/ledger.h"
+#include "src/link/frame.h"
+#include "src/link/segment.h"
+#include "src/sim/sim_time.h"
+#include "src/sim/simulator.h"
+#include "src/sim/sync.h"
+#include "src/sim/task.h"
+#include "src/sim/value_task.h"
+
+namespace pfkern {
+
+class PacketFilterDevice;
+
+class Machine : public pflink::Station {
+ public:
+  // Execution contexts. Non-negative values are process ids from NewPid().
+  static constexpr int kInterruptContext = -1;
+  static constexpr int kIdleContext = -2;
+
+  Machine(pfsim::Simulator* sim, pflink::EthernetSegment* segment, pflink::MacAddr addr,
+          CostModel costs, std::string name);
+  ~Machine() override;
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  // --- Station ---
+  void OnFrameDelivered(const pflink::Frame& frame, pfsim::TimePoint at) override;
+  pflink::MacAddr link_addr() const override { return addr_; }
+  bool promiscuous() const override { return promiscuous_; }
+
+  // --- Accessors ---
+  pfsim::Simulator* sim() { return sim_; }
+  pflink::EthernetSegment* segment() { return segment_; }
+  const pflink::LinkProperties& link_properties() const { return segment_->properties(); }
+  const CostModel& costs() const { return costs_; }
+  Ledger& ledger() { return ledger_; }
+  const std::string& name() const { return name_; }
+  PacketFilterDevice& pf() { return *pf_device_; }
+
+  // NIC hears every frame on the segment (monitor use, §5.4).
+  void SetPromiscuous(bool enabled) { promiscuous_ = enabled; }
+  // Frames claimed by kernel stacks are *also* offered to the packet filter
+  // (the coexistence of fig. 3-3, needed to monitor kernel protocols).
+  void SetTapAllToPf(bool enabled) { tap_all_to_pf_ = enabled; }
+
+  // --- Processes ---
+  int NewPid() { return next_pid_++; }
+  void Spawn(pfsim::Task task) { sim_->Spawn(std::move(task)); }
+
+  // --- CPU accounting ---
+  using Charge = std::pair<Cost, pfsim::Duration>;
+  // Acquires the CPU as `ctx`, charges a context switch if the owner
+  // changed (never for interrupt context), consumes `work`, releases.
+  pfsim::ValueTask<void> Run(int ctx, Cost category, pfsim::Duration work);
+  // Same, with several charges under one CPU acquisition (so an interrupt's
+  // multi-part cost is not preempted between parts).
+  pfsim::ValueTask<void> RunMulti(int ctx, std::vector<Charge> charges);
+  // Declares that `ctx` is about to block; the CPU owner becomes idle, so
+  // its next acquisition pays a context switch.
+  void MarkBlocked(int ctx);
+  int cpu_owner() const { return cpu_owner_; }
+
+  // --- Static neighbor table (IP -> link address) ---
+  // The kernel stack resolves next hops here; examples/rarp_daemon shows the
+  // dynamic path via RARP.
+  void AddNeighbor(uint32_t ip, pflink::MacAddr mac) { neighbors_[ip] = mac; }
+  std::optional<pflink::MacAddr> Resolve(uint32_t ip) const;
+
+  // --- Transmit paths ---
+  // Raw frame (the packet filter's write(): the user supplies the complete
+  // packet including the data-link header). Charges driver_send.
+  pfsim::ValueTask<bool> TransmitRaw(int ctx, std::vector<uint8_t> frame_bytes);
+  // Kernel-stack convenience: builds the link header around `payload`.
+  pfsim::ValueTask<bool> TransmitFrame(int ctx, pflink::MacAddr dst, uint16_t ether_type,
+                                       std::vector<uint8_t> payload);
+
+  // --- Kernel protocol dispatch ---
+  // Handler runs in interrupt context; it must charge its own costs via
+  // Run()/RunMulti() *before* waking user processes.
+  using FrameHandler =
+      std::function<pfsim::ValueTask<void>(const pflink::Frame&, const pflink::LinkHeader&)>;
+  void RegisterKernelProtocol(uint16_t ether_type, FrameHandler handler);
+
+  struct NicStats {
+    uint64_t frames_in = 0;
+    uint64_t frames_out = 0;
+    uint64_t frames_to_kernel = 0;
+    uint64_t frames_to_pf = 0;
+  };
+  const NicStats& nic_stats() const { return nic_stats_; }
+
+ private:
+  pfsim::Task ReceiveTask(pflink::Frame frame);
+
+  pfsim::Simulator* sim_;
+  pflink::EthernetSegment* segment_;
+  pflink::MacAddr addr_;
+  CostModel costs_;
+  std::string name_;
+  Ledger ledger_;
+
+  pfsim::AsyncMutex cpu_;
+  int cpu_owner_ = kIdleContext;
+  int next_pid_ = 1;
+  bool promiscuous_ = false;
+  bool tap_all_to_pf_ = false;
+
+  std::unordered_map<uint16_t, FrameHandler> kernel_handlers_;
+  std::unordered_map<uint32_t, pflink::MacAddr> neighbors_;
+  std::unique_ptr<PacketFilterDevice> pf_device_;
+  NicStats nic_stats_;
+};
+
+}  // namespace pfkern
+
+#endif  // SRC_KERNEL_MACHINE_H_

@@ -1,0 +1,252 @@
+#include "src/kernel/pf_device.h"
+
+#include "src/kernel/machine.h"
+
+namespace pfkern {
+
+PacketFilterDevice::PacketFilterDevice(Machine* machine) : machine_(machine) {
+  // Populate the §3.3 device-information block from the link the device
+  // sits on.
+  const pflink::LinkProperties& props = machine_->link_properties();
+  pf::DeviceInfo info;
+  info.datalink_type = static_cast<uint16_t>(props.type);
+  info.addr_len = props.addr_len;
+  info.header_len = static_cast<uint8_t>(props.header_len);
+  info.max_packet = props.header_len + props.mtu;
+  info.local_addr = machine_->link_addr().bytes;
+  info.broadcast_addr = props.broadcast.bytes;
+  filter_.set_device_info(info);
+}
+
+PacketFilterDevice::PortExtra* PacketFilterDevice::Extra(pf::PortId port) {
+  const auto it = extras_.find(port);
+  return it == extras_.end() ? nullptr : it->second.get();
+}
+
+pfsim::ValueTask<pf::PortId> PacketFilterDevice::Open(int pid) {
+  co_await machine_->Run(pid, Cost::kSyscall, machine_->costs().syscall);
+  const pf::PortId port = filter_.OpenPort();
+  extras_.emplace(port, std::make_unique<PortExtra>(machine_->sim()));
+  // Defer wakeups: HandlePacket signals after its costs are charged, so a
+  // woken reader never runs "before" the interrupt work that produced its
+  // packet.
+  filter_.SetEnqueueCallback(port, [this, port] { pending_signals_.push_back(port); });
+  co_return port;
+}
+
+pfsim::ValueTask<void> PacketFilterDevice::Close(int pid, pf::PortId port) {
+  co_await machine_->Run(pid, Cost::kSyscall, machine_->costs().syscall);
+  filter_.ClosePort(port);
+  extras_.erase(port);
+}
+
+pfsim::ValueTask<pf::ValidationResult> PacketFilterDevice::SetFilter(int pid, pf::PortId port,
+                                                                     pf::Program program) {
+  // ioctl: crossing plus copy-in of the program words (§3: "at a cost
+  // comparable to that of receiving a packet").
+  const size_t program_bytes = program.words.size() * 2;
+  std::vector<Machine::Charge> charges;
+  charges.emplace_back(Cost::kSyscall, machine_->costs().syscall);
+  charges.emplace_back(Cost::kCopy, machine_->costs().CopyCost(program_bytes));
+  co_await machine_->RunMulti(pid, std::move(charges));
+  co_return filter_.SetFilter(port, std::move(program));
+}
+
+pfsim::ValueTask<void> PacketFilterDevice::Configure(int pid, pf::PortId port,
+                                                     PortOptions options) {
+  co_await machine_->Run(pid, Cost::kSyscall, machine_->costs().syscall);
+  PortExtra* extra = Extra(port);
+  if (extra == nullptr) {
+    co_return;
+  }
+  if (options.deliver_to_lower.has_value()) {
+    filter_.SetDeliverToLower(port, *options.deliver_to_lower);
+  }
+  if (options.timestamps.has_value()) {
+    extra->timestamps = *options.timestamps;
+    filter_.SetTimestamps(port, *options.timestamps);
+  }
+  if (options.batching.has_value()) {
+    extra->batching = *options.batching;
+  }
+  if (options.queue_limit.has_value()) {
+    filter_.SetQueueLimit(port, *options.queue_limit);
+  }
+}
+
+pfsim::ValueTask<std::vector<pf::ReceivedPacket>> PacketFilterDevice::Read(
+    int pid, pf::PortId port, pfsim::Duration timeout) {
+  co_await machine_->Run(pid, Cost::kSyscall, machine_->costs().syscall);
+  std::vector<pf::ReceivedPacket> out;
+  PortExtra* extra = Extra(port);
+  if (extra == nullptr) {
+    co_return out;
+  }
+
+  const bool forever = timeout == pfsim::kForever;
+  const pfsim::TimePoint deadline = forever ? pfsim::TimePoint::max()
+                                            : machine_->sim()->Now() + timeout;
+  bool woken_by_signal = false;
+  for (;;) {
+    if (extra->batching) {
+      out = filter_.PopBatch(port, kMaxBatch);
+    } else if (auto packet = filter_.Pop(port)) {
+      out.push_back(std::move(*packet));
+    }
+    if (!out.empty()) {
+      // Keep the signal-token count equal to the queue length: consume one
+      // token per packet popped (minus the token the wait consumed).
+      size_t tokens = out.size() - (woken_by_signal ? 1 : 0);
+      while (tokens-- > 0) {
+        extra->signal.TryPop();
+      }
+      break;
+    }
+    if (timeout.count() == 0) {
+      co_return out;  // non-blocking poll (§3.3 "immediate return")
+    }
+    const pfsim::Duration remaining =
+        forever ? pfsim::kForever : deadline - machine_->sim()->Now();
+    if (!forever && remaining.count() <= 0) {
+      co_return out;  // §3: "the read call terminates and reports an error"
+    }
+    machine_->MarkBlocked(pid);
+    const std::optional<char> token = co_await extra->signal.PopWithTimeout(remaining);
+    if (!token.has_value()) {
+      co_return out;  // timed out
+    }
+    woken_by_signal = true;
+  }
+
+  extra->had_queued = filter_.QueueLength(port) > 0;  // SIGIO edge re-arm
+
+  // Copy each packet out to the process (§3.3's optional timestamping was
+  // already charged at demux time).
+  std::vector<Machine::Charge> charges;
+  charges.reserve(out.size());
+  for (const pf::ReceivedPacket& packet : out) {
+    charges.emplace_back(Cost::kCopy, machine_->costs().CopyCost(packet.bytes.size()));
+  }
+  co_await machine_->RunMulti(pid, std::move(charges));
+  co_return out;
+}
+
+pfsim::ValueTask<bool> PacketFilterDevice::Write(int pid, std::vector<uint8_t> frame_bytes) {
+  std::vector<Machine::Charge> charges;
+  charges.emplace_back(Cost::kSyscall, machine_->costs().syscall);
+  charges.emplace_back(Cost::kCopy, machine_->costs().CopyCost(frame_bytes.size()));
+  co_await machine_->RunMulti(pid, std::move(charges));
+  co_return co_await machine_->TransmitRaw(pid, std::move(frame_bytes));
+}
+
+pfsim::ValueTask<size_t> PacketFilterDevice::WriteMany(int pid,
+                                                       std::vector<std::vector<uint8_t>> frames) {
+  std::vector<Machine::Charge> charges;
+  charges.emplace_back(Cost::kSyscall, machine_->costs().syscall);
+  for (const auto& frame : frames) {
+    charges.emplace_back(Cost::kCopy, machine_->costs().CopyCost(frame.size()));
+  }
+  co_await machine_->RunMulti(pid, std::move(charges));
+  size_t accepted = 0;
+  for (auto& frame : frames) {
+    if (co_await machine_->TransmitRaw(pid, std::move(frame))) {
+      ++accepted;
+    }
+  }
+  co_return accepted;
+}
+
+void PacketFilterDevice::SetSignal(pf::PortId port, std::function<void()> handler) {
+  if (PortExtra* extra = Extra(port)) {
+    extra->signal_handler = std::move(handler);
+  }
+}
+
+pfsim::ValueTask<pf::PortId> PacketFilterDevice::Select(int pid, std::vector<pf::PortId> ports,
+                                                        pfsim::Duration timeout) {
+  co_await machine_->Run(pid, Cost::kSyscall, machine_->costs().syscall);
+  const bool forever = timeout == pfsim::kForever;
+  const pfsim::TimePoint deadline =
+      forever ? pfsim::TimePoint::max() : machine_->sim()->Now() + timeout;
+  // Each select call registers a doorbell rung by every delivery; the
+  // readiness set is re-scanned after each ring (4.3BSD's selwakeup scheme).
+  pfsim::MsgQueue<char> doorbell(machine_->sim());
+  select_doorbells_.push_back(&doorbell);
+  pf::PortId ready = pf::kInvalidPort;
+  for (;;) {
+    for (const pf::PortId port : ports) {
+      if (filter_.QueueLength(port) > 0) {
+        ready = port;
+        break;
+      }
+    }
+    if (ready != pf::kInvalidPort || timeout.count() == 0) {
+      break;
+    }
+    const pfsim::Duration remaining =
+        forever ? pfsim::kForever : deadline - machine_->sim()->Now();
+    if (!forever && remaining.count() <= 0) {
+      break;
+    }
+    machine_->MarkBlocked(pid);
+    const std::optional<char> rung = co_await doorbell.PopWithTimeout(remaining);
+    if (!rung.has_value()) {
+      break;  // timed out
+    }
+  }
+  std::erase(select_doorbells_, &doorbell);
+  co_return ready;
+}
+
+pf::DeviceInfo PacketFilterDevice::GetDeviceInfo() const { return filter_.device_info(); }
+
+pfsim::ValueTask<void> PacketFilterDevice::HandlePacket(const std::vector<uint8_t>& frame_bytes,
+                                                        uint64_t timestamp_ns) {
+  pending_signals_.clear();
+  const pf::DemuxResult result = filter_.Demux(frame_bytes, timestamp_ns);
+
+  // Charge the interpretation + bookkeeping before waking any reader.
+  std::vector<Machine::Charge> charges;
+  const pfsim::Duration filter_cost = machine_->costs().FilterCost(
+      result.filters_tested, result.insns_executed + result.tree_tests);
+  if (filter_cost.count() > 0) {
+    charges.emplace_back(Cost::kFilterEval, filter_cost);
+  }
+  if (result.deliveries > 0) {
+    charges.emplace_back(Cost::kPfBookkeeping,
+                         machine_->costs().pf_bookkeeping * result.deliveries);
+    // §7: each timestamp costs a microtime() call.
+    uint32_t stamped = 0;
+    for (const pf::PortId port : pending_signals_) {
+      const PortExtra* extra = Extra(port);
+      if (extra != nullptr && extra->timestamps) {
+        ++stamped;
+      }
+    }
+    if (stamped > 0) {
+      charges.emplace_back(Cost::kTimestamp, machine_->costs().timestamp * stamped);
+    }
+  }
+  if (!charges.empty()) {
+    co_await machine_->RunMulti(Machine::kInterruptContext, std::move(charges));
+  }
+
+  // Now wake the readers (and ring any select doorbells / deliver signals).
+  for (const pf::PortId port : pending_signals_) {
+    if (PortExtra* extra = Extra(port)) {
+      extra->signal.ForcePush('\0');
+      if (extra->signal_handler && !extra->had_queued) {
+        extra->signal_handler();  // SIGIO edge: queue went non-empty
+      }
+      extra->had_queued = filter_.QueueLength(port) > 0;
+    }
+  }
+  if (!pending_signals_.empty()) {
+    for (pfsim::MsgQueue<char>* doorbell : select_doorbells_) {
+      doorbell->ForcePush('\0');
+    }
+  }
+  pending_signals_.clear();
+}
+
+}  // namespace pfkern

@@ -1,0 +1,111 @@
+// The packet-filter pseudodevice driver (§4): the pf::PacketFilter core
+// wrapped with the Unix character-device surface — open/close/read/write/
+// ioctl with their domain-crossing and copy costs, blocking reads with
+// timeout, read batching, and wakeups of blocked readers.
+//
+// The split mirrors the paper's implementation: "the packet filter is
+// layered above network interface device drivers" — Machine's receive path
+// calls HandlePacket() for frames not claimed by kernel-resident protocols
+// (or for all frames when the fig. 3-3 tap is enabled).
+#ifndef SRC_KERNEL_PF_DEVICE_H_
+#define SRC_KERNEL_PF_DEVICE_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "src/kernel/ledger.h"
+#include "src/pf/demux.h"
+#include "src/sim/sync.h"
+#include "src/sim/value_task.h"
+
+namespace pfkern {
+
+class Machine;
+
+class PacketFilterDevice {
+ public:
+  explicit PacketFilterDevice(Machine* machine);
+
+  // Direct access to the demultiplexer core (for tests, stats, and
+  // strategy knobs; no costs charged).
+  pf::PacketFilter& core() { return filter_; }
+
+  // --- User-facing surface (costs charged to `pid`) ---
+  pfsim::ValueTask<pf::PortId> Open(int pid);
+  pfsim::ValueTask<void> Close(int pid, pf::PortId port);
+
+  // Binding a filter is an ioctl whose cost is "comparable to that of
+  // receiving a packet" (§3): a syscall plus the program copy-in.
+  pfsim::ValueTask<pf::ValidationResult> SetFilter(int pid, pf::PortId port,
+                                                   pf::Program program);
+
+  struct PortOptions {
+    std::optional<bool> deliver_to_lower;
+    std::optional<bool> timestamps;
+    std::optional<bool> batching;  // §3: return all pending packets per read
+    std::optional<size_t> queue_limit;
+  };
+  pfsim::ValueTask<void> Configure(int pid, pf::PortId port, PortOptions options);
+
+  // Blocking read. Returns one packet (or, with batching, all pending
+  // packets, up to kMaxBatch). Empty result = timeout, the paper's "read
+  // call terminates and reports an error". A zero timeout polls; kForever
+  // blocks indefinitely (§3.3).
+  pfsim::ValueTask<std::vector<pf::ReceivedPacket>> Read(int pid, pf::PortId port,
+                                                         pfsim::Duration timeout);
+
+  // write(): the buffer is a complete frame including the data-link header;
+  // control returns once the packet is queued for transmission (§3).
+  pfsim::ValueTask<bool> Write(int pid, std::vector<uint8_t> frame_bytes);
+
+  // §7's "write-batching option (to send several packets in one system
+  // call)": one crossing, one copy per frame. Returns frames accepted.
+  pfsim::ValueTask<size_t> WriteMany(int pid, std::vector<std::vector<uint8_t>> frames);
+
+  // §3.3: "the signal, if any, to be delivered upon packet reception" — an
+  // interrupt-like notification. The handler task is spawned once per
+  // wakeup edge (queue transitions from empty), like a SIGIO; the process
+  // then drains the port with zero-timeout reads.
+  void SetSignal(pf::PortId port, std::function<void()> handler);
+
+  // §3's "the 4.3BSD select system call": blocks until one of `ports` has
+  // queued packets (returns it) or the timeout expires (returns
+  // kInvalidPort). Ports must belong to this device.
+  pfsim::ValueTask<pf::PortId> Select(int pid, std::vector<pf::PortId> ports,
+                                      pfsim::Duration timeout);
+
+  // §3.3 status information; free (a cheap ioctl, not on any hot path).
+  pf::DeviceInfo GetDeviceInfo() const;
+
+  // --- Kernel-side entry, interrupt context ---
+  pfsim::ValueTask<void> HandlePacket(const std::vector<uint8_t>& frame_bytes,
+                                      uint64_t timestamp_ns);
+
+  static constexpr size_t kMaxBatch = 32;
+
+ private:
+  struct PortExtra {
+    explicit PortExtra(pfsim::Simulator* sim) : signal(sim) {}
+    pfsim::MsgQueue<char> signal;  // one token per enqueued packet
+    bool batching = false;
+    bool timestamps = false;
+    std::function<void()> signal_handler;  // SIGIO-style notification
+    bool had_queued = false;               // edge detection for the signal
+  };
+
+  PortExtra* Extra(pf::PortId port);
+
+  Machine* machine_;
+  pf::PacketFilter filter_;
+  std::unordered_map<pf::PortId, std::unique_ptr<PortExtra>> extras_;
+  std::vector<pf::PortId> pending_signals_;
+  std::vector<pfsim::MsgQueue<char>*> select_doorbells_;  // one per active Select
+};
+
+}  // namespace pfkern
+
+#endif  // SRC_KERNEL_PF_DEVICE_H_

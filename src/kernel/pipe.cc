@@ -1,0 +1,77 @@
+#include "src/kernel/pipe.h"
+
+namespace pfkern {
+
+pfsim::ValueTask<void> MessagePipe::Write(int pid, std::vector<uint8_t> message) {
+  const size_t bytes = message.size();
+  std::vector<Machine::Charge> charges;
+  charges.emplace_back(Cost::kSyscall, machine_->costs().syscall);
+  charges.emplace_back(Cost::kCopy, machine_->costs().CopyCost(bytes));
+  charges.emplace_back(Cost::kPipe, machine_->costs().pipe_overhead);
+  co_await machine_->RunMulti(pid, std::move(charges));
+  while (queue_.size() >= queue_.capacity() && queue_.waiter_count() == 0) {
+    machine_->MarkBlocked(pid);
+    co_await space_.Wait();
+  }
+  queue_.ForcePush(std::move(message));
+}
+
+pfsim::ValueTask<void> MessagePipe::WriteBatch(int pid,
+                                               std::vector<std::vector<uint8_t>> messages) {
+  std::vector<Machine::Charge> charges;
+  charges.emplace_back(Cost::kSyscall, machine_->costs().syscall);
+  for (const auto& message : messages) {
+    charges.emplace_back(Cost::kCopy, machine_->costs().CopyCost(message.size()));
+  }
+  charges.emplace_back(Cost::kPipe, machine_->costs().pipe_overhead);
+  co_await machine_->RunMulti(pid, std::move(charges));
+  for (auto& message : messages) {
+    while (queue_.size() >= queue_.capacity() && queue_.waiter_count() == 0) {
+      machine_->MarkBlocked(pid);
+      co_await space_.Wait();
+    }
+    queue_.ForcePush(std::move(message));
+  }
+}
+
+pfsim::ValueTask<std::vector<std::vector<uint8_t>>> MessagePipe::ReadBatch(
+    int pid, pfsim::Duration timeout) {
+  co_await machine_->Run(pid, Cost::kSyscall, machine_->costs().syscall);
+  std::vector<std::vector<uint8_t>> out;
+  if (queue_.empty()) {
+    machine_->MarkBlocked(pid);
+    std::optional<std::vector<uint8_t>> first = co_await queue_.PopWithTimeout(timeout);
+    if (!first.has_value()) {
+      co_return out;
+    }
+    out.push_back(std::move(*first));
+  }
+  for (auto& message : queue_.DrainAll()) {
+    out.push_back(std::move(message));
+  }
+  std::vector<Machine::Charge> charges;
+  for (const auto& message : out) {
+    charges.emplace_back(Cost::kCopy, machine_->costs().CopyCost(message.size()));
+  }
+  co_await machine_->RunMulti(pid, std::move(charges));
+  for (size_t i = 0; i < out.size(); ++i) {
+    space_.NotifyOne();
+  }
+  co_return out;
+}
+
+pfsim::ValueTask<std::optional<std::vector<uint8_t>>> MessagePipe::Read(
+    int pid, pfsim::Duration timeout) {
+  co_await machine_->Run(pid, Cost::kSyscall, machine_->costs().syscall);
+  if (queue_.empty()) {
+    machine_->MarkBlocked(pid);
+  }
+  std::optional<std::vector<uint8_t>> message = co_await queue_.PopWithTimeout(timeout);
+  if (message.has_value()) {
+    co_await machine_->Run(pid, Cost::kCopy, machine_->costs().CopyCost(message->size()));
+    space_.NotifyOne();
+  }
+  co_return message;
+}
+
+}  // namespace pfkern

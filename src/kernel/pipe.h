@@ -1,0 +1,56 @@
+// A Unix pipe, as used by the paper's user-level demultiplexing baseline
+// (§6.3, §6.5: "the 'demultiplexing process' receives packets from the
+// network and passes them to a second process via a Unix pipe").
+//
+// Message-framed rather than byte-stream: the experiments pass whole packets
+// through the pipe, and message framing is what their demultiplexer layered
+// on top anyway. Costs per transfer match §6.5.1: a syscall each side, a
+// copy into the kernel and a copy out ("the demultiplexing process requires
+// two additional data transfers"), plus pipe bookkeeping.
+#ifndef SRC_KERNEL_PIPE_H_
+#define SRC_KERNEL_PIPE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/kernel/machine.h"
+#include "src/sim/sync.h"
+#include "src/sim/value_task.h"
+
+namespace pfkern {
+
+class MessagePipe {
+ public:
+  explicit MessagePipe(Machine* machine, size_t capacity_messages = 64)
+      : machine_(machine),
+        queue_(machine->sim(), capacity_messages),
+        space_(machine->sim()) {}
+
+  // Blocks while the pipe is full. Charges syscall + copy-in + overhead.
+  pfsim::ValueTask<void> Write(int pid, std::vector<uint8_t> message);
+
+  // Several messages under one write(): one crossing + pipe overhead,
+  // copies per message (how a demultiplexer exploits batching end to end,
+  // §6.5.3's batched measurement).
+  pfsim::ValueTask<void> WriteBatch(int pid, std::vector<std::vector<uint8_t>> messages);
+
+  // Blocks until a message or timeout (nullopt). Charges syscall + copy-out.
+  pfsim::ValueTask<std::optional<std::vector<uint8_t>>> Read(int pid, pfsim::Duration timeout);
+
+  // All currently buffered messages (at least one — blocks until then) under
+  // one read(): one crossing, copies per message.
+  pfsim::ValueTask<std::vector<std::vector<uint8_t>>> ReadBatch(int pid,
+                                                                pfsim::Duration timeout);
+
+  size_t depth() const { return queue_.size(); }
+
+ private:
+  Machine* machine_;
+  pfsim::MsgQueue<std::vector<uint8_t>> queue_;
+  pfsim::WaitQueue space_;
+};
+
+}  // namespace pfkern
+
+#endif  // SRC_KERNEL_PIPE_H_

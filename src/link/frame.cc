@@ -1,0 +1,86 @@
+#include "src/link/frame.h"
+
+#include <cstdio>
+
+#include "src/util/byte_order.h"
+
+namespace pflink {
+
+std::string MacAddr::ToString() const {
+  char buf[24];
+  if (len == 1) {
+    std::snprintf(buf, sizeof(buf), "%u", bytes[0]);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%02x:%02x:%02x:%02x:%02x:%02x", bytes[0], bytes[1], bytes[2],
+                  bytes[3], bytes[4], bytes[5]);
+  }
+  return buf;
+}
+
+LinkProperties PropertiesFor(LinkType type) {
+  switch (type) {
+    case LinkType::kEthernet10Mb:
+      return LinkProperties{LinkType::kEthernet10Mb, 6, 14, 1500, 10000000,
+                            MacAddr::Broadcast(6)};
+    case LinkType::kExperimental3Mb:
+      // Pup's maximum packet (568 bytes) fits comfortably; the experimental
+      // Ethernet carried packets up to ~554 words. We allow 600 payload
+      // bytes.
+      return LinkProperties{LinkType::kExperimental3Mb, 1, 4, 600, 3000000,
+                            MacAddr::Broadcast(1)};
+  }
+  return PropertiesFor(LinkType::kEthernet10Mb);
+}
+
+std::optional<Frame> BuildFrame(LinkType type, const LinkHeader& header,
+                                std::span<const uint8_t> payload) {
+  const LinkProperties props = PropertiesFor(type);
+  if (payload.size() > props.mtu) {
+    return std::nullopt;
+  }
+  Frame frame;
+  frame.bytes.reserve(props.header_len + payload.size());
+  if (type == LinkType::kEthernet10Mb) {
+    frame.bytes.insert(frame.bytes.end(), header.dst.bytes.begin(), header.dst.bytes.begin() + 6);
+    frame.bytes.insert(frame.bytes.end(), header.src.bytes.begin(), header.src.bytes.begin() + 6);
+    frame.bytes.push_back(static_cast<uint8_t>(header.ether_type >> 8));
+    frame.bytes.push_back(static_cast<uint8_t>(header.ether_type & 0xff));
+  } else {
+    frame.bytes.push_back(header.dst.bytes[0]);
+    frame.bytes.push_back(header.src.bytes[0]);
+    frame.bytes.push_back(static_cast<uint8_t>(header.ether_type >> 8));
+    frame.bytes.push_back(static_cast<uint8_t>(header.ether_type & 0xff));
+  }
+  frame.bytes.insert(frame.bytes.end(), payload.begin(), payload.end());
+  return frame;
+}
+
+std::optional<LinkHeader> ParseHeader(LinkType type, std::span<const uint8_t> frame) {
+  const LinkProperties props = PropertiesFor(type);
+  if (frame.size() < props.header_len) {
+    return std::nullopt;
+  }
+  LinkHeader h;
+  if (type == LinkType::kEthernet10Mb) {
+    h.dst.len = 6;
+    h.src.len = 6;
+    std::copy(frame.begin(), frame.begin() + 6, h.dst.bytes.begin());
+    std::copy(frame.begin() + 6, frame.begin() + 12, h.src.bytes.begin());
+    h.ether_type = pfutil::LoadBe16(frame.data() + 12);
+  } else {
+    h.dst = MacAddr::Experimental(frame[0]);
+    h.src = MacAddr::Experimental(frame[1]);
+    h.ether_type = pfutil::LoadBe16(frame.data() + 2);
+  }
+  return h;
+}
+
+std::span<const uint8_t> FramePayload(LinkType type, std::span<const uint8_t> frame) {
+  const LinkProperties props = PropertiesFor(type);
+  if (frame.size() < props.header_len) {
+    return {};
+  }
+  return frame.subspan(props.header_len);
+}
+
+}  // namespace pflink

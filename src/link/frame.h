@@ -1,0 +1,66 @@
+// Frames and link-header codecs.
+//
+// A Frame is the complete packet as it appears on the wire, including the
+// data-link header — the packet filter deliberately exposes the whole frame
+// to user code (§3: "The entire packet, including the data-link layer
+// header, is returned").
+#ifndef SRC_LINK_FRAME_H_
+#define SRC_LINK_FRAME_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/link/mac_addr.h"
+
+namespace pflink {
+
+enum class LinkType {
+  kEthernet10Mb,     // DIX: 6-byte addresses, 14-byte header, 1500-byte MTU
+  kExperimental3Mb,  // Xerox PARC: 1-byte addresses, 4-byte header
+};
+
+// Static properties of a link type — the paper's §3.3 "control and status
+// information" (data-link type, address length, header length, max packet
+// size, broadcast address).
+struct LinkProperties {
+  LinkType type;
+  uint8_t addr_len;
+  uint32_t header_len;
+  uint32_t mtu;             // maximum payload (post-header) bytes
+  uint64_t bits_per_sec;
+  MacAddr broadcast;
+};
+
+LinkProperties PropertiesFor(LinkType type);
+
+struct Frame {
+  std::vector<uint8_t> bytes;
+
+  std::span<const uint8_t> AsSpan() const { return bytes; }
+  size_t size() const { return bytes.size(); }
+};
+
+// Decoded link header (either flavor).
+struct LinkHeader {
+  MacAddr dst;
+  MacAddr src;
+  uint16_t ether_type = 0;
+};
+
+// Encodes header + payload into a frame. Returns nullopt if the payload
+// exceeds the link MTU.
+std::optional<Frame> BuildFrame(LinkType type, const LinkHeader& header,
+                                std::span<const uint8_t> payload);
+
+// Decodes the link header of `frame`. Returns nullopt if the frame is
+// shorter than the header.
+std::optional<LinkHeader> ParseHeader(LinkType type, std::span<const uint8_t> frame);
+
+// The payload view (frame minus link header); empty if too short.
+std::span<const uint8_t> FramePayload(LinkType type, std::span<const uint8_t> frame);
+
+}  // namespace pflink
+
+#endif  // SRC_LINK_FRAME_H_

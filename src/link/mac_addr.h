@@ -1,0 +1,63 @@
+// Data-link addresses for the two Ethernets the paper uses:
+//   * the 10 Mbit/s DIX Ethernet (6-byte addresses, 14-byte header), and
+//   * the 3 Mbit/s Experimental Ethernet (1-byte addresses, 4-byte header)
+//     on which the paper's Pup filter examples (figs. 3-7..3-9) run.
+#ifndef SRC_LINK_MAC_ADDR_H_
+#define SRC_LINK_MAC_ADDR_H_
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+
+namespace pflink {
+
+struct MacAddr {
+  uint8_t len = 0;  // 1 (experimental) or 6 (DIX)
+  std::array<uint8_t, 6> bytes{};
+
+  static MacAddr Dix(uint8_t a, uint8_t b, uint8_t c, uint8_t d, uint8_t e, uint8_t f) {
+    return MacAddr{6, {a, b, c, d, e, f}};
+  }
+  static MacAddr Experimental(uint8_t host) { return MacAddr{1, {host}}; }
+
+  // All-ones is broadcast on the DIX Ethernet; host 0 is broadcast on the
+  // Experimental Ethernet.
+  static MacAddr Broadcast(uint8_t addr_len) {
+    MacAddr m;
+    m.len = addr_len;
+    if (addr_len == 1) {
+      m.bytes[0] = 0;
+    } else {
+      m.bytes.fill(0xff);
+    }
+    return m;
+  }
+
+  bool IsBroadcast() const {
+    if (len == 1) {
+      return bytes[0] == 0;
+    }
+    for (uint8_t i = 0; i < len; ++i) {
+      if (bytes[i] != 0xff) {
+        return false;
+      }
+    }
+    return len > 0;
+  }
+
+  // DIX multicast bit (group bit of the first byte). The V-system's use of
+  // Ethernet multicast (§5.2) relies on this.
+  bool IsMulticast() const { return len == 6 && (bytes[0] & 0x01) != 0; }
+
+  friend bool operator==(const MacAddr& a, const MacAddr& b) {
+    return a.len == b.len && std::memcmp(a.bytes.data(), b.bytes.data(), a.len) == 0;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace pflink
+
+#endif  // SRC_LINK_MAC_ADDR_H_

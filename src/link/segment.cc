@@ -1,0 +1,61 @@
+#include "src/link/segment.h"
+
+#include <algorithm>
+
+namespace pflink {
+
+namespace {
+// Propagation + interframe gap; small relative to the millisecond-scale
+// costs the paper measures, but keeps event ordering physical.
+constexpr pfsim::Duration kPropagationDelay = pfsim::Microseconds(5);
+}  // namespace
+
+EthernetSegment::EthernetSegment(pfsim::Simulator* sim, LinkType type)
+    : sim_(sim), props_(PropertiesFor(type)) {}
+
+void EthernetSegment::Attach(Station* station) { stations_.push_back(station); }
+
+void EthernetSegment::Detach(Station* station) { std::erase(stations_, station); }
+
+void EthernetSegment::SetLossRate(double p, uint64_t seed) {
+  loss_rate_ = p;
+  loss_rng_.emplace(seed);
+}
+
+void EthernetSegment::Transmit(const Station* from, Frame frame) {
+  (void)from;  // the sender does not hear its own transmission in this model
+  const pfsim::TimePoint now = sim_->Now();
+  const pfsim::TimePoint start = std::max(now, medium_free_at_);
+  const auto tx_ns = static_cast<int64_t>(frame.size()) * 8 * 1000000000 /
+                     static_cast<int64_t>(props_.bits_per_sec);
+  const pfsim::TimePoint done = start + pfsim::Duration(tx_ns);
+  medium_free_at_ = done;
+
+  if (loss_rate_ > 0.0 && loss_rng_.has_value() && loss_rng_->Chance(loss_rate_)) {
+    ++stats_.frames_lost;
+    return;  // the medium stays busy for the lost frame's duration
+  }
+
+  stats_.frames_carried++;
+  stats_.bytes_carried += frame.size();
+  sim_->ScheduleAt(done + kPropagationDelay,
+                   [this, f = std::move(frame)] { Deliver(f); });
+}
+
+void EthernetSegment::Deliver(const Frame& frame) {
+  const std::optional<LinkHeader> header = ParseHeader(props_.type, frame.AsSpan());
+  if (!header.has_value()) {
+    return;
+  }
+  // Iterate over a snapshot: a delivery callback may attach/detach stations.
+  const std::vector<Station*> snapshot = stations_;
+  for (Station* s : snapshot) {
+    const bool addressed = header->dst == s->link_addr() || header->dst.IsBroadcast() ||
+                           header->dst.IsMulticast();
+    if (addressed || s->promiscuous()) {
+      s->OnFrameDelivered(frame, sim_->Now());
+    }
+  }
+}
+
+}  // namespace pflink

@@ -1,0 +1,79 @@
+// A simulated Ethernet segment: a broadcast domain shared by attached
+// stations, with transmission-time serialization at the link bandwidth and
+// optional random frame loss (for retransmission testing).
+//
+// The model is an ideal CSMA medium: transmissions queue behind the medium
+// (no collisions, no backoff). That is the right fidelity for the paper's
+// evaluation, where the network itself is never the bottleneck (§6.4 notes
+// network performance limits only the BSP *file transfer* case).
+#ifndef SRC_LINK_SEGMENT_H_
+#define SRC_LINK_SEGMENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "src/link/frame.h"
+#include "src/sim/sim_time.h"
+#include "src/sim/simulator.h"
+#include "src/util/rng.h"
+
+namespace pflink {
+
+// A station's attachment point. The kernel's network-interface driver
+// implements this to receive frames from the segment.
+class Station {
+ public:
+  virtual ~Station() = default;
+
+  // Called (in simulated time) when a frame addressed to this station — or
+  // any frame, if promiscuous() — finishes arriving.
+  virtual void OnFrameDelivered(const Frame& frame, pfsim::TimePoint at) = 0;
+
+  virtual MacAddr link_addr() const = 0;
+  virtual bool promiscuous() const { return false; }
+};
+
+class EthernetSegment {
+ public:
+  EthernetSegment(pfsim::Simulator* sim, LinkType type);
+  EthernetSegment(const EthernetSegment&) = delete;
+  EthernetSegment& operator=(const EthernetSegment&) = delete;
+
+  void Attach(Station* station);
+  void Detach(Station* station);
+
+  // Queues `frame` for transmission by `from`. Delivery to every other
+  // matching station happens after the medium becomes free plus the frame's
+  // transmission time. Frames from a detached-by-then sender still deliver.
+  void Transmit(const Station* from, Frame frame);
+
+  // Drops each frame independently with probability `p` (loss injected at
+  // the medium, so every receiver misses it).
+  void SetLossRate(double p, uint64_t seed = 0x10ad);
+
+  const LinkProperties& properties() const { return props_; }
+
+  struct Stats {
+    uint64_t frames_carried = 0;
+    uint64_t bytes_carried = 0;
+    uint64_t frames_lost = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void Deliver(const Frame& frame);
+
+  pfsim::Simulator* sim_;
+  LinkProperties props_;
+  std::vector<Station*> stations_;
+  pfsim::TimePoint medium_free_at_{};
+  double loss_rate_ = 0.0;
+  std::optional<pfutil::Rng> loss_rng_;
+  Stats stats_;
+};
+
+}  // namespace pflink
+
+#endif  // SRC_LINK_SEGMENT_H_

@@ -1,0 +1,204 @@
+#include "src/net/bsp.h"
+
+#include "src/kernel/pf_device.h"
+
+#include <algorithm>
+
+namespace pfnet {
+
+namespace {
+using pfproto::PupType;
+}  // namespace
+
+pfsim::ValueTask<void> BspStream::ChargeUserProc(int pid) {
+  co_await machine()->Run(pid, pfkern::Cost::kProtocolUser, machine()->costs().bsp_user_proc);
+}
+
+// ----------------------------------------------------------------- Connect
+
+pfsim::ValueTask<std::unique_ptr<BspStream>> BspStream::Connect(pfkern::Machine* machine,
+                                                                int pid, pfproto::PupPort local,
+                                                                pfproto::PupPort listener,
+                                                                pfsim::Duration timeout) {
+  auto endpoint = co_await PupEndpoint::Create(machine, pid, local);
+  auto stream = std::unique_ptr<BspStream>(new BspStream(std::move(endpoint), listener));
+  // Retransmit the RFC every ack-timeout until the reply arrives or the
+  // overall deadline passes (the paper's "write; read with timeout; retry").
+  const pfsim::TimePoint deadline = machine->sim()->Now() + timeout;
+  do {
+    co_await stream->ChargeUserProc(pid);
+    co_await stream->endpoint_->Send(pid, listener, PupType::kRfc, 0, {});
+    const auto reply = co_await stream->endpoint_->Recv(pid, kAckTimeout);
+    if (!reply.has_value()) {
+      continue;
+    }
+    co_await stream->ChargeUserProc(pid);
+    if (reply->header.type == static_cast<uint8_t>(PupType::kRfc)) {
+      // The reply's source port is the server's freshly allocated stream
+      // socket.
+      stream->remote_ = reply->header.src;
+      co_return stream;
+    }
+  } while (machine->sim()->Now() < deadline);
+  co_return nullptr;
+}
+
+pfsim::ValueTask<std::unique_ptr<BspListener>> BspListener::Create(pfkern::Machine* machine,
+                                                                   int pid,
+                                                                   pfproto::PupPort listen) {
+  auto endpoint = co_await PupEndpoint::Create(machine, pid, listen);
+  co_return std::unique_ptr<BspListener>(new BspListener(std::move(endpoint)));
+}
+
+pfsim::ValueTask<std::unique_ptr<BspStream>> BspListener::Accept(int pid,
+                                                                 pfsim::Duration timeout) {
+  for (;;) {
+    const auto rfc = co_await endpoint_->Recv(pid, timeout);
+    if (!rfc.has_value()) {
+      co_return nullptr;
+    }
+    if (rfc->header.type != static_cast<uint8_t>(PupType::kRfc)) {
+      continue;  // stray packet on the listen socket
+    }
+    // Open the stream endpoint on a fresh socket, then answer the RFC from
+    // it so the client learns the stream socket.
+    pfproto::PupPort stream_port = endpoint_->local();
+    stream_port.socket = next_stream_socket_++;
+    auto stream_endpoint = co_await PupEndpoint::Create(endpoint_->machine(), pid, stream_port);
+    auto stream = std::unique_ptr<BspStream>(
+        new BspStream(std::move(stream_endpoint), rfc->header.src));
+    co_await stream->ChargeUserProc(pid);
+    co_await stream->endpoint_->Send(pid, rfc->header.src, PupType::kRfc, 0, {});
+    // Grace period: if our RFC reply was lost, the client retransmits its
+    // RFC to the listen socket — re-answer from the stream socket until the
+    // client goes quiet or starts using the stream. (Overlapping opens from
+    // *different* clients during this window are not served; the paper's
+    // single-stream measurement scenarios never need that.)
+    pfkern::Machine* machine = stream->machine();
+    // Quiet window longer than the client's RFC retry interval, so a client
+    // whose replies keep getting lost always finds us still answering.
+    pfsim::TimePoint quiet_deadline = machine->sim()->Now() + 5 * BspStream::kAckTimeout;
+    while (machine->sim()->Now() < quiet_deadline) {
+      if (machine->pf().core().QueueLength(stream->endpoint_->port()) > 0) {
+        break;  // the client is already talking on the stream
+      }
+      // Short poll slices so a prompt first data packet ends the grace
+      // period without eating into the client's ack timeout.
+      const auto dup = co_await endpoint_->Recv(pid, pfsim::Milliseconds(20));
+      if (dup.has_value() && dup->header.type == static_cast<uint8_t>(PupType::kRfc) &&
+          dup->header.src == rfc->header.src) {
+        co_await stream->ChargeUserProc(pid);
+        co_await stream->endpoint_->Send(pid, rfc->header.src, PupType::kRfc, 0, {});
+        quiet_deadline = machine->sim()->Now() + 5 * BspStream::kAckTimeout;
+      }
+    }
+    co_return stream;
+  }
+}
+
+// -------------------------------------------------------------------- Send
+
+pfsim::ValueTask<bool> BspStream::Send(int pid, std::vector<uint8_t> data) {
+  size_t offset = 0;
+  while (offset < data.size()) {
+    const size_t n = std::min(kMaxData, data.size() - offset);
+    std::vector<uint8_t> chunk(data.begin() + static_cast<long>(offset),
+                               data.begin() + static_cast<long>(offset + n));
+    const uint32_t seq = snd_next_;
+    bool acked = false;
+    for (int attempt = 0; attempt <= kMaxRetransmits && !acked; ++attempt) {
+      if (attempt > 0) {
+        ++stats_.retransmits;
+      }
+      co_await ChargeUserProc(pid);
+      co_await endpoint_->Send(pid, remote_, PupType::kAData, seq, chunk);
+      ++stats_.data_packets_sent;
+      // Await the ack — the paper's "write; read with timeout; retry".
+      const pfsim::TimePoint deadline = machine()->sim()->Now() + kAckTimeout;
+      for (;;) {
+        const pfsim::Duration remaining = deadline - machine()->sim()->Now();
+        if (remaining.count() <= 0) {
+          break;
+        }
+        const auto packet = co_await endpoint_->Recv(pid, remaining);
+        if (!packet.has_value()) {
+          break;
+        }
+        co_await ChargeUserProc(pid);
+        if (packet->header.type == static_cast<uint8_t>(PupType::kAck)) {
+          ++stats_.acks_received;
+          if (packet->header.identifier >= seq + n) {
+            acked = true;
+            break;
+          }
+        }
+        // Anything else (duplicate ack, stray data on a half-duplex
+        // stream) is dropped.
+      }
+    }
+    if (!acked) {
+      co_return false;
+    }
+    snd_next_ += static_cast<uint32_t>(n);
+    stats_.bytes_sent += n;
+    offset += n;
+  }
+  co_return true;
+}
+
+// -------------------------------------------------------------------- Recv
+
+pfsim::ValueTask<void> BspStream::HandleData(int pid, const PupEndpoint::Received& packet) {
+  if (packet.header.type == static_cast<uint8_t>(PupType::kAData) ||
+      packet.header.type == static_cast<uint8_t>(PupType::kData)) {
+    ++stats_.data_packets_received;
+    if (packet.header.identifier == rcv_next_) {
+      recv_buf_.insert(recv_buf_.end(), packet.data.begin(), packet.data.end());
+      rcv_next_ += static_cast<uint32_t>(packet.data.size());
+      stats_.bytes_received += packet.data.size();
+    } else {
+      ++stats_.duplicates;
+    }
+    // Ack carries the next expected byte (also re-acks duplicates).
+    co_await ChargeUserProc(pid);
+    co_await endpoint_->Send(pid, remote_, PupType::kAck, rcv_next_, {});
+    ++stats_.acks_sent;
+  } else if (packet.header.type == static_cast<uint8_t>(PupType::kEnd)) {
+    peer_closed_ = true;
+    co_await ChargeUserProc(pid);
+    co_await endpoint_->Send(pid, remote_, PupType::kEndReply, rcv_next_, {});
+  }
+}
+
+pfsim::ValueTask<std::vector<uint8_t>> BspStream::Recv(int pid, size_t max_bytes,
+                                                       pfsim::Duration timeout) {
+  const bool forever = timeout == pfsim::kForever;
+  const pfsim::TimePoint deadline =
+      forever ? pfsim::TimePoint::max() : machine()->sim()->Now() + timeout;
+  while (recv_buf_.empty() && !peer_closed_) {
+    const pfsim::Duration remaining =
+        forever ? pfsim::kForever : deadline - machine()->sim()->Now();
+    if (!forever && remaining.count() <= 0) {
+      co_return {};
+    }
+    const auto packet = co_await endpoint_->Recv(pid, remaining);
+    if (!packet.has_value()) {
+      co_return {};
+    }
+    co_await ChargeUserProc(pid);
+    co_await HandleData(pid, *packet);
+  }
+  const size_t n = std::min(max_bytes, recv_buf_.size());
+  std::vector<uint8_t> out(recv_buf_.begin(), recv_buf_.begin() + static_cast<long>(n));
+  recv_buf_.erase(recv_buf_.begin(), recv_buf_.begin() + static_cast<long>(n));
+  co_return out;
+}
+
+pfsim::ValueTask<void> BspStream::Close(int pid) {
+  co_await ChargeUserProc(pid);
+  co_await endpoint_->Send(pid, remote_, PupType::kEnd, snd_next_, {});
+  // Best-effort wait for the EndReply; losing it is harmless.
+  (void)co_await endpoint_->Recv(pid, pfsim::Milliseconds(100));
+}
+
+}  // namespace pfnet

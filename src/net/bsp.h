@@ -1,0 +1,111 @@
+// BSP — the Pup Byte Stream Protocol, implemented entirely in user space
+// over packet-filter ports (§5.1, measured against kernel TCP in §6.4).
+//
+// Faithful-in-structure simplifications:
+//   * connection setup is an RFC exchange: the client sends an RFC to the
+//     listener's well-known socket; the listener answers with an RFC from a
+//     freshly allocated stream socket;
+//   * data flows as AData packets of up to 546 bytes (Pup's 568-byte
+//     maximum, §6.4) whose Pup identifier is the byte-stream offset; the
+//     receiver acknowledges with Ack packets whose identifier is the next
+//     expected byte — stop-and-wait, which is the behaviour that gives the
+//     paper's 38 KB/s;
+//   * End / EndReply close the stream.
+//
+// Each packet handled in user space charges the per-packet user protocol
+// cost (CostModel::bsp_user_proc) — that, plus per-packet syscalls and
+// copies, is exactly the user-level penalty the paper quantifies.
+//
+// Streams are half-duplex in use (one side sends while the other receives),
+// matching the paper's simple-program paradigm: "write; read with timeout;
+// retry if necessary".
+#ifndef SRC_NET_BSP_H_
+#define SRC_NET_BSP_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/net/pup_endpoint.h"
+
+namespace pfnet {
+
+struct BspStats {
+  uint64_t data_packets_sent = 0;
+  uint64_t data_packets_received = 0;
+  uint64_t acks_sent = 0;
+  uint64_t acks_received = 0;
+  uint64_t retransmits = 0;
+  uint64_t duplicates = 0;
+  uint64_t bytes_sent = 0;
+  uint64_t bytes_received = 0;
+};
+
+class BspStream {
+ public:
+  static constexpr size_t kMaxData = pfproto::kMaxPupData;  // 546 bytes
+  static constexpr pfsim::Duration kAckTimeout = pfsim::Milliseconds(200);
+  static constexpr int kMaxRetransmits = 8;
+
+  // Active open: allocates a local socket, performs the RFC exchange.
+  static pfsim::ValueTask<std::unique_ptr<BspStream>> Connect(pfkern::Machine* machine, int pid,
+                                                              pfproto::PupPort local,
+                                                              pfproto::PupPort listener,
+                                                              pfsim::Duration timeout);
+
+  // Sends all of `data` (chunked, stop-and-wait). False if retransmissions
+  // were exhausted.
+  pfsim::ValueTask<bool> Send(int pid, std::vector<uint8_t> data);
+
+  // Returns up to `max_bytes`; empty on timeout or EOF (check eof()).
+  pfsim::ValueTask<std::vector<uint8_t>> Recv(int pid, size_t max_bytes,
+                                              pfsim::Duration timeout);
+
+  // Sends End and waits briefly for EndReply.
+  pfsim::ValueTask<void> Close(int pid);
+
+  bool eof() const { return peer_closed_ && recv_buf_.empty(); }
+  const BspStats& stats() const { return stats_; }
+  const pfproto::PupPort& remote() const { return remote_; }
+
+ private:
+  friend class BspListener;
+  BspStream(std::unique_ptr<PupEndpoint> endpoint, pfproto::PupPort remote)
+      : endpoint_(std::move(endpoint)), remote_(remote) {}
+
+  pfkern::Machine* machine() { return endpoint_->machine(); }
+  pfsim::ValueTask<void> ChargeUserProc(int pid);
+  pfsim::ValueTask<void> HandleData(int pid, const PupEndpoint::Received& packet);
+
+  std::unique_ptr<PupEndpoint> endpoint_;
+  pfproto::PupPort remote_;
+  uint32_t snd_next_ = 0;  // next byte offset to send
+  uint32_t rcv_next_ = 0;  // next byte offset expected
+  std::deque<uint8_t> recv_buf_;
+  bool peer_closed_ = false;
+  BspStats stats_;
+};
+
+class BspListener {
+ public:
+  static pfsim::ValueTask<std::unique_ptr<BspListener>> Create(pfkern::Machine* machine, int pid,
+                                                               pfproto::PupPort listen);
+
+  // Waits for an RFC and completes the exchange from a new stream socket.
+  pfsim::ValueTask<std::unique_ptr<BspStream>> Accept(int pid, pfsim::Duration timeout);
+
+  const pfproto::PupPort& local() const { return endpoint_->local(); }
+
+ private:
+  explicit BspListener(std::unique_ptr<PupEndpoint> endpoint)
+      : endpoint_(std::move(endpoint)) {}
+
+  std::unique_ptr<PupEndpoint> endpoint_;
+  uint32_t next_stream_socket_ = 0x2000;
+};
+
+}  // namespace pfnet
+
+#endif  // SRC_NET_BSP_H_

@@ -1,0 +1,42 @@
+#include "src/net/demux_process.h"
+
+namespace pfnet {
+
+pfsim::ValueTask<std::unique_ptr<UserDemuxProcess>> UserDemuxProcess::Create(
+    pfkern::Machine* machine, pf::Program filter, bool batching, pfkern::MessagePipe* out) {
+  auto demux = std::unique_ptr<UserDemuxProcess>(new UserDemuxProcess(machine, out));
+  demux->port_ = co_await machine->pf().Open(demux->pid_);
+  co_await machine->pf().SetFilter(demux->pid_, demux->port_, std::move(filter));
+  pfkern::PacketFilterDevice::PortOptions options;
+  options.batching = batching;
+  options.queue_limit = 64;
+  co_await machine->pf().Configure(demux->pid_, demux->port_, options);
+  co_return demux;
+}
+
+void UserDemuxProcess::Start() { machine_->Spawn(ForwardLoop()); }
+
+pfsim::Task UserDemuxProcess::ForwardLoop() {
+  for (;;) {
+    std::vector<pf::ReceivedPacket> packets =
+        co_await machine_->pf().Read(pid_, port_, pfsim::kForever);
+    if (packets.size() > 1) {
+      // Forward the whole batch under one pipe write (batched reads only
+      // pay off end-to-end if the pipe hop is batched too, §6.5.3).
+      std::vector<std::vector<uint8_t>> messages;
+      messages.reserve(packets.size());
+      for (pf::ReceivedPacket& packet : packets) {
+        messages.push_back(std::move(packet.bytes));
+      }
+      forwarded_ += messages.size();
+      co_await out_->WriteBatch(pid_, std::move(messages));
+    } else {
+      for (pf::ReceivedPacket& packet : packets) {
+        co_await out_->Write(pid_, std::move(packet.bytes));
+        ++forwarded_;
+      }
+    }
+  }
+}
+
+}  // namespace pfnet

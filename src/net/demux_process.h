@@ -1,0 +1,55 @@
+// The user-level demultiplexing process — the paper's baseline (fig. 2-1,
+// §6.5): a process that receives packets (here via a packet-filter port,
+// exactly as the paper's measurement simulated it within the client VMTP
+// implementation, §6.3) and forwards each to the destination process
+// through a Unix pipe.
+//
+// The forwarding adds, per packet: one context switch into this process,
+// one read() + copy, one pipe write() + copy, one context switch into the
+// destination, and one pipe read() + copy — the "at least two context
+// switches and three system calls per received packet" of §1. No real
+// decision-making is charged (§6.5.3 deliberately measures the mechanism
+// floor).
+#ifndef SRC_NET_DEMUX_PROCESS_H_
+#define SRC_NET_DEMUX_PROCESS_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "src/kernel/machine.h"
+#include "src/kernel/pf_device.h"
+#include "src/kernel/pipe.h"
+#include "src/sim/task.h"
+
+namespace pfnet {
+
+class UserDemuxProcess {
+ public:
+  // Opens a port with `filter` bound; forwarded packets land in `out`.
+  static pfsim::ValueTask<std::unique_ptr<UserDemuxProcess>> Create(pfkern::Machine* machine,
+                                                                    pf::Program filter,
+                                                                    bool batching,
+                                                                    pfkern::MessagePipe* out);
+
+  // Spawns the forwarding loop.
+  void Start();
+
+  uint64_t forwarded() const { return forwarded_; }
+  pf::PortId port() const { return port_; }
+
+ private:
+  UserDemuxProcess(pfkern::Machine* machine, pfkern::MessagePipe* out)
+      : machine_(machine), out_(out), pid_(machine->NewPid()) {}
+
+  pfsim::Task ForwardLoop();
+
+  pfkern::Machine* machine_;
+  pfkern::MessagePipe* out_;
+  int pid_;
+  pf::PortId port_ = pf::kInvalidPort;
+  uint64_t forwarded_ = 0;
+};
+
+}  // namespace pfnet
+
+#endif  // SRC_NET_DEMUX_PROCESS_H_

@@ -1,0 +1,116 @@
+#include "src/net/pup_endpoint.h"
+
+#include "src/pf/builder.h"
+#include "src/proto/ethertypes.h"
+
+namespace pfnet {
+
+pf::Program MakePupSocketFilter(uint32_t socket, uint8_t priority,
+                                pflink::LinkType link_type) {
+  const uint8_t link_words =
+      static_cast<uint8_t>(pflink::PropertiesFor(link_type).header_len / 2);
+  const uint8_t ether_type_word = static_cast<uint8_t>(link_words - 1);
+  const uint8_t dst_socket_high = static_cast<uint8_t>(link_words + 5);
+  const uint8_t dst_socket_low = static_cast<uint8_t>(link_words + 6);
+  // Fig. 3-9 shape: socket words first (short-circuit), packet type last.
+  pf::FilterBuilder b;
+  b.WordEqualsShortCircuit(dst_socket_low, static_cast<uint16_t>(socket & 0xffff))
+      .WordEqualsShortCircuit(dst_socket_high, static_cast<uint16_t>(socket >> 16))
+      .WordEquals(ether_type_word, pfproto::kEtherTypePup);
+  return b.Build(priority);
+}
+
+pfsim::ValueTask<std::unique_ptr<PupEndpoint>> PupEndpoint::Create(pfkern::Machine* machine,
+                                                                   int pid,
+                                                                   pfproto::PupPort local,
+                                                                   uint8_t priority) {
+  auto endpoint = std::unique_ptr<PupEndpoint>(new PupEndpoint(machine, local));
+  endpoint->port_ = co_await machine->pf().Open(pid);
+  co_await machine->pf().SetFilter(
+      pid, endpoint->port_,
+      MakePupSocketFilter(local.socket, priority, machine->link_properties().type));
+  co_return endpoint;
+}
+
+PupEndpoint::~PupEndpoint() {
+  // Ports are kernel objects; closing at destruction keeps the demux table
+  // clean without charging anyone (the process is gone).
+  if (port_ != pf::kInvalidPort) {
+    machine_->pf().core().ClosePort(port_);
+  }
+}
+
+pfsim::ValueTask<void> PupEndpoint::SetBatching(int pid, bool enabled) {
+  pfkern::PacketFilterDevice::PortOptions options;
+  options.batching = enabled;
+  co_await machine_->pf().Configure(pid, port_, options);
+}
+
+pfsim::ValueTask<bool> PupEndpoint::Send(int pid, const pfproto::PupPort& dst,
+                                         pfproto::PupType type, uint32_t identifier,
+                                         std::vector<uint8_t> data) {
+  pfproto::PupHeader header;
+  header.type = static_cast<uint8_t>(type);
+  header.identifier = identifier;
+  header.dst = dst;
+  header.src = local_;
+  const auto pup = pfproto::BuildPup(header, data);
+  if (!pup.has_value()) {
+    co_return false;
+  }
+  pflink::LinkHeader link;
+  if (machine_->link_properties().addr_len == 1) {
+    // Experimental Ethernet: the Pup host byte *is* the link address.
+    link.dst = pflink::MacAddr::Experimental(dst.host);
+  } else {
+    // Pup on a DIX Ethernet has no host->MAC mapping of its own; broadcast
+    // and let the destination-socket filters demultiplex (historically,
+    // encapsulated Pup used a translation table; broadcast preserves the
+    // same receive path).
+    link.dst = machine_->link_properties().broadcast;
+  }
+  link.src = machine_->link_addr();
+  link.ether_type = pfproto::kEtherTypePup;
+  const auto frame = pflink::BuildFrame(machine_->link_properties().type, link, *pup);
+  if (!frame.has_value()) {
+    co_return false;
+  }
+  co_return co_await machine_->pf().Write(pid, frame->bytes);
+}
+
+pfsim::ValueTask<std::optional<PupEndpoint::Received>> PupEndpoint::Recv(
+    int pid, pfsim::Duration timeout) {
+  const bool forever = timeout == pfsim::kForever;
+  const pfsim::TimePoint deadline =
+      forever ? pfsim::TimePoint::max() : machine_->sim()->Now() + timeout;
+  while (buffered_.empty()) {
+    const pfsim::Duration remaining =
+        forever ? pfsim::kForever : deadline - machine_->sim()->Now();
+    if (!forever && remaining.count() < 0) {
+      co_return std::nullopt;
+    }
+    std::vector<pf::ReceivedPacket> packets =
+        co_await machine_->pf().Read(pid, port_, remaining);
+    if (packets.empty()) {
+      co_return std::nullopt;  // timed out
+    }
+    for (const pf::ReceivedPacket& packet : packets) {
+      const auto payload =
+          pflink::FramePayload(machine_->link_properties().type, packet.bytes);
+      const auto view = pfproto::ParsePup(payload);
+      if (!view.has_value() || !view->checksum_ok) {
+        ++checksum_failures_;
+        continue;
+      }
+      Received received;
+      received.header = view->header;
+      received.data.assign(view->data.begin(), view->data.end());
+      buffered_.push_back(std::move(received));
+    }
+  }
+  Received out = std::move(buffered_.front());
+  buffered_.pop_front();
+  co_return out;
+}
+
+}  // namespace pfnet

@@ -1,0 +1,142 @@
+#include "src/net/rarp.h"
+
+#include "src/pf/builder.h"
+#include "src/proto/ethertypes.h"
+#include "src/util/byte_order.h"
+
+namespace pfnet {
+
+namespace {
+// User-space cost of parsing a RARP packet and consulting the table.
+constexpr pfsim::Duration kRarpProcessing = pfsim::Microseconds(300);
+}  // namespace
+
+pf::Program MakeRarpServerFilter(uint8_t priority) {
+  pf::FilterBuilder b;
+  b.WordEqualsShortCircuit(kRarpWordEtherType, pfproto::kEtherTypeRarp)
+      .WordEquals(kRarpWordOpcode, static_cast<uint16_t>(pfproto::ArpOp::kRarpRequest));
+  return b.Build(priority);
+}
+
+pf::Program MakeRarpClientFilter(const pflink::MacAddr& own, uint8_t priority) {
+  const auto word = [&own](int i) {
+    return static_cast<uint16_t>((own.bytes[i * 2] << 8) | own.bytes[i * 2 + 1]);
+  };
+  pf::FilterBuilder b;
+  b.WordEqualsShortCircuit(kRarpWordEtherType, pfproto::kEtherTypeRarp)
+      .WordEqualsShortCircuit(kRarpWordOpcode, static_cast<uint16_t>(pfproto::ArpOp::kRarpReply))
+      .WordEqualsShortCircuit(kRarpWordTargetHw0, word(0))
+      .WordEqualsShortCircuit(kRarpWordTargetHw0 + 1, word(1))
+      .WordEquals(kRarpWordTargetHw0 + 2, word(2));
+  return b.Build(priority);
+}
+
+pfsim::ValueTask<std::unique_ptr<RarpServer>> RarpServer::Create(pfkern::Machine* machine,
+                                                                 int pid, AddressTable table) {
+  auto server = std::unique_ptr<RarpServer>(new RarpServer(machine, std::move(table)));
+  server->pid_ = pid;
+  server->port_ = co_await machine->pf().Open(pid);
+  co_await machine->pf().SetFilter(pid, server->port_, MakeRarpServerFilter(20));
+  co_return server;
+}
+
+void RarpServer::Start() { machine_->Spawn(ServeLoop()); }
+
+pfsim::Task RarpServer::ServeLoop() {
+  for (;;) {
+    std::vector<pf::ReceivedPacket> packets =
+        co_await machine_->pf().Read(pid_, port_, pfsim::kForever);
+    for (const pf::ReceivedPacket& packet : packets) {
+      co_await machine_->Run(pid_, pfkern::Cost::kProtocolUser, kRarpProcessing);
+      const auto payload =
+          pflink::FramePayload(machine_->link_properties().type, packet.bytes);
+      const auto request = pfproto::ParseArp(payload);
+      if (!request.has_value() || request->op != pfproto::ArpOp::kRarpRequest) {
+        continue;
+      }
+      ++requests_seen_;
+      const auto entry = table_.find(request->target_hw);
+      if (entry == table_.end()) {
+        ++unknown_clients_;
+        continue;  // RFC 903: no reply for unknown hardware addresses
+      }
+      pfproto::ArpPacket reply;
+      reply.op = pfproto::ArpOp::kRarpReply;
+      reply.sender_hw = machine_->link_addr().bytes;
+      reply.sender_ip = 0;
+      reply.target_hw = request->target_hw;
+      reply.target_ip = entry->second;
+
+      pflink::MacAddr dst;
+      dst.len = 6;
+      dst.bytes = request->target_hw;
+      pflink::LinkHeader link;
+      link.dst = dst;
+      link.src = machine_->link_addr();
+      link.ether_type = pfproto::kEtherTypeRarp;
+      const auto frame =
+          pflink::BuildFrame(machine_->link_properties().type, link, pfproto::BuildArp(reply));
+      if (frame.has_value()) {
+        co_await machine_->pf().Write(pid_, frame->bytes);
+        ++replies_sent_;
+      }
+    }
+  }
+}
+
+pfsim::ValueTask<std::optional<uint32_t>> RarpClient::Resolve(pfkern::Machine* machine, int pid,
+                                                              pfsim::Duration per_try_timeout,
+                                                              int attempts) {
+  const pf::PortId port = co_await machine->pf().Open(pid);
+  co_await machine->pf().SetFilter(pid, port,
+                                   MakeRarpClientFilter(machine->link_addr(), 20));
+
+  pfproto::ArpPacket request;
+  request.op = pfproto::ArpOp::kRarpRequest;
+  request.sender_hw = machine->link_addr().bytes;
+  request.target_hw = machine->link_addr().bytes;  // "who am I"
+
+  pflink::LinkHeader link;
+  link.dst = machine->link_properties().broadcast;
+  link.src = machine->link_addr();
+  link.ether_type = pfproto::kEtherTypeRarp;
+  const auto frame = pflink::BuildFrame(machine->link_properties().type, link,
+                                        pfproto::BuildArp(request));
+
+  std::optional<uint32_t> result;
+  for (int attempt = 0; attempt < attempts && !result.has_value(); ++attempt) {
+    if (frame.has_value()) {
+      co_await machine->pf().Write(pid, frame->bytes);
+    }
+    const pfsim::TimePoint deadline = machine->sim()->Now() + per_try_timeout;
+    for (;;) {
+      const pfsim::Duration remaining = deadline - machine->sim()->Now();
+      if (remaining.count() <= 0) {
+        break;
+      }
+      std::vector<pf::ReceivedPacket> packets =
+          co_await machine->pf().Read(pid, port, remaining);
+      if (packets.empty()) {
+        break;
+      }
+      for (const pf::ReceivedPacket& packet : packets) {
+        co_await machine->Run(pid, pfkern::Cost::kProtocolUser, kRarpProcessing);
+        const auto payload =
+            pflink::FramePayload(machine->link_properties().type, packet.bytes);
+        const auto reply = pfproto::ParseArp(payload);
+        if (reply.has_value() && reply->op == pfproto::ArpOp::kRarpReply &&
+            reply->target_hw == machine->link_addr().bytes) {
+          result = reply->target_ip;
+          break;
+        }
+      }
+      if (result.has_value()) {
+        break;
+      }
+    }
+  }
+  co_await machine->pf().Close(pid, port);
+  co_return result;
+}
+
+}  // namespace pfnet

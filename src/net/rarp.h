@@ -1,0 +1,75 @@
+// RARP (RFC 903) over the packet filter — the paper's §5.3 case study.
+//
+// RARP sits *beside* IP (same link, its own EtherType), which made it
+// awkward to implement in the 4.2BSD kernel but "easy" with the packet
+// filter — "the work was done in a few weeks by a student who had no
+// experience with network programming". The server is an ordinary user
+// process with a filter matching EtherType 0x8035 + opcode 3; the client
+// broadcasts a request for its own protocol address and filters for the
+// matching reply.
+#ifndef SRC_NET_RARP_H_
+#define SRC_NET_RARP_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "src/kernel/machine.h"
+#include "src/kernel/pf_device.h"
+#include "src/proto/arp_rarp.h"
+#include "src/sim/task.h"
+#include "src/sim/value_task.h"
+
+namespace pfnet {
+
+// Frame word offsets for RARP filters (DIX Ethernet, 14-byte link header).
+inline constexpr uint8_t kRarpWordEtherType = 6;
+inline constexpr uint8_t kRarpWordOpcode = 10;
+inline constexpr uint8_t kRarpWordTargetHw0 = 16;  // words 16..18: target MAC
+
+pf::Program MakeRarpServerFilter(uint8_t priority);
+pf::Program MakeRarpClientFilter(const pflink::MacAddr& own, uint8_t priority);
+
+class RarpServer {
+ public:
+  using AddressTable = std::map<std::array<uint8_t, 6>, uint32_t>;
+
+  static pfsim::ValueTask<std::unique_ptr<RarpServer>> Create(pfkern::Machine* machine, int pid,
+                                                              AddressTable table);
+
+  // Spawns the serving loop as a background process.
+  void Start();
+
+  uint64_t requests_seen() const { return requests_seen_; }
+  uint64_t replies_sent() const { return replies_sent_; }
+  uint64_t unknown_clients() const { return unknown_clients_; }
+
+ private:
+  RarpServer(pfkern::Machine* machine, AddressTable table)
+      : machine_(machine), table_(std::move(table)) {}
+
+  pfsim::Task ServeLoop();
+
+  pfkern::Machine* machine_;
+  AddressTable table_;
+  pf::PortId port_ = pf::kInvalidPort;
+  int pid_ = 0;
+  uint64_t requests_seen_ = 0;
+  uint64_t replies_sent_ = 0;
+  uint64_t unknown_clients_ = 0;
+};
+
+class RarpClient {
+ public:
+  // Broadcasts "who am I" until a server answers; returns the IP address,
+  // or nullopt after `attempts` timeouts — the diskless-boot flow of RFC
+  // 903.
+  static pfsim::ValueTask<std::optional<uint32_t>> Resolve(pfkern::Machine* machine, int pid,
+                                                           pfsim::Duration per_try_timeout,
+                                                           int attempts = 4);
+};
+
+}  // namespace pfnet
+
+#endif  // SRC_NET_RARP_H_

@@ -1,0 +1,153 @@
+// User-level VMTP over packet-filter ports (§5.2: "the first implementation
+// used the packet filter"; §6.3 measures it against the kernel-resident
+// implementation in src/kernel/kernel_vmtp.h — same wire format, same
+// transaction semantics, different domain).
+//
+// Structural contrast with the kernel implementation: every packet of a
+// packet group crosses the kernel/user boundary individually (a read or
+// write syscall plus a copy plus user-space protocol processing), where the
+// kernel implementation pays one crossing per complete message. Read
+// batching (§3) amortizes the crossings — table 6-4 toggles it.
+#ifndef SRC_NET_VMTP_H_
+#define SRC_NET_VMTP_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/kernel/kernel_vmtp.h"  // for VmtpRequest
+#include "src/kernel/machine.h"
+#include "src/kernel/pf_device.h"
+#include "src/kernel/pipe.h"
+#include "src/proto/vmtp.h"
+#include "src/sim/value_task.h"
+
+namespace pfnet {
+
+// Filters on the VMTP entity-id words, short-circuit first (fig. 3-9 idiom).
+pf::Program MakeVmtpClientFilter(uint32_t client_id, uint8_t priority);
+pf::Program MakeVmtpServerFilter(uint32_t server_id, uint8_t priority);
+
+struct UserVmtpStats {
+  uint64_t packets_sent = 0;
+  uint64_t packets_received = 0;
+  uint64_t retransmits = 0;
+  uint64_t duplicate_requests = 0;
+  uint64_t reads = 0;  // read() syscalls issued (shows batching working)
+};
+
+// Where a user-level protocol gets its packets: directly from its own
+// packet-filter port, or — the paper's §6.3/§6.5 baseline — from a
+// user-level demultiplexing process via a pipe.
+class PacketSource {
+ public:
+  virtual ~PacketSource() = default;
+  virtual pfsim::ValueTask<std::vector<pf::ReceivedPacket>> ReadPackets(
+      int pid, pfsim::Duration timeout) = 0;
+};
+
+// Reads a packet-filter port (optionally batched).
+class PortPacketSource : public PacketSource {
+ public:
+  PortPacketSource(pfkern::Machine* machine, pf::PortId port)
+      : machine_(machine), port_(port) {}
+  pfsim::ValueTask<std::vector<pf::ReceivedPacket>> ReadPackets(
+      int pid, pfsim::Duration timeout) override;
+
+ private:
+  pfkern::Machine* machine_;
+  pf::PortId port_;
+};
+
+// Reads packets forwarded through a pipe by a UserDemuxProcess.
+class PipePacketSource : public PacketSource {
+ public:
+  explicit PipePacketSource(pfkern::MessagePipe* pipe) : pipe_(pipe) {}
+  pfsim::ValueTask<std::vector<pf::ReceivedPacket>> ReadPackets(
+      int pid, pfsim::Duration timeout) override;
+
+ private:
+  pfkern::MessagePipe* pipe_;
+};
+
+class UserVmtpClient {
+ public:
+  static pfsim::ValueTask<std::unique_ptr<UserVmtpClient>> Create(pfkern::Machine* machine,
+                                                                  int pid, uint32_t client_id,
+                                                                  bool batching);
+
+  // Variant for the §6.5 user-level-demultiplexing baseline: packets come
+  // from `source` (e.g. a PipePacketSource fed by a UserDemuxProcess that
+  // owns the port and filter); no port is opened here. `source` must
+  // outlive the client. Sends still go directly through the device.
+  static std::unique_ptr<UserVmtpClient> CreateWithSource(pfkern::Machine* machine,
+                                                          uint32_t client_id,
+                                                          PacketSource* source);
+
+  pfsim::ValueTask<std::optional<std::vector<uint8_t>>> Transact(
+      int pid, pflink::MacAddr server_mac, uint32_t server_id, std::vector<uint8_t> request,
+      pfsim::Duration timeout, int max_attempts = 10);
+
+  const UserVmtpStats& stats() const { return stats_; }
+
+ private:
+  UserVmtpClient(pfkern::Machine* machine, uint32_t client_id)
+      : machine_(machine), client_id_(client_id) {}
+
+  pfsim::ValueTask<void> SendGroup(int pid, pflink::MacAddr dst, pfproto::VmtpHeader base,
+                                   const std::vector<uint8_t>& data);
+
+  pfkern::Machine* machine_;
+  uint32_t client_id_;
+  pf::PortId port_ = pf::kInvalidPort;
+  std::unique_ptr<PacketSource> owned_source_;
+  PacketSource* source_ = nullptr;
+  uint32_t next_transaction_ = 1;
+  UserVmtpStats stats_;
+};
+
+class UserVmtpServer {
+ public:
+  static pfsim::ValueTask<std::unique_ptr<UserVmtpServer>> Create(pfkern::Machine* machine,
+                                                                  int pid, uint32_t server_id,
+                                                                  bool batching);
+
+  // Assembles the next complete request group; handles duplicate requests
+  // (by re-sending the cached response) and acks inline, as a single-
+  // threaded user-level server must.
+  pfsim::ValueTask<std::optional<pfkern::VmtpRequest>> ReceiveRequest(int pid,
+                                                                      pfsim::Duration timeout);
+  pfsim::ValueTask<bool> SendResponse(int pid, const pfkern::VmtpRequest& request,
+                                      std::vector<uint8_t> data);
+
+  const UserVmtpStats& stats() const { return stats_; }
+
+ private:
+  UserVmtpServer(pfkern::Machine* machine, uint32_t server_id)
+      : machine_(machine), server_id_(server_id) {}
+
+  pfsim::ValueTask<void> SendGroup(int pid, pflink::MacAddr dst, pfproto::VmtpHeader base,
+                                   const std::vector<uint8_t>& data);
+
+  struct ClientRecord {
+    uint32_t last_transaction = 0;
+    bool responded = false;
+    std::vector<uint8_t> cached_response;
+    pflink::MacAddr client_mac;
+    uint32_t assembling_transaction = 0;
+    uint16_t expected = 0;
+    std::map<uint16_t, std::vector<uint8_t>> parts;
+  };
+
+  pfkern::Machine* machine_;
+  uint32_t server_id_;
+  pf::PortId port_ = pf::kInvalidPort;
+  std::map<uint32_t, ClientRecord> clients_;
+  UserVmtpStats stats_;
+};
+
+}  // namespace pfnet
+
+#endif  // SRC_NET_VMTP_H_

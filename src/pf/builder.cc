@@ -1,0 +1,47 @@
+#include "src/pf/builder.h"
+
+namespace pf {
+
+Program PaperFig38Filter(uint8_t priority) {
+  // struct enfilter f = {
+  //   10, 12,                       /* priority and length */
+  //   PUSHWORD+1, PUSHLIT | EQ, 2,  /* packet type == PUP */
+  //   PUSHWORD+3, PUSH00FF | AND,   /* mask low byte */
+  //   PUSHZERO | GT,                /* PupType > 0 */
+  //   PUSHWORD+3, PUSH00FF | AND,   /* mask low byte */
+  //   PUSHLIT | LE, 100,            /* PupType <= 100 */
+  //   AND,                          /* 0 < PupType <= 100 */
+  //   AND                           /* && packet type == PUP */
+  // };
+  FilterBuilder b;
+  b.PushWord(1)
+      .Lit(BinaryOp::kEq, 2)
+      .PushWord(3)
+      .ConstOp(StackAction::kPush00FF, BinaryOp::kAnd)
+      .ZeroOp(BinaryOp::kGt)
+      .PushWord(3)
+      .ConstOp(StackAction::kPush00FF, BinaryOp::kAnd)
+      .Lit(BinaryOp::kLe, 100)
+      .Op(BinaryOp::kAnd)
+      .Op(BinaryOp::kAnd);
+  return b.Build(priority);
+}
+
+Program PaperFig39Filter(uint8_t priority) {
+  // struct enfilter f = {
+  //   10, 8,                          /* priority and length */
+  //   PUSHWORD+8, PUSHLIT | CAND, 35, /* low word of socket == 35 */
+  //   PUSHWORD+7, PUSHZERO | CAND,    /* high word of socket == 0 */
+  //   PUSHWORD+1, PUSHLIT | EQ, 2     /* packet type == Pup */
+  // };
+  FilterBuilder b;
+  b.PushWord(8)
+      .Lit(BinaryOp::kCand, 35)
+      .PushWord(7)
+      .ZeroOp(BinaryOp::kCand)
+      .PushWord(1)
+      .Lit(BinaryOp::kEq, 2);
+  return b.Build(priority);
+}
+
+}  // namespace pf

@@ -1,0 +1,188 @@
+#include "src/pf/decision_tree.h"
+
+#include <algorithm>
+#include <map>
+
+#include "src/util/byte_order.h"
+
+namespace pf {
+
+std::optional<std::vector<FieldTest>> ExtractConjunction(const Program& program) {
+  const auto decoded = DecodeProgram(program);
+  if (!decoded.has_value()) {
+    return std::nullopt;
+  }
+  const std::vector<Instruction>& insns = *decoded;
+  std::vector<FieldTest> tests;
+  size_t i = 0;
+  while (i < insns.size()) {
+    FieldTest test;
+    // PUSHWORD+n with no operation.
+    if (insns[i].action != StackAction::kPushWord || insns[i].op != BinaryOp::kNop) {
+      return std::nullopt;
+    }
+    test.word = insns[i].word_index;
+    ++i;
+    if (i >= insns.size()) {
+      return std::nullopt;
+    }
+    // Optional mask: <constant or literal> | AND.
+    if (insns[i].op == BinaryOp::kAnd) {
+      switch (insns[i].action) {
+        case StackAction::kPushFFFF:
+          test.mask = 0xffff;
+          break;
+        case StackAction::kPushFF00:
+          test.mask = 0xff00;
+          break;
+        case StackAction::kPush00FF:
+          test.mask = 0x00ff;
+          break;
+        case StackAction::kPushLit:
+          test.mask = insns[i].literal;
+          break;
+        default:
+          return std::nullopt;
+      }
+      ++i;
+      if (i >= insns.size()) {
+        return std::nullopt;
+      }
+    }
+    // Comparison: PUSHLIT|CAND v (any unit), PUSHLIT|EQ v (final unit only),
+    // or the PUSHZERO idiom for v == 0.
+    uint16_t value = 0;
+    if (insns[i].action == StackAction::kPushLit) {
+      value = insns[i].literal;
+    } else if (insns[i].action == StackAction::kPushZero) {
+      value = 0;
+    } else if (insns[i].action == StackAction::kPushOne) {
+      value = 1;
+    } else {
+      return std::nullopt;
+    }
+    const bool is_final = i + 1 == insns.size();
+    if (insns[i].op == BinaryOp::kCand || (is_final && insns[i].op == BinaryOp::kEq)) {
+      test.value = value;
+      tests.push_back(test);
+      ++i;
+    } else {
+      return std::nullopt;
+    }
+  }
+  // A value with bits outside the mask can never match; keep the test —
+  // Match() will correctly never report the filter.
+  return tests;
+}
+
+namespace {
+
+// Key for grouping tests: (word, mask).
+struct TestKey {
+  uint8_t word;
+  uint16_t mask;
+  friend bool operator<(const TestKey& a, const TestKey& b) {
+    return a.word != b.word ? a.word < b.word : a.mask < b.mask;
+  }
+  friend bool operator==(const TestKey&, const TestKey&) = default;
+};
+
+}  // namespace
+
+void DecisionTree::Build(std::vector<std::pair<uint32_t, std::vector<FieldTest>>> filters) {
+  node_count_ = 0;
+  root_ = filters.empty() ? nullptr : BuildNode(std::move(filters));
+}
+
+std::unique_ptr<DecisionTree::Node> DecisionTree::BuildNode(std::vector<Entry> filters) {
+  auto node = std::make_unique<Node>();
+  ++node_count_;
+
+  // Filters with no remaining tests are satisfied along this path.
+  std::vector<Entry> rest;
+  for (Entry& entry : filters) {
+    if (entry.second.empty()) {
+      node->matched.push_back(entry.first);
+    } else {
+      rest.push_back(std::move(entry));
+    }
+  }
+  if (rest.empty()) {
+    return node;  // leaf
+  }
+
+  // Pick the (word, mask) tested by the most remaining filters, so the tree
+  // discriminates as many filters per probe as possible.
+  std::map<TestKey, size_t> counts;
+  for (const Entry& entry : rest) {
+    for (const FieldTest& t : entry.second) {
+      ++counts[TestKey{t.word, t.mask}];
+    }
+  }
+  const auto best = std::max_element(
+      counts.begin(), counts.end(),
+      [](const auto& a, const auto& b) { return a.second < b.second; });
+  const TestKey key = best->first;
+  node->word = key.word;
+  node->mask = key.mask;
+  node->has_test = true;
+
+  // Partition: filters testing (word, mask) descend the matching-value edge
+  // with that test consumed; the rest descend the wildcard edge intact.
+  std::map<uint16_t, std::vector<Entry>> by_value;
+  std::vector<Entry> wildcard;
+  for (Entry& entry : rest) {
+    const auto it = std::find_if(entry.second.begin(), entry.second.end(),
+                                 [&](const FieldTest& t) {
+                                   return t.word == key.word && t.mask == key.mask;
+                                 });
+    if (it == entry.second.end()) {
+      wildcard.push_back(std::move(entry));
+      continue;
+    }
+    const uint16_t value = it->value;
+    entry.second.erase(it);
+    by_value[value].push_back(std::move(entry));
+  }
+  for (auto& [value, group] : by_value) {
+    node->children.emplace(value, BuildNode(std::move(group)));
+  }
+  if (!wildcard.empty()) {
+    node->wildcard = BuildNode(std::move(wildcard));
+  }
+  return node;
+}
+
+void DecisionTree::Match(std::span<const uint8_t> packet, std::vector<uint32_t>* out,
+                         uint32_t* tests_performed) const {
+  uint32_t tests = 0;
+  if (root_ != nullptr) {
+    MatchNode(*root_, packet, out, &tests);
+  }
+  if (tests_performed != nullptr) {
+    *tests_performed = tests;
+  }
+}
+
+void DecisionTree::MatchNode(const Node& node, std::span<const uint8_t> packet,
+                             std::vector<uint32_t>* out, uint32_t* tests) const {
+  out->insert(out->end(), node.matched.begin(), node.matched.end());
+  if (!node.has_test) {
+    return;
+  }
+  ++*tests;
+  uint16_t word = 0;
+  if (pfutil::LoadPacketWord(packet, node.word, &word)) {
+    const auto it = node.children.find(static_cast<uint16_t>(word & node.mask));
+    if (it != node.children.end()) {
+      MatchNode(*it->second, packet, out, tests);
+    }
+  }
+  // A word outside the packet fails the test (the interpreter rejects such
+  // references), so only the wildcard edge remains viable.
+  if (node.wildcard != nullptr) {
+    MatchNode(*node.wildcard, packet, out, tests);
+  }
+}
+
+}  // namespace pf

@@ -1,0 +1,85 @@
+// Decision-tree compilation of the active filter set.
+//
+// §7: "with a redesigned filter language it might be possible to compile the
+// set of active filters into a decision table, which should provide the best
+// possible performance." We implement that improvement for the (very common)
+// filters that are conjunctions of masked-word equality tests — the shape
+// the paper's own examples have, and the shape FilterBuilder's
+// WordEquals/MaskedWordEquals helpers emit. Filters that do not fit
+// (ranges, ORs, arithmetic, indirect pushes) stay on the sequential
+// interpreter path; demux.cc merges both so observable semantics are
+// unchanged (property-tested in tests/decision_tree_test.cc).
+//
+// The tree: each node tests one (word index, mask) pair; matching filters
+// are partitioned by expected value; filters that do not test that pair
+// descend a wildcard edge. Instead of applying N filters per packet, the
+// demultiplexer walks the tree once and gets the verdict for all compiled
+// filters simultaneously.
+#ifndef SRC_PF_DECISION_TREE_H_
+#define SRC_PF_DECISION_TREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/pf/program.h"
+
+namespace pf {
+
+// One field test: (packet.word[word] & mask) == value.
+struct FieldTest {
+  uint8_t word = 0;
+  uint16_t mask = 0xffff;
+  uint16_t value = 0;
+
+  friend bool operator==(const FieldTest&, const FieldTest&) = default;
+};
+
+// Attempts to express `program` as a conjunction of field tests (an empty
+// vector means the filter accepts everything). Returns nullopt when the
+// program is not in the canonical conjunction shape:
+//   { PUSHWORD+n [, <mask>|AND ] , PUSHLIT|CAND v }*
+//     PUSHWORD+n [, <mask>|AND ] , PUSHLIT|(EQ or CAND) v
+// with PUSHZERO|CAND / PUSHZERO|EQ accepted for v == 0 (fig. 3-9's idiom).
+std::optional<std::vector<FieldTest>> ExtractConjunction(const Program& program);
+
+class DecisionTree {
+ public:
+  // Rebuilds the tree for `filters` (opaque key + conjunction each).
+  void Build(std::vector<std::pair<uint32_t, std::vector<FieldTest>>> filters);
+
+  // Appends the keys of every filter whose conjunction `packet` satisfies.
+  // Keys are appended in no particular order; `tests_performed`, if
+  // non-null, receives the number of node probes this walk made.
+  void Match(std::span<const uint8_t> packet, std::vector<uint32_t>* out,
+             uint32_t* tests_performed = nullptr) const;
+
+  size_t node_count() const { return node_count_; }
+  bool empty() const { return root_ == nullptr; }
+
+ private:
+  struct Node {
+    uint8_t word = 0;
+    uint16_t mask = 0xffff;
+    bool has_test = false;  // leaf nodes carry only `matched`
+    std::unordered_map<uint16_t, std::unique_ptr<Node>> children;
+    std::unique_ptr<Node> wildcard;
+    std::vector<uint32_t> matched;  // filters fully satisfied on this path
+  };
+
+  using Entry = std::pair<uint32_t, std::vector<FieldTest>>;
+  std::unique_ptr<Node> BuildNode(std::vector<Entry> filters);
+  void MatchNode(const Node& node, std::span<const uint8_t> packet, std::vector<uint32_t>* out,
+                 uint32_t* tests) const;
+
+  std::unique_ptr<Node> root_;
+  size_t node_count_ = 0;
+};
+
+}  // namespace pf
+
+#endif  // SRC_PF_DECISION_TREE_H_

@@ -1,0 +1,250 @@
+#include "src/pf/demux.h"
+
+#include <algorithm>
+
+namespace pf {
+
+PacketFilter::PacketFilter(DeviceInfo info) : info_(info) {}
+
+PacketFilter::PortState* PacketFilter::Find(PortId id) {
+  const auto it = ports_.find(id);
+  return it == ports_.end() ? nullptr : it->second.get();
+}
+
+const PacketFilter::PortState* PacketFilter::Find(PortId id) const {
+  const auto it = ports_.find(id);
+  return it == ports_.end() ? nullptr : it->second.get();
+}
+
+PortId PacketFilter::OpenPort() {
+  const PortId id = next_port_id_++;
+  auto state = std::make_unique<PortState>();
+  state->id = id;
+  state->open_seq = next_open_seq_++;
+  ports_.emplace(id, std::move(state));
+  order_dirty_ = true;
+  tree_dirty_ = true;
+  return id;
+}
+
+bool PacketFilter::ClosePort(PortId id) {
+  if (ports_.erase(id) == 0) {
+    return false;
+  }
+  order_dirty_ = true;
+  tree_dirty_ = true;
+  return true;
+}
+
+ValidationResult PacketFilter::SetFilter(PortId id, Program program) {
+  PortState* port = Find(id);
+  if (port == nullptr) {
+    ValidationResult r;
+    r.ok = false;
+    return r;
+  }
+  ValidationResult meta = Validate(program);
+  if (!meta.ok) {
+    return meta;  // keep the previous filter
+  }
+  port->conjunction = ExtractConjunction(program);
+  port->filter = ValidatedProgram::Create(std::move(program));
+  order_dirty_ = true;
+  tree_dirty_ = true;
+  return meta;
+}
+
+void PacketFilter::ClearFilter(PortId id) {
+  if (PortState* port = Find(id)) {
+    port->filter.reset();
+    port->conjunction.reset();
+    order_dirty_ = true;
+    tree_dirty_ = true;
+  }
+}
+
+void PacketFilter::SetDeliverToLower(PortId id, bool enabled) {
+  if (PortState* port = Find(id)) {
+    port->deliver_to_lower = enabled;
+  }
+}
+
+void PacketFilter::SetQueueLimit(PortId id, size_t limit) {
+  if (PortState* port = Find(id)) {
+    port->queue_limit = limit;
+  }
+}
+
+void PacketFilter::SetTimestamps(PortId id, bool enabled) {
+  if (PortState* port = Find(id)) {
+    port->timestamps = enabled;
+  }
+}
+
+void PacketFilter::SetEnqueueCallback(PortId id, std::function<void()> callback) {
+  if (PortState* port = Find(id)) {
+    port->on_enqueue = std::move(callback);
+  }
+}
+
+uint8_t PacketFilter::PortPriority(PortId id) const {
+  const PortState* port = Find(id);
+  return port != nullptr && port->filter.has_value() ? port->filter->priority() : 0;
+}
+
+void PacketFilter::SetBusyReordering(bool enabled) {
+  busy_reordering_ = enabled;
+  order_dirty_ = true;
+}
+
+void PacketFilter::SetUseDecisionTree(bool enabled) {
+  use_tree_ = enabled;
+  tree_dirty_ = true;
+}
+
+void PacketFilter::RebuildOrder() {
+  ordered_.clear();
+  ordered_.reserve(ports_.size());
+  for (auto& [id, port] : ports_) {
+    if (port->filter.has_value()) {
+      ordered_.push_back(port.get());
+    }
+  }
+  std::sort(ordered_.begin(), ordered_.end(), [this](const PortState* a, const PortState* b) {
+    const uint8_t pa = a->filter->priority();
+    const uint8_t pb = b->filter->priority();
+    if (pa != pb) {
+      return pa > pb;  // decreasing priority (fig. 4-1)
+    }
+    if (busy_reordering_ && a->stats.accepts != b->stats.accepts) {
+      // §3.2: "the interpreter may occasionally reorder such filters to
+      // place the busier ones first".
+      return a->stats.accepts > b->stats.accepts;
+    }
+    return a->open_seq < b->open_seq;
+  });
+  order_dirty_ = false;
+}
+
+void PacketFilter::RebuildTree() {
+  std::vector<std::pair<uint32_t, std::vector<FieldTest>>> compiled;
+  if (use_tree_) {
+    for (auto& [id, port] : ports_) {
+      if (port->filter.has_value() && port->conjunction.has_value()) {
+        compiled.emplace_back(id, *port->conjunction);
+      }
+    }
+  }
+  tree_.Build(std::move(compiled));
+  tree_dirty_ = false;
+}
+
+void PacketFilter::DeliverTo(PortState& port, std::span<const uint8_t> packet,
+                             uint64_t timestamp_ns, DemuxResult* result) {
+  ++port.stats.accepts;
+  if (port.queue.size() >= port.queue_limit) {
+    ++port.stats.dropped;
+    ++port.lost_since_enqueue;
+    ++result->drops;
+    return;
+  }
+  ReceivedPacket rp;
+  rp.bytes.assign(packet.begin(), packet.end());
+  rp.timestamp_ns = port.timestamps ? timestamp_ns : 0;
+  rp.dropped_before = port.lost_since_enqueue;
+  port.lost_since_enqueue = 0;
+  port.queue.push_back(std::move(rp));
+  ++port.stats.enqueued;
+  ++result->deliveries;
+  if (port.on_enqueue) {
+    port.on_enqueue();
+  }
+}
+
+DemuxResult PacketFilter::Demux(std::span<const uint8_t> packet, uint64_t timestamp_ns) {
+  DemuxResult result;
+  ++global_stats_.packets_in;
+  ++demux_count_;
+  if (order_dirty_ || (busy_reordering_ && demux_count_ % kReorderInterval == 0)) {
+    RebuildOrder();
+  }
+  if (use_tree_ && tree_dirty_) {
+    RebuildTree();
+  }
+
+  // Tree path: one walk yields verdicts for every compiled filter.
+  const bool tree_active = use_tree_ && !tree_.empty();
+  if (tree_active) {
+    tree_match_buffer_.clear();
+    tree_.Match(packet, &tree_match_buffer_, &result.tree_tests);
+  }
+
+  for (PortState* port : ordered_) {
+    bool accept = false;
+    if (tree_active && port->conjunction.has_value()) {
+      accept = std::find(tree_match_buffer_.begin(), tree_match_buffer_.end(), port->id) !=
+               tree_match_buffer_.end();
+    } else {
+      ++result.filters_tested;
+      const ExecResult exec = use_fast_ ? InterpretFast(*port->filter, packet)
+                                        : InterpretChecked(port->filter->program(), packet);
+      result.insns_executed += exec.insns_executed;
+      if (exec.status != ExecStatus::kOk) {
+        ++port->stats.filter_errors;
+      }
+      accept = exec.accept;
+    }
+    if (!accept) {
+      continue;
+    }
+    DeliverTo(*port, packet, timestamp_ns, &result);
+    result.accepted = true;
+    if (!port->deliver_to_lower) {
+      break;  // first accepting filter claims the packet (§3.2)
+    }
+  }
+
+  global_stats_.filters_tested += result.filters_tested;
+  global_stats_.insns_executed += result.insns_executed;
+  if (result.accepted) {
+    ++global_stats_.packets_accepted;
+  } else {
+    ++global_stats_.packets_unclaimed;
+  }
+  return result;
+}
+
+std::optional<ReceivedPacket> PacketFilter::Pop(PortId id) {
+  PortState* port = Find(id);
+  if (port == nullptr || port->queue.empty()) {
+    return std::nullopt;
+  }
+  ReceivedPacket packet = std::move(port->queue.front());
+  port->queue.pop_front();
+  return packet;
+}
+
+std::vector<ReceivedPacket> PacketFilter::PopBatch(PortId id, size_t max) {
+  std::vector<ReceivedPacket> out;
+  PortState* port = Find(id);
+  if (port == nullptr) {
+    return out;
+  }
+  while (!port->queue.empty() && out.size() < max) {
+    out.push_back(std::move(port->queue.front()));
+    port->queue.pop_front();
+  }
+  return out;
+}
+
+size_t PacketFilter::QueueLength(PortId id) const {
+  const PortState* port = Find(id);
+  return port == nullptr ? 0 : port->queue.size();
+}
+
+const PortStats* PacketFilter::Stats(PortId id) const {
+  const PortState* port = Find(id);
+  return port == nullptr ? nullptr : &port->stats;
+}
+
+}  // namespace pf

@@ -1,0 +1,172 @@
+// The kernel-resident packet demultiplexer (§3.2, §4).
+//
+// PacketFilter manages a set of ports, each with a bound filter program and
+// a bounded input queue. Demux() implements the paper's fig. 4-1 loop:
+// filters are applied in order of decreasing priority until one accepts; a
+// port may opt to let its packets also reach lower-priority filters
+// ("copy-all", used by monitors and multicast-style delivery). Per-port
+// queues overflow by dropping (counted, and reported on the next delivered
+// packet, per §3.3), and packets can be timestamped at demux time.
+//
+// This class is pure mechanism — no threads, no simulated time, no I/O — so
+// it can be embedded both in the simulated kernel (src/kernel/) and used
+// directly (examples/filter_lab, the wall-clock microbenchmarks). Demux()
+// reports exactly what work it did (filters interpreted, instructions
+// executed) so a host can charge costs.
+#ifndef SRC_PF_DEMUX_H_
+#define SRC_PF_DEMUX_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "src/pf/decision_tree.h"
+#include "src/pf/interpreter.h"
+#include "src/pf/program.h"
+#include "src/pf/validate.h"
+
+namespace pf {
+
+using PortId = uint32_t;
+inline constexpr PortId kInvalidPort = 0;
+
+// §3.3 "information provided by the packet filter to programs".
+struct DeviceInfo {
+  uint16_t datalink_type = 0;
+  uint8_t addr_len = 0;
+  uint8_t header_len = 0;
+  uint32_t max_packet = 0;
+  std::array<uint8_t, 6> local_addr{};
+  std::array<uint8_t, 6> broadcast_addr{};
+};
+
+struct ReceivedPacket {
+  std::vector<uint8_t> bytes;
+  uint64_t timestamp_ns = 0;      // 0 unless timestamps are enabled
+  uint32_t dropped_before = 0;    // queue-overflow losses since the previous
+                                  // packet enqueued on this port
+};
+
+struct PortStats {
+  uint64_t enqueued = 0;
+  uint64_t dropped = 0;        // queue-overflow losses
+  uint64_t accepts = 0;        // filter matches (== enqueued + dropped)
+  uint64_t filter_errors = 0;  // interpreter errors while testing packets
+};
+
+struct DemuxResult {
+  bool accepted = false;       // at least one port took the packet
+  uint32_t deliveries = 0;     // copies enqueued
+  uint32_t drops = 0;          // copies lost to full queues
+  uint32_t filters_tested = 0; // programs interpreted (sequential path)
+  uint64_t insns_executed = 0; // filter instructions evaluated
+  uint32_t tree_tests = 0;     // decision-tree node probes (tree path)
+};
+
+struct FilterGlobalStats {
+  uint64_t packets_in = 0;
+  uint64_t packets_accepted = 0;
+  uint64_t packets_unclaimed = 0;  // rejected by every filter (fig. 4-1 Drop)
+  uint64_t filters_tested = 0;
+  uint64_t insns_executed = 0;
+};
+
+class PacketFilter {
+ public:
+  explicit PacketFilter(DeviceInfo info = {});
+
+  // --- Port lifecycle ---
+  PortId OpenPort();
+  bool ClosePort(PortId id);
+  size_t open_port_count() const { return ports_.size(); }
+
+  // --- Port control (the ioctl surface of §3.3) ---
+  // Binding a filter validates it; on failure the port keeps its previous
+  // filter. "A new filter can be bound at any time."
+  ValidationResult SetFilter(PortId id, Program program);
+  void ClearFilter(PortId id);
+  // Accepted packets continue to lower-priority filters (§3.2's monitoring /
+  // group-communication option). Multiple copies may be delivered.
+  void SetDeliverToLower(PortId id, bool enabled);
+  // Maximum input-queue length; overflow drops and counts.
+  void SetQueueLimit(PortId id, size_t limit);
+  void SetTimestamps(PortId id, bool enabled);
+  // Invoked after each enqueue on the port (the host's wakeup hook).
+  void SetEnqueueCallback(PortId id, std::function<void()> callback);
+
+  // --- Demultiplexing (fig. 4-1) ---
+  DemuxResult Demux(std::span<const uint8_t> packet, uint64_t timestamp_ns = 0);
+
+  // --- Port-side dequeue (the read() surface) ---
+  std::optional<ReceivedPacket> Pop(PortId id);
+  // Removes up to `max` queued packets: the §3 batch read.
+  std::vector<ReceivedPacket> PopBatch(PortId id, size_t max = SIZE_MAX);
+  size_t QueueLength(PortId id) const;
+
+  // --- Introspection ---
+  const PortStats* Stats(PortId id) const;
+  const FilterGlobalStats& global_stats() const { return global_stats_; }
+  const DeviceInfo& device_info() const { return info_; }
+  void set_device_info(const DeviceInfo& info) { info_ = info; }
+  // Priority of the port's current filter (0 if none).
+  uint8_t PortPriority(PortId id) const;
+
+  // --- Evaluation strategy knobs (benchmarked in bench/micro_*) ---
+  // Use the validated fast interpreter (default true).
+  void SetUseFastInterpreter(bool enabled) { use_fast_ = enabled; }
+  // Periodically move busier filters first within equal priority (§3.2).
+  void SetBusyReordering(bool enabled);
+  // Use the §7 decision-tree compiler for eligible filters.
+  void SetUseDecisionTree(bool enabled);
+  bool decision_tree_in_use() const { return use_tree_ && !tree_.empty(); }
+  size_t decision_tree_nodes() const { return tree_.node_count(); }
+
+ private:
+  struct PortState {
+    PortId id = kInvalidPort;
+    uint64_t open_seq = 0;  // application order among equal priorities
+    std::optional<ValidatedProgram> filter;
+    std::optional<std::vector<FieldTest>> conjunction;  // tree-eligible shape
+    bool deliver_to_lower = false;
+    bool timestamps = false;
+    size_t queue_limit = kDefaultQueueLimit;
+    std::deque<ReceivedPacket> queue;
+    uint32_t lost_since_enqueue = 0;
+    std::function<void()> on_enqueue;
+    PortStats stats;
+  };
+
+  static constexpr size_t kDefaultQueueLimit = 32;
+  static constexpr uint64_t kReorderInterval = 256;
+
+  PortState* Find(PortId id);
+  const PortState* Find(PortId id) const;
+  void RebuildOrder();
+  void RebuildTree();
+  void DeliverTo(PortState& port, std::span<const uint8_t> packet, uint64_t timestamp_ns,
+                 DemuxResult* result);
+
+  DeviceInfo info_;
+  std::unordered_map<PortId, std::unique_ptr<PortState>> ports_;
+  std::vector<PortState*> ordered_;  // by (priority desc, open_seq asc)
+  bool order_dirty_ = false;
+  bool tree_dirty_ = false;
+  bool use_fast_ = true;
+  bool busy_reordering_ = false;
+  bool use_tree_ = false;
+  DecisionTree tree_;
+  std::vector<PortId> tree_match_buffer_;
+  PortId next_port_id_ = 1;
+  uint64_t next_open_seq_ = 0;
+  uint64_t demux_count_ = 0;
+  FilterGlobalStats global_stats_;
+};
+
+}  // namespace pf
+
+#endif  // SRC_PF_DEMUX_H_

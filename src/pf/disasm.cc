@@ -1,0 +1,53 @@
+#include "src/pf/disasm.h"
+
+#include <cstdio>
+
+namespace pf {
+
+std::string DisassembleInstruction(const Instruction& insn) {
+  std::string out;
+  if (insn.action == StackAction::kPushWord) {
+    out = "PUSHWORD+" + std::to_string(insn.word_index);
+  } else {
+    out = ToString(insn.action);
+  }
+  if (insn.op != BinaryOp::kNop) {
+    if (insn.action == StackAction::kNoPush) {
+      out = ToString(insn.op);  // paper renders bare ops without "NOPUSH |"
+    } else {
+      out += " | " + ToString(insn.op);
+    }
+  }
+  if (insn.HasLiteral()) {
+    out += ", " + std::to_string(insn.literal);
+  }
+  return out;
+}
+
+std::string Disassemble(const Program& program) {
+  char header[96];
+  std::snprintf(header, sizeof(header), "filter: priority %u, %zu words, %s\n", program.priority,
+                program.words.size(), program.version == LangVersion::kV1 ? "v1" : "v2");
+  std::string out = header;
+  // Decode incrementally so a malformed tail still shows the valid prefix.
+  Program prefix = program;
+  while (!prefix.words.empty()) {
+    if (auto decoded = DecodeProgram(prefix)) {
+      for (const Instruction& insn : *decoded) {
+        out += "  " + DisassembleInstruction(insn) + "\n";
+      }
+      if (prefix.words.size() != program.words.size()) {
+        out += "  <malformed tail: " +
+               std::to_string(program.words.size() - prefix.words.size()) + " word(s)>\n";
+      }
+      return out;
+    }
+    prefix.words.pop_back();
+  }
+  if (!program.words.empty()) {
+    out += "  <malformed program>\n";
+  }
+  return out;
+}
+
+}  // namespace pf

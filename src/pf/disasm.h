@@ -1,0 +1,23 @@
+// Filter disassembler: renders programs in the paper's listing notation
+// (`PUSHWORD+3, PUSH00FF | AND`), one instruction per line, for debugging,
+// logging, and the filter_lab example.
+#ifndef SRC_PF_DISASM_H_
+#define SRC_PF_DISASM_H_
+
+#include <string>
+
+#include "src/pf/program.h"
+
+namespace pf {
+
+// One-line rendering of a single instruction, e.g. "PUSHLIT | EQ, 2".
+std::string DisassembleInstruction(const Instruction& insn);
+
+// Multi-line rendering of the whole program with a header line giving
+// priority, length, and language version. Malformed programs render the
+// valid prefix followed by an error note.
+std::string Disassemble(const Program& program);
+
+}  // namespace pf
+
+#endif  // SRC_PF_DISASM_H_

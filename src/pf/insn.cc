@@ -1,0 +1,101 @@
+#include "src/pf/insn.h"
+
+namespace pf {
+
+bool IsValidOp(uint16_t bits, LangVersion version) {
+  if (bits <= static_cast<uint16_t>(BinaryOp::kCnand)) {
+    return true;
+  }
+  if (version == LangVersion::kV2 && bits >= static_cast<uint16_t>(BinaryOp::kAdd) &&
+      bits <= static_cast<uint16_t>(BinaryOp::kRsh)) {
+    return true;
+  }
+  return false;
+}
+
+bool IsValidAction(uint8_t bits, LangVersion version) {
+  if (bits >= kPushWordBase) {
+    return true;  // PUSHWORD+n
+  }
+  if (bits <= static_cast<uint8_t>(StackAction::kPush00FF)) {
+    return true;
+  }
+  if (bits == static_cast<uint8_t>(StackAction::kPushInd)) {
+    return version == LangVersion::kV2;
+  }
+  return false;
+}
+
+std::string ToString(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kNop:
+      return "NOP";
+    case BinaryOp::kEq:
+      return "EQ";
+    case BinaryOp::kNeq:
+      return "NEQ";
+    case BinaryOp::kLt:
+      return "LT";
+    case BinaryOp::kLe:
+      return "LE";
+    case BinaryOp::kGt:
+      return "GT";
+    case BinaryOp::kGe:
+      return "GE";
+    case BinaryOp::kAnd:
+      return "AND";
+    case BinaryOp::kOr:
+      return "OR";
+    case BinaryOp::kXor:
+      return "XOR";
+    case BinaryOp::kCor:
+      return "COR";
+    case BinaryOp::kCand:
+      return "CAND";
+    case BinaryOp::kCnor:
+      return "CNOR";
+    case BinaryOp::kCnand:
+      return "CNAND";
+    case BinaryOp::kAdd:
+      return "ADD";
+    case BinaryOp::kSub:
+      return "SUB";
+    case BinaryOp::kMul:
+      return "MUL";
+    case BinaryOp::kDiv:
+      return "DIV";
+    case BinaryOp::kMod:
+      return "MOD";
+    case BinaryOp::kLsh:
+      return "LSH";
+    case BinaryOp::kRsh:
+      return "RSH";
+  }
+  return "OP#" + std::to_string(static_cast<uint16_t>(op));
+}
+
+std::string ToString(StackAction action) {
+  switch (action) {
+    case StackAction::kNoPush:
+      return "NOPUSH";
+    case StackAction::kPushLit:
+      return "PUSHLIT";
+    case StackAction::kPushZero:
+      return "PUSHZERO";
+    case StackAction::kPushOne:
+      return "PUSHONE";
+    case StackAction::kPushFFFF:
+      return "PUSHFFFF";
+    case StackAction::kPushFF00:
+      return "PUSHFF00";
+    case StackAction::kPush00FF:
+      return "PUSH00FF";
+    case StackAction::kPushInd:
+      return "PUSHIND";
+    case StackAction::kPushWord:
+      return "PUSHWORD";
+  }
+  return "ACT#" + std::to_string(static_cast<uint8_t>(action));
+}
+
+}  // namespace pf

@@ -1,0 +1,140 @@
+// The packet-filter instruction set (paper §3.1, fig. 3-6).
+//
+// A filter program is an array of 16-bit words. Each word is normally an
+// instruction with two fields:
+//
+//        15                    6 5                0
+//       +-----------------------+------------------+
+//       |  binary operator (10) | stack action (6) |
+//       +-----------------------+------------------+
+//
+// (The paper fixes the field widths — 10-bit operator, 6-bit stack action —
+// but not the bit order; we place the stack action in the low bits, matching
+// the historical ENF_PUSHWORD = 16 convention of the 4.3BSD/ULTRIX
+// implementation.)
+//
+// Executing an instruction performs the stack action first (possibly pushing
+// one word), then the binary operation (popping two words and pushing the
+// result). A PUSHLIT action consumes the *following* word of the program as
+// the literal.
+//
+// Version 2 of the language adds the §7 wish-list: an indirect push (for
+// variable-format headers such as IP options) and arithmetic operators (for
+// addressing-unit conversions).
+#ifndef SRC_PF_INSN_H_
+#define SRC_PF_INSN_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace pf {
+
+// Low 6 bits of an instruction word. Values 16..63 encode PUSHWORD+n for
+// n = value - 16 (so word indices 0..47 are addressable, i.e. the first 96
+// bytes of the packet — ample for the link + transport headers the paper's
+// filters inspect).
+enum class StackAction : uint8_t {
+  kNoPush = 0,    // no push
+  kPushLit = 1,   // push the following program word
+  kPushZero = 2,  // push 0x0000
+  kPushOne = 3,   // push 0x0001
+  kPushFFFF = 4,  // push 0xFFFF
+  kPushFF00 = 5,  // push 0xFF00
+  kPush00FF = 6,  // push 0x00FF
+  kPushInd = 7,   // v2: pop a byte offset, push the packet word at that offset
+  kPushWord = 16  // base: kPushWord + n pushes the nth 16-bit packet word
+};
+
+inline constexpr uint8_t kStackActionMask = 0x3f;
+inline constexpr uint8_t kPushWordBase = 16;
+inline constexpr uint8_t kMaxWordIndex = 63 - kPushWordBase;  // 47
+
+// High 10 bits of an instruction word.
+enum class BinaryOp : uint16_t {
+  kNop = 0,  // no effect on the stack
+  kEq = 1,
+  kNeq = 2,
+  kLt = 3,  // comparisons are unsigned over 16-bit words; R is TRUE(1)/FALSE(0)
+  kLe = 4,
+  kGt = 5,
+  kGe = 6,
+  kAnd = 7,  // bitwise; a value is TRUE iff non-zero
+  kOr = 8,
+  kXor = 9,
+  // Short-circuit conditionals (§3.1): all compute R := (T1 == T2); each
+  // either terminates the program immediately with the indicated verdict or
+  // pushes R and continues.
+  kCor = 10,    // returns ACCEPT immediately if R is TRUE
+  kCand = 11,   // returns REJECT immediately if R is FALSE
+  kCnor = 12,   // returns REJECT immediately if R is TRUE
+  kCnand = 13,  // returns ACCEPT immediately if R is FALSE
+  // --- Version 2 extensions (§7) ---
+  kAdd = 16,
+  kSub = 17,  // modulo-2^16 wraparound
+  kMul = 18,
+  kDiv = 19,  // division by zero is a run-time error (packet rejected)
+  kMod = 20,
+  kLsh = 21,  // shift counts are taken modulo 16
+  kRsh = 22,
+};
+
+// Language version. kV1 is the instruction set of the paper as deployed;
+// kV2 additionally allows PUSHIND and the arithmetic operators.
+enum class LangVersion : uint8_t { kV1, kV2 };
+
+// A decoded instruction. `word_index` is meaningful only when
+// action == kPushWord (it is the n of PUSHWORD+n); `literal` only when
+// action == kPushLit.
+struct Instruction {
+  BinaryOp op = BinaryOp::kNop;
+  StackAction action = StackAction::kNoPush;
+  uint8_t word_index = 0;
+  uint16_t literal = 0;
+
+  bool HasLiteral() const { return action == StackAction::kPushLit; }
+};
+
+// Encodes op+action into one instruction word (the PUSHLIT literal, if any,
+// is a separate following word).
+constexpr uint16_t EncodeWord(BinaryOp op, StackAction action, uint8_t word_index = 0) {
+  const uint16_t act = action == StackAction::kPushWord
+                           ? static_cast<uint16_t>(kPushWordBase + word_index)
+                           : static_cast<uint16_t>(action);
+  return static_cast<uint16_t>((static_cast<uint16_t>(op) << 6) | (act & kStackActionMask));
+}
+
+// Splits an instruction word into fields. Never fails — validity (is the
+// operator assigned? is the action assigned?) is the validator's job.
+struct RawFields {
+  uint16_t op_bits;
+  uint8_t action_bits;
+};
+constexpr RawFields SplitWord(uint16_t word) {
+  return RawFields{static_cast<uint16_t>(word >> 6),
+                   static_cast<uint8_t>(word & kStackActionMask)};
+}
+
+// True if `bits` names an assigned binary operator in `version`.
+bool IsValidOp(uint16_t bits, LangVersion version);
+// True if `bits` names an assigned stack action in `version` (PUSHWORD+n is
+// always valid for any n; bounds against the packet are checked at run
+// time).
+bool IsValidAction(uint8_t bits, LangVersion version);
+
+// True for the four short-circuit conditionals.
+constexpr bool IsShortCircuit(BinaryOp op) {
+  return op == BinaryOp::kCor || op == BinaryOp::kCand || op == BinaryOp::kCnor ||
+         op == BinaryOp::kCnand;
+}
+
+constexpr bool IsArithmetic(BinaryOp op) {
+  return op >= BinaryOp::kAdd && op <= BinaryOp::kRsh;
+}
+
+std::string ToString(BinaryOp op);
+std::string ToString(StackAction action);
+
+}  // namespace pf
+
+#endif  // SRC_PF_INSN_H_

@@ -1,0 +1,57 @@
+// The filter interpreter (§3.1, §4): "It simply iterates through the
+// 'instruction words' of a filter (there are no branch instructions),
+// evaluating the filter predicate using a small stack."
+//
+// Two entry points:
+//   * InterpretChecked() — every check the paper lists (§7) is performed per
+//     instruction at run time: instruction validity, stack under/overflow,
+//     out-of-packet references. Works on any Program. This is the historical
+//     interpreter.
+//   * InterpretFast()    — requires a ValidatedProgram; per-instruction
+//     validity and stack checks are elided (the validator proved them),
+//     leaving only packet-bounds and divide-by-zero checks. This is the §7
+//     "perform the tests ahead of time" improvement; micro_interpreter
+//     benchmarks the difference.
+//
+// Errors reject the packet (§4: "or an error is detected, it returns the
+// predicate value to indicate acceptance or rejection") and are reported in
+// ExecResult::status so the kernel can count them.
+#ifndef SRC_PF_INTERPRETER_H_
+#define SRC_PF_INTERPRETER_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "src/pf/program.h"
+#include "src/pf/validate.h"
+
+namespace pf {
+
+enum class ExecStatus : uint8_t {
+  kOk = 0,
+  kBadOpcode,
+  kBadAction,
+  kMissingLiteral,
+  kStackUnderflow,
+  kStackOverflow,
+  kOutOfPacket,     // PUSHWORD/PUSHIND past the end of the packet
+  kEmptyStackAtEnd,
+  kDivideByZero,    // v2 DIV/MOD with zero divisor
+};
+
+std::string ToString(ExecStatus status);
+
+struct ExecResult {
+  bool accept = false;
+  ExecStatus status = ExecStatus::kOk;
+  uint32_t insns_executed = 0;   // instructions actually evaluated
+  bool short_circuited = false;  // a COR/CAND/CNOR/CNAND exited early
+};
+
+ExecResult InterpretChecked(const Program& program, std::span<const uint8_t> packet);
+ExecResult InterpretFast(const ValidatedProgram& program, std::span<const uint8_t> packet);
+
+}  // namespace pf
+
+#endif  // SRC_PF_INTERPRETER_H_

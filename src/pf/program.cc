@@ -1,0 +1,55 @@
+#include "src/pf/program.h"
+
+namespace pf {
+
+std::optional<std::vector<Instruction>> DecodeProgram(const Program& program) {
+  std::vector<Instruction> out;
+  out.reserve(program.words.size());
+  for (size_t i = 0; i < program.words.size(); ++i) {
+    const RawFields fields = SplitWord(program.words[i]);
+    if (!IsValidOp(fields.op_bits, program.version) ||
+        !IsValidAction(fields.action_bits, program.version)) {
+      return std::nullopt;
+    }
+    Instruction insn;
+    insn.op = static_cast<BinaryOp>(fields.op_bits);
+    if (fields.action_bits >= kPushWordBase) {
+      insn.action = StackAction::kPushWord;
+      insn.word_index = static_cast<uint8_t>(fields.action_bits - kPushWordBase);
+    } else {
+      insn.action = static_cast<StackAction>(fields.action_bits);
+    }
+    if (insn.action == StackAction::kPushLit) {
+      if (i + 1 >= program.words.size()) {
+        return std::nullopt;  // literal missing
+      }
+      insn.literal = program.words[++i];
+    }
+    out.push_back(insn);
+  }
+  return out;
+}
+
+Program EncodeProgram(std::span<const Instruction> instructions, uint8_t priority,
+                      LangVersion version) {
+  Program p;
+  p.priority = priority;
+  p.version = version;
+  for (const Instruction& insn : instructions) {
+    p.words.push_back(EncodeWord(insn.op, insn.action, insn.word_index));
+    if (insn.HasLiteral()) {
+      p.words.push_back(insn.literal);
+    }
+  }
+  return p;
+}
+
+std::optional<size_t> InstructionCount(const Program& program) {
+  const auto decoded = DecodeProgram(program);
+  if (!decoded.has_value()) {
+    return std::nullopt;
+  }
+  return decoded->size();
+}
+
+}  // namespace pf

@@ -1,0 +1,48 @@
+// Filter programs: the `struct enfilter` of the paper (a priority plus an
+// array of 16-bit instruction words), with encode/decode between the wire
+// form and decoded Instruction sequences.
+#ifndef SRC_PF_PROGRAM_H_
+#define SRC_PF_PROGRAM_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/pf/insn.h"
+
+namespace pf {
+
+// Bounds mirroring a kernel implementation's sanity limits.
+inline constexpr size_t kMaxProgramWords = 255;
+inline constexpr size_t kMaxStackDepth = 32;
+inline constexpr uint8_t kMaxPriority = 255;
+
+struct Program {
+  uint8_t priority = 0;
+  LangVersion version = LangVersion::kV1;
+  std::vector<uint16_t> words;
+
+  size_t length_words() const { return words.size(); }
+
+  friend bool operator==(const Program&, const Program&) = default;
+};
+
+// Decodes the word array into instructions (PUSHLIT literals folded into
+// their instruction). Returns nullopt if a PUSHLIT is the last word (its
+// literal is missing) or an opcode/action is unassigned for the program's
+// version. This is a structural decode only — stack-safety is Validate()'s
+// job (validate.h).
+std::optional<std::vector<Instruction>> DecodeProgram(const Program& program);
+
+// Inverse of DecodeProgram.
+Program EncodeProgram(std::span<const Instruction> instructions, uint8_t priority,
+                      LangVersion version = LangVersion::kV1);
+
+// The number of *instructions* (not words) in the program, counting a
+// PUSHLIT and its literal as one. Returns nullopt on malformed programs.
+std::optional<size_t> InstructionCount(const Program& program);
+
+}  // namespace pf
+
+#endif  // SRC_PF_PROGRAM_H_

@@ -1,0 +1,133 @@
+#include "src/pf/validate.h"
+
+namespace pf {
+
+std::string ToString(ValidationError error) {
+  switch (error) {
+    case ValidationError::kNone:
+      return "ok";
+    case ValidationError::kTooLong:
+      return "program too long";
+    case ValidationError::kBadOpcode:
+      return "unassigned binary operator";
+    case ValidationError::kBadAction:
+      return "unassigned stack action";
+    case ValidationError::kMissingLiteral:
+      return "PUSHLIT without literal";
+    case ValidationError::kStackUnderflow:
+      return "stack underflow";
+    case ValidationError::kStackOverflow:
+      return "stack overflow";
+    case ValidationError::kEmptyStackAtEnd:
+      return "empty stack at end of program";
+  }
+  return "unknown";
+}
+
+ValidationResult Validate(const Program& program) {
+  ValidationResult r;
+  if (program.words.size() > kMaxProgramWords) {
+    r.error = ValidationError::kTooLong;
+    return r;
+  }
+
+  uint32_t depth = 0;
+  for (size_t i = 0; i < program.words.size(); ++i) {
+    const size_t insn_word = i;
+    const RawFields fields = SplitWord(program.words[i]);
+    if (!IsValidOp(fields.op_bits, program.version)) {
+      r.error = ValidationError::kBadOpcode;
+      r.error_word = insn_word;
+      return r;
+    }
+    if (!IsValidAction(fields.action_bits, program.version)) {
+      r.error = ValidationError::kBadAction;
+      r.error_word = insn_word;
+      return r;
+    }
+    const auto op = static_cast<BinaryOp>(fields.op_bits);
+
+    // Stack action.
+    if (fields.action_bits >= kPushWordBase) {
+      r.uses_push_word = true;
+      const auto idx = static_cast<uint8_t>(fields.action_bits - kPushWordBase);
+      if (idx > r.max_word_index) {
+        r.max_word_index = idx;
+      }
+      ++depth;
+    } else {
+      switch (static_cast<StackAction>(fields.action_bits)) {
+        case StackAction::kNoPush:
+          break;
+        case StackAction::kPushLit:
+          if (i + 1 >= program.words.size()) {
+            r.error = ValidationError::kMissingLiteral;
+            r.error_word = insn_word;
+            return r;
+          }
+          ++i;  // skip the literal word
+          ++depth;
+          break;
+        case StackAction::kPushInd:
+          // Pops the offset, pushes the word: requires one operand, net 0.
+          if (depth < 1) {
+            r.error = ValidationError::kStackUnderflow;
+            r.error_word = insn_word;
+            return r;
+          }
+          r.uses_indirect = true;
+          break;
+        default:
+          ++depth;  // the constant pushes
+          break;
+      }
+    }
+    if (depth > kMaxStackDepth) {
+      r.error = ValidationError::kStackOverflow;
+      r.error_word = insn_word;
+      return r;
+    }
+
+    // Binary operation.
+    if (op != BinaryOp::kNop) {
+      if (depth < 2) {
+        r.error = ValidationError::kStackUnderflow;
+        r.error_word = insn_word;
+        return r;
+      }
+      --depth;
+      if (IsShortCircuit(op)) {
+        r.has_short_circuit = true;
+      }
+      if (op == BinaryOp::kDiv || op == BinaryOp::kMod) {
+        r.uses_division = true;
+      }
+    }
+    if (depth > r.max_stack_depth) {
+      r.max_stack_depth = depth;
+    }
+    ++r.instruction_count;
+  }
+
+  // An empty program accepts every packet (the monitor's "tap everything"
+  // filter and the paper's zero-length filter in table 6-10). A non-empty
+  // program must leave a verdict word.
+  if (!program.words.empty() && depth == 0) {
+    r.error = ValidationError::kEmptyStackAtEnd;
+    r.error_word = program.words.size() - 1;
+    return r;
+  }
+
+  r.ok = true;
+  return r;
+}
+
+std::optional<ValidatedProgram> ValidatedProgram::Create(Program program) {
+  ValidationResult meta = Validate(program);
+  if (!meta.ok) {
+    return std::nullopt;
+  }
+  return ValidatedProgram(std::move(program), meta);
+}
+
+}  // namespace pf

@@ -1,0 +1,42 @@
+#include "src/proto/arp_rarp.h"
+
+#include "src/util/byte_order.h"
+
+namespace pfproto {
+
+std::vector<uint8_t> BuildArp(const ArpPacket& packet) {
+  std::vector<uint8_t> out(kArpPacketBytes);
+  pfutil::StoreBe16(&out[0], 1);       // hardware: Ethernet
+  pfutil::StoreBe16(&out[2], 0x0800);  // protocol: IPv4
+  out[4] = 6;                          // hardware address length
+  out[5] = 4;                          // protocol address length
+  pfutil::StoreBe16(&out[6], static_cast<uint16_t>(packet.op));
+  std::copy(packet.sender_hw.begin(), packet.sender_hw.end(), out.begin() + 8);
+  pfutil::StoreBe32(&out[14], packet.sender_ip);
+  std::copy(packet.target_hw.begin(), packet.target_hw.end(), out.begin() + 18);
+  pfutil::StoreBe32(&out[24], packet.target_ip);
+  return out;
+}
+
+std::optional<ArpPacket> ParseArp(std::span<const uint8_t> payload) {
+  if (payload.size() < kArpPacketBytes) {
+    return std::nullopt;
+  }
+  if (pfutil::LoadBe16(payload.data()) != 1 || pfutil::LoadBe16(payload.data() + 2) != 0x0800 ||
+      payload[4] != 6 || payload[5] != 4) {
+    return std::nullopt;
+  }
+  const uint16_t op = pfutil::LoadBe16(payload.data() + 6);
+  if (op < 1 || op > 4) {
+    return std::nullopt;
+  }
+  ArpPacket packet;
+  packet.op = static_cast<ArpOp>(op);
+  std::copy(payload.begin() + 8, payload.begin() + 14, packet.sender_hw.begin());
+  packet.sender_ip = pfutil::LoadBe32(payload.data() + 14);
+  std::copy(payload.begin() + 18, payload.begin() + 24, packet.target_hw.begin());
+  packet.target_ip = pfutil::LoadBe32(payload.data() + 24);
+  return packet;
+}
+
+}  // namespace pfproto

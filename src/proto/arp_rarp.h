@@ -1,0 +1,41 @@
+// ARP/RARP wire format (RFC 826 / RFC 903) for Ethernet + IPv4.
+//
+// RARP (§5.3) is the paper's showcase of the packet filter's flexibility: it
+// sits *beside* IP rather than above it, which made it awkward to implement
+// under 4.2BSD but a few weeks' work with the packet filter. The pfnet RARP
+// client/server use this codec over a packet-filter port whose filter
+// matches kEtherTypeRarp.
+#ifndef SRC_PROTO_ARP_RARP_H_
+#define SRC_PROTO_ARP_RARP_H_
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace pfproto {
+
+inline constexpr size_t kArpPacketBytes = 28;  // Ethernet + IPv4 body
+
+enum class ArpOp : uint16_t {
+  kArpRequest = 1,
+  kArpReply = 2,
+  kRarpRequest = 3,  // "who am I" — asks for the sender's own IP
+  kRarpReply = 4,
+};
+
+struct ArpPacket {
+  ArpOp op = ArpOp::kArpRequest;
+  std::array<uint8_t, 6> sender_hw{};
+  uint32_t sender_ip = 0;
+  std::array<uint8_t, 6> target_hw{};
+  uint32_t target_ip = 0;
+};
+
+std::vector<uint8_t> BuildArp(const ArpPacket& packet);
+std::optional<ArpPacket> ParseArp(std::span<const uint8_t> payload);
+
+}  // namespace pfproto
+
+#endif  // SRC_PROTO_ARP_RARP_H_

@@ -1,0 +1,24 @@
+// EtherType assignments used across the repository.
+//
+// On the 3 Mbit/s Experimental Ethernet the Pup type value is 2 (the value
+// the paper's example filters test: `PUSHWORD+1, PUSHLIT | EQ, 2`). The
+// 10 Mbit/s DIX values are the standard assignments. VMTP in this
+// reproduction runs directly over the link layer (as the paper's fig. 3-1
+// draws it, parallel to Pup under the packet filter); it has no standard
+// EtherType, so we use an unassigned experimental value.
+#ifndef SRC_PROTO_ETHERTYPES_H_
+#define SRC_PROTO_ETHERTYPES_H_
+
+#include <cstdint>
+
+namespace pfproto {
+
+inline constexpr uint16_t kEtherTypePup = 2;        // Experimental Ethernet Pup
+inline constexpr uint16_t kEtherTypeIp = 0x0800;    // DoD Internet Protocol
+inline constexpr uint16_t kEtherTypeArp = 0x0806;
+inline constexpr uint16_t kEtherTypeRarp = 0x8035;  // RFC 903
+inline constexpr uint16_t kEtherTypeVmtp = 0x0f0f;  // unassigned, this repo only
+
+}  // namespace pfproto
+
+#endif  // SRC_PROTO_ETHERTYPES_H_

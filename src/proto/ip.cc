@@ -1,0 +1,144 @@
+#include "src/proto/ip.h"
+
+#include <cstdio>
+
+#include "src/util/byte_order.h"
+#include "src/util/checksum.h"
+
+namespace pfproto {
+
+namespace {
+
+// Pseudo-header + segment checksum shared by UDP and TCP-lite.
+uint16_t TransportChecksum(uint32_t src_ip, uint32_t dst_ip, uint8_t protocol,
+                           std::span<const uint8_t> segment) {
+  std::vector<uint8_t> buf(12 + segment.size());
+  pfutil::StoreBe32(&buf[0], src_ip);
+  pfutil::StoreBe32(&buf[4], dst_ip);
+  buf[8] = 0;
+  buf[9] = protocol;
+  pfutil::StoreBe16(&buf[10], static_cast<uint16_t>(segment.size()));
+  std::copy(segment.begin(), segment.end(), buf.begin() + 12);
+  return pfutil::InternetChecksum(buf);
+}
+
+}  // namespace
+
+std::vector<uint8_t> BuildIp(const IpHeader& header, std::span<const uint8_t> payload) {
+  std::vector<uint8_t> out(kIpHeaderBytes + payload.size());
+  out[0] = 0x45;  // version 4, IHL 5
+  out[1] = 0;     // TOS
+  pfutil::StoreBe16(&out[2], static_cast<uint16_t>(out.size()));
+  pfutil::StoreBe16(&out[4], header.identification);
+  pfutil::StoreBe16(&out[6], 0);  // no fragmentation
+  out[8] = header.ttl;
+  out[9] = header.protocol;
+  pfutil::StoreBe16(&out[10], 0);  // checksum placeholder
+  pfutil::StoreBe32(&out[12], header.src);
+  pfutil::StoreBe32(&out[16], header.dst);
+  const uint16_t checksum =
+      pfutil::InternetChecksum(std::span<const uint8_t>(out.data(), kIpHeaderBytes));
+  pfutil::StoreBe16(&out[10], checksum);
+  std::copy(payload.begin(), payload.end(), out.begin() + kIpHeaderBytes);
+  return out;
+}
+
+std::optional<IpView> ParseIp(std::span<const uint8_t> packet) {
+  if (packet.size() < kIpHeaderBytes || packet[0] != 0x45) {
+    return std::nullopt;
+  }
+  const uint16_t total = pfutil::LoadBe16(packet.data() + 2);
+  if (total < kIpHeaderBytes || total > packet.size()) {
+    return std::nullopt;
+  }
+  IpView view;
+  view.header.identification = pfutil::LoadBe16(packet.data() + 4);
+  view.header.ttl = packet[8];
+  view.header.protocol = packet[9];
+  view.header.src = pfutil::LoadBe32(packet.data() + 12);
+  view.header.dst = pfutil::LoadBe32(packet.data() + 16);
+  view.payload = packet.subspan(kIpHeaderBytes, total - kIpHeaderBytes);
+  view.checksum_ok = pfutil::InternetChecksum(packet.first(kIpHeaderBytes)) == 0;
+  return view;
+}
+
+std::vector<uint8_t> BuildUdp(const UdpHeader& header, uint32_t src_ip, uint32_t dst_ip,
+                              std::span<const uint8_t> payload, bool checksummed) {
+  std::vector<uint8_t> out(kUdpHeaderBytes + payload.size());
+  pfutil::StoreBe16(&out[0], header.src_port);
+  pfutil::StoreBe16(&out[2], header.dst_port);
+  pfutil::StoreBe16(&out[4], static_cast<uint16_t>(out.size()));
+  pfutil::StoreBe16(&out[6], 0);
+  std::copy(payload.begin(), payload.end(), out.begin() + kUdpHeaderBytes);
+  if (checksummed) {
+    uint16_t checksum = TransportChecksum(src_ip, dst_ip, kIpProtoUdp, out);
+    if (checksum == 0) {
+      checksum = 0xffff;  // RFC 768: transmitted 0 means "no checksum"
+    }
+    pfutil::StoreBe16(&out[6], checksum);
+  }
+  return out;
+}
+
+std::optional<UdpView> ParseUdp(std::span<const uint8_t> segment) {
+  if (segment.size() < kUdpHeaderBytes) {
+    return std::nullopt;
+  }
+  const uint16_t length = pfutil::LoadBe16(segment.data() + 4);
+  if (length < kUdpHeaderBytes || length > segment.size()) {
+    return std::nullopt;
+  }
+  UdpView view;
+  view.header.src_port = pfutil::LoadBe16(segment.data());
+  view.header.dst_port = pfutil::LoadBe16(segment.data() + 2);
+  view.payload = segment.subspan(kUdpHeaderBytes, length - kUdpHeaderBytes);
+  return view;
+}
+
+std::vector<uint8_t> BuildTcp(const TcpHeader& header, uint32_t src_ip, uint32_t dst_ip,
+                              std::span<const uint8_t> payload) {
+  std::vector<uint8_t> out(kTcpHeaderBytes + payload.size());
+  pfutil::StoreBe16(&out[0], header.src_port);
+  pfutil::StoreBe16(&out[2], header.dst_port);
+  pfutil::StoreBe32(&out[4], header.seq);
+  pfutil::StoreBe32(&out[8], header.ack);
+  out[12] = 0x50;  // data offset 5 words
+  out[13] = header.flags;
+  pfutil::StoreBe16(&out[14], header.window);
+  pfutil::StoreBe16(&out[16], 0);  // checksum placeholder
+  pfutil::StoreBe16(&out[18], 0);  // urgent pointer
+  std::copy(payload.begin(), payload.end(), out.begin() + kTcpHeaderBytes);
+  pfutil::StoreBe16(&out[16], TransportChecksum(src_ip, dst_ip, kIpProtoTcp, out));
+  return out;
+}
+
+std::optional<TcpView> ParseTcp(std::span<const uint8_t> segment, uint32_t src_ip,
+                                uint32_t dst_ip) {
+  if (segment.size() < kTcpHeaderBytes || (segment[12] >> 4) != 5) {
+    return std::nullopt;
+  }
+  TcpView view;
+  view.header.src_port = pfutil::LoadBe16(segment.data());
+  view.header.dst_port = pfutil::LoadBe16(segment.data() + 2);
+  view.header.seq = pfutil::LoadBe32(segment.data() + 4);
+  view.header.ack = pfutil::LoadBe32(segment.data() + 8);
+  view.header.flags = segment[13];
+  view.header.window = pfutil::LoadBe16(segment.data() + 14);
+  view.payload = segment.subspan(kTcpHeaderBytes);
+  view.checksum_ok = TransportChecksum(src_ip, dst_ip, kIpProtoTcp, segment) == 0;
+  return view;
+}
+
+uint32_t MakeIpv4(uint8_t a, uint8_t b, uint8_t c, uint8_t d) {
+  return (static_cast<uint32_t>(a) << 24) | (static_cast<uint32_t>(b) << 16) |
+         (static_cast<uint32_t>(c) << 8) | d;
+}
+
+std::string Ipv4ToString(uint32_t addr) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (addr >> 24) & 0xff, (addr >> 16) & 0xff,
+                (addr >> 8) & 0xff, addr & 0xff);
+  return buf;
+}
+
+}  // namespace pfproto

@@ -1,0 +1,91 @@
+// IPv4, UDP, and TCP-lite wire formats for the kernel-resident comparison
+// stack (§3's fig. 3-2 path and the §6 TCP/UDP baselines).
+//
+// IPv4 headers are fixed 20 bytes (no options — the paper's §7 discussion of
+// IP options motivates the v2 indirect push; the *kernel* stack here never
+// emits options). TCP-lite uses the standard 20-byte TCP header layout but
+// implements only what the evaluation exercises: cumulative acks, a fixed
+// window, retransmission, and checksums.
+#ifndef SRC_PROTO_IP_H_
+#define SRC_PROTO_IP_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace pfproto {
+
+inline constexpr size_t kIpHeaderBytes = 20;
+inline constexpr size_t kUdpHeaderBytes = 8;
+inline constexpr size_t kTcpHeaderBytes = 20;
+
+inline constexpr uint8_t kIpProtoTcp = 6;
+inline constexpr uint8_t kIpProtoUdp = 17;
+
+struct IpHeader {
+  uint8_t ttl = 64;
+  uint8_t protocol = 0;
+  uint32_t src = 0;
+  uint32_t dst = 0;
+  uint16_t identification = 0;
+};
+
+struct IpView {
+  IpHeader header;
+  std::span<const uint8_t> payload;
+  bool checksum_ok = false;
+};
+
+std::vector<uint8_t> BuildIp(const IpHeader& header, std::span<const uint8_t> payload);
+std::optional<IpView> ParseIp(std::span<const uint8_t> packet);
+
+struct UdpHeader {
+  uint16_t src_port = 0;
+  uint16_t dst_port = 0;
+};
+
+struct UdpView {
+  UdpHeader header;
+  std::span<const uint8_t> payload;
+};
+
+// `checksummed` controls whether the UDP checksum is computed or left 0
+// ("an unchecksummed UDP datagram", table 6-1).
+std::vector<uint8_t> BuildUdp(const UdpHeader& header, uint32_t src_ip, uint32_t dst_ip,
+                              std::span<const uint8_t> payload, bool checksummed = true);
+std::optional<UdpView> ParseUdp(std::span<const uint8_t> segment);
+
+// TCP-lite flags.
+inline constexpr uint8_t kTcpFin = 0x01;
+inline constexpr uint8_t kTcpSyn = 0x02;
+inline constexpr uint8_t kTcpAck = 0x10;
+
+struct TcpHeader {
+  uint16_t src_port = 0;
+  uint16_t dst_port = 0;
+  uint32_t seq = 0;
+  uint32_t ack = 0;
+  uint8_t flags = 0;
+  uint16_t window = 0;
+};
+
+struct TcpView {
+  TcpHeader header;
+  std::span<const uint8_t> payload;
+  bool checksum_ok = false;
+};
+
+std::vector<uint8_t> BuildTcp(const TcpHeader& header, uint32_t src_ip, uint32_t dst_ip,
+                              std::span<const uint8_t> payload);
+std::optional<TcpView> ParseTcp(std::span<const uint8_t> segment, uint32_t src_ip,
+                                uint32_t dst_ip);
+
+// Dotted-quad helper for examples and logs.
+uint32_t MakeIpv4(uint8_t a, uint8_t b, uint8_t c, uint8_t d);
+std::string Ipv4ToString(uint32_t addr);
+
+}  // namespace pfproto
+
+#endif  // SRC_PROTO_IP_H_

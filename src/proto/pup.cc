@@ -1,0 +1,66 @@
+#include "src/proto/pup.h"
+
+#include "src/util/byte_order.h"
+#include "src/util/checksum.h"
+
+namespace pfproto {
+
+std::optional<std::vector<uint8_t>> BuildPup(const PupHeader& header,
+                                             std::span<const uint8_t> data, bool with_checksum) {
+  if (data.size() > kMaxPupData) {
+    return std::nullopt;
+  }
+  const size_t total = kPupHeaderBytes + data.size() + kPupChecksumBytes;
+  std::vector<uint8_t> out(total);
+  pfutil::StoreBe16(&out[0], static_cast<uint16_t>(total));
+  out[2] = header.transport_control;
+  out[3] = header.type;
+  pfutil::StoreBe32(&out[4], header.identifier);
+  out[8] = header.dst.net;
+  out[9] = header.dst.host;
+  pfutil::StoreBe32(&out[10], header.dst.socket);
+  out[14] = header.src.net;
+  out[15] = header.src.host;
+  pfutil::StoreBe32(&out[16], header.src.socket);
+  std::copy(data.begin(), data.end(), out.begin() + kPupHeaderBytes);
+  const uint16_t checksum =
+      with_checksum
+          ? pfutil::PupChecksum(std::span<const uint8_t>(out.data(), total - kPupChecksumBytes))
+          : pfutil::kPupNoChecksum;
+  pfutil::StoreBe16(&out[total - kPupChecksumBytes], checksum);
+  return out;
+}
+
+std::optional<PupView> ParsePup(std::span<const uint8_t> payload) {
+  if (payload.size() < kPupHeaderBytes + kPupChecksumBytes) {
+    return std::nullopt;
+  }
+  const uint16_t length = pfutil::LoadBe16(payload.data());
+  if (length < kPupHeaderBytes + kPupChecksumBytes || length > payload.size()) {
+    return std::nullopt;
+  }
+  PupView view;
+  view.header.transport_control = payload[2];
+  view.header.type = payload[3];
+  view.header.identifier = pfutil::LoadBe32(payload.data() + 4);
+  view.header.dst.net = payload[8];
+  view.header.dst.host = payload[9];
+  view.header.dst.socket = pfutil::LoadBe32(payload.data() + 10);
+  view.header.src.net = payload[14];
+  view.header.src.host = payload[15];
+  view.header.src.socket = pfutil::LoadBe32(payload.data() + 16);
+  view.data = payload.subspan(kPupHeaderBytes, length - kPupHeaderBytes - kPupChecksumBytes);
+  const uint16_t wire_checksum = pfutil::LoadBe16(payload.data() + length - kPupChecksumBytes);
+  if (wire_checksum == pfutil::kPupNoChecksum) {
+    view.checksum_present = false;
+    view.checksum_ok = true;
+  } else {
+    view.checksum_present = true;
+    view.checksum_ok =
+        wire_checksum ==
+        pfutil::PupChecksum(payload.first(length - kPupChecksumBytes));
+  }
+  return view;
+}
+
+}  // namespace pfproto

@@ -1,0 +1,99 @@
+// Pup packet format (Boggs, Shoch, Taft, Metcalfe, "Pup: An internetwork
+// architecture", 1980), as laid out in the paper's fig. 3-7 for the
+// 3 Mbit/s Experimental Ethernet:
+//
+//   word  0: EtherDst | EtherSrc      (link header, 1 byte each)
+//   word  1: EtherType                (2 for Pup)
+//   word  2: PupLength                (bytes: header + data + checksum)
+//   word  3: TransportControl(HopCount) | PupType
+//   words 4-5: PupIdentifier          (32 bits)
+//   word  6: DstNet | DstHost
+//   words 7-8: DstSocket              (32 bits, high word first)
+//   word  9: SrcNet | SrcHost
+//   words 10-11: SrcSocket
+//   word 12..: Data, then a trailing 16-bit software checksum.
+//
+// This module encodes/decodes the Pup layer (everything after the link
+// header). Filters in examples and tests address fields by the *frame* word
+// offsets above, exactly as the paper's listings do.
+#ifndef SRC_PROTO_PUP_H_
+#define SRC_PROTO_PUP_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace pfproto {
+
+inline constexpr size_t kPupHeaderBytes = 20;
+inline constexpr size_t kPupChecksumBytes = 2;
+// "Pup (hence BSP) allows a maximum packet size of 568 bytes" (§6.4):
+// 568 = 20 header + 546 data + 2 checksum.
+inline constexpr size_t kMaxPupBytes = 568;
+inline constexpr size_t kMaxPupData = kMaxPupBytes - kPupHeaderBytes - kPupChecksumBytes;
+
+// Frame word offsets (16-bit words from frame start, 4-byte link header),
+// for building filters the way the paper does.
+inline constexpr uint8_t kWordEtherType = 1;
+inline constexpr uint8_t kWordPupLength = 2;
+inline constexpr uint8_t kWordPupType = 3;       // low byte; high byte is hop count
+inline constexpr uint8_t kWordDstSocketHigh = 7;
+inline constexpr uint8_t kWordDstSocketLow = 8;
+inline constexpr uint8_t kWordSrcSocketHigh = 10;
+inline constexpr uint8_t kWordSrcSocketLow = 11;
+
+// Well-known Pup types (subset). BSP is the Byte Stream Protocol family.
+enum class PupType : uint8_t {
+  kEchoMe = 1,
+  kImAnEcho = 2,
+  kAbortEcho = 3,
+  kError = 4,
+  kRfc = 8,        // BSP: request for connection
+  kData = 16,      // BSP: data, no ack requested
+  kAData = 17,     // BSP: data, ack requested
+  kAck = 18,       // BSP: acknowledgment
+  kMark = 19,
+  kInterrupt = 20,
+  kEnd = 21,       // BSP: close handshake
+  kEndReply = 22,
+  kAbort = 23,
+};
+
+struct PupPort {
+  uint8_t net = 0;
+  uint8_t host = 0;
+  uint32_t socket = 0;
+
+  friend bool operator==(const PupPort&, const PupPort&) = default;
+};
+
+struct PupHeader {
+  uint8_t transport_control = 0;  // hop count
+  uint8_t type = 0;
+  uint32_t identifier = 0;  // BSP uses this as the byte-stream sequence/ack number
+  PupPort dst;
+  PupPort src;
+};
+
+struct PupView {
+  PupHeader header;
+  std::span<const uint8_t> data;
+  bool checksum_present = false;
+  bool checksum_ok = false;
+};
+
+// Encodes header + data + software checksum into the Pup layer bytes (the
+// link payload). Data longer than kMaxPupData is refused.
+std::optional<std::vector<uint8_t>> BuildPup(const PupHeader& header,
+                                             std::span<const uint8_t> data,
+                                             bool with_checksum = true);
+
+// Decodes a Pup layer. Fails on truncation or a length field that does not
+// fit the buffer. A wire checksum of 0xFFFF means "none" (checksum_present
+// false, checksum_ok true).
+std::optional<PupView> ParsePup(std::span<const uint8_t> payload);
+
+}  // namespace pfproto
+
+#endif  // SRC_PROTO_PUP_H_

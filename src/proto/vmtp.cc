@@ -1,0 +1,47 @@
+#include "src/proto/vmtp.h"
+
+#include "src/util/byte_order.h"
+
+namespace pfproto {
+
+std::vector<uint8_t> BuildVmtp(const VmtpHeader& header, std::span<const uint8_t> data) {
+  std::vector<uint8_t> out(kVmtpHeaderBytes + data.size());
+  pfutil::StoreBe32(&out[0], header.client);
+  pfutil::StoreBe32(&out[4], header.server);
+  pfutil::StoreBe32(&out[8], header.transaction);
+  out[12] = static_cast<uint8_t>(header.func);
+  out[13] = header.flags;
+  pfutil::StoreBe16(&out[14], header.packet_index);
+  pfutil::StoreBe16(&out[16], header.packet_count);
+  pfutil::StoreBe16(&out[18], static_cast<uint16_t>(data.size()));
+  pfutil::StoreBe32(&out[20], header.segment_bytes);
+  std::copy(data.begin(), data.end(), out.begin() + kVmtpHeaderBytes);
+  return out;
+}
+
+std::optional<VmtpView> ParseVmtp(std::span<const uint8_t> payload) {
+  if (payload.size() < kVmtpHeaderBytes) {
+    return std::nullopt;
+  }
+  VmtpView view;
+  view.header.client = pfutil::LoadBe32(payload.data());
+  view.header.server = pfutil::LoadBe32(payload.data() + 4);
+  view.header.transaction = pfutil::LoadBe32(payload.data() + 8);
+  const uint8_t func = payload[12];
+  if (func < 1 || func > 3) {
+    return std::nullopt;
+  }
+  view.header.func = static_cast<VmtpFunc>(func);
+  view.header.flags = payload[13];
+  view.header.packet_index = pfutil::LoadBe16(payload.data() + 14);
+  view.header.packet_count = pfutil::LoadBe16(payload.data() + 16);
+  view.header.data_bytes = pfutil::LoadBe16(payload.data() + 18);
+  view.header.segment_bytes = pfutil::LoadBe32(payload.data() + 20);
+  if (view.header.data_bytes > payload.size() - kVmtpHeaderBytes) {
+    return std::nullopt;
+  }
+  view.data = payload.subspan(kVmtpHeaderBytes, view.header.data_bytes);
+  return view;
+}
+
+}  // namespace pfproto

@@ -1,0 +1,72 @@
+// A VMTP-like transaction transport (Cheriton, SIGCOMM '86), simplified to
+// the features the paper's evaluation exercises (§6.3):
+//
+//   * request/response transactions ("minimal round-trip operation"),
+//   * bulk segment transfer as *packet groups* — a multi-packet blast
+//     acknowledged as a unit, which is why kernel VMTP beats a per-packet
+//     stop-and-wait, and
+//   * client-driven retransmission on timeout.
+//
+// The same wire format is used by the user-level implementation over the
+// packet filter (src/net/vmtp.h) and the kernel-resident implementation
+// (src/kernel/kernel_vmtp.h), exactly as the paper compares the two.
+#ifndef SRC_PROTO_VMTP_H_
+#define SRC_PROTO_VMTP_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace pfproto {
+
+inline constexpr size_t kVmtpHeaderBytes = 24;
+// Segment data per packet. 1450 keeps the frame within the 10 Mbit/s
+// Ethernet MTU (14 link + 24 VMTP + 1450 <= 1500+14).
+inline constexpr size_t kVmtpMaxPacketData = 1450;
+// A packet group carries up to 16 KB, mirroring VMTP's 16 K segment size.
+inline constexpr size_t kVmtpMaxSegment = 16384;
+
+// Request-header flag: the retransmitted request's segment_bytes field
+// carries a bitmask of response packets already received, so the server
+// retransmits selectively (VMTP's selective-retransmission feature; without
+// it, a deterministic drop pattern could starve a group forever).
+inline constexpr uint8_t kVmtpFlagHaveMask = 0x01;
+
+enum class VmtpFunc : uint8_t {
+  kRequest = 1,
+  kResponse = 2,
+  kAck = 3,  // group acknowledgment / response-received
+};
+
+struct VmtpHeader {
+  uint32_t client = 0;       // client entity identifier
+  uint32_t server = 0;       // server entity identifier
+  uint32_t transaction = 0;  // transaction identifier
+  VmtpFunc func = VmtpFunc::kRequest;
+  uint8_t flags = 0;
+  uint16_t packet_index = 0;  // index of this packet within its group
+  uint16_t packet_count = 0;  // packets in the group
+  uint16_t data_bytes = 0;    // payload bytes in this packet
+  uint32_t segment_bytes = 0; // total payload bytes in the group
+};
+
+struct VmtpView {
+  VmtpHeader header;
+  std::span<const uint8_t> data;
+};
+
+std::vector<uint8_t> BuildVmtp(const VmtpHeader& header, std::span<const uint8_t> data);
+std::optional<VmtpView> ParseVmtp(std::span<const uint8_t> payload);
+
+// Frame word offsets (16-bit words from the start of a 10 Mbit/s Ethernet
+// frame: 14-byte link header = 7 words) for writing filters on VMTP fields.
+inline constexpr uint8_t kVmtpWordEtherType = 6;
+inline constexpr uint8_t kVmtpWordClientHigh = 7;
+inline constexpr uint8_t kVmtpWordClientLow = 8;
+inline constexpr uint8_t kVmtpWordServerHigh = 9;
+inline constexpr uint8_t kVmtpWordServerLow = 10;
+
+}  // namespace pfproto
+
+#endif  // SRC_PROTO_VMTP_H_

@@ -1,0 +1,40 @@
+// Simulated time. The simulator advances a virtual clock in nanoseconds;
+// nothing in the simulation ever reads wall-clock time, so runs are exactly
+// reproducible. Paper quantities are milliseconds with ~10 µs resolution;
+// nanoseconds leave ample headroom for derived rates.
+#ifndef SRC_SIM_SIM_TIME_H_
+#define SRC_SIM_SIM_TIME_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace pfsim {
+
+using Duration = std::chrono::nanoseconds;
+
+struct SimClock {
+  using rep = Duration::rep;
+  using period = Duration::period;
+  using duration = Duration;
+  using time_point = std::chrono::time_point<SimClock, Duration>;
+  static constexpr bool is_steady = true;
+  // There is deliberately no now(): simulated time lives in the Simulator.
+};
+
+using TimePoint = SimClock::time_point;
+
+constexpr Duration Nanoseconds(int64_t n) { return Duration(n); }
+constexpr Duration Microseconds(int64_t n) { return Duration(n * 1000); }
+constexpr Duration Milliseconds(int64_t n) { return Duration(n * 1000000); }
+constexpr Duration Seconds(int64_t n) { return Duration(n * 1000000000); }
+
+// An effectively-infinite timeout: "block indefinitely" in the paper's
+// control interface (§3.3).
+constexpr Duration kForever = Duration::max();
+
+constexpr double ToMilliseconds(Duration d) { return static_cast<double>(d.count()) / 1e6; }
+constexpr double ToSeconds(Duration d) { return static_cast<double>(d.count()) / 1e9; }
+
+}  // namespace pfsim
+
+#endif  // SRC_SIM_SIM_TIME_H_

@@ -1,0 +1,80 @@
+#include "src/sim/simulator.h"
+
+#include <cassert>
+
+namespace pfsim {
+
+Simulator::~Simulator() {
+  // Drop pending events first (they may reference coroutine frames), then
+  // free any still-suspended frames. priority_queue has no clear(); swap.
+  std::priority_queue<Event, std::vector<Event>, EventLater> empty;
+  events_.swap(empty);
+  for (auto h : tasks_) {
+    h.destroy();
+  }
+}
+
+void Simulator::Schedule(Duration delay, Callback fn) {
+  assert(delay.count() >= 0);
+  ScheduleAt(now_ + delay, std::move(fn));
+}
+
+void Simulator::ScheduleAt(TimePoint at, Callback fn) {
+  assert(at >= now_);
+  events_.push(Event{at, next_seq_++, std::move(fn)});
+}
+
+void Simulator::ScheduleResume(Duration delay, std::coroutine_handle<> h) {
+  Schedule(delay, [h] { h.resume(); });
+}
+
+void Simulator::Spawn(Task task) {
+  if (!task.valid()) {
+    return;
+  }
+  auto h = task.Release();
+  tasks_.push_back(h);
+  h.resume();
+  PruneDoneTasks();
+}
+
+void Simulator::PruneDoneTasks() {
+  // Lazy cleanup: frames of completed tasks are freed here rather than at
+  // completion, so a coroutine never frees its own frame mid-resume.
+  std::erase_if(tasks_, [](std::coroutine_handle<Task::promise_type> h) {
+    if (h.done()) {
+      h.destroy();
+      return true;
+    }
+    return false;
+  });
+}
+
+bool Simulator::Step() {
+  if (events_.empty()) {
+    return false;
+  }
+  Event ev = std::move(const_cast<Event&>(events_.top()));
+  events_.pop();
+  now_ = ev.at;
+  ++events_executed_;
+  ev.fn();
+  PruneDoneTasks();
+  return true;
+}
+
+void Simulator::Run() {
+  while (Step()) {
+  }
+}
+
+void Simulator::RunUntil(TimePoint deadline) {
+  while (!events_.empty() && events_.top().at <= deadline) {
+    Step();
+  }
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+}
+
+}  // namespace pfsim

@@ -1,0 +1,97 @@
+// Discrete-event simulator core: a virtual clock and an event queue, plus
+// ownership of coroutine tasks (simulation processes).
+//
+// Events fire in (time, insertion-order) order, so simultaneous events are
+// deterministic. Run() executes until the event queue drains; coroutines
+// blocked on conditions (WaitQueue / MsgQueue) hold no events, so a
+// simulation quiesces naturally once traffic stops.
+#ifndef SRC_SIM_SIMULATOR_H_
+#define SRC_SIM_SIMULATOR_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/sim/sim_time.h"
+#include "src/sim/task.h"
+
+namespace pfsim {
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+  ~Simulator();
+
+  TimePoint Now() const { return now_; }
+
+  // Schedules `fn` to run `delay` from now (delay may be zero; never
+  // negative).
+  void Schedule(Duration delay, Callback fn);
+  void ScheduleAt(TimePoint at, Callback fn);
+
+  // Schedules a coroutine resumption `delay` from now.
+  void ScheduleResume(Duration delay, std::coroutine_handle<> h);
+
+  // Takes ownership of `task` and starts it (first resume happens
+  // immediately, at the current simulated time).
+  void Spawn(Task task);
+
+  // Executes the next event. Returns false if the queue is empty.
+  bool Step();
+
+  // Runs until the event queue is empty.
+  void Run();
+
+  // Runs until the event queue is empty or simulated time would pass
+  // `deadline`; the clock is left at min(deadline, drain time).
+  void RunUntil(TimePoint deadline);
+  void RunFor(Duration d) { RunUntil(now_ + d); }
+
+  // Awaitable: suspend the current coroutine for `d` of simulated time.
+  auto Delay(Duration d) {
+    struct Awaiter {
+      Simulator* sim;
+      Duration d;
+      bool await_ready() const noexcept { return d.count() <= 0; }
+      void await_suspend(std::coroutine_handle<> h) { sim->ScheduleResume(d, h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this, d};
+  }
+
+  size_t pending_events() const { return events_.size(); }
+  uint64_t events_executed() const { return events_executed_; }
+
+ private:
+  struct Event {
+    TimePoint at;
+    uint64_t seq;
+    Callback fn;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+    }
+  };
+
+  void PruneDoneTasks();
+
+  // Declaration order matters for destruction: events_ (which may capture
+  // coroutine handles) must be destroyed before tasks_ (which owns the
+  // frames), i.e. declared after it.
+  std::vector<std::coroutine_handle<Task::promise_type>> tasks_;
+  std::priority_queue<Event, std::vector<Event>, EventLater> events_;
+  TimePoint now_{};
+  uint64_t next_seq_ = 0;
+  uint64_t events_executed_ = 0;
+};
+
+}  // namespace pfsim
+
+#endif  // SRC_SIM_SIMULATOR_H_

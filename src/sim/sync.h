@@ -1,0 +1,258 @@
+// Coroutine synchronization primitives over the discrete-event simulator:
+//
+//   * MsgQueue<T>  — bounded FIFO with asynchronous Pop and optional timeout.
+//                    This is the shape of the paper's per-port input queue
+//                    (§3.3: maximum queue length, blocking reads with
+//                    timeout, immediate return, or indefinite blocking) and
+//                    of driver/protocol hand-off queues.
+//   * WaitQueue    — condition-variable-like wait/notify.
+//   * AsyncMutex   — FIFO mutual exclusion (used to serialize a simulated
+//                    CPU or a half-duplex medium).
+//
+// Resumes are always *scheduled* (at the current time, after the running
+// event) rather than performed inline, so producers never re-enter consumer
+// code and event ordering stays deterministic.
+#ifndef SRC_SIM_SYNC_H_
+#define SRC_SIM_SYNC_H_
+
+#include <cassert>
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "src/sim/sim_time.h"
+#include "src/sim/simulator.h"
+
+namespace pfsim {
+
+template <typename T>
+class MsgQueue {
+ public:
+  explicit MsgQueue(Simulator* sim, size_t capacity = SIZE_MAX)
+      : sim_(sim), capacity_(capacity) {}
+  MsgQueue(const MsgQueue&) = delete;
+  MsgQueue& operator=(const MsgQueue&) = delete;
+
+  // Enqueues `v`, or hands it directly to a blocked consumer. Returns false
+  // (and counts a drop) if the queue is full — the paper's "packets lost due
+  // to queue overflows" (§3.3).
+  bool TryPush(T v) {
+    if (DeliverToWaiter(v)) {
+      return true;
+    }
+    if (items_.size() >= capacity_) {
+      ++dropped_;
+      return false;
+    }
+    items_.push_back(std::move(v));
+    return true;
+  }
+
+  // Enqueues ignoring the capacity bound (control paths that must not drop).
+  void ForcePush(T v) {
+    if (DeliverToWaiter(v)) {
+      return;
+    }
+    items_.push_back(std::move(v));
+  }
+
+  std::optional<T> TryPop() {
+    if (items_.empty()) {
+      return std::nullopt;
+    }
+    T v = std::move(items_.front());
+    items_.pop_front();
+    return v;
+  }
+
+  // Removes and returns up to `max` queued items without blocking — the
+  // batch-read path of §3 ("all pending packets ... returned in a batch").
+  std::vector<T> DrainAll(size_t max = SIZE_MAX) {
+    std::vector<T> out;
+    while (!items_.empty() && out.size() < max) {
+      out.push_back(std::move(items_.front()));
+      items_.pop_front();
+    }
+    return out;
+  }
+
+  // Awaitable: returns the next item, or nullopt if `timeout` elapses first.
+  // A zero timeout means "immediate return"; kForever blocks indefinitely.
+  auto PopWithTimeout(Duration timeout) { return PopAwaiter{this, timeout, {}, {}}; }
+
+  // Awaitable: returns the next item; blocks indefinitely.
+  auto Pop() { return PopForeverAwaiter{PopAwaiter{this, kForever, {}, {}}}; }
+
+  size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+  size_t capacity() const { return capacity_; }
+  void set_capacity(size_t capacity) { capacity_ = capacity; }
+  uint64_t dropped() const { return dropped_; }
+  size_t waiter_count() const { return waiters_.size(); }
+
+ private:
+  struct Waiter {
+    std::coroutine_handle<> h;
+    std::optional<T> value;
+    bool settled = false;
+  };
+  using WaiterPtr = std::shared_ptr<Waiter>;
+
+  bool DeliverToWaiter(T& v) {
+    if (waiters_.empty()) {
+      return false;
+    }
+    WaiterPtr w = waiters_.front();
+    waiters_.pop_front();
+    w->value = std::move(v);
+    w->settled = true;  // settle before the resume runs, so a racing timer is a no-op
+    sim_->ScheduleResume(Duration(0), w->h);
+    return true;
+  }
+
+  struct PopAwaiter {
+    MsgQueue* q;
+    Duration timeout;
+    WaiterPtr waiter;
+    std::optional<T> immediate;
+
+    bool await_ready() {
+      if (auto v = q->TryPop()) {
+        immediate = std::move(v);
+        return true;
+      }
+      return timeout.count() == 0;  // immediate-return mode: nothing queued
+    }
+
+    void await_suspend(std::coroutine_handle<> h) {
+      waiter = std::make_shared<Waiter>();
+      waiter->h = h;
+      q->waiters_.push_back(waiter);
+      if (timeout != kForever) {
+        MsgQueue* queue = q;
+        WaiterPtr w = waiter;
+        q->sim_->Schedule(timeout, [queue, w] {
+          if (w->settled) {
+            return;
+          }
+          w->settled = true;
+          std::erase(queue->waiters_, w);
+          w->h.resume();
+        });
+      }
+    }
+
+    std::optional<T> await_resume() {
+      if (waiter != nullptr) {
+        return std::move(waiter->value);
+      }
+      return std::move(immediate);
+    }
+  };
+
+  struct PopForeverAwaiter {
+    PopAwaiter inner;
+    bool await_ready() { return inner.await_ready(); }
+    void await_suspend(std::coroutine_handle<> h) { inner.await_suspend(h); }
+    T await_resume() {
+      std::optional<T> v = inner.await_resume();
+      assert(v.has_value());  // kForever cannot time out
+      return std::move(*v);
+    }
+  };
+
+  Simulator* sim_;
+  size_t capacity_;
+  std::deque<T> items_;
+  std::deque<WaiterPtr> waiters_;
+  uint64_t dropped_ = 0;
+};
+
+class WaitQueue {
+ public:
+  explicit WaitQueue(Simulator* sim) : sim_(sim) {}
+  WaitQueue(const WaitQueue&) = delete;
+  WaitQueue& operator=(const WaitQueue&) = delete;
+
+  auto Wait() {
+    struct Awaiter {
+      WaitQueue* wq;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) { wq->waiters_.push_back(h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+  void NotifyOne() {
+    if (waiters_.empty()) {
+      return;
+    }
+    auto h = waiters_.front();
+    waiters_.pop_front();
+    sim_->ScheduleResume(Duration(0), h);
+  }
+
+  void NotifyAll() {
+    while (!waiters_.empty()) {
+      NotifyOne();
+    }
+  }
+
+  size_t waiter_count() const { return waiters_.size(); }
+
+ private:
+  Simulator* sim_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+class AsyncMutex {
+ public:
+  explicit AsyncMutex(Simulator* sim) : sim_(sim) {}
+  AsyncMutex(const AsyncMutex&) = delete;
+  AsyncMutex& operator=(const AsyncMutex&) = delete;
+
+  // Awaitable; the lock is granted in FIFO order.
+  auto Lock() {
+    struct Awaiter {
+      AsyncMutex* m;
+      bool await_ready() {
+        if (!m->locked_) {
+          m->locked_ = true;
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) { m->waiters_.push_back(h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+  void Unlock() {
+    assert(locked_);
+    if (waiters_.empty()) {
+      locked_ = false;
+      return;
+    }
+    // Hand the lock directly to the next waiter (stays locked).
+    auto h = waiters_.front();
+    waiters_.pop_front();
+    sim_->ScheduleResume(Duration(0), h);
+  }
+
+  bool locked() const { return locked_; }
+
+ private:
+  Simulator* sim_;
+  bool locked_ = false;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+}  // namespace pfsim
+
+#endif  // SRC_SIM_SYNC_H_

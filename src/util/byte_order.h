@@ -1,0 +1,62 @@
+// Big-endian (network order) load/store helpers.
+//
+// All wire formats in this repository (Ethernet, Pup, IP, UDP, TCP-lite,
+// VMTP, RARP) are big-endian on the wire, and the packet-filter language of
+// the paper operates on 16-bit words of the received packet in network order.
+// These helpers are the single place where byte order is handled.
+#ifndef SRC_UTIL_BYTE_ORDER_H_
+#define SRC_UTIL_BYTE_ORDER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace pfutil {
+
+constexpr uint16_t LoadBe16(const uint8_t* p) {
+  return static_cast<uint16_t>((static_cast<uint16_t>(p[0]) << 8) | p[1]);
+}
+
+constexpr uint32_t LoadBe32(const uint8_t* p) {
+  return (static_cast<uint32_t>(p[0]) << 24) | (static_cast<uint32_t>(p[1]) << 16) |
+         (static_cast<uint32_t>(p[2]) << 8) | static_cast<uint32_t>(p[3]);
+}
+
+constexpr void StoreBe16(uint8_t* p, uint16_t v) {
+  p[0] = static_cast<uint8_t>(v >> 8);
+  p[1] = static_cast<uint8_t>(v & 0xff);
+}
+
+constexpr void StoreBe32(uint8_t* p, uint32_t v) {
+  p[0] = static_cast<uint8_t>(v >> 24);
+  p[1] = static_cast<uint8_t>((v >> 16) & 0xff);
+  p[2] = static_cast<uint8_t>((v >> 8) & 0xff);
+  p[3] = static_cast<uint8_t>(v & 0xff);
+}
+
+// Returns the nth 16-bit word of `packet` in network order, where word 0
+// starts at byte 0 — the addressing unit of the filter language (fig. 3-6).
+// Returns false if the word does not lie entirely within the packet.
+inline bool LoadPacketWord(std::span<const uint8_t> packet, size_t word_index, uint16_t* out) {
+  const size_t byte = word_index * 2;
+  if (byte + 2 > packet.size()) {
+    return false;
+  }
+  *out = LoadBe16(packet.data() + byte);
+  return true;
+}
+
+// Byte-offset variant used by the v2 "indirect push" extension (§7). The
+// offset is in bytes and need not be word-aligned.
+inline bool LoadPacketWordAtByte(std::span<const uint8_t> packet, size_t byte_offset,
+                                 uint16_t* out) {
+  if (byte_offset + 2 > packet.size()) {
+    return false;
+  }
+  *out = LoadBe16(packet.data() + byte_offset);
+  return true;
+}
+
+}  // namespace pfutil
+
+#endif  // SRC_UTIL_BYTE_ORDER_H_

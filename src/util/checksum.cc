@@ -1,0 +1,45 @@
+#include "src/util/checksum.h"
+
+#include "src/util/byte_order.h"
+
+namespace pfutil {
+
+uint16_t InternetChecksum(std::span<const uint8_t> data) {
+  uint32_t sum = 0;
+  size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum += LoadBe16(data.data() + i);
+  }
+  if (i < data.size()) {
+    sum += static_cast<uint32_t>(data[i]) << 8;
+  }
+  while (sum >> 16) {
+    sum = (sum & 0xffff) + (sum >> 16);
+  }
+  return static_cast<uint16_t>(~sum & 0xffff);
+}
+
+uint16_t PupChecksum(std::span<const uint8_t> data) {
+  uint32_t sum = 0;
+  size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    // Ones-complement add (end-around carry), then rotate left by one.
+    sum += LoadBe16(data.data() + i);
+    if (sum > 0xffff) {
+      sum = (sum & 0xffff) + 1;
+    }
+    sum = ((sum << 1) | (sum >> 15)) & 0xffff;
+  }
+  if (i < data.size()) {
+    sum += static_cast<uint32_t>(data[i]) << 8;
+    if (sum > 0xffff) {
+      sum = (sum & 0xffff) + 1;
+    }
+  }
+  if (sum == kPupNoChecksum) {
+    sum = 0;
+  }
+  return static_cast<uint16_t>(sum);
+}
+
+}  // namespace pfutil

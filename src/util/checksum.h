@@ -1,0 +1,25 @@
+// Internet (ones-complement) checksum, used by the kernel-resident IP/UDP/
+// TCP-lite stack, and the Pup software checksum (add-and-left-cycle), used by
+// the Pup family wire formats.
+#ifndef SRC_UTIL_CHECKSUM_H_
+#define SRC_UTIL_CHECKSUM_H_
+
+#include <cstdint>
+#include <span>
+
+namespace pfutil {
+
+// RFC 1071 ones-complement sum of the buffer. A trailing odd byte is padded
+// with zero. Returns the checksum in host order; callers store it big-endian.
+uint16_t InternetChecksum(std::span<const uint8_t> data);
+
+// Pup checksum: ones-complement add-and-left-cycle over 16-bit words
+// (Boggs et al., "Pup: An internetwork architecture"). 0xFFFF means
+// "no checksum" on the wire, so the algorithm never produces it.
+uint16_t PupChecksum(std::span<const uint8_t> data);
+
+inline constexpr uint16_t kPupNoChecksum = 0xffff;
+
+}  // namespace pfutil
+
+#endif  // SRC_UTIL_CHECKSUM_H_

@@ -1,0 +1,35 @@
+#include "src/util/hexdump.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace pfutil {
+
+std::string Hexdump(std::span<const uint8_t> data) {
+  std::string out;
+  char line[128];
+  for (size_t base = 0; base < data.size(); base += 16) {
+    int n = std::snprintf(line, sizeof(line), "%08zx  ", base);
+    out.append(line, static_cast<size_t>(n));
+    for (size_t i = 0; i < 16; ++i) {
+      if (base + i < data.size()) {
+        n = std::snprintf(line, sizeof(line), "%02x ", data[base + i]);
+        out.append(line, static_cast<size_t>(n));
+      } else {
+        out.append("   ");
+      }
+      if (i == 7) {
+        out.push_back(' ');
+      }
+    }
+    out.append(" |");
+    for (size_t i = 0; i < 16 && base + i < data.size(); ++i) {
+      const uint8_t c = data[base + i];
+      out.push_back(std::isprint(c) ? static_cast<char>(c) : '.');
+    }
+    out.append("|\n");
+  }
+  return out;
+}
+
+}  // namespace pfutil

@@ -1,0 +1,16 @@
+// Canonical hex+ASCII dump (the format of `hexdump -C`), used by the network
+// monitor example and by test failure messages.
+#ifndef SRC_UTIL_HEXDUMP_H_
+#define SRC_UTIL_HEXDUMP_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace pfutil {
+
+std::string Hexdump(std::span<const uint8_t> data);
+
+}  // namespace pfutil
+
+#endif  // SRC_UTIL_HEXDUMP_H_

@@ -1,0 +1,56 @@
+#include "src/util/pcap_writer.h"
+
+#include <cstdio>
+
+namespace pfutil {
+
+// Classic pcap is little-endian when written with magic 0xa1b2c3d4 by a
+// little-endian writer; we emit little-endian explicitly so the file is
+// host-independent.
+void PcapWriter::Put32(uint32_t v) {
+  buffer_.push_back(static_cast<uint8_t>(v & 0xff));
+  buffer_.push_back(static_cast<uint8_t>((v >> 8) & 0xff));
+  buffer_.push_back(static_cast<uint8_t>((v >> 16) & 0xff));
+  buffer_.push_back(static_cast<uint8_t>((v >> 24) & 0xff));
+}
+
+void PcapWriter::Put16(uint16_t v) {
+  buffer_.push_back(static_cast<uint8_t>(v & 0xff));
+  buffer_.push_back(static_cast<uint8_t>((v >> 8) & 0xff));
+}
+
+PcapWriter::PcapWriter(uint32_t linktype, uint32_t snaplen) : snaplen_(snaplen) {
+  Put32(0xa1b2c3d4);  // magic (microsecond timestamps)
+  Put16(2);           // version major
+  Put16(4);           // version minor
+  Put32(0);           // thiszone
+  Put32(0);           // sigfigs
+  Put32(snaplen_);
+  Put32(linktype);
+}
+
+void PcapWriter::AddRecord(uint64_t timestamp_ns, std::span<const uint8_t> frame) {
+  const uint32_t caplen =
+      static_cast<uint32_t>(frame.size() < snaplen_ ? frame.size() : snaplen_);
+  Put32(static_cast<uint32_t>(timestamp_ns / 1000000000ull));
+  Put32(static_cast<uint32_t>((timestamp_ns % 1000000000ull) / 1000ull));
+  Put32(caplen);
+  Put32(static_cast<uint32_t>(frame.size()));
+  buffer_.insert(buffer_.end(), frame.begin(), frame.begin() + caplen);
+  ++record_count_;
+}
+
+bool PcapWriter::WriteFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return false;
+  }
+  const size_t written = std::fwrite(buffer_.data(), 1, buffer_.size(), f);
+  const bool ok = written == buffer_.size() && std::fclose(f) == 0;
+  if (!ok && written != buffer_.size()) {
+    std::fclose(f);
+  }
+  return ok;
+}
+
+}  // namespace pfutil

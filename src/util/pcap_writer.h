@@ -1,0 +1,48 @@
+// Minimal classic-pcap (libpcap 2.4 format) trace writer.
+//
+// The paper's network-monitor use case (§5.4) predates pcap, but pcap is the
+// modern interchange format for exactly that tool; the monitor example writes
+// captures that Wireshark/tcpdump can open. Frames from the simulated DIX
+// Ethernet use LINKTYPE_ETHERNET; frames from the 3 Mbit/s experimental
+// Ethernet use LINKTYPE_USER0 (there is no registered linktype for it).
+#ifndef SRC_UTIL_PCAP_WRITER_H_
+#define SRC_UTIL_PCAP_WRITER_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace pfutil {
+
+class PcapWriter {
+ public:
+  static constexpr uint32_t kLinktypeEthernet = 1;
+  static constexpr uint32_t kLinktypeUser0 = 147;
+
+  explicit PcapWriter(uint32_t linktype, uint32_t snaplen = 65535);
+
+  // Appends one record. `timestamp_ns` is nanoseconds since the capture
+  // epoch (simulated time zero).
+  void AddRecord(uint64_t timestamp_ns, std::span<const uint8_t> frame);
+
+  // The complete file image (global header + records so far).
+  const std::vector<uint8_t>& buffer() const { return buffer_; }
+
+  size_t record_count() const { return record_count_; }
+
+  // Writes buffer() to `path`. Returns false on I/O error.
+  bool WriteFile(const std::string& path) const;
+
+ private:
+  void Put32(uint32_t v);
+  void Put16(uint16_t v);
+
+  std::vector<uint8_t> buffer_;
+  uint32_t snaplen_;
+  size_t record_count_ = 0;
+};
+
+}  // namespace pfutil
+
+#endif  // SRC_UTIL_PCAP_WRITER_H_

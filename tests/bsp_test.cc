@@ -1,0 +1,202 @@
+// BSP (user-level Pup byte stream) tests: RFC connection setup, exact byte
+// delivery, chunking at the 546-byte Pup limit, retransmission under loss,
+// duplicate suppression, EOF, plus PupEndpoint datagram behaviour.
+#include <gtest/gtest.h>
+
+#include "src/kernel/machine.h"
+#include "src/net/bsp.h"
+#include "src/net/pup_endpoint.h"
+
+namespace {
+
+using pfkern::Cost;
+using pfkern::Machine;
+using pflink::EthernetSegment;
+using pflink::LinkType;
+using pflink::MacAddr;
+using pfproto::PupPort;
+using pfsim::Milliseconds;
+using pfsim::Seconds;
+using pfsim::Simulator;
+using pfsim::Task;
+
+class BspTest : public ::testing::Test {
+ protected:
+  BspTest()
+      : segment_(&sim_, LinkType::kExperimental3Mb),
+        client_machine_(&sim_, &segment_, MacAddr::Experimental(1),
+                        pfkern::MicroVaxUltrixCosts(), "client"),
+        server_machine_(&sim_, &segment_, MacAddr::Experimental(2),
+                        pfkern::MicroVaxUltrixCosts(), "server") {}
+
+  static std::vector<uint8_t> Pattern(size_t n) {
+    std::vector<uint8_t> data(n);
+    for (size_t i = 0; i < n; ++i) {
+      data[i] = static_cast<uint8_t>(i * 37 + 11);
+    }
+    return data;
+  }
+
+  // Server: accept one stream, receive until EOF, record bytes.
+  Task ServerTask(std::vector<uint8_t>* received) {
+    const int pid = server_machine_.NewPid();
+    auto listener = co_await pfnet::BspListener::Create(&server_machine_, pid,
+                                                        PupPort{0, 2, 0x100});
+    auto stream = co_await listener->Accept(pid, Seconds(30));
+    EXPECT_NE(stream, nullptr);
+    if (stream == nullptr) {
+      co_return;
+    }
+    while (!stream->eof()) {
+      const auto chunk = co_await stream->Recv(pid, 4096, Seconds(5));
+      if (chunk.empty() && !stream->eof()) {
+        break;  // timeout safety
+      }
+      received->insert(received->end(), chunk.begin(), chunk.end());
+    }
+    server_stats_ = stream->stats();
+  }
+
+  Task ClientTask(std::vector<uint8_t> payload, bool* ok) {
+    const int pid = client_machine_.NewPid();
+    auto stream = co_await pfnet::BspStream::Connect(&client_machine_, pid,
+                                                     PupPort{0, 1, 0x777},
+                                                     PupPort{0, 2, 0x100}, Seconds(2));
+    EXPECT_NE(stream, nullptr);
+    if (stream == nullptr) {
+      *ok = false;
+      co_return;
+    }
+    *ok = co_await stream->Send(pid, std::move(payload));
+    co_await stream->Close(pid);
+    client_stats_ = stream->stats();
+  }
+
+  Simulator sim_;
+  EthernetSegment segment_;
+  Machine client_machine_;
+  Machine server_machine_;
+  pfnet::BspStats client_stats_;
+  pfnet::BspStats server_stats_;
+};
+
+TEST_F(BspTest, SmallTransferDeliversExactly) {
+  std::vector<uint8_t> received;
+  bool ok = false;
+  sim_.Spawn(ServerTask(&received));
+  sim_.Spawn(ClientTask(Pattern(100), &ok));
+  sim_.RunUntil(pfsim::TimePoint{} + Seconds(60));
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(received, Pattern(100));
+  EXPECT_EQ(client_stats_.data_packets_sent, 1u);
+}
+
+TEST_F(BspTest, LargeTransferChunksAt546Bytes) {
+  std::vector<uint8_t> received;
+  bool ok = false;
+  const size_t kSize = 546 * 4 + 100;
+  sim_.Spawn(ServerTask(&received));
+  sim_.Spawn(ClientTask(Pattern(kSize), &ok));
+  sim_.RunUntil(pfsim::TimePoint{} + Seconds(120));
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(received, Pattern(kSize));
+  EXPECT_EQ(client_stats_.data_packets_sent, 5u);
+  EXPECT_EQ(server_stats_.acks_sent, 5u);
+  // No frame may exceed Pup's 568-byte maximum (+ 4-byte link header).
+  EXPECT_LE(segment_.stats().bytes_carried / segment_.stats().frames_carried, 572u);
+}
+
+TEST_F(BspTest, RetransmitsUnderLossAndDeliversInOrder) {
+  segment_.SetLossRate(0.15, 2024);
+  std::vector<uint8_t> received;
+  bool ok = false;
+  const size_t kSize = 546 * 6;
+  sim_.Spawn(ServerTask(&received));
+  sim_.Spawn(ClientTask(Pattern(kSize), &ok));
+  sim_.RunUntil(pfsim::TimePoint{} + Seconds(600));
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(received, Pattern(kSize));
+  EXPECT_GT(client_stats_.retransmits + server_stats_.duplicates, 0u);
+}
+
+TEST_F(BspTest, UserLevelCostsAreCharged) {
+  std::vector<uint8_t> received;
+  bool ok = false;
+  sim_.Spawn(ServerTask(&received));
+  sim_.Spawn(ClientTask(Pattern(1000), &ok));
+  sim_.RunUntil(pfsim::TimePoint{} + Seconds(60));
+  EXPECT_TRUE(ok);
+  // Both sides ran protocol code in user space and through the filter.
+  EXPECT_GT(client_machine_.ledger().count(Cost::kProtocolUser), 0u);
+  EXPECT_GT(server_machine_.ledger().count(Cost::kProtocolUser), 0u);
+  EXPECT_GT(server_machine_.ledger().count(Cost::kFilterEval), 0u);
+  EXPECT_EQ(server_machine_.ledger().count(Cost::kIpInput), 0u);  // no kernel stack involved
+}
+
+TEST_F(BspTest, ConnectTimesOutWithoutListener) {
+  bool finished = false;
+  auto client = [&]() -> Task {
+    auto stream = co_await pfnet::BspStream::Connect(&client_machine_, client_machine_.NewPid(),
+                                                     PupPort{0, 1, 0x777},
+                                                     PupPort{0, 2, 0x100}, Milliseconds(100));
+    EXPECT_EQ(stream, nullptr);
+    finished = true;
+  };
+  sim_.Spawn(client());
+  sim_.RunUntil(pfsim::TimePoint{} + Seconds(10));
+  EXPECT_TRUE(finished);
+}
+
+TEST_F(BspTest, PupEndpointDatagramExchange) {
+  std::optional<pfnet::PupEndpoint::Received> got;
+  auto receiver = [&]() -> Task {
+    const int pid = server_machine_.NewPid();
+    auto endpoint =
+        co_await pfnet::PupEndpoint::Create(&server_machine_, pid, PupPort{0, 2, 0x42});
+    got = co_await endpoint->Recv(pid, Seconds(10));
+  };
+  auto sender = [&]() -> Task {
+    const int pid = client_machine_.NewPid();
+    auto endpoint =
+        co_await pfnet::PupEndpoint::Create(&client_machine_, pid, PupPort{0, 1, 0x41});
+    std::vector<uint8_t> data = {0xca, 0xfe};
+    co_await endpoint->Send(pid, PupPort{0, 2, 0x42}, pfproto::PupType::kEchoMe, 123,
+                            std::move(data));
+    co_await sim_.Delay(Seconds(1));
+  };
+  sim_.Spawn(receiver());
+  sim_.Spawn(sender());
+  sim_.RunUntil(pfsim::TimePoint{} + Seconds(30));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->header.identifier, 123u);
+  EXPECT_EQ(got->header.src.socket, 0x41u);
+  EXPECT_EQ(got->data, (std::vector<uint8_t>{0xca, 0xfe}));
+}
+
+TEST_F(BspTest, PupEndpointIgnoresOtherSockets) {
+  std::optional<pfnet::PupEndpoint::Received> got = std::nullopt;
+  bool receiver_done = false;
+  auto receiver = [&]() -> Task {
+    const int pid = server_machine_.NewPid();
+    auto endpoint =
+        co_await pfnet::PupEndpoint::Create(&server_machine_, pid, PupPort{0, 2, 0x42});
+    got = co_await endpoint->Recv(pid, Milliseconds(300));
+    receiver_done = true;
+  };
+  auto sender = [&]() -> Task {
+    const int pid = client_machine_.NewPid();
+    auto endpoint =
+        co_await pfnet::PupEndpoint::Create(&client_machine_, pid, PupPort{0, 1, 0x41});
+    std::vector<uint8_t> data = {1};
+    co_await endpoint->Send(pid, PupPort{0, 2, 0x43}, pfproto::PupType::kEchoMe, 1,
+                            std::move(data));  // wrong socket
+    co_await sim_.Delay(Seconds(1));
+  };
+  sim_.Spawn(receiver());
+  sim_.Spawn(sender());
+  sim_.RunUntil(pfsim::TimePoint{} + Seconds(30));
+  EXPECT_TRUE(receiver_done);
+  EXPECT_FALSE(got.has_value());
+}
+
+}  // namespace

@@ -1,0 +1,285 @@
+// Demultiplexer tests: the fig. 4-1 loop, priority ordering, copy-all
+// delivery, queue overflow accounting, batch reads, timestamps, stats,
+// busy-reordering, and the strategy knobs.
+#include <gtest/gtest.h>
+
+#include "src/pf/builder.h"
+#include "src/pf/demux.h"
+#include "tests/test_packets.h"
+
+namespace {
+
+using pf::BinaryOp;
+using pf::FilterBuilder;
+using pf::PacketFilter;
+using pf::PortId;
+using pf::Program;
+
+Program SocketFilter(uint32_t socket, uint8_t priority) {
+  FilterBuilder b;
+  b.WordEqualsShortCircuit(pfproto::kWordDstSocketLow, static_cast<uint16_t>(socket & 0xffff))
+      .WordEqualsShortCircuit(pfproto::kWordDstSocketHigh, static_cast<uint16_t>(socket >> 16))
+      .WordEquals(pfproto::kWordEtherType, pfproto::kEtherTypePup);
+  return b.Build(priority);
+}
+
+Program AcceptAll(uint8_t priority) { return Program{priority, pf::LangVersion::kV1, {}}; }
+
+TEST(DemuxTest, UnclaimedPacketIsDropped) {
+  PacketFilter filter;
+  const auto r = filter.Demux(pftest::MakePupFrame(8, 35));
+  EXPECT_FALSE(r.accepted);
+  EXPECT_EQ(filter.global_stats().packets_unclaimed, 1u);
+}
+
+TEST(DemuxTest, DeliversToMatchingPortOnly) {
+  PacketFilter filter;
+  const PortId p35 = filter.OpenPort();
+  const PortId p36 = filter.OpenPort();
+  ASSERT_TRUE(filter.SetFilter(p35, SocketFilter(35, 10)).ok);
+  ASSERT_TRUE(filter.SetFilter(p36, SocketFilter(36, 10)).ok);
+
+  filter.Demux(pftest::MakePupFrame(8, 35));
+  filter.Demux(pftest::MakePupFrame(8, 36));
+  filter.Demux(pftest::MakePupFrame(8, 36));
+  EXPECT_EQ(filter.QueueLength(p35), 1u);
+  EXPECT_EQ(filter.QueueLength(p36), 2u);
+
+  const auto packet = filter.Pop(p35);
+  ASSERT_TRUE(packet.has_value());
+  EXPECT_EQ(packet->bytes, pftest::MakePupFrame(8, 35));
+  EXPECT_EQ(filter.QueueLength(p35), 0u);
+}
+
+TEST(DemuxTest, HigherPriorityWins) {
+  PacketFilter filter;
+  const PortId low = filter.OpenPort();
+  const PortId high = filter.OpenPort();
+  ASSERT_TRUE(filter.SetFilter(low, SocketFilter(35, 5)).ok);
+  ASSERT_TRUE(filter.SetFilter(high, SocketFilter(35, 200)).ok);
+
+  const auto r = filter.Demux(pftest::MakePupFrame(8, 35));
+  EXPECT_TRUE(r.accepted);
+  EXPECT_EQ(r.deliveries, 1u);
+  EXPECT_EQ(filter.QueueLength(high), 1u);
+  EXPECT_EQ(filter.QueueLength(low), 0u);  // claimed by the higher priority
+}
+
+TEST(DemuxTest, EqualPriorityUsesOpenOrder) {
+  PacketFilter filter;
+  const PortId first = filter.OpenPort();
+  const PortId second = filter.OpenPort();
+  ASSERT_TRUE(filter.SetFilter(first, SocketFilter(35, 10)).ok);
+  ASSERT_TRUE(filter.SetFilter(second, SocketFilter(35, 10)).ok);
+  filter.Demux(pftest::MakePupFrame(8, 35));
+  EXPECT_EQ(filter.QueueLength(first), 1u);
+  EXPECT_EQ(filter.QueueLength(second), 0u);
+}
+
+TEST(DemuxTest, DeliverToLowerProducesCopies) {
+  // §3.2: a monitor at high priority with deliver-to-lower set must not
+  // steal packets from the real recipient.
+  PacketFilter filter;
+  const PortId monitor = filter.OpenPort();
+  const PortId app = filter.OpenPort();
+  ASSERT_TRUE(filter.SetFilter(monitor, AcceptAll(255)).ok);
+  ASSERT_TRUE(filter.SetFilter(app, SocketFilter(35, 10)).ok);
+  filter.SetDeliverToLower(monitor, true);
+
+  const auto r = filter.Demux(pftest::MakePupFrame(8, 35));
+  EXPECT_EQ(r.deliveries, 2u);
+  EXPECT_EQ(filter.QueueLength(monitor), 1u);
+  EXPECT_EQ(filter.QueueLength(app), 1u);
+}
+
+TEST(DemuxTest, WithoutDeliverToLowerMonitorSteals) {
+  PacketFilter filter;
+  const PortId monitor = filter.OpenPort();
+  const PortId app = filter.OpenPort();
+  ASSERT_TRUE(filter.SetFilter(monitor, AcceptAll(255)).ok);
+  ASSERT_TRUE(filter.SetFilter(app, SocketFilter(35, 10)).ok);
+
+  filter.Demux(pftest::MakePupFrame(8, 35));
+  EXPECT_EQ(filter.QueueLength(monitor), 1u);
+  EXPECT_EQ(filter.QueueLength(app), 0u);
+}
+
+TEST(DemuxTest, QueueOverflowDropsAndReportsOnNextPacket) {
+  PacketFilter filter;
+  const PortId port = filter.OpenPort();
+  ASSERT_TRUE(filter.SetFilter(port, SocketFilter(35, 10)).ok);
+  filter.SetQueueLimit(port, 2);
+
+  for (int i = 0; i < 5; ++i) {
+    filter.Demux(pftest::MakePupFrame(8, 35));
+  }
+  EXPECT_EQ(filter.QueueLength(port), 2u);
+  const pf::PortStats* stats = filter.Stats(port);
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->dropped, 3u);
+  EXPECT_EQ(stats->enqueued, 2u);
+  EXPECT_EQ(stats->accepts, 5u);
+
+  // Drain, then deliver again: the next packet reports the 3 losses (§3.3's
+  // "count of the number of packets lost due to queue overflows").
+  filter.PopBatch(port);
+  filter.Demux(pftest::MakePupFrame(8, 35));
+  const auto packet = filter.Pop(port);
+  ASSERT_TRUE(packet.has_value());
+  EXPECT_EQ(packet->dropped_before, 3u);
+}
+
+TEST(DemuxTest, PopBatchReturnsAllPending) {
+  PacketFilter filter;
+  const PortId port = filter.OpenPort();
+  ASSERT_TRUE(filter.SetFilter(port, SocketFilter(35, 10)).ok);
+  for (int i = 0; i < 7; ++i) {
+    filter.Demux(pftest::MakePupFrame(8, 35));
+  }
+  EXPECT_EQ(filter.PopBatch(port, 4).size(), 4u);
+  EXPECT_EQ(filter.PopBatch(port).size(), 3u);
+  EXPECT_TRUE(filter.PopBatch(port).empty());
+}
+
+TEST(DemuxTest, TimestampsOnlyWhenEnabled) {
+  PacketFilter filter;
+  const PortId port = filter.OpenPort();
+  ASSERT_TRUE(filter.SetFilter(port, SocketFilter(35, 10)).ok);
+
+  filter.Demux(pftest::MakePupFrame(8, 35), 111222333);
+  EXPECT_EQ(filter.Pop(port)->timestamp_ns, 0u);
+
+  filter.SetTimestamps(port, true);
+  filter.Demux(pftest::MakePupFrame(8, 35), 111222333);
+  EXPECT_EQ(filter.Pop(port)->timestamp_ns, 111222333u);
+}
+
+TEST(DemuxTest, EnqueueCallbackFires) {
+  PacketFilter filter;
+  const PortId port = filter.OpenPort();
+  ASSERT_TRUE(filter.SetFilter(port, SocketFilter(35, 10)).ok);
+  int callbacks = 0;
+  filter.SetEnqueueCallback(port, [&] { ++callbacks; });
+  filter.Demux(pftest::MakePupFrame(8, 35));
+  filter.Demux(pftest::MakePupFrame(8, 36));  // no match, no callback
+  EXPECT_EQ(callbacks, 1);
+}
+
+TEST(DemuxTest, SetFilterRejectsInvalidAndKeepsOld) {
+  PacketFilter filter;
+  const PortId port = filter.OpenPort();
+  ASSERT_TRUE(filter.SetFilter(port, SocketFilter(35, 10)).ok);
+
+  Program bad;
+  bad.words = {pf::EncodeWord(BinaryOp::kAnd, pf::StackAction::kNoPush)};
+  EXPECT_FALSE(filter.SetFilter(port, bad).ok);
+
+  // The old filter is still in force.
+  filter.Demux(pftest::MakePupFrame(8, 35));
+  EXPECT_EQ(filter.QueueLength(port), 1u);
+}
+
+TEST(DemuxTest, PortWithoutFilterReceivesNothing) {
+  PacketFilter filter;
+  const PortId port = filter.OpenPort();
+  filter.Demux(pftest::MakePupFrame(8, 35));
+  EXPECT_EQ(filter.QueueLength(port), 0u);
+}
+
+TEST(DemuxTest, ClosePortStopsDelivery) {
+  PacketFilter filter;
+  const PortId port = filter.OpenPort();
+  ASSERT_TRUE(filter.SetFilter(port, SocketFilter(35, 10)).ok);
+  EXPECT_TRUE(filter.ClosePort(port));
+  EXPECT_FALSE(filter.ClosePort(port));
+  const auto r = filter.Demux(pftest::MakePupFrame(8, 35));
+  EXPECT_FALSE(r.accepted);
+}
+
+TEST(DemuxTest, FilterErrorCountsAndRejects) {
+  PacketFilter filter;
+  const PortId port = filter.OpenPort();
+  FilterBuilder b;
+  b.PushWord(45).Lit(BinaryOp::kEq, 0);  // beyond any small packet
+  ASSERT_TRUE(filter.SetFilter(port, b.Build(10)).ok);
+  filter.Demux(pftest::MakePupFrame(8, 35, 2, 1, 2));
+  EXPECT_EQ(filter.Stats(port)->filter_errors, 1u);
+  EXPECT_EQ(filter.QueueLength(port), 0u);
+}
+
+TEST(DemuxTest, PriorityReducesFiltersTested) {
+  // §3.2: "if priorities are assigned proportional to the likelihood that a
+  // filter will accept a packet, then the 'average' packet will match one
+  // of the first few filters".
+  PacketFilter filter;
+  for (uint32_t socket = 1; socket <= 10; ++socket) {
+    const PortId port = filter.OpenPort();
+    // Socket 1's filter gets the highest priority.
+    ASSERT_TRUE(filter.SetFilter(port, SocketFilter(socket, static_cast<uint8_t>(50 - socket)))
+                    .ok);
+  }
+  const auto hit_first = filter.Demux(pftest::MakePupFrame(8, 1));
+  EXPECT_EQ(hit_first.filters_tested, 1u);
+  const auto hit_last = filter.Demux(pftest::MakePupFrame(8, 10));
+  EXPECT_EQ(hit_last.filters_tested, 10u);
+}
+
+TEST(DemuxTest, BusyReorderingMovesBusyFilterForward) {
+  PacketFilter filter;
+  const PortId quiet = filter.OpenPort();
+  const PortId busy = filter.OpenPort();
+  ASSERT_TRUE(filter.SetFilter(quiet, SocketFilter(1, 10)).ok);
+  ASSERT_TRUE(filter.SetFilter(busy, SocketFilter(2, 10)).ok);
+  filter.SetBusyReordering(true);
+
+  // Make `busy` accept many packets so reordering puts it first; the
+  // reorder happens on the next rebuild tick (every 256 packets).
+  for (int i = 0; i < 300; ++i) {
+    filter.Demux(pftest::MakePupFrame(8, 2));
+  }
+  const auto r = filter.Demux(pftest::MakePupFrame(8, 2));
+  EXPECT_EQ(r.filters_tested, 1u) << "busy filter should now be tested first";
+
+  // Without reordering, port order puts `quiet` first.
+  filter.SetBusyReordering(false);
+  const auto r2 = filter.Demux(pftest::MakePupFrame(8, 2));
+  EXPECT_EQ(r2.filters_tested, 2u);
+}
+
+TEST(DemuxTest, CheckedAndFastPathsAgree) {
+  for (const bool fast : {false, true}) {
+    PacketFilter filter;
+    filter.SetUseFastInterpreter(fast);
+    const PortId port = filter.OpenPort();
+    ASSERT_TRUE(filter.SetFilter(port, pf::PaperFig39Filter()).ok);
+    filter.Demux(pftest::MakePupFrame(8, 35));
+    filter.Demux(pftest::MakePupFrame(8, 36));
+    EXPECT_EQ(filter.QueueLength(port), 1u) << "fast=" << fast;
+  }
+}
+
+TEST(DemuxTest, GlobalStatsAccumulate) {
+  PacketFilter filter;
+  const PortId port = filter.OpenPort();
+  ASSERT_TRUE(filter.SetFilter(port, SocketFilter(35, 10)).ok);
+  filter.Demux(pftest::MakePupFrame(8, 35));
+  filter.Demux(pftest::MakePupFrame(8, 99));
+  const auto& g = filter.global_stats();
+  EXPECT_EQ(g.packets_in, 2u);
+  EXPECT_EQ(g.packets_accepted, 1u);
+  EXPECT_EQ(g.packets_unclaimed, 1u);
+  EXPECT_GT(g.insns_executed, 0u);
+}
+
+TEST(DemuxTest, DeviceInfoRoundTrips) {
+  pf::DeviceInfo info;
+  info.datalink_type = 1;
+  info.addr_len = 6;
+  info.header_len = 14;
+  info.max_packet = 1514;
+  PacketFilter filter(info);
+  EXPECT_EQ(filter.device_info().max_packet, 1514u);
+  EXPECT_EQ(filter.device_info().addr_len, 6);
+}
+
+}  // namespace

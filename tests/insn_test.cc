@@ -1,0 +1,84 @@
+// Instruction encoding/decoding unit tests (fig. 3-6 instruction format).
+#include <gtest/gtest.h>
+
+#include "src/pf/insn.h"
+
+namespace {
+
+using pf::BinaryOp;
+using pf::LangVersion;
+using pf::StackAction;
+
+TEST(InsnTest, EncodePlacesActionInLowSixBits) {
+  const uint16_t word = pf::EncodeWord(BinaryOp::kEq, StackAction::kPushLit);
+  EXPECT_EQ(word & 0x3f, static_cast<uint16_t>(StackAction::kPushLit));
+  EXPECT_EQ(word >> 6, static_cast<uint16_t>(BinaryOp::kEq));
+}
+
+TEST(InsnTest, PushWordEncodesIndexInActionField) {
+  const uint16_t word = pf::EncodeWord(BinaryOp::kNop, StackAction::kPushWord, 5);
+  EXPECT_EQ(word & 0x3f, pf::kPushWordBase + 5);
+}
+
+TEST(InsnTest, MaxWordIndexFitsInSixBits) {
+  const uint16_t word = pf::EncodeWord(BinaryOp::kNop, StackAction::kPushWord,
+                                       pf::kMaxWordIndex);
+  EXPECT_EQ(word & 0x3f, 63);
+}
+
+TEST(InsnTest, SplitWordRoundTrips) {
+  for (uint16_t op = 0; op <= 13; ++op) {
+    for (uint8_t action = 0; action < 64; ++action) {
+      if (action >= 7 && action < 16) {
+        continue;  // unassigned gap
+      }
+      const uint16_t word = static_cast<uint16_t>((op << 6) | action);
+      const pf::RawFields fields = pf::SplitWord(word);
+      EXPECT_EQ(fields.op_bits, op);
+      EXPECT_EQ(fields.action_bits, action);
+    }
+  }
+}
+
+TEST(InsnTest, V1RejectsExtensionOpcodes) {
+  EXPECT_TRUE(pf::IsValidOp(static_cast<uint16_t>(BinaryOp::kCnand), LangVersion::kV1));
+  EXPECT_FALSE(pf::IsValidOp(static_cast<uint16_t>(BinaryOp::kAdd), LangVersion::kV1));
+  EXPECT_TRUE(pf::IsValidOp(static_cast<uint16_t>(BinaryOp::kAdd), LangVersion::kV2));
+  EXPECT_FALSE(pf::IsValidOp(14, LangVersion::kV1));  // gap between CNAND and ADD
+  EXPECT_FALSE(pf::IsValidOp(14, LangVersion::kV2));
+  EXPECT_FALSE(pf::IsValidOp(23, LangVersion::kV2));  // past RSH
+}
+
+TEST(InsnTest, V1RejectsIndirectPush) {
+  EXPECT_FALSE(pf::IsValidAction(static_cast<uint8_t>(StackAction::kPushInd),
+                                 LangVersion::kV1));
+  EXPECT_TRUE(pf::IsValidAction(static_cast<uint8_t>(StackAction::kPushInd),
+                                LangVersion::kV2));
+  // Actions 8..15 are unassigned in both versions.
+  for (uint8_t a = 8; a < 16; ++a) {
+    EXPECT_FALSE(pf::IsValidAction(a, LangVersion::kV1)) << static_cast<int>(a);
+    EXPECT_FALSE(pf::IsValidAction(a, LangVersion::kV2)) << static_cast<int>(a);
+  }
+  // All PUSHWORD+n encodings are structurally valid.
+  for (uint8_t a = 16; a < 64; ++a) {
+    EXPECT_TRUE(pf::IsValidAction(a, LangVersion::kV1));
+  }
+}
+
+TEST(InsnTest, ShortCircuitClassification) {
+  EXPECT_TRUE(pf::IsShortCircuit(BinaryOp::kCor));
+  EXPECT_TRUE(pf::IsShortCircuit(BinaryOp::kCand));
+  EXPECT_TRUE(pf::IsShortCircuit(BinaryOp::kCnor));
+  EXPECT_TRUE(pf::IsShortCircuit(BinaryOp::kCnand));
+  EXPECT_FALSE(pf::IsShortCircuit(BinaryOp::kEq));
+  EXPECT_FALSE(pf::IsShortCircuit(BinaryOp::kAnd));
+}
+
+TEST(InsnTest, OpNamesMatchPaperNotation) {
+  EXPECT_EQ(pf::ToString(BinaryOp::kEq), "EQ");
+  EXPECT_EQ(pf::ToString(BinaryOp::kCand), "CAND");
+  EXPECT_EQ(pf::ToString(StackAction::kPush00FF), "PUSH00FF");
+  EXPECT_EQ(pf::ToString(StackAction::kPushLit), "PUSHLIT");
+}
+
+}  // namespace

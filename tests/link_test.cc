@@ -1,0 +1,226 @@
+// Link-layer tests: framing for both Ethernets, segment delivery rules,
+// bandwidth serialization, and loss injection.
+#include <gtest/gtest.h>
+
+#include "src/link/frame.h"
+#include "src/link/segment.h"
+#include "src/sim/simulator.h"
+
+namespace {
+
+using pflink::EthernetSegment;
+using pflink::Frame;
+using pflink::LinkHeader;
+using pflink::LinkType;
+using pflink::MacAddr;
+using pflink::Station;
+
+TEST(MacAddrTest, BroadcastForms) {
+  EXPECT_TRUE(MacAddr::Broadcast(6).IsBroadcast());
+  EXPECT_TRUE(MacAddr::Broadcast(1).IsBroadcast());
+  EXPECT_FALSE(MacAddr::Dix(1, 2, 3, 4, 5, 6).IsBroadcast());
+  EXPECT_FALSE(MacAddr::Experimental(7).IsBroadcast());
+  EXPECT_EQ(MacAddr::Broadcast(1).bytes[0], 0);  // host 0 on the 3 Mb net
+}
+
+TEST(MacAddrTest, MulticastBit) {
+  EXPECT_TRUE(MacAddr::Dix(0x01, 0, 0x5e, 0, 0, 1).IsMulticast());
+  EXPECT_FALSE(MacAddr::Dix(0x02, 0, 0, 0, 0, 1).IsMulticast());
+}
+
+TEST(MacAddrTest, ToStringFormats) {
+  EXPECT_EQ(MacAddr::Experimental(42).ToString(), "42");
+  EXPECT_EQ(MacAddr::Dix(0xde, 0xad, 0xbe, 0xef, 0x00, 0x01).ToString(), "de:ad:be:ef:00:01");
+}
+
+TEST(FrameTest, DixRoundTrip) {
+  LinkHeader header;
+  header.dst = MacAddr::Dix(1, 2, 3, 4, 5, 6);
+  header.src = MacAddr::Dix(6, 5, 4, 3, 2, 1);
+  header.ether_type = 0x0800;
+  const std::vector<uint8_t> payload = {0xaa, 0xbb, 0xcc};
+  const auto frame = pflink::BuildFrame(LinkType::kEthernet10Mb, header, payload);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->size(), 14u + 3u);
+
+  const auto parsed = pflink::ParseHeader(LinkType::kEthernet10Mb, frame->AsSpan());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->dst, header.dst);
+  EXPECT_EQ(parsed->src, header.src);
+  EXPECT_EQ(parsed->ether_type, 0x0800);
+  const auto body = pflink::FramePayload(LinkType::kEthernet10Mb, frame->AsSpan());
+  EXPECT_EQ(std::vector<uint8_t>(body.begin(), body.end()), payload);
+}
+
+TEST(FrameTest, ExperimentalHeaderIsFourBytes) {
+  LinkHeader header;
+  header.dst = MacAddr::Experimental(2);
+  header.src = MacAddr::Experimental(1);
+  header.ether_type = 2;
+  const auto frame = pflink::BuildFrame(LinkType::kExperimental3Mb, header, {});
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->size(), 4u);
+  EXPECT_EQ(frame->bytes[0], 2);  // dst host
+  EXPECT_EQ(frame->bytes[1], 1);  // src host
+  const auto parsed = pflink::ParseHeader(LinkType::kExperimental3Mb, frame->AsSpan());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->ether_type, 2);
+}
+
+TEST(FrameTest, MtuEnforced) {
+  LinkHeader header;
+  header.dst = MacAddr::Dix(1, 2, 3, 4, 5, 6);
+  header.src = MacAddr::Dix(6, 5, 4, 3, 2, 1);
+  const std::vector<uint8_t> too_big(1501, 0);
+  EXPECT_FALSE(pflink::BuildFrame(LinkType::kEthernet10Mb, header, too_big).has_value());
+  const std::vector<uint8_t> just_fits(1500, 0);
+  EXPECT_TRUE(pflink::BuildFrame(LinkType::kEthernet10Mb, header, just_fits).has_value());
+}
+
+TEST(FrameTest, ParseRejectsTruncated) {
+  const std::vector<uint8_t> tiny = {1, 2, 3};
+  EXPECT_FALSE(pflink::ParseHeader(LinkType::kEthernet10Mb, tiny).has_value());
+  EXPECT_FALSE(pflink::ParseHeader(LinkType::kExperimental3Mb, tiny).has_value());
+  EXPECT_TRUE(pflink::FramePayload(LinkType::kEthernet10Mb, tiny).empty());
+}
+
+// A recording station.
+class TestStation : public Station {
+ public:
+  TestStation(MacAddr addr, bool promiscuous = false)
+      : addr_(addr), promiscuous_(promiscuous) {}
+  void OnFrameDelivered(const Frame& frame, pfsim::TimePoint at) override {
+    frames.push_back(frame.bytes);
+    times.push_back(at);
+  }
+  MacAddr link_addr() const override { return addr_; }
+  bool promiscuous() const override { return promiscuous_; }
+
+  std::vector<std::vector<uint8_t>> frames;
+  std::vector<pfsim::TimePoint> times;
+
+ private:
+  MacAddr addr_;
+  bool promiscuous_;
+};
+
+Frame MakeFrame(uint8_t dst, uint8_t src, size_t payload = 10) {
+  LinkHeader header;
+  header.dst = MacAddr::Experimental(dst);
+  header.src = MacAddr::Experimental(src);
+  header.ether_type = 2;
+  return *pflink::BuildFrame(LinkType::kExperimental3Mb, header,
+                             std::vector<uint8_t>(payload, 0x5a));
+}
+
+TEST(SegmentTest, DeliversToAddresseeOnly) {
+  pfsim::Simulator sim;
+  EthernetSegment segment(&sim, LinkType::kExperimental3Mb);
+  TestStation a(MacAddr::Experimental(1));
+  TestStation b(MacAddr::Experimental(2));
+  TestStation c(MacAddr::Experimental(3));
+  segment.Attach(&a);
+  segment.Attach(&b);
+  segment.Attach(&c);
+
+  segment.Transmit(&a, MakeFrame(2, 1));
+  sim.Run();
+  EXPECT_TRUE(a.frames.empty());  // sender does not hear itself
+  EXPECT_EQ(b.frames.size(), 1u);
+  EXPECT_TRUE(c.frames.empty());
+}
+
+TEST(SegmentTest, BroadcastReachesAll) {
+  pfsim::Simulator sim;
+  EthernetSegment segment(&sim, LinkType::kExperimental3Mb);
+  TestStation a(MacAddr::Experimental(1));
+  TestStation b(MacAddr::Experimental(2));
+  TestStation c(MacAddr::Experimental(3));
+  segment.Attach(&a);
+  segment.Attach(&b);
+  segment.Attach(&c);
+  segment.Transmit(&a, MakeFrame(0, 1));  // host 0 = broadcast
+  sim.Run();
+  EXPECT_EQ(b.frames.size(), 1u);
+  EXPECT_EQ(c.frames.size(), 1u);
+}
+
+TEST(SegmentTest, PromiscuousStationHearsEverything) {
+  pfsim::Simulator sim;
+  EthernetSegment segment(&sim, LinkType::kExperimental3Mb);
+  TestStation a(MacAddr::Experimental(1));
+  TestStation b(MacAddr::Experimental(2));
+  TestStation monitor(MacAddr::Experimental(9), /*promiscuous=*/true);
+  segment.Attach(&a);
+  segment.Attach(&b);
+  segment.Attach(&monitor);
+  segment.Transmit(&a, MakeFrame(2, 1));
+  sim.Run();
+  EXPECT_EQ(monitor.frames.size(), 1u);
+}
+
+TEST(SegmentTest, TransmissionTimeMatchesBandwidth) {
+  pfsim::Simulator sim;
+  EthernetSegment segment(&sim, LinkType::kExperimental3Mb);  // 3 Mbit/s
+  TestStation a(MacAddr::Experimental(1));
+  TestStation b(MacAddr::Experimental(2));
+  segment.Attach(&a);
+  segment.Attach(&b);
+
+  const Frame frame = MakeFrame(2, 1, 371);  // 375 bytes = 3000 bits = 1 ms at 3 Mb/s
+  segment.Transmit(&a, frame);
+  sim.Run();
+  ASSERT_EQ(b.times.size(), 1u);
+  const auto elapsed = b.times[0].time_since_epoch();
+  EXPECT_EQ(elapsed, pfsim::Milliseconds(1) + pfsim::Microseconds(5));  // + propagation
+}
+
+TEST(SegmentTest, MediumSerializesBackToBackFrames) {
+  pfsim::Simulator sim;
+  EthernetSegment segment(&sim, LinkType::kExperimental3Mb);
+  TestStation a(MacAddr::Experimental(1));
+  TestStation b(MacAddr::Experimental(2));
+  segment.Attach(&a);
+  segment.Attach(&b);
+
+  segment.Transmit(&a, MakeFrame(2, 1, 371));  // 1 ms each
+  segment.Transmit(&a, MakeFrame(2, 1, 371));
+  sim.Run();
+  ASSERT_EQ(b.times.size(), 2u);
+  EXPECT_EQ((b.times[1] - b.times[0]), pfsim::Milliseconds(1));
+  EXPECT_EQ(segment.stats().frames_carried, 2u);
+  EXPECT_EQ(segment.stats().bytes_carried, 750u);
+}
+
+TEST(SegmentTest, LossInjectionDropsApproximately) {
+  pfsim::Simulator sim;
+  EthernetSegment segment(&sim, LinkType::kExperimental3Mb);
+  TestStation a(MacAddr::Experimental(1));
+  TestStation b(MacAddr::Experimental(2));
+  segment.Attach(&a);
+  segment.Attach(&b);
+  segment.SetLossRate(0.3, 1234);
+
+  for (int i = 0; i < 1000; ++i) {
+    segment.Transmit(&a, MakeFrame(2, 1, 4));
+  }
+  sim.Run();
+  EXPECT_GT(segment.stats().frames_lost, 230u);
+  EXPECT_LT(segment.stats().frames_lost, 370u);
+  EXPECT_EQ(b.frames.size() + segment.stats().frames_lost, 1000u);
+}
+
+TEST(SegmentTest, DetachStopsDelivery) {
+  pfsim::Simulator sim;
+  EthernetSegment segment(&sim, LinkType::kExperimental3Mb);
+  TestStation a(MacAddr::Experimental(1));
+  TestStation b(MacAddr::Experimental(2));
+  segment.Attach(&a);
+  segment.Attach(&b);
+  segment.Detach(&b);
+  segment.Transmit(&a, MakeFrame(2, 1));
+  sim.Run();
+  EXPECT_TRUE(b.frames.empty());
+}
+
+}  // namespace

@@ -1,0 +1,184 @@
+// Tests for the pseudodevice's §3/§3.3/§7 interface features beyond plain
+// read/write: select across ports, signal-on-reception, write batching, and
+// the batched pipe operations the user-level demultiplexer relies on.
+#include <gtest/gtest.h>
+
+#include "src/kernel/machine.h"
+#include "src/kernel/pf_device.h"
+#include "src/kernel/pipe.h"
+#include "src/net/pup_endpoint.h"
+#include "tests/test_packets.h"
+
+namespace {
+
+using pfkern::Cost;
+using pfkern::Machine;
+using pfsim::Milliseconds;
+using pfsim::Seconds;
+using pfsim::Task;
+
+class PfDeviceTest : public ::testing::Test {
+ protected:
+  PfDeviceTest()
+      : segment_(&sim_, pflink::LinkType::kExperimental3Mb),
+        alice_(&sim_, &segment_, pflink::MacAddr::Experimental(1),
+               pfkern::MicroVaxUltrixCosts(), "alice"),
+        bob_(&sim_, &segment_, pflink::MacAddr::Experimental(2),
+             pfkern::MicroVaxUltrixCosts(), "bob") {}
+
+  pfsim::Simulator sim_;
+  pflink::EthernetSegment segment_;
+  Machine alice_;
+  Machine bob_;
+};
+
+TEST_F(PfDeviceTest, SelectReturnsReadyPort) {
+  pf::PortId ready = pf::kInvalidPort;
+  pf::PortId port35 = pf::kInvalidPort;
+  auto receiver = [&]() -> Task {
+    const int pid = bob_.NewPid();
+    port35 = co_await bob_.pf().Open(pid);
+    const pf::PortId port36 = co_await bob_.pf().Open(pid);
+    co_await bob_.pf().SetFilter(pid, port35, pfnet::MakePupSocketFilter(35, 10));
+    co_await bob_.pf().SetFilter(pid, port36, pfnet::MakePupSocketFilter(36, 10));
+    std::vector<pf::PortId> ports = {port36, port35};
+    ready = co_await bob_.pf().Select(pid, std::move(ports), Seconds(5));
+  };
+  auto sender = [&]() -> Task {
+    const int pid = alice_.NewPid();
+    co_await sim_.Delay(Milliseconds(20));
+    co_await alice_.pf().Write(pid, pftest::MakePupFrame(8, 35, 2));
+  };
+  sim_.Spawn(receiver());
+  sim_.Spawn(sender());
+  sim_.Run();
+  EXPECT_EQ(ready, port35);
+}
+
+TEST_F(PfDeviceTest, SelectTimesOutWithNoTraffic) {
+  pf::PortId ready = 1;
+  pfsim::TimePoint finished;
+  auto receiver = [&]() -> Task {
+    const int pid = bob_.NewPid();
+    const pf::PortId port = co_await bob_.pf().Open(pid);
+    co_await bob_.pf().SetFilter(pid, port, pfnet::MakePupSocketFilter(35, 10));
+    std::vector<pf::PortId> ports = {port};
+    ready = co_await bob_.pf().Select(pid, std::move(ports), Milliseconds(40));
+    finished = sim_.Now();
+  };
+  sim_.Spawn(receiver());
+  sim_.Run();
+  EXPECT_EQ(ready, pf::kInvalidPort);
+  EXPECT_GE(finished.time_since_epoch().count(), Milliseconds(40).count());
+}
+
+TEST_F(PfDeviceTest, SelectZeroTimeoutPolls) {
+  pf::PortId ready = 1;
+  auto receiver = [&]() -> Task {
+    const int pid = bob_.NewPid();
+    const pf::PortId port = co_await bob_.pf().Open(pid);
+    co_await bob_.pf().SetFilter(pid, port, pfnet::MakePupSocketFilter(35, 10));
+    std::vector<pf::PortId> ports = {port};
+    ready = co_await bob_.pf().Select(pid, std::move(ports), pfsim::Duration(0));
+  };
+  sim_.Spawn(receiver());
+  sim_.Run();
+  EXPECT_EQ(ready, pf::kInvalidPort);
+}
+
+TEST_F(PfDeviceTest, SignalFiresOncePerQueueEdge) {
+  int signals = 0;
+  auto scenario = [&]() -> Task {
+    const int pid = bob_.NewPid();
+    const pf::PortId port = co_await bob_.pf().Open(pid);
+    co_await bob_.pf().SetFilter(pid, port, pfnet::MakePupSocketFilter(35, 10));
+    bob_.pf().SetSignal(port, [&] { ++signals; });
+
+    const int alice_pid = alice_.NewPid();
+    // Three packets while nobody reads: one edge, one signal.
+    for (int i = 0; i < 3; ++i) {
+      co_await alice_.pf().Write(alice_pid, pftest::MakePupFrame(8, 35, 2));
+    }
+    co_await sim_.Delay(Milliseconds(100));
+    EXPECT_EQ(signals, 1);
+
+    // Drain, then one more packet: a new edge, a second signal.
+    (void)co_await bob_.pf().Read(pid, port, pfsim::Duration(0));
+    (void)co_await bob_.pf().Read(pid, port, pfsim::Duration(0));
+    (void)co_await bob_.pf().Read(pid, port, pfsim::Duration(0));
+    co_await alice_.pf().Write(alice_pid, pftest::MakePupFrame(8, 35, 2));
+    co_await sim_.Delay(Milliseconds(100));
+    EXPECT_EQ(signals, 2);
+  };
+  sim_.Spawn(scenario());
+  sim_.Run();
+  EXPECT_EQ(signals, 2);
+}
+
+TEST_F(PfDeviceTest, WriteManyAmortizesTheSyscall) {
+  size_t accepted = 0;
+  uint64_t syscalls = 0;
+  uint64_t copies = 0;
+  auto sender = [&]() -> Task {
+    const int pid = alice_.NewPid();
+    std::vector<std::vector<uint8_t>> frames;
+    for (int i = 0; i < 6; ++i) {
+      frames.push_back(pftest::MakePupFrame(8, 35, 2));
+    }
+    frames.push_back(std::vector<uint8_t>(5000, 0));  // oversized: rejected
+    const uint64_t syscalls_before = alice_.ledger().count(Cost::kSyscall);
+    const uint64_t copies_before = alice_.ledger().count(Cost::kCopy);
+    accepted = co_await alice_.pf().WriteMany(pid, std::move(frames));
+    syscalls = alice_.ledger().count(Cost::kSyscall) - syscalls_before;
+    copies = alice_.ledger().count(Cost::kCopy) - copies_before;
+  };
+  sim_.Spawn(sender());
+  sim_.Run();
+  EXPECT_EQ(accepted, 6u);
+  EXPECT_EQ(syscalls, 1u);  // §7: several packets in one system call
+  EXPECT_EQ(copies, 7u);    // copies stay per-frame
+  EXPECT_EQ(alice_.nic_stats().frames_out, 6u);
+  EXPECT_EQ(bob_.nic_stats().frames_in, 6u);
+}
+
+TEST_F(PfDeviceTest, PipeBatchOperationsPreserveOrderAndAmortize) {
+  pfkern::MessagePipe pipe(&alice_, 16);
+  const int writer = alice_.NewPid();
+  const int reader = alice_.NewPid();
+  std::vector<std::vector<uint8_t>> got;
+  uint64_t reader_syscalls = 0;
+  auto producer = [&]() -> Task {
+    std::vector<std::vector<uint8_t>> batch;
+    for (uint8_t i = 0; i < 5; ++i) {
+      batch.push_back(std::vector<uint8_t>{i});
+    }
+    co_await pipe.WriteBatch(writer, std::move(batch));
+  };
+  auto consumer = [&]() -> Task {
+    co_await sim_.Delay(Milliseconds(50));
+    const uint64_t before = alice_.ledger().count(Cost::kSyscall);
+    got = co_await pipe.ReadBatch(reader, Seconds(1));
+    reader_syscalls = alice_.ledger().count(Cost::kSyscall) - before;
+  };
+  sim_.Spawn(producer());
+  sim_.Spawn(consumer());
+  sim_.Run();
+  ASSERT_EQ(got.size(), 5u);
+  for (uint8_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(got[i], std::vector<uint8_t>{i});
+  }
+  EXPECT_EQ(reader_syscalls, 1u);
+}
+
+TEST_F(PfDeviceTest, PipeReadBatchTimesOutEmpty) {
+  pfkern::MessagePipe pipe(&alice_, 4);
+  std::vector<std::vector<uint8_t>> got = {{1}};
+  auto consumer = [&]() -> Task {
+    got = co_await pipe.ReadBatch(alice_.NewPid(), Milliseconds(20));
+  };
+  sim_.Spawn(consumer());
+  sim_.Run();
+  EXPECT_TRUE(got.empty());
+}
+
+}  // namespace

@@ -1,0 +1,143 @@
+// Program encode/decode tests, including randomized round-trip properties.
+#include <gtest/gtest.h>
+
+#include "src/pf/builder.h"
+#include "src/pf/disasm.h"
+#include "src/pf/program.h"
+#include "src/util/rng.h"
+
+namespace {
+
+using pf::BinaryOp;
+using pf::Instruction;
+using pf::LangVersion;
+using pf::Program;
+using pf::StackAction;
+
+TEST(ProgramTest, PaperFig38HasTwelveWords) {
+  // "10, 12, /* priority and length */" — 12 instruction words.
+  const Program p = pf::PaperFig38Filter();
+  EXPECT_EQ(p.priority, 10);
+  EXPECT_EQ(p.words.size(), 12u);
+  EXPECT_EQ(pf::InstructionCount(p), 10u);  // 2 literals folded in
+}
+
+TEST(ProgramTest, PaperFig39HasEightWords) {
+  const Program p = pf::PaperFig39Filter();
+  EXPECT_EQ(p.words.size(), 8u);
+  EXPECT_EQ(pf::InstructionCount(p), 6u);
+}
+
+TEST(ProgramTest, DecodeFoldsLiterals) {
+  pf::FilterBuilder b;
+  b.PushWord(1).Lit(BinaryOp::kEq, 0xbeef);
+  const Program p = b.Build(3);
+  const auto decoded = pf::DecodeProgram(p);
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_EQ(decoded->size(), 2u);
+  EXPECT_EQ((*decoded)[0].action, StackAction::kPushWord);
+  EXPECT_EQ((*decoded)[0].word_index, 1);
+  EXPECT_EQ((*decoded)[1].action, StackAction::kPushLit);
+  EXPECT_EQ((*decoded)[1].literal, 0xbeef);
+  EXPECT_EQ((*decoded)[1].op, BinaryOp::kEq);
+}
+
+TEST(ProgramTest, DecodeRejectsTrailingPushLit) {
+  Program p;
+  p.words = {pf::EncodeWord(BinaryOp::kNop, StackAction::kPushLit)};  // literal missing
+  EXPECT_FALSE(pf::DecodeProgram(p).has_value());
+}
+
+TEST(ProgramTest, DecodeRejectsUnassignedOpcode) {
+  Program p;
+  p.words = {static_cast<uint16_t>(500 << 6)};
+  EXPECT_FALSE(pf::DecodeProgram(p).has_value());
+}
+
+TEST(ProgramTest, DecodeRejectsV2OpInV1Program) {
+  Program p;
+  p.version = LangVersion::kV1;
+  p.words = {pf::EncodeWord(BinaryOp::kAdd, StackAction::kNoPush)};
+  EXPECT_FALSE(pf::DecodeProgram(p).has_value());
+  p.version = LangVersion::kV2;
+  EXPECT_TRUE(pf::DecodeProgram(p).has_value());
+}
+
+TEST(ProgramTest, EmptyProgramDecodesEmpty) {
+  const auto decoded = pf::DecodeProgram(Program{});
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->empty());
+}
+
+// Property: Encode(Decode(p)) == p for random instruction sequences.
+TEST(ProgramTest, RandomRoundTrip) {
+  pfutil::Rng rng(0xdecade);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<Instruction> instructions;
+    const size_t n = rng.Range(0, 20);
+    for (size_t i = 0; i < n; ++i) {
+      Instruction insn;
+      insn.op = static_cast<BinaryOp>(rng.Below(14));  // v1 ops
+      switch (rng.Below(4)) {
+        case 0:
+          insn.action = StackAction::kNoPush;
+          break;
+        case 1:
+          insn.action = StackAction::kPushLit;
+          insn.literal = rng.NextU16();
+          break;
+        case 2:
+          insn.action = static_cast<StackAction>(rng.Range(2, 6));
+          break;
+        default:
+          insn.action = StackAction::kPushWord;
+          insn.word_index = static_cast<uint8_t>(rng.Below(pf::kMaxWordIndex + 1));
+          break;
+      }
+      instructions.push_back(insn);
+    }
+    const Program p = pf::EncodeProgram(instructions, static_cast<uint8_t>(rng.Below(256)));
+    const auto decoded = pf::DecodeProgram(p);
+    ASSERT_TRUE(decoded.has_value()) << "trial " << trial;
+    ASSERT_EQ(decoded->size(), instructions.size());
+    for (size_t i = 0; i < instructions.size(); ++i) {
+      EXPECT_EQ((*decoded)[i].op, instructions[i].op);
+      EXPECT_EQ((*decoded)[i].action, instructions[i].action);
+      if (instructions[i].action == StackAction::kPushWord) {
+        EXPECT_EQ((*decoded)[i].word_index, instructions[i].word_index);
+      }
+      if (instructions[i].action == StackAction::kPushLit) {
+        EXPECT_EQ((*decoded)[i].literal, instructions[i].literal);
+      }
+    }
+    // Re-encoding the decoded form reproduces the words exactly.
+    EXPECT_EQ(pf::EncodeProgram(*decoded, p.priority).words, p.words);
+  }
+}
+
+TEST(DisasmTest, RendersPaperNotation) {
+  const std::string text = pf::Disassemble(pf::PaperFig39Filter());
+  EXPECT_NE(text.find("PUSHWORD+8"), std::string::npos);
+  EXPECT_NE(text.find("PUSHLIT | CAND, 35"), std::string::npos);
+  EXPECT_NE(text.find("PUSHZERO | CAND"), std::string::npos);
+  EXPECT_NE(text.find("priority 10"), std::string::npos);
+}
+
+TEST(DisasmTest, BareOpsRenderWithoutNoPush) {
+  pf::FilterBuilder b;
+  b.PushWord(0).PushWord(1).Op(BinaryOp::kAnd);
+  const std::string text = pf::Disassemble(b.Build(0));
+  EXPECT_NE(text.find("\n  AND\n"), std::string::npos);
+  EXPECT_EQ(text.find("NOPUSH"), std::string::npos);
+}
+
+TEST(DisasmTest, MalformedTailIsMarked) {
+  Program p;
+  p.words = {pf::EncodeWord(BinaryOp::kNop, StackAction::kPushZero),
+             pf::EncodeWord(BinaryOp::kNop, StackAction::kPushLit)};  // dangling literal
+  const std::string text = pf::Disassemble(p);
+  EXPECT_NE(text.find("PUSHZERO"), std::string::npos);
+  EXPECT_NE(text.find("malformed"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,224 @@
+// Wire-format codec tests: Pup (fig. 3-7 layout!), IP/UDP/TCP-lite,
+// ARP/RARP, VMTP — round trips, bounds, checksums, and the exact word
+// offsets the paper's filters rely on.
+#include <gtest/gtest.h>
+
+#include "src/proto/arp_rarp.h"
+#include "src/proto/ethertypes.h"
+#include "src/proto/ip.h"
+#include "src/proto/pup.h"
+#include "src/proto/vmtp.h"
+#include "src/util/byte_order.h"
+#include "tests/test_packets.h"
+
+namespace {
+
+TEST(PupTest, RoundTrip) {
+  pfproto::PupHeader header;
+  header.transport_control = 3;
+  header.type = 16;
+  header.identifier = 0xdeadbeef;
+  header.dst = {1, 2, 0x00010035};
+  header.src = {3, 4, 0x99};
+  const std::vector<uint8_t> data = {1, 2, 3, 4, 5};
+  const auto bytes = pfproto::BuildPup(header, data);
+  ASSERT_TRUE(bytes.has_value());
+  EXPECT_EQ(bytes->size(), 20u + 5u + 2u);
+
+  const auto view = pfproto::ParsePup(*bytes);
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(view->header.type, 16);
+  EXPECT_EQ(view->header.transport_control, 3);
+  EXPECT_EQ(view->header.identifier, 0xdeadbeefu);
+  EXPECT_EQ(view->header.dst.socket, 0x00010035u);
+  EXPECT_EQ(view->header.src.host, 4);
+  EXPECT_EQ(std::vector<uint8_t>(view->data.begin(), view->data.end()), data);
+  EXPECT_TRUE(view->checksum_present);
+  EXPECT_TRUE(view->checksum_ok);
+}
+
+TEST(PupTest, NoChecksumVariant) {
+  pfproto::PupHeader header;
+  const auto bytes = pfproto::BuildPup(header, {}, /*with_checksum=*/false);
+  ASSERT_TRUE(bytes.has_value());
+  const auto view = pfproto::ParsePup(*bytes);
+  ASSERT_TRUE(view.has_value());
+  EXPECT_FALSE(view->checksum_present);
+  EXPECT_TRUE(view->checksum_ok);
+}
+
+TEST(PupTest, CorruptionDetected) {
+  pfproto::PupHeader header;
+  auto bytes = pfproto::BuildPup(header, std::vector<uint8_t>(32, 0x11));
+  (*bytes)[25] ^= 0x40;
+  const auto view = pfproto::ParsePup(*bytes);
+  ASSERT_TRUE(view.has_value());
+  EXPECT_FALSE(view->checksum_ok);
+}
+
+TEST(PupTest, MaxSizeEnforced) {
+  pfproto::PupHeader header;
+  EXPECT_TRUE(
+      pfproto::BuildPup(header, std::vector<uint8_t>(pfproto::kMaxPupData, 0)).has_value());
+  EXPECT_FALSE(
+      pfproto::BuildPup(header, std::vector<uint8_t>(pfproto::kMaxPupData + 1, 0)).has_value());
+  // 568 bytes total, as §6.4 states.
+  EXPECT_EQ(pfproto::kMaxPupBytes, 568u);
+}
+
+TEST(PupTest, ParseRejectsBadLength) {
+  std::vector<uint8_t> bytes(30, 0);
+  pfutil::StoreBe16(bytes.data(), 500);  // length field exceeds the buffer
+  EXPECT_FALSE(pfproto::ParsePup(bytes).has_value());
+  pfutil::StoreBe16(bytes.data(), 4);  // shorter than a header
+  EXPECT_FALSE(pfproto::ParsePup(bytes).has_value());
+}
+
+TEST(PupTest, Fig37WordOffsetsMatchPaper) {
+  // The whole point of the fig. 3-8/3-9 filters: field word offsets within
+  // the complete frame. PupType is the low byte of word 3; DstSocket's low
+  // word is word 8 and its high word is word 7; EtherType is word 1.
+  const std::vector<uint8_t> frame = pftest::MakePupFrame(/*pup_type=*/77, /*dst_socket=*/35);
+  uint16_t word = 0;
+  ASSERT_TRUE(pfutil::LoadPacketWord(frame, pfproto::kWordEtherType, &word));
+  EXPECT_EQ(word, pfproto::kEtherTypePup);
+  ASSERT_TRUE(pfutil::LoadPacketWord(frame, pfproto::kWordPupType, &word));
+  EXPECT_EQ(word & 0x00ff, 77);
+  ASSERT_TRUE(pfutil::LoadPacketWord(frame, pfproto::kWordDstSocketLow, &word));
+  EXPECT_EQ(word, 35);
+  ASSERT_TRUE(pfutil::LoadPacketWord(frame, pfproto::kWordDstSocketHigh, &word));
+  EXPECT_EQ(word, 0);
+}
+
+TEST(IpTest, RoundTripAndChecksum) {
+  pfproto::IpHeader header;
+  header.protocol = pfproto::kIpProtoUdp;
+  header.src = pfproto::MakeIpv4(10, 0, 0, 1);
+  header.dst = pfproto::MakeIpv4(10, 0, 0, 2);
+  header.identification = 99;
+  const std::vector<uint8_t> payload = {9, 8, 7};
+  const auto packet = pfproto::BuildIp(header, payload);
+  const auto view = pfproto::ParseIp(packet);
+  ASSERT_TRUE(view.has_value());
+  EXPECT_TRUE(view->checksum_ok);
+  EXPECT_EQ(view->header.src, header.src);
+  EXPECT_EQ(view->header.protocol, pfproto::kIpProtoUdp);
+  EXPECT_EQ(view->payload.size(), 3u);
+}
+
+TEST(IpTest, HeaderCorruptionDetected) {
+  pfproto::IpHeader header;
+  header.src = 1;
+  auto packet = pfproto::BuildIp(header, {});
+  packet[8] ^= 0xff;  // TTL
+  const auto view = pfproto::ParseIp(packet);
+  ASSERT_TRUE(view.has_value());
+  EXPECT_FALSE(view->checksum_ok);
+}
+
+TEST(IpTest, Ipv4Strings) {
+  EXPECT_EQ(pfproto::Ipv4ToString(pfproto::MakeIpv4(192, 168, 1, 42)), "192.168.1.42");
+}
+
+TEST(UdpTest, RoundTrip) {
+  const uint32_t src = pfproto::MakeIpv4(10, 0, 0, 1);
+  const uint32_t dst = pfproto::MakeIpv4(10, 0, 0, 2);
+  const std::vector<uint8_t> payload = {1, 2, 3, 4};
+  const auto segment = pfproto::BuildUdp({1234, 5678}, src, dst, payload, true);
+  const auto view = pfproto::ParseUdp(segment);
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(view->header.src_port, 1234);
+  EXPECT_EQ(view->header.dst_port, 5678);
+  EXPECT_EQ(std::vector<uint8_t>(view->payload.begin(), view->payload.end()), payload);
+}
+
+TEST(UdpTest, UncheckedVariantHasZeroChecksum) {
+  const auto segment = pfproto::BuildUdp({1, 2}, 0, 0, {}, false);
+  EXPECT_EQ(pfutil::LoadBe16(segment.data() + 6), 0);
+  const auto checksummed = pfproto::BuildUdp({1, 2}, 0, 0, {}, true);
+  EXPECT_NE(pfutil::LoadBe16(checksummed.data() + 6), 0);
+}
+
+TEST(TcpTest, RoundTripWithPseudoHeaderChecksum) {
+  const uint32_t src = pfproto::MakeIpv4(10, 0, 0, 1);
+  const uint32_t dst = pfproto::MakeIpv4(10, 0, 0, 2);
+  pfproto::TcpHeader header;
+  header.src_port = 1000;
+  header.dst_port = 2000;
+  header.seq = 12345;
+  header.ack = 777;
+  header.flags = pfproto::kTcpAck;
+  header.window = 4096;
+  const std::vector<uint8_t> payload(100, 0x3c);
+  const auto segment = pfproto::BuildTcp(header, src, dst, payload);
+  const auto view = pfproto::ParseTcp(segment, src, dst);
+  ASSERT_TRUE(view.has_value());
+  EXPECT_TRUE(view->checksum_ok);
+  EXPECT_EQ(view->header.seq, 12345u);
+  EXPECT_EQ(view->header.ack, 777u);
+  EXPECT_EQ(view->payload.size(), 100u);
+
+  // Same bytes with the wrong pseudo-header fail.
+  const auto wrong = pfproto::ParseTcp(segment, src, src);
+  ASSERT_TRUE(wrong.has_value());
+  EXPECT_FALSE(wrong->checksum_ok);
+}
+
+TEST(ArpTest, RarpRequestReplyRoundTrip) {
+  pfproto::ArpPacket request;
+  request.op = pfproto::ArpOp::kRarpRequest;
+  request.sender_hw = {1, 2, 3, 4, 5, 6};
+  request.target_hw = {1, 2, 3, 4, 5, 6};
+  const auto bytes = pfproto::BuildArp(request);
+  EXPECT_EQ(bytes.size(), pfproto::kArpPacketBytes);
+  const auto parsed = pfproto::ParseArp(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->op, pfproto::ArpOp::kRarpRequest);
+  EXPECT_EQ(parsed->target_hw, request.target_hw);
+}
+
+TEST(ArpTest, RejectsNonEthernetIpv4) {
+  auto bytes = pfproto::BuildArp(pfproto::ArpPacket{});
+  bytes[1] = 9;  // hardware type
+  EXPECT_FALSE(pfproto::ParseArp(bytes).has_value());
+  bytes = pfproto::BuildArp(pfproto::ArpPacket{});
+  pfutil::StoreBe16(&bytes[6], 9);  // bad opcode
+  EXPECT_FALSE(pfproto::ParseArp(bytes).has_value());
+}
+
+TEST(VmtpTest, RoundTrip) {
+  pfproto::VmtpHeader header;
+  header.client = 0x1111;
+  header.server = 0x2222;
+  header.transaction = 7;
+  header.func = pfproto::VmtpFunc::kResponse;
+  header.packet_index = 2;
+  header.packet_count = 3;
+  header.segment_bytes = 5000;
+  const std::vector<uint8_t> data(1450, 0x77);
+  const auto bytes = pfproto::BuildVmtp(header, data);
+  const auto view = pfproto::ParseVmtp(bytes);
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(view->header.client, 0x1111u);
+  EXPECT_EQ(view->header.func, pfproto::VmtpFunc::kResponse);
+  EXPECT_EQ(view->header.packet_index, 2);
+  EXPECT_EQ(view->header.segment_bytes, 5000u);
+  EXPECT_EQ(view->data.size(), 1450u);
+}
+
+TEST(VmtpTest, RejectsBadFunc) {
+  auto bytes = pfproto::BuildVmtp(pfproto::VmtpHeader{}, {});
+  bytes[12] = 0;
+  EXPECT_FALSE(pfproto::ParseVmtp(bytes).has_value());
+  bytes[12] = 9;
+  EXPECT_FALSE(pfproto::ParseVmtp(bytes).has_value());
+}
+
+TEST(VmtpTest, RejectsTruncatedData) {
+  pfproto::VmtpHeader header;
+  auto bytes = pfproto::BuildVmtp(header, std::vector<uint8_t>(10, 1));
+  pfutil::StoreBe16(&bytes[18], 500);  // data_bytes > actual
+  EXPECT_FALSE(pfproto::ParseVmtp(bytes).has_value());
+}
+
+}  // namespace

@@ -1,0 +1,39 @@
+// Shared test helpers: canned frames in the paper's fig. 3-7 layout.
+#ifndef TESTS_TEST_PACKETS_H_
+#define TESTS_TEST_PACKETS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/link/frame.h"
+#include "src/proto/ethertypes.h"
+#include "src/proto/pup.h"
+
+namespace pftest {
+
+// A complete Experimental-Ethernet Pup frame (4-byte link header + Pup
+// layer), with the fields the paper's example filters test.
+inline std::vector<uint8_t> MakePupFrame(uint8_t pup_type, uint32_t dst_socket,
+                                         uint8_t dst_host = 2, uint8_t src_host = 1,
+                                         size_t data_bytes = 8,
+                                         uint16_t ether_type = pfproto::kEtherTypePup) {
+  pfproto::PupHeader header;
+  header.type = pup_type;
+  header.identifier = 0x01020304;
+  header.dst = {0, dst_host, dst_socket};
+  header.src = {0, src_host, 0x99};
+  const std::vector<uint8_t> data(data_bytes, 0xab);
+  const auto pup = pfproto::BuildPup(header, data);
+
+  pflink::LinkHeader link;
+  link.dst = pflink::MacAddr::Experimental(dst_host);
+  link.src = pflink::MacAddr::Experimental(src_host);
+  link.ether_type = ether_type;
+  const auto frame =
+      pflink::BuildFrame(pflink::LinkType::kExperimental3Mb, link, *pup);
+  return frame->bytes;
+}
+
+}  // namespace pftest
+
+#endif  // TESTS_TEST_PACKETS_H_
