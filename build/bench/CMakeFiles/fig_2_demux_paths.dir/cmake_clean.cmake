@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_2_demux_paths.dir/fig_2_demux_paths.cc.o"
+  "CMakeFiles/fig_2_demux_paths.dir/fig_2_demux_paths.cc.o.d"
+  "fig_2_demux_paths"
+  "fig_2_demux_paths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_2_demux_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_3_batching_events.dir/fig_3_batching_events.cc.o"
+  "CMakeFiles/fig_3_batching_events.dir/fig_3_batching_events.cc.o.d"
+  "fig_3_batching_events"
+  "fig_3_batching_events.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_3_batching_events.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

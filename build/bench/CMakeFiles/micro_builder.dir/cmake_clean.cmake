@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_builder.dir/micro_builder.cc.o"
+  "CMakeFiles/micro_builder.dir/micro_builder.cc.o.d"
+  "micro_builder"
+  "micro_builder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_builder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

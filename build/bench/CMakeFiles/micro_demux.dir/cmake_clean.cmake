@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_demux.dir/micro_demux.cc.o"
+  "CMakeFiles/micro_demux.dir/micro_demux.cc.o.d"
+  "micro_demux"
+  "micro_demux.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_demux.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfbench_harness.dir/harness.cc.o"
+  "CMakeFiles/pfbench_harness.dir/harness.cc.o.d"
+  "libpfbench_harness.a"
+  "libpfbench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfbench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpfbench_harness.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec_6_1_per_packet.dir/sec_6_1_per_packet.cc.o"
+  "CMakeFiles/sec_6_1_per_packet.dir/sec_6_1_per_packet.cc.o.d"
+  "sec_6_1_per_packet"
+  "sec_6_1_per_packet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec_6_1_per_packet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table_6_01_send_cost.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_6_02_vmtp_small.dir/table_6_02_vmtp_small.cc.o"
+  "CMakeFiles/table_6_02_vmtp_small.dir/table_6_02_vmtp_small.cc.o.d"
+  "table_6_02_vmtp_small"
+  "table_6_02_vmtp_small.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_6_02_vmtp_small.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

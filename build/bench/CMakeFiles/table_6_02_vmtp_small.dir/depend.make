@@ -1,0 +1,2 @@
+# Empty dependencies file for table_6_02_vmtp_small.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_6_03_vmtp_bulk.dir/table_6_03_vmtp_bulk.cc.o"
+  "CMakeFiles/table_6_03_vmtp_bulk.dir/table_6_03_vmtp_bulk.cc.o.d"
+  "table_6_03_vmtp_bulk"
+  "table_6_03_vmtp_bulk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_6_03_vmtp_bulk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_6_04_batching.dir/table_6_04_batching.cc.o"
+  "CMakeFiles/table_6_04_batching.dir/table_6_04_batching.cc.o.d"
+  "table_6_04_batching"
+  "table_6_04_batching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_6_04_batching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_6_05_user_demux.dir/table_6_05_user_demux.cc.o"
+  "CMakeFiles/table_6_05_user_demux.dir/table_6_05_user_demux.cc.o.d"
+  "table_6_05_user_demux"
+  "table_6_05_user_demux.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_6_05_user_demux.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

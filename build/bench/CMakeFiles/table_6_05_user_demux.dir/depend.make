@@ -1,0 +1,2 @@
+# Empty dependencies file for table_6_05_user_demux.
+# This may be replaced when dependencies are built.

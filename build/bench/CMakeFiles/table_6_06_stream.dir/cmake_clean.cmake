@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_6_06_stream.dir/table_6_06_stream.cc.o"
+  "CMakeFiles/table_6_06_stream.dir/table_6_06_stream.cc.o.d"
+  "table_6_06_stream"
+  "table_6_06_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_6_06_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_6_07_telnet.dir/table_6_07_telnet.cc.o"
+  "CMakeFiles/table_6_07_telnet.dir/table_6_07_telnet.cc.o.d"
+  "table_6_07_telnet"
+  "table_6_07_telnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_6_07_telnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_6_08_demux_latency.dir/table_6_08_demux_latency.cc.o"
+  "CMakeFiles/table_6_08_demux_latency.dir/table_6_08_demux_latency.cc.o.d"
+  "table_6_08_demux_latency"
+  "table_6_08_demux_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_6_08_demux_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

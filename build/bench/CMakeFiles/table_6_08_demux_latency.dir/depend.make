@@ -1,0 +1,2 @@
+# Empty dependencies file for table_6_08_demux_latency.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_6_09_demux_latency_batch.dir/table_6_09_demux_latency_batch.cc.o"
+  "CMakeFiles/table_6_09_demux_latency_batch.dir/table_6_09_demux_latency_batch.cc.o.d"
+  "table_6_09_demux_latency_batch"
+  "table_6_09_demux_latency_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_6_09_demux_latency_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

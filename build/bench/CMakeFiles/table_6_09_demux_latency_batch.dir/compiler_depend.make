@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table_6_09_demux_latency_batch.
+# This may be replaced when dependencies are built.

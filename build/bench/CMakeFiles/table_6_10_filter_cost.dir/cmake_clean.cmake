@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_6_10_filter_cost.dir/table_6_10_filter_cost.cc.o"
+  "CMakeFiles/table_6_10_filter_cost.dir/table_6_10_filter_cost.cc.o.d"
+  "table_6_10_filter_cost"
+  "table_6_10_filter_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_6_10_filter_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

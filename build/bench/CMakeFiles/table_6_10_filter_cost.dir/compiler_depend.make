@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table_6_10_filter_cost.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filter_lab.dir/filter_lab.cc.o"
+  "CMakeFiles/filter_lab.dir/filter_lab.cc.o.d"
+  "filter_lab"
+  "filter_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filter_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

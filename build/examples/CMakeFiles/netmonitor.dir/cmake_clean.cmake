@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netmonitor.dir/netmonitor.cc.o"
+  "CMakeFiles/netmonitor.dir/netmonitor.cc.o.d"
+  "netmonitor"
+  "netmonitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netmonitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rarp_daemon.dir/rarp_daemon.cc.o"
+  "CMakeFiles/rarp_daemon.dir/rarp_daemon.cc.o.d"
+  "rarp_daemon"
+  "rarp_daemon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rarp_daemon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmtp_fileserver.dir/vmtp_fileserver.cc.o"
+  "CMakeFiles/vmtp_fileserver.dir/vmtp_fileserver.cc.o.d"
+  "vmtp_fileserver"
+  "vmtp_fileserver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmtp_fileserver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

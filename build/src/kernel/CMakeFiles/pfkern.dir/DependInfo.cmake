@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernel/kernel_ip.cc" "src/kernel/CMakeFiles/pfkern.dir/kernel_ip.cc.o" "gcc" "src/kernel/CMakeFiles/pfkern.dir/kernel_ip.cc.o.d"
+  "/root/repo/src/kernel/kernel_tcp.cc" "src/kernel/CMakeFiles/pfkern.dir/kernel_tcp.cc.o" "gcc" "src/kernel/CMakeFiles/pfkern.dir/kernel_tcp.cc.o.d"
+  "/root/repo/src/kernel/kernel_vmtp.cc" "src/kernel/CMakeFiles/pfkern.dir/kernel_vmtp.cc.o" "gcc" "src/kernel/CMakeFiles/pfkern.dir/kernel_vmtp.cc.o.d"
+  "/root/repo/src/kernel/ledger.cc" "src/kernel/CMakeFiles/pfkern.dir/ledger.cc.o" "gcc" "src/kernel/CMakeFiles/pfkern.dir/ledger.cc.o.d"
+  "/root/repo/src/kernel/machine.cc" "src/kernel/CMakeFiles/pfkern.dir/machine.cc.o" "gcc" "src/kernel/CMakeFiles/pfkern.dir/machine.cc.o.d"
+  "/root/repo/src/kernel/pf_device.cc" "src/kernel/CMakeFiles/pfkern.dir/pf_device.cc.o" "gcc" "src/kernel/CMakeFiles/pfkern.dir/pf_device.cc.o.d"
+  "/root/repo/src/kernel/pipe.cc" "src/kernel/CMakeFiles/pfkern.dir/pipe.cc.o" "gcc" "src/kernel/CMakeFiles/pfkern.dir/pipe.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pf/CMakeFiles/pf.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pfsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/link/CMakeFiles/pflink.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/pfproto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pfutil.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

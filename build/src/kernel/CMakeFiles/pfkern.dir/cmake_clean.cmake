@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfkern.dir/kernel_ip.cc.o"
+  "CMakeFiles/pfkern.dir/kernel_ip.cc.o.d"
+  "CMakeFiles/pfkern.dir/kernel_tcp.cc.o"
+  "CMakeFiles/pfkern.dir/kernel_tcp.cc.o.d"
+  "CMakeFiles/pfkern.dir/kernel_vmtp.cc.o"
+  "CMakeFiles/pfkern.dir/kernel_vmtp.cc.o.d"
+  "CMakeFiles/pfkern.dir/ledger.cc.o"
+  "CMakeFiles/pfkern.dir/ledger.cc.o.d"
+  "CMakeFiles/pfkern.dir/machine.cc.o"
+  "CMakeFiles/pfkern.dir/machine.cc.o.d"
+  "CMakeFiles/pfkern.dir/pf_device.cc.o"
+  "CMakeFiles/pfkern.dir/pf_device.cc.o.d"
+  "CMakeFiles/pfkern.dir/pipe.cc.o"
+  "CMakeFiles/pfkern.dir/pipe.cc.o.d"
+  "libpfkern.a"
+  "libpfkern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfkern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

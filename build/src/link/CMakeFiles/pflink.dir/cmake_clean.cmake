@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pflink.dir/frame.cc.o"
+  "CMakeFiles/pflink.dir/frame.cc.o.d"
+  "CMakeFiles/pflink.dir/segment.cc.o"
+  "CMakeFiles/pflink.dir/segment.cc.o.d"
+  "libpflink.a"
+  "libpflink.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pflink.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

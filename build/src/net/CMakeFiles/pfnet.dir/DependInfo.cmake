@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/bsp.cc" "src/net/CMakeFiles/pfnet.dir/bsp.cc.o" "gcc" "src/net/CMakeFiles/pfnet.dir/bsp.cc.o.d"
+  "/root/repo/src/net/demux_process.cc" "src/net/CMakeFiles/pfnet.dir/demux_process.cc.o" "gcc" "src/net/CMakeFiles/pfnet.dir/demux_process.cc.o.d"
+  "/root/repo/src/net/monitor.cc" "src/net/CMakeFiles/pfnet.dir/monitor.cc.o" "gcc" "src/net/CMakeFiles/pfnet.dir/monitor.cc.o.d"
+  "/root/repo/src/net/pup_endpoint.cc" "src/net/CMakeFiles/pfnet.dir/pup_endpoint.cc.o" "gcc" "src/net/CMakeFiles/pfnet.dir/pup_endpoint.cc.o.d"
+  "/root/repo/src/net/rarp.cc" "src/net/CMakeFiles/pfnet.dir/rarp.cc.o" "gcc" "src/net/CMakeFiles/pfnet.dir/rarp.cc.o.d"
+  "/root/repo/src/net/vmtp.cc" "src/net/CMakeFiles/pfnet.dir/vmtp.cc.o" "gcc" "src/net/CMakeFiles/pfnet.dir/vmtp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernel/CMakeFiles/pfkern.dir/DependInfo.cmake"
+  "/root/repo/build/src/pf/CMakeFiles/pf.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pfsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/link/CMakeFiles/pflink.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/pfproto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pfutil.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

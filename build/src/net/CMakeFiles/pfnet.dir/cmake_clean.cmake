@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfnet.dir/bsp.cc.o"
+  "CMakeFiles/pfnet.dir/bsp.cc.o.d"
+  "CMakeFiles/pfnet.dir/demux_process.cc.o"
+  "CMakeFiles/pfnet.dir/demux_process.cc.o.d"
+  "CMakeFiles/pfnet.dir/monitor.cc.o"
+  "CMakeFiles/pfnet.dir/monitor.cc.o.d"
+  "CMakeFiles/pfnet.dir/pup_endpoint.cc.o"
+  "CMakeFiles/pfnet.dir/pup_endpoint.cc.o.d"
+  "CMakeFiles/pfnet.dir/rarp.cc.o"
+  "CMakeFiles/pfnet.dir/rarp.cc.o.d"
+  "CMakeFiles/pfnet.dir/vmtp.cc.o"
+  "CMakeFiles/pfnet.dir/vmtp.cc.o.d"
+  "libpfnet.a"
+  "libpfnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pf/builder.cc" "src/pf/CMakeFiles/pf.dir/builder.cc.o" "gcc" "src/pf/CMakeFiles/pf.dir/builder.cc.o.d"
+  "/root/repo/src/pf/decision_tree.cc" "src/pf/CMakeFiles/pf.dir/decision_tree.cc.o" "gcc" "src/pf/CMakeFiles/pf.dir/decision_tree.cc.o.d"
+  "/root/repo/src/pf/demux.cc" "src/pf/CMakeFiles/pf.dir/demux.cc.o" "gcc" "src/pf/CMakeFiles/pf.dir/demux.cc.o.d"
+  "/root/repo/src/pf/disasm.cc" "src/pf/CMakeFiles/pf.dir/disasm.cc.o" "gcc" "src/pf/CMakeFiles/pf.dir/disasm.cc.o.d"
+  "/root/repo/src/pf/insn.cc" "src/pf/CMakeFiles/pf.dir/insn.cc.o" "gcc" "src/pf/CMakeFiles/pf.dir/insn.cc.o.d"
+  "/root/repo/src/pf/interpreter.cc" "src/pf/CMakeFiles/pf.dir/interpreter.cc.o" "gcc" "src/pf/CMakeFiles/pf.dir/interpreter.cc.o.d"
+  "/root/repo/src/pf/program.cc" "src/pf/CMakeFiles/pf.dir/program.cc.o" "gcc" "src/pf/CMakeFiles/pf.dir/program.cc.o.d"
+  "/root/repo/src/pf/validate.cc" "src/pf/CMakeFiles/pf.dir/validate.cc.o" "gcc" "src/pf/CMakeFiles/pf.dir/validate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pfutil.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

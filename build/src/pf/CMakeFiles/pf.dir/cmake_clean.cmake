@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pf.dir/builder.cc.o"
+  "CMakeFiles/pf.dir/builder.cc.o.d"
+  "CMakeFiles/pf.dir/decision_tree.cc.o"
+  "CMakeFiles/pf.dir/decision_tree.cc.o.d"
+  "CMakeFiles/pf.dir/demux.cc.o"
+  "CMakeFiles/pf.dir/demux.cc.o.d"
+  "CMakeFiles/pf.dir/disasm.cc.o"
+  "CMakeFiles/pf.dir/disasm.cc.o.d"
+  "CMakeFiles/pf.dir/insn.cc.o"
+  "CMakeFiles/pf.dir/insn.cc.o.d"
+  "CMakeFiles/pf.dir/interpreter.cc.o"
+  "CMakeFiles/pf.dir/interpreter.cc.o.d"
+  "CMakeFiles/pf.dir/program.cc.o"
+  "CMakeFiles/pf.dir/program.cc.o.d"
+  "CMakeFiles/pf.dir/validate.cc.o"
+  "CMakeFiles/pf.dir/validate.cc.o.d"
+  "libpf.a"
+  "libpf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proto/arp_rarp.cc" "src/proto/CMakeFiles/pfproto.dir/arp_rarp.cc.o" "gcc" "src/proto/CMakeFiles/pfproto.dir/arp_rarp.cc.o.d"
+  "/root/repo/src/proto/ip.cc" "src/proto/CMakeFiles/pfproto.dir/ip.cc.o" "gcc" "src/proto/CMakeFiles/pfproto.dir/ip.cc.o.d"
+  "/root/repo/src/proto/pup.cc" "src/proto/CMakeFiles/pfproto.dir/pup.cc.o" "gcc" "src/proto/CMakeFiles/pfproto.dir/pup.cc.o.d"
+  "/root/repo/src/proto/vmtp.cc" "src/proto/CMakeFiles/pfproto.dir/vmtp.cc.o" "gcc" "src/proto/CMakeFiles/pfproto.dir/vmtp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pfutil.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfproto.dir/arp_rarp.cc.o"
+  "CMakeFiles/pfproto.dir/arp_rarp.cc.o.d"
+  "CMakeFiles/pfproto.dir/ip.cc.o"
+  "CMakeFiles/pfproto.dir/ip.cc.o.d"
+  "CMakeFiles/pfproto.dir/pup.cc.o"
+  "CMakeFiles/pfproto.dir/pup.cc.o.d"
+  "CMakeFiles/pfproto.dir/vmtp.cc.o"
+  "CMakeFiles/pfproto.dir/vmtp.cc.o.d"
+  "libpfproto.a"
+  "libpfproto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfproto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for pfproto.
+# This may be replaced when dependencies are built.

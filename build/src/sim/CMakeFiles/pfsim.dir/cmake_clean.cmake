@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfsim.dir/simulator.cc.o"
+  "CMakeFiles/pfsim.dir/simulator.cc.o.d"
+  "libpfsim.a"
+  "libpfsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/checksum.cc" "src/util/CMakeFiles/pfutil.dir/checksum.cc.o" "gcc" "src/util/CMakeFiles/pfutil.dir/checksum.cc.o.d"
+  "/root/repo/src/util/hexdump.cc" "src/util/CMakeFiles/pfutil.dir/hexdump.cc.o" "gcc" "src/util/CMakeFiles/pfutil.dir/hexdump.cc.o.d"
+  "/root/repo/src/util/pcap_writer.cc" "src/util/CMakeFiles/pfutil.dir/pcap_writer.cc.o" "gcc" "src/util/CMakeFiles/pfutil.dir/pcap_writer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfutil.dir/checksum.cc.o"
+  "CMakeFiles/pfutil.dir/checksum.cc.o.d"
+  "CMakeFiles/pfutil.dir/hexdump.cc.o"
+  "CMakeFiles/pfutil.dir/hexdump.cc.o.d"
+  "CMakeFiles/pfutil.dir/pcap_writer.cc.o"
+  "CMakeFiles/pfutil.dir/pcap_writer.cc.o.d"
+  "libpfutil.a"
+  "libpfutil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfutil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

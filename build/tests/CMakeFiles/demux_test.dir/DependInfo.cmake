@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/demux_test.cc" "tests/CMakeFiles/demux_test.dir/demux_test.cc.o" "gcc" "tests/CMakeFiles/demux_test.dir/demux_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/pfnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/pf/CMakeFiles/pf.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pfsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/link/CMakeFiles/pflink.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/pfproto.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/pfkern.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pfutil.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

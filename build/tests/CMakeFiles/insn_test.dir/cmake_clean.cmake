@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insn_test.dir/insn_test.cc.o"
+  "CMakeFiles/insn_test.dir/insn_test.cc.o.d"
+  "insn_test"
+  "insn_test.pdb"
+  "insn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

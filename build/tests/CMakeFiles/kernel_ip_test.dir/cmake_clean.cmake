@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_ip_test.dir/kernel_ip_test.cc.o"
+  "CMakeFiles/kernel_ip_test.dir/kernel_ip_test.cc.o.d"
+  "kernel_ip_test"
+  "kernel_ip_test.pdb"
+  "kernel_ip_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_ip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pf_device_test.dir/pf_device_test.cc.o"
+  "CMakeFiles/pf_device_test.dir/pf_device_test.cc.o.d"
+  "pf_device_test"
+  "pf_device_test.pdb"
+  "pf_device_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pf_device_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rarp_monitor_test.dir/rarp_monitor_test.cc.o"
+  "CMakeFiles/rarp_monitor_test.dir/rarp_monitor_test.cc.o.d"
+  "rarp_monitor_test"
+  "rarp_monitor_test.pdb"
+  "rarp_monitor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rarp_monitor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

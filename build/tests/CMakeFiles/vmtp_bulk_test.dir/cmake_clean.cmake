@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmtp_bulk_test.dir/vmtp_bulk_test.cc.o"
+  "CMakeFiles/vmtp_bulk_test.dir/vmtp_bulk_test.cc.o.d"
+  "vmtp_bulk_test"
+  "vmtp_bulk_test.pdb"
+  "vmtp_bulk_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmtp_bulk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/insn_test[1]_include.cmake")
+include("/root/repo/build/tests/program_test[1]_include.cmake")
+include("/root/repo/build/tests/validate_test[1]_include.cmake")
+include("/root/repo/build/tests/interpreter_test[1]_include.cmake")
+include("/root/repo/build/tests/demux_test[1]_include.cmake")
+include("/root/repo/build/tests/decision_tree_test[1]_include.cmake")
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/link_test[1]_include.cmake")
+include("/root/repo/build/tests/proto_test[1]_include.cmake")
+include("/root/repo/build/tests/machine_test[1]_include.cmake")
+include("/root/repo/build/tests/kernel_ip_test[1]_include.cmake")
+include("/root/repo/build/tests/vmtp_test[1]_include.cmake")
+include("/root/repo/build/tests/bsp_test[1]_include.cmake")
+include("/root/repo/build/tests/rarp_monitor_test[1]_include.cmake")
+include("/root/repo/build/tests/pf_device_test[1]_include.cmake")
+include("/root/repo/build/tests/vmtp_bulk_test[1]_include.cmake")
