@@ -1,5 +1,5 @@
-// Wall-clock microbenchmarks of the demultiplexer: sequential filter
-// application vs the §7 decision-tree compiler, priority ordering, and
+// Wall-clock microbenchmarks of the demultiplexer: the engine's four
+// execution strategies on a growing filter set, priority ordering, and
 // busy-reordering — the ablations DESIGN.md §6 calls out.
 #include <benchmark/benchmark.h>
 
@@ -11,9 +11,9 @@ namespace {
 
 // A demux with `ports` Pup-socket filters (sockets 1..ports, equal
 // priority); traffic goes to `target`.
-pf::PacketFilter MakeDemux(int ports, bool tree) {
+pf::PacketFilter MakeDemux(int ports, pf::Strategy strategy) {
   pf::PacketFilter filter;
-  filter.SetUseDecisionTree(tree);
+  filter.SetStrategy(strategy);
   for (int socket = 1; socket <= ports; ++socket) {
     const pf::PortId port = filter.OpenPort();
     filter.SetFilter(port, pfnet::MakePupSocketFilter(static_cast<uint32_t>(socket), 10));
@@ -22,27 +22,28 @@ pf::PacketFilter MakeDemux(int ports, bool tree) {
   return filter;
 }
 
-void BM_DemuxSequential(benchmark::State& state) {
+// Worst case for the sequential strategies: the matching filter is the last
+// one applied.
+void RunDemux(benchmark::State& state, pf::Strategy strategy) {
   const int ports = static_cast<int>(state.range(0));
-  pf::PacketFilter filter = MakeDemux(ports, false);
-  // Worst case: the matching filter is the last one applied.
+  pf::PacketFilter filter = MakeDemux(ports, strategy);
   const auto packet = pftest::MakePupFrame(8, static_cast<uint32_t>(ports));
   for (auto _ : state) {
     benchmark::DoNotOptimize(filter.Demux(packet));
   }
   state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_DemuxSequential)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
 
-void BM_DemuxDecisionTree(benchmark::State& state) {
-  const int ports = static_cast<int>(state.range(0));
-  pf::PacketFilter filter = MakeDemux(ports, true);
-  const auto packet = pftest::MakePupFrame(8, static_cast<uint32_t>(ports));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(filter.Demux(packet));
-  }
-  state.SetItemsProcessed(state.iterations());
-}
+void BM_DemuxChecked(benchmark::State& state) { RunDemux(state, pf::Strategy::kChecked); }
+BENCHMARK(BM_DemuxChecked)->Arg(1)->Arg(16)->Arg(64);
+
+void BM_DemuxFast(benchmark::State& state) { RunDemux(state, pf::Strategy::kFast); }
+BENCHMARK(BM_DemuxFast)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_DemuxPredecoded(benchmark::State& state) { RunDemux(state, pf::Strategy::kPredecoded); }
+BENCHMARK(BM_DemuxPredecoded)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_DemuxDecisionTree(benchmark::State& state) { RunDemux(state, pf::Strategy::kTree); }
 BENCHMARK(BM_DemuxDecisionTree)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
 
 // §3.2's priority argument: the busy filter first vs last.

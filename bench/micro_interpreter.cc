@@ -1,16 +1,21 @@
-// Wall-clock microbenchmarks of the filter interpreter (google-benchmark):
-// the §4 "inner loop is quite busy" code, plus the §7 improvements this
-// repository implements:
-//   * run-time-checked vs ahead-of-time-validated interpretation,
+// Wall-clock microbenchmarks of filter execution (google-benchmark), all
+// routed through pf::Engine — the §4 "inner loop is quite busy" code, plus
+// the §7 improvements this repository implements as Engine strategies:
+//   * kChecked vs kFast: run-time checking vs ahead-of-time validation,
+//   * kFast vs kPredecoded: bind-time pre-decode removes the remaining
+//     per-instruction word splitting and literal fetches,
+//   * kTree: one decision-tree walk instead of interpretation,
 //   * short-circuit operators (fig. 3-8 vs fig. 3-9 on hit/miss traffic),
 //   * filter length sweep (the table 6-10 shape in nanoseconds).
 #include <benchmark/benchmark.h>
 
 #include "src/pf/builder.h"
-#include "src/pf/interpreter.h"
+#include "src/pf/engine.h"
 #include "tests/test_packets.h"
 
 namespace {
+
+constexpr pf::Engine::Key kKey = 1;
 
 const std::vector<uint8_t>& MatchingPacket() {
   static const std::vector<uint8_t> packet = pftest::MakePupFrame(50, 35, 2, 1, 64);
@@ -32,80 +37,113 @@ pf::Program LengthN(int n) {
   return b.Build(10);
 }
 
-void BM_InterpretChecked_Fig38(benchmark::State& state) {
-  const pf::Program program = pf::PaperFig38Filter();
+// The shared hot loop: one bound filter, one packet, one strategy.
+void RunEngine(benchmark::State& state, pf::Strategy strategy, const pf::Program& program,
+               const std::vector<uint8_t>& packet) {
+  pf::Engine engine(strategy);
+  engine.Bind(kKey, *pf::ValidatedProgram::Create(program));
   for (auto _ : state) {
-    benchmark::DoNotOptimize(pf::InterpretChecked(program, MatchingPacket()));
+    pf::Engine::MatchPass pass = engine.Match(packet);
+    benchmark::DoNotOptimize(pass.Test(kKey));
   }
+  state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_InterpretChecked_Fig38);
 
-void BM_InterpretFast_Fig38(benchmark::State& state) {
-  const auto program = *pf::ValidatedProgram::Create(pf::PaperFig38Filter());
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(pf::InterpretFast(program, MatchingPacket()));
-  }
+// --- Fig. 3-8 (range filter: not tree- or conjunction-eligible) under the
+// three sequential strategies. ---
+void BM_Checked_Fig38(benchmark::State& state) {
+  RunEngine(state, pf::Strategy::kChecked, pf::PaperFig38Filter(), MatchingPacket());
 }
-BENCHMARK(BM_InterpretFast_Fig38);
+BENCHMARK(BM_Checked_Fig38);
+
+void BM_Fast_Fig38(benchmark::State& state) {
+  RunEngine(state, pf::Strategy::kFast, pf::PaperFig38Filter(), MatchingPacket());
+}
+BENCHMARK(BM_Fast_Fig38);
+
+void BM_Predecoded_Fig38(benchmark::State& state) {
+  RunEngine(state, pf::Strategy::kPredecoded, pf::PaperFig38Filter(), MatchingPacket());
+}
+BENCHMARK(BM_Predecoded_Fig38);
+
+// --- Fig. 3-9 (the paper's canonical conjunction filter) across every
+// backend that can run it, on accepting traffic. The acceptance bar for the
+// pre-decoded backend is set here: kPredecoded must not lose to kFast. ---
+void BM_Checked_Fig39_Hit(benchmark::State& state) {
+  RunEngine(state, pf::Strategy::kChecked, pf::PaperFig39Filter(), MatchingPacket());
+}
+BENCHMARK(BM_Checked_Fig39_Hit);
+
+void BM_Fast_Fig39_Hit(benchmark::State& state) {
+  RunEngine(state, pf::Strategy::kFast, pf::PaperFig39Filter(), MatchingPacket());
+}
+BENCHMARK(BM_Fast_Fig39_Hit);
+
+void BM_Predecoded_Fig39_Hit(benchmark::State& state) {
+  RunEngine(state, pf::Strategy::kPredecoded, pf::PaperFig39Filter(), MatchingPacket());
+}
+BENCHMARK(BM_Predecoded_Fig39_Hit);
+
+void BM_Tree_Fig39_Hit(benchmark::State& state) {
+  RunEngine(state, pf::Strategy::kTree, pf::PaperFig39Filter(), MatchingPacket());
+}
+BENCHMARK(BM_Tree_Fig39_Hit);
 
 // Fig. 3-9's short-circuit filter on a non-matching packet exits after two
 // instructions — the optimization "added after an analysis showed that they
 // would reduce the cost of interpreting filter predicates" (§3.1).
-void BM_ShortCircuit_Miss(benchmark::State& state) {
-  const auto program = *pf::ValidatedProgram::Create(pf::PaperFig39Filter());
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(pf::InterpretFast(program, NonMatchingPacket()));
-  }
+void BM_Fast_Fig39_Miss(benchmark::State& state) {
+  RunEngine(state, pf::Strategy::kFast, pf::PaperFig39Filter(), NonMatchingPacket());
 }
-BENCHMARK(BM_ShortCircuit_Miss);
+BENCHMARK(BM_Fast_Fig39_Miss);
 
-void BM_ShortCircuit_Hit(benchmark::State& state) {
-  const auto program = *pf::ValidatedProgram::Create(pf::PaperFig39Filter());
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(pf::InterpretFast(program, MatchingPacket()));
-  }
+void BM_Predecoded_Fig39_Miss(benchmark::State& state) {
+  RunEngine(state, pf::Strategy::kPredecoded, pf::PaperFig39Filter(), NonMatchingPacket());
 }
-BENCHMARK(BM_ShortCircuit_Hit);
+BENCHMARK(BM_Predecoded_Fig39_Miss);
 
 // Without short-circuits (fig. 3-8 style: plain EQ + AND), a miss still
 // walks the whole program.
-void BM_NoShortCircuit_Miss(benchmark::State& state) {
+void BM_Fast_NoShortCircuit_Miss(benchmark::State& state) {
   pf::FilterBuilder b;
   b.WordEquals(8, 35).WordEquals(7, 0).Op(pf::BinaryOp::kAnd).WordEquals(1, 2).Op(
       pf::BinaryOp::kAnd);
-  const auto program = *pf::ValidatedProgram::Create(b.Build(10));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(pf::InterpretFast(program, NonMatchingPacket()));
-  }
+  RunEngine(state, pf::Strategy::kFast, b.Build(10), NonMatchingPacket());
 }
-BENCHMARK(BM_NoShortCircuit_Miss);
+BENCHMARK(BM_Fast_NoShortCircuit_Miss);
 
+// --- Filter length sweep (the table 6-10 shape). ---
 void BM_FilterLength(benchmark::State& state) {
-  const auto program = *pf::ValidatedProgram::Create(LengthN(static_cast<int>(state.range(0))));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(pf::InterpretFast(program, MatchingPacket()));
-  }
-  state.SetItemsProcessed(state.iterations());
+  RunEngine(state, pf::Strategy::kFast, LengthN(static_cast<int>(state.range(0))),
+            MatchingPacket());
 }
 BENCHMARK(BM_FilterLength)->Arg(0)->Arg(1)->Arg(9)->Arg(21);
 
 void BM_FilterLengthChecked(benchmark::State& state) {
-  const pf::Program program = LengthN(static_cast<int>(state.range(0)));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(pf::InterpretChecked(program, MatchingPacket()));
-  }
+  RunEngine(state, pf::Strategy::kChecked, LengthN(static_cast<int>(state.range(0))),
+            MatchingPacket());
 }
 BENCHMARK(BM_FilterLengthChecked)->Arg(1)->Arg(21);
+
+void BM_FilterLengthPredecoded(benchmark::State& state) {
+  RunEngine(state, pf::Strategy::kPredecoded, LengthN(static_cast<int>(state.range(0))),
+            MatchingPacket());
+}
+BENCHMARK(BM_FilterLengthPredecoded)->Arg(1)->Arg(21);
 
 // v2 indirect push (§7): the variable-offset read the paper wished for.
 void BM_IndirectPush(benchmark::State& state) {
   pf::FilterBuilder b(pf::LangVersion::kV2);
   b.PushLit(2).Lit(pf::BinaryOp::kAdd, 4).IndOp().Lit(pf::BinaryOp::kEq, 0);
-  const auto program = *pf::ValidatedProgram::Create(b.Build(10));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(pf::InterpretFast(program, MatchingPacket()));
-  }
+  RunEngine(state, pf::Strategy::kFast, b.Build(10), MatchingPacket());
 }
 BENCHMARK(BM_IndirectPush);
+
+void BM_IndirectPushPredecoded(benchmark::State& state) {
+  pf::FilterBuilder b(pf::LangVersion::kV2);
+  b.PushLit(2).Lit(pf::BinaryOp::kAdd, 4).IndOp().Lit(pf::BinaryOp::kEq, 0);
+  RunEngine(state, pf::Strategy::kPredecoded, b.Build(10), MatchingPacket());
+}
+BENCHMARK(BM_IndirectPushPredecoded);
 
 }  // namespace

@@ -21,6 +21,7 @@
 #include "bench/harness.h"
 #include "src/kernel/pipe.h"
 #include "src/net/demux_process.h"
+#include "src/pf/engine.h"
 #include "src/pf/program.h"
 
 namespace pfbench {
@@ -33,6 +34,8 @@ struct RecvConfig {
   bool user_demux = false;   // insert demux process + pipe (fig. 2-1)
   // Filter bound to the receiving port; empty program = accept all.
   pf::Program filter;
+  // Execution strategy of the kernel demultiplexer's engine.
+  pf::Strategy strategy = pf::Strategy::kFast;
 };
 
 // Returns the mean per-packet receive cost in milliseconds, measured as
@@ -45,6 +48,7 @@ inline double MeasureReceivePerPacketMs(const RecvConfig& config) {
   pflink::EthernetSegment segment(&sim, pflink::LinkType::kEthernet10Mb);
   pfkern::Machine receiver(&sim, &segment, pflink::MacAddr::Dix(8, 0, 0, 0, 0, 2),
                            pfkern::MicroVaxUltrixCosts(), "receiver");
+  receiver.pf().core().SetStrategy(config.strategy);
 
   // The injected frame: addressed to the receiver, private EtherType.
   pflink::LinkHeader link;

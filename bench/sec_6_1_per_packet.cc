@@ -164,7 +164,7 @@ ProfileResult RunProfile(int packets, int fixed_socket = 0) {
     result.filter_eval_share = filter_ms / pf_ms;
     const auto& g = receiver.pf().core().global_stats();
     result.predicates_per_packet =
-        static_cast<double>(g.filters_tested) / static_cast<double>(g.packets_in);
+        static_cast<double>(g.exec.filters_run) / static_cast<double>(g.packets_in);
   }
   if (ip_packets > 0) {
     result.ip_layer_ms = pfsim::ToMilliseconds(ledger.total(Cost::kIpInput)) / ip_packets;

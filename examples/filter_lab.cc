@@ -1,17 +1,16 @@
 // filter_lab: an interactive tour of the filter language itself — no
 // simulator, just the pure pf core. Builds the paper's fig. 3-8 and
 // fig. 3-9 programs plus v2-extension examples, disassembles them, runs
-// them against sample packets with both interpreters, and shows the
+// them through every pf::Engine execution strategy, and shows the
 // decision-tree compiler collapsing a 32-filter set into a handful of
 // probes.
 #include <cstdio>
 
 #include "src/net/pup_endpoint.h"
 #include "src/pf/builder.h"
-#include "src/pf/decision_tree.h"
 #include "src/pf/demux.h"
 #include "src/pf/disasm.h"
-#include "src/pf/interpreter.h"
+#include "src/pf/engine.h"
 #include "tests/test_packets.h"
 
 namespace {
@@ -19,24 +18,40 @@ namespace {
 void Show(const char* name, const pf::Program& program,
           std::span<const uint8_t> packet, const char* packet_desc) {
   std::printf("--- %s ---\n%s", name, pf::Disassemble(program).c_str());
-  const auto validated = pf::ValidatedProgram::Create(program);
-  const pf::ExecResult checked = pf::InterpretChecked(program, packet);
-  std::printf("  vs %s: %s (%u instruction%s executed%s)\n", packet_desc,
-              checked.accept ? "ACCEPT" : "reject", checked.insns_executed,
-              checked.insns_executed == 1 ? "" : "s",
-              checked.short_circuited ? ", short-circuited" : "");
-  if (validated.has_value()) {
-    const pf::ExecResult fast = pf::InterpretFast(*validated, packet);
-    if (fast.accept != checked.accept) {
-      std::printf("  !! fast interpreter disagrees\n");
-    }
-    const auto& meta = validated->meta();
-    std::printf("  validated: max stack depth %u, highest word %u%s\n\n",
-                meta.max_stack_depth, meta.max_word_index,
-                meta.has_short_circuit ? ", uses short-circuits" : "");
-  } else {
+  auto validated = pf::ValidatedProgram::Create(program);
+  if (!validated.has_value()) {
     std::printf("  validation failed\n\n");
+    return;
   }
+
+  // Run the program under every strategy; they must agree on the verdict.
+  constexpr pf::Engine::Key kKey = 1;
+  pf::ExecTelemetry checked_telemetry;
+  pf::Verdict checked;
+  bool all_agree = true;
+  for (const pf::Strategy strategy : pf::kAllStrategies) {
+    pf::Engine engine(strategy);
+    engine.Bind(kKey, *validated);
+    pf::ExecTelemetry telemetry;
+    const pf::Verdict verdict = engine.RunOne(kKey, packet, &telemetry);
+    if (strategy == pf::Strategy::kChecked) {
+      checked = verdict;
+      checked_telemetry = telemetry;
+    } else if (verdict.accept != checked.accept) {
+      std::printf("  !! %s backend disagrees\n", pf::ToString(strategy).c_str());
+      all_agree = false;
+    }
+  }
+  std::printf("  vs %s: %s (%llu instruction%s executed%s)%s\n", packet_desc,
+              checked.accept ? "ACCEPT" : "reject",
+              (unsigned long long)checked_telemetry.insns_executed,
+              checked_telemetry.insns_executed == 1 ? "" : "s",
+              checked.short_circuited ? ", short-circuited" : "",
+              all_agree ? ", all 4 backends agree" : "");
+  const auto& meta = validated->meta();
+  std::printf("  validated: max stack depth %u, highest word %u%s\n\n",
+              meta.max_stack_depth, meta.max_word_index,
+              meta.has_short_circuit ? ", uses short-circuits" : "");
 }
 
 }  // namespace
@@ -66,7 +81,7 @@ int main() {
   std::printf("=== Decision-tree compilation (sec. 7's 'decision table') ===\n\n");
   pf::PacketFilter sequential;
   pf::PacketFilter tree;
-  tree.SetUseDecisionTree(true);
+  tree.SetStrategy(pf::Strategy::kTree);
   for (uint32_t socket = 1; socket <= 32; ++socket) {
     const pf::Program filter = pfnet::MakePupSocketFilter(socket, 10);
     sequential.SetFilter(sequential.OpenPort(), filter);
@@ -77,8 +92,8 @@ int main() {
   const auto tree_result = tree.Demux(packet);
   std::printf("32 active socket filters, packet for the last-tested socket:\n");
   std::printf("  sequential: %u filters interpreted, %llu instructions\n",
-              seq_result.filters_tested, (unsigned long long)seq_result.insns_executed);
+              seq_result.exec.filters_run, (unsigned long long)seq_result.exec.insns_executed);
   std::printf("  tree:       %u node probes (%zu nodes total), same delivery\n",
-              tree_result.tree_tests, tree.decision_tree_nodes());
+              tree_result.exec.tree_probes, tree.engine().tree_nodes());
   return 0;
 }

@@ -13,6 +13,7 @@
 #include <algorithm>
 #include <cstddef>
 
+#include "src/pf/engine.h"
 #include "src/sim/sim_time.h"
 
 namespace pfkern {
@@ -88,9 +89,13 @@ struct CostModel {
   pfsim::Duration ChecksumCost(size_t bytes) const {
     return checksum_per_byte * static_cast<int64_t>(bytes);
   }
-  pfsim::Duration FilterCost(uint32_t filters_tested, uint64_t insns_executed) const {
-    return filter_apply * static_cast<int64_t>(filters_tested) +
-           filter_insn * static_cast<int64_t>(insns_executed);
+  // Charges exactly what the engine reports having done: per-program
+  // overhead for each sequentially interpreted filter, per-instruction cost
+  // for interpreted instructions and tree probes alike (a probe is one
+  // masked-compare, the same work as one filter instruction).
+  pfsim::Duration FilterCost(const pf::ExecTelemetry& exec) const {
+    return filter_apply * static_cast<int64_t>(exec.filters_run) +
+           filter_insn * static_cast<int64_t>(exec.insns_executed + exec.tree_probes);
   }
 };
 

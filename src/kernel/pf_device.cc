@@ -207,8 +207,7 @@ pfsim::ValueTask<void> PacketFilterDevice::HandlePacket(const std::vector<uint8_
 
   // Charge the interpretation + bookkeeping before waking any reader.
   std::vector<Machine::Charge> charges;
-  const pfsim::Duration filter_cost = machine_->costs().FilterCost(
-      result.filters_tested, result.insns_executed + result.tree_tests);
+  const pfsim::Duration filter_cost = machine_->costs().FilterCost(result.exec);
   if (filter_cost.count() > 0) {
     charges.emplace_back(Cost::kFilterEval, filter_cost);
   }

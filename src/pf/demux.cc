@@ -1,6 +1,7 @@
 #include "src/pf/demux.h"
 
 #include <algorithm>
+#include <cassert>
 
 namespace pf {
 
@@ -23,7 +24,6 @@ PortId PacketFilter::OpenPort() {
   state->open_seq = next_open_seq_++;
   ports_.emplace(id, std::move(state));
   order_dirty_ = true;
-  tree_dirty_ = true;
   return id;
 }
 
@@ -31,8 +31,8 @@ bool PacketFilter::ClosePort(PortId id) {
   if (ports_.erase(id) == 0) {
     return false;
   }
+  engine_.Unbind(id);
   order_dirty_ = true;
-  tree_dirty_ = true;
   return true;
 }
 
@@ -47,19 +47,20 @@ ValidationResult PacketFilter::SetFilter(PortId id, Program program) {
   if (!meta.ok) {
     return meta;  // keep the previous filter
   }
-  port->conjunction = ExtractConjunction(program);
-  port->filter = ValidatedProgram::Create(std::move(program));
+  auto validated = ValidatedProgram::Create(std::move(program));
+  port->has_filter = true;
+  port->priority = validated->priority();
+  engine_.Bind(id, std::move(*validated));
   order_dirty_ = true;
-  tree_dirty_ = true;
   return meta;
 }
 
 void PacketFilter::ClearFilter(PortId id) {
   if (PortState* port = Find(id)) {
-    port->filter.reset();
-    port->conjunction.reset();
+    port->has_filter = false;
+    port->priority = 0;
+    engine_.Unbind(id);
     order_dirty_ = true;
-    tree_dirty_ = true;
   }
 }
 
@@ -89,7 +90,7 @@ void PacketFilter::SetEnqueueCallback(PortId id, std::function<void()> callback)
 
 uint8_t PacketFilter::PortPriority(PortId id) const {
   const PortState* port = Find(id);
-  return port != nullptr && port->filter.has_value() ? port->filter->priority() : 0;
+  return port != nullptr && port->has_filter ? port->priority : 0;
 }
 
 void PacketFilter::SetBusyReordering(bool enabled) {
@@ -97,24 +98,17 @@ void PacketFilter::SetBusyReordering(bool enabled) {
   order_dirty_ = true;
 }
 
-void PacketFilter::SetUseDecisionTree(bool enabled) {
-  use_tree_ = enabled;
-  tree_dirty_ = true;
-}
-
 void PacketFilter::RebuildOrder() {
   ordered_.clear();
   ordered_.reserve(ports_.size());
   for (auto& [id, port] : ports_) {
-    if (port->filter.has_value()) {
+    if (port->has_filter) {
       ordered_.push_back(port.get());
     }
   }
   std::sort(ordered_.begin(), ordered_.end(), [this](const PortState* a, const PortState* b) {
-    const uint8_t pa = a->filter->priority();
-    const uint8_t pb = b->filter->priority();
-    if (pa != pb) {
-      return pa > pb;  // decreasing priority (fig. 4-1)
+    if (a->priority != b->priority) {
+      return a->priority > b->priority;  // decreasing priority (fig. 4-1)
     }
     if (busy_reordering_ && a->stats.accepts != b->stats.accepts) {
       // §3.2: "the interpreter may occasionally reorder such filters to
@@ -126,19 +120,6 @@ void PacketFilter::RebuildOrder() {
   order_dirty_ = false;
 }
 
-void PacketFilter::RebuildTree() {
-  std::vector<std::pair<uint32_t, std::vector<FieldTest>>> compiled;
-  if (use_tree_) {
-    for (auto& [id, port] : ports_) {
-      if (port->filter.has_value() && port->conjunction.has_value()) {
-        compiled.emplace_back(id, *port->conjunction);
-      }
-    }
-  }
-  tree_.Build(std::move(compiled));
-  tree_dirty_ = false;
-}
-
 void PacketFilter::DeliverTo(PortState& port, std::span<const uint8_t> packet,
                              uint64_t timestamp_ns, DemuxResult* result) {
   ++port.stats.accepts;
@@ -146,6 +127,7 @@ void PacketFilter::DeliverTo(PortState& port, std::span<const uint8_t> packet,
     ++port.stats.dropped;
     ++port.lost_since_enqueue;
     ++result->drops;
+    assert(port.stats.accepts == port.stats.enqueued + port.stats.dropped);
     return;
   }
   ReceivedPacket rp;
@@ -156,6 +138,7 @@ void PacketFilter::DeliverTo(PortState& port, std::span<const uint8_t> packet,
   port.queue.push_back(std::move(rp));
   ++port.stats.enqueued;
   ++result->deliveries;
+  assert(port.stats.accepts == port.stats.enqueued + port.stats.dropped);
   if (port.on_enqueue) {
     port.on_enqueue();
   }
@@ -168,33 +151,17 @@ DemuxResult PacketFilter::Demux(std::span<const uint8_t> packet, uint64_t timest
   if (order_dirty_ || (busy_reordering_ && demux_count_ % kReorderInterval == 0)) {
     RebuildOrder();
   }
-  if (use_tree_ && tree_dirty_) {
-    RebuildTree();
-  }
 
-  // Tree path: one walk yields verdicts for every compiled filter.
-  const bool tree_active = use_tree_ && !tree_.empty();
-  if (tree_active) {
-    tree_match_buffer_.clear();
-    tree_.Match(packet, &tree_match_buffer_, &result.tree_tests);
-  }
-
+  // One engine pass per packet: under kTree its construction walks the tree
+  // once for every conjunction filter; the sequential strategies evaluate
+  // lazily, so breaking out early skips the remaining filters' work.
+  Engine::MatchPass pass = engine_.Match(packet);
   for (PortState* port : ordered_) {
-    bool accept = false;
-    if (tree_active && port->conjunction.has_value()) {
-      accept = std::find(tree_match_buffer_.begin(), tree_match_buffer_.end(), port->id) !=
-               tree_match_buffer_.end();
-    } else {
-      ++result.filters_tested;
-      const ExecResult exec = use_fast_ ? InterpretFast(*port->filter, packet)
-                                        : InterpretChecked(port->filter->program(), packet);
-      result.insns_executed += exec.insns_executed;
-      if (exec.status != ExecStatus::kOk) {
-        ++port->stats.filter_errors;
-      }
-      accept = exec.accept;
+    const Verdict verdict = pass.Test(port->id);
+    if (verdict.status != ExecStatus::kOk) {
+      ++port->stats.filter_errors;
     }
-    if (!accept) {
+    if (!verdict.accept) {
       continue;
     }
     DeliverTo(*port, packet, timestamp_ns, &result);
@@ -204,8 +171,8 @@ DemuxResult PacketFilter::Demux(std::span<const uint8_t> packet, uint64_t timest
     }
   }
 
-  global_stats_.filters_tested += result.filters_tested;
-  global_stats_.insns_executed += result.insns_executed;
+  result.exec = pass.telemetry();
+  global_stats_.exec += result.exec;
   if (result.accepted) {
     ++global_stats_.packets_accepted;
   } else {

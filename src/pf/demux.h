@@ -8,11 +8,15 @@
 // queues overflow by dropping (counted, and reported on the next delivered
 // packet, per §3.3), and packets can be timestamped at demux time.
 //
+// Filter *policy* (ordering, claiming, queueing) lives here; filter
+// *execution* is delegated entirely to pf::Engine (engine.h), which owns
+// the bound programs and evaluates them under the selected Strategy.
+// Demux() reports exactly what work the engine did (an ExecTelemetry) so a
+// host can charge costs.
+//
 // This class is pure mechanism — no threads, no simulated time, no I/O — so
 // it can be embedded both in the simulated kernel (src/kernel/) and used
-// directly (examples/filter_lab, the wall-clock microbenchmarks). Demux()
-// reports exactly what work it did (filters interpreted, instructions
-// executed) so a host can charge costs.
+// directly (examples/filter_lab, the wall-clock microbenchmarks).
 #ifndef SRC_PF_DEMUX_H_
 #define SRC_PF_DEMUX_H_
 
@@ -25,8 +29,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "src/pf/decision_tree.h"
-#include "src/pf/interpreter.h"
+#include "src/pf/engine.h"
 #include "src/pf/program.h"
 #include "src/pf/validate.h"
 
@@ -55,7 +58,10 @@ struct ReceivedPacket {
 struct PortStats {
   uint64_t enqueued = 0;
   uint64_t dropped = 0;        // queue-overflow losses
-  uint64_t accepts = 0;        // filter matches (== enqueued + dropped)
+  // Filter matches. Every accepted packet is either enqueued or dropped,
+  // so `accepts == enqueued + dropped` always holds (asserted in demux.cc,
+  // covered in demux_test.cc).
+  uint64_t accepts = 0;
   uint64_t filter_errors = 0;  // interpreter errors while testing packets
 };
 
@@ -63,17 +69,14 @@ struct DemuxResult {
   bool accepted = false;       // at least one port took the packet
   uint32_t deliveries = 0;     // copies enqueued
   uint32_t drops = 0;          // copies lost to full queues
-  uint32_t filters_tested = 0; // programs interpreted (sequential path)
-  uint64_t insns_executed = 0; // filter instructions evaluated
-  uint32_t tree_tests = 0;     // decision-tree node probes (tree path)
+  ExecTelemetry exec;          // what the engine did for this packet
 };
 
 struct FilterGlobalStats {
   uint64_t packets_in = 0;
   uint64_t packets_accepted = 0;
   uint64_t packets_unclaimed = 0;  // rejected by every filter (fig. 4-1 Drop)
-  uint64_t filters_tested = 0;
-  uint64_t insns_executed = 0;
+  ExecTelemetry exec;              // accumulated engine telemetry
 };
 
 class PacketFilter {
@@ -116,22 +119,21 @@ class PacketFilter {
   // Priority of the port's current filter (0 if none).
   uint8_t PortPriority(PortId id) const;
 
-  // --- Evaluation strategy knobs (benchmarked in bench/micro_*) ---
-  // Use the validated fast interpreter (default true).
-  void SetUseFastInterpreter(bool enabled) { use_fast_ = enabled; }
+  // --- Execution strategy (benchmarked in bench/micro_*) ---
+  void SetStrategy(Strategy strategy) { engine_.set_strategy(strategy); }
+  Strategy strategy() const { return engine_.strategy(); }
+  // The engine executing this demultiplexer's filters (tree introspection,
+  // bound-program lookup).
+  const Engine& engine() const { return engine_; }
   // Periodically move busier filters first within equal priority (§3.2).
   void SetBusyReordering(bool enabled);
-  // Use the §7 decision-tree compiler for eligible filters.
-  void SetUseDecisionTree(bool enabled);
-  bool decision_tree_in_use() const { return use_tree_ && !tree_.empty(); }
-  size_t decision_tree_nodes() const { return tree_.node_count(); }
 
  private:
   struct PortState {
     PortId id = kInvalidPort;
     uint64_t open_seq = 0;  // application order among equal priorities
-    std::optional<ValidatedProgram> filter;
-    std::optional<std::vector<FieldTest>> conjunction;  // tree-eligible shape
+    bool has_filter = false;
+    uint8_t priority = 0;   // cached from the bound program for ordering
     bool deliver_to_lower = false;
     bool timestamps = false;
     size_t queue_limit = kDefaultQueueLimit;
@@ -147,20 +149,15 @@ class PacketFilter {
   PortState* Find(PortId id);
   const PortState* Find(PortId id) const;
   void RebuildOrder();
-  void RebuildTree();
   void DeliverTo(PortState& port, std::span<const uint8_t> packet, uint64_t timestamp_ns,
                  DemuxResult* result);
 
   DeviceInfo info_;
+  Engine engine_;
   std::unordered_map<PortId, std::unique_ptr<PortState>> ports_;
   std::vector<PortState*> ordered_;  // by (priority desc, open_seq asc)
   bool order_dirty_ = false;
-  bool tree_dirty_ = false;
-  bool use_fast_ = true;
   bool busy_reordering_ = false;
-  bool use_tree_ = false;
-  DecisionTree tree_;
-  std::vector<PortId> tree_match_buffer_;
   PortId next_port_id_ = 1;
   uint64_t next_open_seq_ = 0;
   uint64_t demux_count_ = 0;

@@ -1,0 +1,251 @@
+#include "src/pf/engine.h"
+
+#include <algorithm>
+
+#include "src/util/byte_order.h"
+
+namespace pf {
+
+std::string ToString(Strategy strategy) {
+  switch (strategy) {
+    case Strategy::kChecked:
+      return "checked";
+    case Strategy::kFast:
+      return "fast";
+    case Strategy::kTree:
+      return "tree";
+    case Strategy::kPredecoded:
+      return "predecoded";
+  }
+  return "unknown";
+}
+
+std::vector<PredecodedInsn> Predecode(const ValidatedProgram& program) {
+  const std::vector<uint16_t>& words = program.program().words;
+  std::vector<PredecodedInsn> decoded;
+  decoded.reserve(words.size());
+  for (size_t i = 0; i < words.size(); ++i) {
+    const RawFields fields = SplitWord(words[i]);
+    PredecodedInsn insn;
+    insn.op = static_cast<BinaryOp>(fields.op_bits);
+    if (fields.action_bits >= kPushWordBase) {
+      insn.fetch = PredecodedInsn::Fetch::kWord;
+      insn.word_index = static_cast<uint8_t>(fields.action_bits - kPushWordBase);
+    } else {
+      switch (static_cast<StackAction>(fields.action_bits)) {
+        case StackAction::kNoPush:
+          insn.fetch = PredecodedInsn::Fetch::kNone;
+          break;
+        case StackAction::kPushLit:
+          // The validator proved the literal exists; fold it in here so the
+          // hot loop never touches a second program word.
+          insn.fetch = PredecodedInsn::Fetch::kImm;
+          insn.imm = words[++i];
+          break;
+        case StackAction::kPushZero:
+          insn.fetch = PredecodedInsn::Fetch::kImm;
+          insn.imm = 0x0000;
+          break;
+        case StackAction::kPushOne:
+          insn.fetch = PredecodedInsn::Fetch::kImm;
+          insn.imm = 0x0001;
+          break;
+        case StackAction::kPushFFFF:
+          insn.fetch = PredecodedInsn::Fetch::kImm;
+          insn.imm = 0xffff;
+          break;
+        case StackAction::kPushFF00:
+          insn.fetch = PredecodedInsn::Fetch::kImm;
+          insn.imm = 0xff00;
+          break;
+        case StackAction::kPush00FF:
+          insn.fetch = PredecodedInsn::Fetch::kImm;
+          insn.imm = 0x00ff;
+          break;
+        case StackAction::kPushInd:
+          insn.fetch = PredecodedInsn::Fetch::kInd;
+          break;
+        case StackAction::kPushWord:
+          break;  // unreachable: encoded values >= kPushWordBase handled above
+      }
+    }
+    decoded.push_back(insn);
+  }
+  return decoded;
+}
+
+ExecResult InterpretPredecoded(std::span<const PredecodedInsn> insns,
+                               std::span<const uint8_t> packet) {
+  ExecResult res;
+  if (insns.empty()) {
+    // An empty filter accepts every packet, as in the interpreters.
+    res.accept = true;
+    return res;
+  }
+
+  uint16_t stack[kMaxStackDepth];
+  uint32_t depth = 0;
+
+  for (const PredecodedInsn& insn : insns) {
+    ++res.insns_executed;
+    switch (insn.fetch) {
+      case PredecodedInsn::Fetch::kNone:
+        break;
+      case PredecodedInsn::Fetch::kImm:
+        stack[depth++] = insn.imm;
+        break;
+      case PredecodedInsn::Fetch::kWord: {
+        uint16_t value = 0;
+        if (!pfutil::LoadPacketWord(packet, insn.word_index, &value)) {
+          res.status = ExecStatus::kOutOfPacket;
+          return res;
+        }
+        stack[depth++] = value;
+        break;
+      }
+      case PredecodedInsn::Fetch::kInd: {
+        uint16_t value = 0;
+        if (!pfutil::LoadPacketWordAtByte(packet, stack[depth - 1], &value)) {
+          res.status = ExecStatus::kOutOfPacket;
+          return res;
+        }
+        stack[depth - 1] = value;
+        break;
+      }
+    }
+
+    if (insn.op == BinaryOp::kNop) {
+      continue;
+    }
+    const uint16_t t1 = stack[--depth];  // original top of stack
+    const uint16_t t2 = stack[depth - 1];
+    uint16_t result = 0;
+    switch (detail::EvalBinaryOp(insn.op, t1, t2, &result)) {
+      case detail::OpOutcome::kContinue:
+        break;
+      case detail::OpOutcome::kAccept:
+        res.accept = true;
+        res.short_circuited = true;
+        return res;
+      case detail::OpOutcome::kReject:
+        res.accept = false;
+        res.short_circuited = true;
+        return res;
+      case detail::OpOutcome::kDivideByZero:
+        res.status = ExecStatus::kDivideByZero;
+        return res;
+    }
+    stack[depth - 1] = result;
+  }
+
+  res.accept = stack[depth - 1] != 0;
+  return res;
+}
+
+void Engine::set_strategy(Strategy strategy) {
+  if (strategy_ == strategy) {
+    return;
+  }
+  strategy_ = strategy;
+  tree_dirty_ = true;
+}
+
+void Engine::Bind(Key key, ValidatedProgram program) {
+  Binding binding{std::move(program), {}, std::nullopt};
+  binding.decoded = Predecode(binding.program);
+  binding.conjunction = ExtractConjunction(binding.program.program());
+  filters_.insert_or_assign(key, std::move(binding));
+  tree_dirty_ = true;
+}
+
+bool Engine::Unbind(Key key) {
+  if (filters_.erase(key) == 0) {
+    return false;
+  }
+  tree_dirty_ = true;
+  return true;
+}
+
+void Engine::Clear() {
+  filters_.clear();
+  tree_.Build({});
+  tree_dirty_ = false;
+}
+
+const ValidatedProgram* Engine::Find(Key key) const {
+  const Binding* binding = FindBinding(key);
+  return binding == nullptr ? nullptr : &binding->program;
+}
+
+const Engine::Binding* Engine::FindBinding(Key key) const {
+  const auto it = filters_.find(key);
+  return it == filters_.end() ? nullptr : &it->second;
+}
+
+void Engine::RebuildTree() {
+  std::vector<std::pair<uint32_t, std::vector<FieldTest>>> compiled;
+  if (strategy_ == Strategy::kTree) {
+    for (const auto& [key, binding] : filters_) {
+      if (binding.conjunction.has_value()) {
+        compiled.emplace_back(key, *binding.conjunction);
+      }
+    }
+  }
+  tree_.Build(std::move(compiled));
+  tree_dirty_ = false;
+}
+
+Engine::MatchPass Engine::Match(std::span<const uint8_t> packet) {
+  if (strategy_ == Strategy::kTree && tree_dirty_) {
+    RebuildTree();
+  }
+  MatchPass pass(this, packet);
+  if (tree_in_use()) {
+    match_buffer_.clear();
+    tree_.Match(packet, &match_buffer_, &pass.telemetry_.tree_probes);
+    pass.tree_matches_ = &match_buffer_;
+  }
+  return pass;
+}
+
+Verdict Engine::MatchPass::Test(Key key) {
+  const Binding* binding = engine_->FindBinding(key);
+  if (binding == nullptr) {
+    return Verdict{};  // nothing bound: never accepts
+  }
+  if (tree_matches_ != nullptr && binding->conjunction.has_value()) {
+    // The walk already answered every conjunction filter at once.
+    Verdict verdict;
+    verdict.accept = std::find(tree_matches_->begin(), tree_matches_->end(), key) !=
+                     tree_matches_->end();
+    return verdict;
+  }
+  ++telemetry_.filters_run;
+  ExecResult exec;
+  switch (engine_->strategy_) {
+    case Strategy::kChecked:
+      exec = InterpretChecked(binding->program.program(), packet_);
+      break;
+    case Strategy::kPredecoded:
+      exec = InterpretPredecoded(binding->decoded, packet_);
+      ++telemetry_.decode_cache_hits;
+      break;
+    case Strategy::kFast:
+    case Strategy::kTree:  // non-conjunction fallback within a tree pass
+      exec = InterpretFast(binding->program, packet_);
+      break;
+  }
+  telemetry_.insns_executed += exec.insns_executed;
+  return Verdict{exec.accept, exec.status, exec.short_circuited};
+}
+
+Verdict Engine::RunOne(Key key, std::span<const uint8_t> packet, ExecTelemetry* telemetry) {
+  MatchPass pass = Match(packet);
+  const Verdict verdict = pass.Test(key);
+  if (telemetry != nullptr) {
+    *telemetry += pass.telemetry();
+  }
+  return verdict;
+}
+
+}  // namespace pf

@@ -1,0 +1,183 @@
+// The filter execution engine: one home for every way this repository can
+// evaluate a bound set of filters against a packet.
+//
+// The paper describes a single interpreter (§4) and sketches two §7
+// improvements — performing the validity tests ahead of time, and compiling
+// the active filter set into a decision table. Those exist here as four
+// selectable strategies behind one interface:
+//
+//   * kChecked    — the historical interpreter: every check per instruction
+//                   at run time (§4, InterpretChecked).
+//   * kFast       — validate-ahead interpretation: stack and opcode checks
+//                   proved once at bind time (§7, InterpretFast).
+//   * kTree       — the active conjunction-shaped filters are compiled into
+//                   one decision tree; one walk yields every verdict (§7's
+//                   "decision table"). Non-conjunction filters fall back to
+//                   kFast within the same pass.
+//   * kPredecoded — at Bind() time each program is pre-decoded into a flat
+//                   array of {op, fetch kind, operand} structs, so the hot
+//                   loop does no per-instruction word splitting, literal
+//                   fetching, or constant-table lookups. The natural next
+//                   step after kFast: *all* static work, not just the safety
+//                   tests, is performed ahead of time.
+//
+// An Engine owns the bound filter set (keyed by an opaque uint32_t — the
+// demultiplexer uses its PortId). Match(packet) starts one evaluation pass;
+// the returned MatchPass answers per-filter verdicts lazily, so a caller
+// that stops after the first accepting filter (fig. 4-1's claim rule) pays
+// nothing for the filters it never asks about. Each pass accumulates an
+// ExecTelemetry — the single struct the kernel Ledger and the §6 benchmarks
+// charge costs from.
+#ifndef SRC_PF_ENGINE_H_
+#define SRC_PF_ENGINE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/pf/decision_tree.h"
+#include "src/pf/interpreter.h"
+#include "src/pf/program.h"
+#include "src/pf/validate.h"
+
+namespace pf {
+
+enum class Strategy : uint8_t {
+  kChecked = 0,  // §4 historical interpreter, per-instruction checking
+  kFast,         // §7 validate-ahead interpretation
+  kTree,         // §7 decision-tree compilation of the conjunction subset
+  kPredecoded,   // bind-time pre-decode, no per-instruction operand fetching
+};
+
+inline constexpr Strategy kAllStrategies[] = {Strategy::kChecked, Strategy::kFast,
+                                              Strategy::kTree, Strategy::kPredecoded};
+
+std::string ToString(Strategy strategy);
+
+// Everything one evaluation pass did, in one place. The kernel's Ledger
+// (src/kernel/pf_device.cc) and the §6 benchmarks draw from this struct;
+// there are no other execution out-params.
+struct ExecTelemetry {
+  uint32_t filters_run = 0;       // programs interpreted sequentially
+  uint64_t insns_executed = 0;    // filter instructions evaluated
+  uint32_t tree_probes = 0;       // decision-tree node probes
+  uint32_t decode_cache_hits = 0; // verdicts served from a pre-decoded program
+
+  ExecTelemetry& operator+=(const ExecTelemetry& other) {
+    filters_run += other.filters_run;
+    insns_executed += other.insns_executed;
+    tree_probes += other.tree_probes;
+    decode_cache_hits += other.decode_cache_hits;
+    return *this;
+  }
+};
+
+// One filter's answer for one packet. Errors reject (§4) and are surfaced in
+// `status` so hosts can count them per port.
+struct Verdict {
+  bool accept = false;
+  ExecStatus status = ExecStatus::kOk;
+  bool short_circuited = false;
+};
+
+// One pre-decoded instruction. The operand is resolved at Bind() time:
+// PUSHLIT literals and the PUSHZERO/PUSHONE/PUSHFFFF/... constants all
+// collapse to kImm with the value in `imm`.
+struct PredecodedInsn {
+  enum class Fetch : uint8_t {
+    kNone,  // no stack push
+    kImm,   // push `imm`
+    kWord,  // push packet word `word_index`
+    kInd,   // v2: pop a byte offset, push the packet word there
+  };
+  BinaryOp op = BinaryOp::kNop;
+  Fetch fetch = Fetch::kNone;
+  uint8_t word_index = 0;
+  uint16_t imm = 0;
+};
+
+class Engine {
+ public:
+  using Key = uint32_t;
+
+  explicit Engine(Strategy strategy = Strategy::kFast) : strategy_(strategy) {}
+
+  void set_strategy(Strategy strategy);
+  Strategy strategy() const { return strategy_; }
+
+  // --- The bound filter set ---
+  // Bind() performs every ahead-of-time step once: the program arrives
+  // already validated, is pre-decoded for kPredecoded, and its conjunction
+  // shape (if any) is extracted for kTree.
+  void Bind(Key key, ValidatedProgram program);
+  bool Unbind(Key key);
+  void Clear();
+  size_t bound_count() const { return filters_.size(); }
+  // The bound program, or nullptr. Pointer invalidated by Bind/Unbind/Clear.
+  const ValidatedProgram* Find(Key key) const;
+
+  // --- Tree introspection (meaningful under kTree) ---
+  // True once a non-empty tree has been built and the strategy uses it.
+  bool tree_in_use() const { return strategy_ == Strategy::kTree && !tree_.empty(); }
+  size_t tree_nodes() const { return tree_.node_count(); }
+
+  // One packet's evaluation pass over the bound set. Test() is lazy for the
+  // sequential strategies; the kTree constructor front-loads the single
+  // walk that yields every conjunction filter's verdict. At most one pass
+  // per Engine may be live at a time (it borrows the engine's match
+  // buffer), Bind/Unbind/Clear invalidate it, and the packet bytes must
+  // outlive the pass (it holds a span, not a copy).
+  class MatchPass {
+   public:
+    // Verdict for the filter bound at `key` (reject if none is bound).
+    Verdict Test(Key key);
+    const ExecTelemetry& telemetry() const { return telemetry_; }
+
+   private:
+    friend class Engine;
+    MatchPass(const Engine* engine, std::span<const uint8_t> packet)
+        : engine_(engine), packet_(packet) {}
+
+    const Engine* engine_;
+    std::span<const uint8_t> packet_;
+    ExecTelemetry telemetry_;
+    const std::vector<Key>* tree_matches_ = nullptr;  // kTree: the walk's output
+  };
+
+  MatchPass Match(std::span<const uint8_t> packet);
+
+  // Convenience for single-program callers (examples, tests): one packet
+  // against one bound filter, telemetry accumulated into *telemetry if
+  // non-null. Benchmarks hot-loop Match()+Test() directly instead.
+  Verdict RunOne(Key key, std::span<const uint8_t> packet, ExecTelemetry* telemetry = nullptr);
+
+ private:
+  struct Binding {
+    ValidatedProgram program;
+    std::vector<PredecodedInsn> decoded;
+    std::optional<std::vector<FieldTest>> conjunction;
+  };
+
+  const Binding* FindBinding(Key key) const;
+  void RebuildTree();
+
+  Strategy strategy_;
+  std::unordered_map<Key, Binding> filters_;
+  DecisionTree tree_;
+  bool tree_dirty_ = false;
+  std::vector<Key> match_buffer_;  // reused across passes (kTree walk output)
+};
+
+// Bind-time pre-decode of a validated program (exposed for tests and the
+// disassembler-style tooling; Engine::Bind calls it).
+std::vector<PredecodedInsn> Predecode(const ValidatedProgram& program);
+
+// The kPredecoded hot loop (exposed for tests; Engine uses it internally).
+ExecResult InterpretPredecoded(std::span<const PredecodedInsn> insns,
+                               std::span<const uint8_t> packet);
+
+}  // namespace pf
+
+#endif  // SRC_PF_ENGINE_H_

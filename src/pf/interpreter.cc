@@ -139,88 +139,19 @@ ExecResult Run(const Program& program, std::span<const uint8_t> packet) {
     const uint16_t t1 = stack[--depth];  // original top of stack
     const uint16_t t2 = stack[depth - 1];
     uint16_t result = 0;
-    switch (op) {
-      case BinaryOp::kEq:
-        result = t2 == t1;
+    switch (detail::EvalBinaryOp(op, t1, t2, &result)) {
+      case detail::OpOutcome::kContinue:
         break;
-      case BinaryOp::kNeq:
-        result = t2 != t1;
-        break;
-      case BinaryOp::kLt:
-        result = t2 < t1;
-        break;
-      case BinaryOp::kLe:
-        result = t2 <= t1;
-        break;
-      case BinaryOp::kGt:
-        result = t2 > t1;
-        break;
-      case BinaryOp::kGe:
-        result = t2 >= t1;
-        break;
-      case BinaryOp::kAnd:
-        result = t2 & t1;
-        break;
-      case BinaryOp::kOr:
-        result = t2 | t1;
-        break;
-      case BinaryOp::kXor:
-        result = t2 ^ t1;
-        break;
-      case BinaryOp::kCor:
-      case BinaryOp::kCand:
-      case BinaryOp::kCnor:
-      case BinaryOp::kCnand: {
-        const bool r = t1 == t2;
-        // Early-exit table of fig. 3-6.
-        if (op == BinaryOp::kCor && r) {
-          res.accept = true;
-          res.short_circuited = true;
-          return res;
-        }
-        if (op == BinaryOp::kCand && !r) {
-          res.accept = false;
-          res.short_circuited = true;
-          return res;
-        }
-        if (op == BinaryOp::kCnor && r) {
-          res.accept = false;
-          res.short_circuited = true;
-          return res;
-        }
-        if (op == BinaryOp::kCnand && !r) {
-          res.accept = true;
-          res.short_circuited = true;
-          return res;
-        }
-        result = r ? 1 : 0;
-        break;
-      }
-      case BinaryOp::kAdd:
-        result = static_cast<uint16_t>(t2 + t1);
-        break;
-      case BinaryOp::kSub:
-        result = static_cast<uint16_t>(t2 - t1);
-        break;
-      case BinaryOp::kMul:
-        result = static_cast<uint16_t>(t2 * t1);
-        break;
-      case BinaryOp::kDiv:
-      case BinaryOp::kMod:
-        if (t1 == 0) {
-          return Fail(res, ExecStatus::kDivideByZero);
-        }
-        result = op == BinaryOp::kDiv ? static_cast<uint16_t>(t2 / t1)
-                                      : static_cast<uint16_t>(t2 % t1);
-        break;
-      case BinaryOp::kLsh:
-        result = static_cast<uint16_t>(t2 << (t1 & 15));
-        break;
-      case BinaryOp::kRsh:
-        result = static_cast<uint16_t>(t2 >> (t1 & 15));
-        break;
-      case BinaryOp::kNop:
-        break;  // handled above
+      case detail::OpOutcome::kAccept:
+        res.accept = true;
+        res.short_circuited = true;
+        return res;
+      case detail::OpOutcome::kReject:
+        res.accept = false;
+        res.short_circuited = true;
+        return res;
+      case detail::OpOutcome::kDivideByZero:
+        return Fail(res, ExecStatus::kDivideByZero);
     }
     stack[depth - 1] = result;
   }

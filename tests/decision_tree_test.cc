@@ -62,6 +62,66 @@ TEST(ExtractConjunctionTest, RejectsOrCombinations) {
   EXPECT_FALSE(pf::ExtractConjunction(b.Build(10)).has_value());
 }
 
+TEST(ExtractConjunctionTest, RejectsTrailingNonConjunctionSuffix) {
+  // A valid conjunction unit followed by instructions outside the shape.
+  FilterBuilder b;
+  b.WordEqualsShortCircuit(1, 2).PushOne();
+  EXPECT_FALSE(pf::ExtractConjunction(b.Build(10)).has_value());
+
+  // A unit cut off mid-way: PUSHWORD with no comparison at all.
+  FilterBuilder truncated;
+  truncated.WordEqualsShortCircuit(1, 2).PushWord(3);
+  EXPECT_FALSE(pf::ExtractConjunction(truncated.Build(10)).has_value());
+
+  // A mask with its comparison missing.
+  FilterBuilder masked;
+  masked.PushWord(3).ConstOp(pf::StackAction::kPush00FF, BinaryOp::kAnd);
+  EXPECT_FALSE(pf::ExtractConjunction(masked.Build(10)).has_value());
+}
+
+TEST(ExtractConjunctionTest, AcceptsPushZeroIdioms) {
+  // fig. 3-9 tests the high socket word against zero with PUSHZERO|CAND;
+  // PUSHZERO|EQ and PUSHONE|CAND are the same idiom.
+  FilterBuilder b;
+  b.PushWord(7).ZeroOp(BinaryOp::kCand).WordEquals(1, 2);
+  const auto tests = pf::ExtractConjunction(b.Build(10));
+  ASSERT_TRUE(tests.has_value());
+  EXPECT_EQ((*tests)[0], (FieldTest{7, 0xffff, 0}));
+
+  FilterBuilder final_zero;
+  final_zero.PushWord(7).ZeroOp(BinaryOp::kEq);
+  const auto final_tests = pf::ExtractConjunction(final_zero.Build(10));
+  ASSERT_TRUE(final_tests.has_value());
+  EXPECT_EQ((*final_tests)[0], (FieldTest{7, 0xffff, 0}));
+
+  FilterBuilder one;
+  one.PushWord(4).ConstOp(pf::StackAction::kPushOne, BinaryOp::kCand).WordEquals(1, 2);
+  const auto one_tests = pf::ExtractConjunction(one.Build(10));
+  ASSERT_TRUE(one_tests.has_value());
+  EXPECT_EQ((*one_tests)[0], (FieldTest{4, 0xffff, 1}));
+}
+
+TEST(ExtractConjunctionTest, MaskMustPrecedeComparison) {
+  // Canonical order: PUSHWORD, mask|AND, literal|compare.
+  FilterBuilder canonical;
+  canonical.PushWord(3).ConstOp(pf::StackAction::kPush00FF, BinaryOp::kAnd).Lit(BinaryOp::kCand, 8);
+  EXPECT_TRUE(pf::ExtractConjunction(canonical.Build(10)).has_value());
+
+  // The mask arriving after the comparison is not the conjunction shape
+  // (it is also a different predicate).
+  FilterBuilder reversed;
+  reversed.PushWord(3).Lit(BinaryOp::kEq, 8).ConstOp(pf::StackAction::kPush00FF, BinaryOp::kAnd);
+  EXPECT_FALSE(pf::ExtractConjunction(reversed.Build(10)).has_value());
+
+  // Two masks in a row never match the single optional mask slot.
+  FilterBuilder doubled;
+  doubled.PushWord(3)
+      .ConstOp(pf::StackAction::kPush00FF, BinaryOp::kAnd)
+      .Lit(BinaryOp::kAnd, 0x000f)
+      .Lit(BinaryOp::kEq, 8);
+  EXPECT_FALSE(pf::ExtractConjunction(doubled.Build(10)).has_value());
+}
+
 TEST(DecisionTreeTest, MatchesByValuePartition) {
   DecisionTree tree;
   tree.Build({{1, {FieldTest{1, 0xffff, 2}, FieldTest{8, 0xffff, 35}}},
@@ -142,7 +202,7 @@ TEST(DecisionTreeProperty, TreeDemuxEquivalentToSequential) {
   for (int trial = 0; trial < 60; ++trial) {
     PacketFilter sequential;
     PacketFilter tree;
-    tree.SetUseDecisionTree(true);
+    tree.SetStrategy(pf::Strategy::kTree);
 
     const size_t n_ports = rng.Range(1, 12);
     std::vector<pf::PortId> seq_ports;
@@ -193,14 +253,14 @@ TEST(DecisionTreeProperty, TreeDemuxEquivalentToSequential) {
 
 TEST(DecisionTreeDemuxTest, RebuildsAfterFilterChange) {
   PacketFilter filter;
-  filter.SetUseDecisionTree(true);
+  filter.SetStrategy(pf::Strategy::kTree);
   const pf::PortId port = filter.OpenPort();
   FilterBuilder b1;
   b1.WordEquals(1, 2);
   ASSERT_TRUE(filter.SetFilter(port, b1.Build(10)).ok);
   filter.Demux(pftest::MakePupFrame(8, 35));
   EXPECT_EQ(filter.QueueLength(port), 1u);
-  EXPECT_TRUE(filter.decision_tree_in_use());
+  EXPECT_TRUE(filter.engine().tree_in_use());
 
   FilterBuilder b2;
   b2.WordEquals(1, 0x800);  // now matches IP, not Pup

@@ -219,9 +219,9 @@ TEST(DemuxTest, PriorityReducesFiltersTested) {
                     .ok);
   }
   const auto hit_first = filter.Demux(pftest::MakePupFrame(8, 1));
-  EXPECT_EQ(hit_first.filters_tested, 1u);
+  EXPECT_EQ(hit_first.exec.filters_run, 1u);
   const auto hit_last = filter.Demux(pftest::MakePupFrame(8, 10));
-  EXPECT_EQ(hit_last.filters_tested, 10u);
+  EXPECT_EQ(hit_last.exec.filters_run, 10u);
 }
 
 TEST(DemuxTest, BusyReorderingMovesBusyFilterForward) {
@@ -238,24 +238,38 @@ TEST(DemuxTest, BusyReorderingMovesBusyFilterForward) {
     filter.Demux(pftest::MakePupFrame(8, 2));
   }
   const auto r = filter.Demux(pftest::MakePupFrame(8, 2));
-  EXPECT_EQ(r.filters_tested, 1u) << "busy filter should now be tested first";
+  EXPECT_EQ(r.exec.filters_run, 1u) << "busy filter should now be tested first";
 
   // Without reordering, port order puts `quiet` first.
   filter.SetBusyReordering(false);
   const auto r2 = filter.Demux(pftest::MakePupFrame(8, 2));
-  EXPECT_EQ(r2.filters_tested, 2u);
+  EXPECT_EQ(r2.exec.filters_run, 2u);
 }
 
-TEST(DemuxTest, CheckedAndFastPathsAgree) {
-  for (const bool fast : {false, true}) {
+TEST(DemuxTest, AllStrategiesAgreeOnDelivery) {
+  for (const pf::Strategy strategy : pf::kAllStrategies) {
     PacketFilter filter;
-    filter.SetUseFastInterpreter(fast);
+    filter.SetStrategy(strategy);
     const PortId port = filter.OpenPort();
     ASSERT_TRUE(filter.SetFilter(port, pf::PaperFig39Filter()).ok);
     filter.Demux(pftest::MakePupFrame(8, 35));
     filter.Demux(pftest::MakePupFrame(8, 36));
-    EXPECT_EQ(filter.QueueLength(port), 1u) << "fast=" << fast;
+    EXPECT_EQ(filter.QueueLength(port), 1u) << "strategy=" << pf::ToString(strategy);
   }
+}
+
+TEST(DemuxTest, StrategySwitchableAtRuntime) {
+  PacketFilter filter;
+  const PortId port = filter.OpenPort();
+  ASSERT_TRUE(filter.SetFilter(port, pf::PaperFig39Filter()).ok);
+  for (const pf::Strategy strategy : pf::kAllStrategies) {
+    filter.SetStrategy(strategy);
+    EXPECT_EQ(filter.strategy(), strategy);
+    filter.Demux(pftest::MakePupFrame(8, 35));
+  }
+  EXPECT_EQ(filter.QueueLength(port), 4u);
+  // The pre-decoded pass reported its decode-cache hit in the telemetry.
+  EXPECT_EQ(filter.global_stats().exec.decode_cache_hits, 1u);
 }
 
 TEST(DemuxTest, GlobalStatsAccumulate) {
@@ -268,7 +282,35 @@ TEST(DemuxTest, GlobalStatsAccumulate) {
   EXPECT_EQ(g.packets_in, 2u);
   EXPECT_EQ(g.packets_accepted, 1u);
   EXPECT_EQ(g.packets_unclaimed, 1u);
-  EXPECT_GT(g.insns_executed, 0u);
+  EXPECT_GT(g.exec.insns_executed, 0u);
+}
+
+TEST(DemuxTest, AcceptsInvariantAcrossOverflowAndCopyAll) {
+  // The documented PortStats invariant: every accept is either enqueued or
+  // dropped, so accepts == enqueued + dropped on every port at all times —
+  // including under queue overflow and deliver-to-lower copies.
+  PacketFilter filter;
+  const PortId monitor = filter.OpenPort();
+  const PortId app = filter.OpenPort();
+  ASSERT_TRUE(filter.SetFilter(monitor, AcceptAll(255)).ok);
+  ASSERT_TRUE(filter.SetFilter(app, SocketFilter(35, 10)).ok);
+  filter.SetDeliverToLower(monitor, true);
+  filter.SetQueueLimit(monitor, 2);
+  filter.SetQueueLimit(app, 1);
+
+  for (int i = 0; i < 6; ++i) {
+    filter.Demux(pftest::MakePupFrame(8, 35));
+    filter.Demux(pftest::MakePupFrame(8, 99));  // monitor-only traffic
+    for (const PortId port : {monitor, app}) {
+      const pf::PortStats* stats = filter.Stats(port);
+      ASSERT_NE(stats, nullptr);
+      EXPECT_EQ(stats->accepts, stats->enqueued + stats->dropped) << "port " << port;
+    }
+  }
+  EXPECT_EQ(filter.Stats(monitor)->accepts, 12u);
+  EXPECT_EQ(filter.Stats(monitor)->enqueued, 2u);
+  EXPECT_EQ(filter.Stats(monitor)->dropped, 10u);
+  EXPECT_EQ(filter.Stats(app)->accepts, 6u);
 }
 
 TEST(DemuxTest, DeviceInfoRoundTrips) {

@@ -1,0 +1,288 @@
+// pf::Engine tests: strategy selection, bind-time pre-decoding, per-pass
+// telemetry, lazy evaluation — and the cross-backend parity property:
+// randomized programs (conjunction-shaped and not) against randomized
+// packets must produce identical verdicts under all four strategies.
+#include <gtest/gtest.h>
+
+#include "src/pf/builder.h"
+#include "src/pf/engine.h"
+#include "src/util/rng.h"
+#include "tests/test_packets.h"
+
+namespace {
+
+using pf::BinaryOp;
+using pf::Engine;
+using pf::ExecStatus;
+using pf::FilterBuilder;
+using pf::LangVersion;
+using pf::PredecodedInsn;
+using pf::Program;
+using pf::StackAction;
+using pf::Strategy;
+using pf::ValidatedProgram;
+using pf::Verdict;
+
+constexpr Engine::Key kKey = 1;
+
+// --- Pre-decode unit tests ---
+
+TEST(PredecodeTest, FoldsLiteralsAndConstants) {
+  FilterBuilder b;
+  b.PushWord(8).Lit(BinaryOp::kCand, 35).PushWord(3).ConstOp(StackAction::kPush00FF,
+                                                             BinaryOp::kAnd);
+  const auto validated = ValidatedProgram::Create(b.Build(10));
+  ASSERT_TRUE(validated.has_value());
+  const auto decoded = pf::Predecode(*validated);
+  // 4 instructions; the PUSHLIT literal word is folded, not a fifth entry.
+  ASSERT_EQ(decoded.size(), 4u);
+  EXPECT_EQ(decoded[0].fetch, PredecodedInsn::Fetch::kWord);
+  EXPECT_EQ(decoded[0].word_index, 8);
+  EXPECT_EQ(decoded[0].op, BinaryOp::kNop);
+  EXPECT_EQ(decoded[1].fetch, PredecodedInsn::Fetch::kImm);
+  EXPECT_EQ(decoded[1].imm, 35);
+  EXPECT_EQ(decoded[1].op, BinaryOp::kCand);
+  EXPECT_EQ(decoded[3].fetch, PredecodedInsn::Fetch::kImm);
+  EXPECT_EQ(decoded[3].imm, 0x00ff);
+  EXPECT_EQ(decoded[3].op, BinaryOp::kAnd);
+}
+
+TEST(PredecodeTest, InterpretPredecodedMatchesFast) {
+  const auto packet = pftest::MakePupFrame(50, 35);
+  for (const Program& program : {pf::PaperFig38Filter(), pf::PaperFig39Filter()}) {
+    const auto validated = ValidatedProgram::Create(program);
+    ASSERT_TRUE(validated.has_value());
+    const pf::ExecResult fast = pf::InterpretFast(*validated, packet);
+    const pf::ExecResult pre = pf::InterpretPredecoded(pf::Predecode(*validated), packet);
+    EXPECT_EQ(pre.accept, fast.accept);
+    EXPECT_EQ(pre.status, fast.status);
+    EXPECT_EQ(pre.insns_executed, fast.insns_executed);
+    EXPECT_EQ(pre.short_circuited, fast.short_circuited);
+  }
+}
+
+TEST(PredecodeTest, EmptyProgramAcceptsEverything) {
+  const pf::ExecResult r = pf::InterpretPredecoded({}, pftest::MakePupFrame(8, 35));
+  EXPECT_TRUE(r.accept);
+  EXPECT_EQ(r.insns_executed, 0u);
+}
+
+// --- Engine filter-set management ---
+
+TEST(EngineTest, BindFindUnbind) {
+  Engine engine;
+  EXPECT_EQ(engine.bound_count(), 0u);
+  EXPECT_EQ(engine.Find(kKey), nullptr);
+  engine.Bind(kKey, *ValidatedProgram::Create(pf::PaperFig39Filter(42)));
+  ASSERT_NE(engine.Find(kKey), nullptr);
+  EXPECT_EQ(engine.Find(kKey)->priority(), 42);
+  EXPECT_EQ(engine.bound_count(), 1u);
+  // Rebinding replaces.
+  engine.Bind(kKey, *ValidatedProgram::Create(pf::PaperFig39Filter(7)));
+  EXPECT_EQ(engine.bound_count(), 1u);
+  EXPECT_EQ(engine.Find(kKey)->priority(), 7);
+  EXPECT_TRUE(engine.Unbind(kKey));
+  EXPECT_FALSE(engine.Unbind(kKey));
+  EXPECT_EQ(engine.bound_count(), 0u);
+}
+
+TEST(EngineTest, UnboundKeyRejects) {
+  Engine engine;
+  const auto packet = pftest::MakePupFrame(8, 35);
+  Engine::MatchPass pass = engine.Match(packet);
+  const Verdict verdict = pass.Test(99);
+  EXPECT_FALSE(verdict.accept);
+  EXPECT_EQ(pass.telemetry().filters_run, 0u);
+}
+
+TEST(EngineTest, LazyEvaluationSkipsUntestedFilters) {
+  Engine engine(Strategy::kFast);
+  engine.Bind(1, *ValidatedProgram::Create(pf::PaperFig39Filter()));
+  engine.Bind(2, *ValidatedProgram::Create(pf::PaperFig39Filter()));
+  engine.Bind(3, *ValidatedProgram::Create(pf::PaperFig39Filter()));
+  const auto packet = pftest::MakePupFrame(8, 35);
+  Engine::MatchPass pass = engine.Match(packet);
+  EXPECT_TRUE(pass.Test(1).accept);
+  // Only the filter actually asked about was run.
+  EXPECT_EQ(pass.telemetry().filters_run, 1u);
+}
+
+TEST(EngineTest, DecodeCacheHitsCountOnlyPredecodedRuns) {
+  for (const Strategy strategy : pf::kAllStrategies) {
+    Engine engine(strategy);
+    engine.Bind(kKey, *ValidatedProgram::Create(pf::PaperFig38Filter()));
+    pf::ExecTelemetry telemetry;
+    engine.RunOne(kKey, pftest::MakePupFrame(50, 35), &telemetry);
+    EXPECT_EQ(telemetry.decode_cache_hits, strategy == Strategy::kPredecoded ? 1u : 0u)
+        << pf::ToString(strategy);
+  }
+}
+
+TEST(EngineTest, TreeStrategyFallsBackForNonConjunctions) {
+  Engine engine(Strategy::kTree);
+  engine.Bind(1, *ValidatedProgram::Create(pf::PaperFig38Filter()));  // ranges: not eligible
+  engine.Bind(2, *ValidatedProgram::Create(pf::PaperFig39Filter()));  // conjunction
+  const auto packet = pftest::MakePupFrame(50, 35);
+  Engine::MatchPass pass = engine.Match(packet);
+  EXPECT_TRUE(pass.Test(1).accept);
+  EXPECT_TRUE(pass.Test(2).accept);
+  EXPECT_TRUE(engine.tree_in_use());
+  EXPECT_GT(pass.telemetry().tree_probes, 0u);   // the walk answered filter 2
+  EXPECT_EQ(pass.telemetry().filters_run, 1u);   // only filter 1 was interpreted
+}
+
+TEST(EngineTest, StrategySwitchRebuildsTree) {
+  Engine engine(Strategy::kFast);
+  engine.Bind(kKey, *ValidatedProgram::Create(pf::PaperFig39Filter()));
+  EXPECT_FALSE(engine.tree_in_use());
+  engine.set_strategy(Strategy::kTree);
+  (void)engine.Match(pftest::MakePupFrame(8, 35));
+  EXPECT_TRUE(engine.tree_in_use());
+  engine.set_strategy(Strategy::kFast);
+  EXPECT_FALSE(engine.tree_in_use());
+}
+
+// --- Cross-backend parity property ---
+
+// A guaranteed-valid random program: a random walk over the instruction set
+// that tracks stack depth. Not conjunction-shaped in general (ranges, ORs,
+// arithmetic, indirect pushes all appear).
+Program RandomWalkProgram(pfutil::Rng* rng) {
+  const bool v2 = rng->Chance(0.3);
+  FilterBuilder b(v2 ? LangVersion::kV2 : LangVersion::kV1);
+  uint32_t depth = 0;
+  const int steps = static_cast<int>(rng->Range(1, 10));
+  for (int i = 0; i < steps; ++i) {
+    // Pick a stack action (always push something when empty so ops and the
+    // final verdict have operands; keep clear of the depth limit).
+    StackAction action = StackAction::kPushWord;
+    switch (rng->Below(6)) {
+      case 0:
+        action = StackAction::kPushLit;
+        break;
+      case 1:
+        action = StackAction::kPushZero;
+        break;
+      case 2:
+        action = StackAction::kPushOne;
+        break;
+      case 3:
+        action = v2 && depth >= 1 ? StackAction::kPushInd : StackAction::kPushWord;
+        break;
+      default:
+        action = StackAction::kPushWord;
+        break;
+    }
+    const uint8_t word_index = static_cast<uint8_t>(rng->Below(16));  // may be out of packet
+    const uint16_t literal = static_cast<uint16_t>(rng->Below(6));    // small: collisions likely
+    if (action != StackAction::kPushInd) {
+      ++depth;  // every action except PUSHIND pushes a new word
+    }
+
+    // Optionally attach a binary operator when two operands are available.
+    BinaryOp op = BinaryOp::kNop;
+    if (depth >= 2 && rng->Chance(0.7)) {
+      static constexpr BinaryOp kV1Ops[] = {
+          BinaryOp::kEq,  BinaryOp::kNeq, BinaryOp::kLt,   BinaryOp::kLe,
+          BinaryOp::kGt,  BinaryOp::kGe,  BinaryOp::kAnd,  BinaryOp::kOr,
+          BinaryOp::kXor, BinaryOp::kCor, BinaryOp::kCand, BinaryOp::kCnor,
+          BinaryOp::kCnand};
+      static constexpr BinaryOp kV2Ops[] = {BinaryOp::kAdd, BinaryOp::kSub, BinaryOp::kMul,
+                                            BinaryOp::kDiv, BinaryOp::kMod, BinaryOp::kLsh,
+                                            BinaryOp::kRsh};
+      if (v2 && rng->Chance(0.35)) {
+        op = kV2Ops[rng->Below(std::size(kV2Ops))];
+      } else {
+        op = kV1Ops[rng->Below(std::size(kV1Ops))];
+      }
+      --depth;
+    }
+
+    if (action == StackAction::kPushLit) {
+      b.Lit(op, literal);
+    } else {
+      b.Stmt(action, op, word_index);
+    }
+  }
+  if (depth == 0) {
+    b.PushOne();  // leave a verdict on the stack
+  }
+  return b.Build(static_cast<uint8_t>(rng->Below(4)));
+}
+
+// A random canonical conjunction (the tree-eligible shape).
+Program RandomConjunction(pfutil::Rng* rng) {
+  FilterBuilder b;
+  const int tests = static_cast<int>(rng->Range(1, 3));
+  for (int i = 0; i < tests; ++i) {
+    const uint8_t word = static_cast<uint8_t>(rng->Range(1, 10));
+    const uint16_t value = static_cast<uint16_t>(rng->Below(4));
+    const bool last = i == tests - 1;
+    if (rng->Chance(0.3)) {
+      const uint16_t mask = rng->Chance(0.5) ? 0x00ff : 0xff00;
+      if (last) {
+        b.MaskedWordEquals(word, mask, value);
+      } else {
+        b.MaskedWordEqualsShortCircuit(word, mask, value);
+      }
+    } else if (last) {
+      b.WordEquals(word, value);
+    } else {
+      b.WordEqualsShortCircuit(word, value);
+    }
+  }
+  return b.Build(static_cast<uint8_t>(rng->Below(4)));
+}
+
+TEST(EngineParityProperty, AllStrategiesAgreeOnRandomPrograms) {
+  pfutil::Rng rng(0xe2617e);
+  int conjunctions = 0;
+  int errors_seen = 0;
+  for (int trial = 0; trial < 400; ++trial) {
+    const Program program = rng.Chance(0.5) ? RandomConjunction(&rng) : RandomWalkProgram(&rng);
+    const auto validated = ValidatedProgram::Create(program);
+    ASSERT_TRUE(validated.has_value()) << "trial " << trial;
+    const bool conjunction_shaped = pf::ExtractConjunction(program).has_value();
+    conjunctions += conjunction_shaped ? 1 : 0;
+
+    for (int p = 0; p < 8; ++p) {
+      // Random packets, sometimes tiny so word references fall outside.
+      std::vector<uint8_t> packet;
+      const size_t bytes = rng.Below(2) == 0 ? rng.Below(6) : rng.Range(8, 28);
+      for (size_t i = 0; i < bytes; ++i) {
+        packet.push_back(static_cast<uint8_t>(rng.Below(6)));
+      }
+
+      Verdict verdicts[std::size(pf::kAllStrategies)];
+      pf::ExecTelemetry telemetry[std::size(pf::kAllStrategies)];
+      for (size_t s = 0; s < std::size(pf::kAllStrategies); ++s) {
+        Engine engine(pf::kAllStrategies[s]);
+        engine.Bind(kKey, *validated);
+        verdicts[s] = engine.RunOne(kKey, packet, &telemetry[s]);
+      }
+      const Verdict& checked = verdicts[0];
+      errors_seen += checked.status != ExecStatus::kOk ? 1 : 0;
+      for (size_t s = 1; s < std::size(pf::kAllStrategies); ++s) {
+        const Strategy strategy = pf::kAllStrategies[s];
+        EXPECT_EQ(verdicts[s].accept, checked.accept)
+            << "trial " << trial << " packet " << p << " strategy " << pf::ToString(strategy);
+        // The sequential backends must also agree on the error status and
+        // on work done. A conjunction answered by the tree walk reports no
+        // status (a failed test is just a non-match).
+        if (strategy != Strategy::kTree || !conjunction_shaped) {
+          EXPECT_EQ(verdicts[s].status, checked.status)
+              << "trial " << trial << " packet " << p << " strategy " << pf::ToString(strategy);
+          EXPECT_EQ(telemetry[s].insns_executed, telemetry[0].insns_executed)
+              << "trial " << trial << " packet " << p << " strategy " << pf::ToString(strategy);
+        }
+      }
+    }
+  }
+  // The generator must exercise both sides of the conjunction split and the
+  // error paths, or the property is vacuous.
+  EXPECT_GT(conjunctions, 50);
+  EXPECT_LT(conjunctions, 350);
+  EXPECT_GT(errors_seen, 0);
+}
+
+}  // namespace
