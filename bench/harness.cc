@@ -1,11 +1,91 @@
 #include "bench/harness.h"
 
+#include <errno.h>
+
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "src/proto/ip.h"
 
 namespace pfbench {
+
+namespace {
+
+// Rows accumulated by PrintTable for the PF_BENCH_JSON export, flushed once
+// at process exit so each binary produces one complete file however many
+// tables it prints.
+std::string* json_rows = nullptr;
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+void FlushBenchJson() {
+  const char* dir = std::getenv("PF_BENCH_JSON");
+  if (dir == nullptr || json_rows == nullptr) {
+    return;
+  }
+  // program_invocation_short_name is the binary's basename (glibc).
+  const std::string path =
+      std::string(dir) + "/BENCH_" + program_invocation_short_name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "PF_BENCH_JSON: cannot write %s: %s\n", path.c_str(),
+                 std::strerror(errno));
+    return;
+  }
+  std::fprintf(f, "[\n%s\n]\n", json_rows->c_str());
+  std::fclose(f);
+}
+
+void AppendJsonRows(const std::string& title, const std::string& unit,
+                    const std::vector<Row>& rows) {
+  if (std::getenv("PF_BENCH_JSON") == nullptr) {
+    return;
+  }
+  if (json_rows == nullptr) {
+    json_rows = new std::string;  // leaked intentionally: read by atexit
+    std::atexit(FlushBenchJson);
+  }
+  for (const Row& row : rows) {
+    if (!json_rows->empty()) {
+      *json_rows += ",\n";
+    }
+    *json_rows += "  {\"table\":\"" + JsonEscape(title) + "\",\"unit\":\"" + JsonEscape(unit) +
+                  "\",\"label\":\"" + JsonEscape(row.label) + "\",";
+    if (std::isnan(row.paper)) {
+      *json_rows += "\"paper\":null,\"measured\":" + JsonNumber(row.measured) + ",\"ratio\":null}";
+    } else {
+      *json_rows += "\"paper\":" + JsonNumber(row.paper) +
+                    ",\"measured\":" + JsonNumber(row.measured) +
+                    ",\"ratio\":" + JsonNumber(row.measured / row.paper) + "}";
+    }
+  }
+}
+
+}  // namespace
 
 void PrintTable(const std::string& title, const std::string& citation,
                 const std::string& unit, const std::vector<Row>& rows) {
@@ -21,6 +101,7 @@ void PrintTable(const std::string& title, const std::string& citation,
                   row.measured, row.measured / row.paper);
     }
   }
+  AppendJsonRows(title, unit, rows);
 }
 
 void PrintNote(const std::string& note) { std::printf("    note: %s\n", note.c_str()); }

@@ -31,6 +31,11 @@ struct Row {
 
 // Prints a header (title + paper citation) and rows with a paper/measured
 // ratio column.
+//
+// When the environment variable PF_BENCH_JSON names a directory, every call
+// also appends its rows to `<dir>/BENCH_<binary>.json` (written atomically at
+// process exit): an array of {"table","unit","label","paper","measured",
+// "ratio"} objects, `paper`/`ratio` null where the paper reports nothing.
 void PrintTable(const std::string& title, const std::string& citation,
                 const std::string& unit, const std::vector<Row>& rows);
 

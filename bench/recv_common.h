@@ -15,12 +15,14 @@
 #ifndef BENCH_RECV_COMMON_H_
 #define BENCH_RECV_COMMON_H_
 
+#include <functional>
 #include <memory>
 #include <vector>
 
 #include "bench/harness.h"
 #include "src/kernel/pipe.h"
 #include "src/net/demux_process.h"
+#include "src/obs/trace.h"
 #include "src/pf/engine.h"
 #include "src/pf/program.h"
 
@@ -36,6 +38,12 @@ struct RecvConfig {
   pf::Program filter;
   // Execution strategy of the kernel demultiplexer's engine.
   pf::Strategy strategy = pf::Strategy::kFast;
+  // Optional tracing (src/obs): attached to the receiver machine, so the
+  // run emits interrupt/pf.demux/pf.read spans and per-packet flow events.
+  pfobs::TraceSession* trace = nullptr;
+  // Called after the run with the receiver machine still alive — snapshot
+  // its metrics registry / ledger here (tables 6-10's reconciliation dump).
+  std::function<void(pfkern::Machine&)> inspect;
 };
 
 // Returns the mean per-packet receive cost in milliseconds, measured as
@@ -49,6 +57,9 @@ inline double MeasureReceivePerPacketMs(const RecvConfig& config) {
   pfkern::Machine receiver(&sim, &segment, pflink::MacAddr::Dix(8, 0, 0, 0, 0, 2),
                            pfkern::MicroVaxUltrixCosts(), "receiver");
   receiver.pf().core().SetStrategy(config.strategy);
+  if (config.trace != nullptr) {
+    receiver.AttachTrace(config.trace);
+  }
 
   // The injected frame: addressed to the receiver, private EtherType.
   pflink::LinkHeader link;
@@ -106,7 +117,11 @@ inline double MeasureReceivePerPacketMs(const RecvConfig& config) {
     receiver.ledger().Reset();
     for (int b = 0; b < config.bursts; ++b) {
       for (int i = 0; i < config.burst; ++i) {
-        receiver.OnFrameDelivered(frame, sim.Now());
+        // Each injected frame gets its own flow id so a traced run can
+        // follow individual packets arrival -> read.
+        pflink::Frame tagged = frame;
+        tagged.flow_id = segment.NextFlowId();
+        receiver.OnFrameDelivered(tagged, sim.Now());
       }
       // Far enough apart that the previous burst fully drains and the
       // destination blocks again.
@@ -117,6 +132,9 @@ inline double MeasureReceivePerPacketMs(const RecvConfig& config) {
   sim.Spawn(destination());
   sim.Spawn(inject());
   sim.RunUntil(pfsim::TimePoint{} + pfsim::Seconds(120));
+  if (config.inspect) {
+    config.inspect(receiver);
+  }
   if (consumed == 0) {
     return 0;
   }

@@ -2,11 +2,29 @@
 // to receive a packet when demultiplexing is done in the kernel (packet
 // filter, fig. 2-2) vs. in a user process forwarding through a pipe
 // (fig. 2-1). No batching.
-#include "bench/recv_common.h"
+//
+// With `--trace=<file.json>` the kernel-demux 128-byte run is repeated with
+// a TraceSession attached and the resulting Chrome trace_event JSON written
+// to <file.json> (load it in Perfetto / chrome://tracing).
+#include <cstring>
+#include <string>
 
-int main() {
+#include "bench/recv_common.h"
+#include "src/obs/trace.h"
+
+int main(int argc, char** argv) {
   using pfbench::MeasureReceivePerPacketMs;
   using pfbench::RecvConfig;
+
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      trace_path = argv[i] + 8;
+    } else {
+      std::fprintf(stderr, "usage: %s [--trace=<file.json>]\n", argv[0]);
+      return 2;
+    }
+  }
 
   RecvConfig kernel128;
   kernel128.frame_total = 128;
@@ -29,5 +47,22 @@ int main() {
   pfbench::PrintNote(
       "the user-process path adds 2 context switches, 2 syscalls, and 2 copies per packet "
       "(the paper's analytical model, §6.5.1).");
+
+  if (!trace_path.empty()) {
+    pfobs::TraceSession session;
+    RecvConfig traced = kernel128;
+    traced.bursts = 10;  // a short run keeps the trace readable
+    traced.trace = &session;
+    MeasureReceivePerPacketMs(traced);
+    if (session.event_count() == 0) {
+      std::fprintf(stderr, "--trace: no events recorded\n");
+      return 1;
+    }
+    if (!session.WriteChromeTraceFile(trace_path)) {
+      std::fprintf(stderr, "--trace: cannot write %s\n", trace_path.c_str());
+      return 1;
+    }
+    std::printf("    trace: %zu events -> %s\n", session.event_count(), trace_path.c_str());
+  }
   return 0;
 }

@@ -3,6 +3,8 @@
 // 128-byte packets), plus the paper's break-even analysis against the cost
 // of user-level demultiplexing (§6.5.3).
 #include "bench/recv_common.h"
+#include "src/kernel/ledger.h"
+#include "src/obs/metrics.h"
 #include "src/pf/builder.h"
 
 namespace {
@@ -20,13 +22,41 @@ pf::Program AcceptAllOfLength(int n) {
   return b.Build(10);
 }
 
-double Measure(int filter_length, pf::Strategy strategy = pf::Strategy::kFast) {
+// What one run's receiver recorded about filter evaluation, from both ends
+// of the accounting: the per-strategy histogram in the metrics registry and
+// the Ledger's kFilterEval slot. The two are charged under the same
+// condition, so their totals must reconcile exactly.
+struct FilterEvalAccounting {
+  uint64_t hist_count = 0;
+  int64_t hist_sum_ns = 0;
+  int64_t hist_p50_ns = 0;
+  int64_t hist_p99_ns = 0;
+  uint64_t ledger_charges = 0;
+  int64_t ledger_total_ns = 0;
+};
+
+double Measure(int filter_length, pf::Strategy strategy = pf::Strategy::kFast,
+               FilterEvalAccounting* accounting = nullptr) {
   pfbench::RecvConfig config;
   config.frame_total = 128;
   config.burst = 4;
   config.batching = true;
   config.filter = AcceptAllOfLength(filter_length);
   config.strategy = strategy;
+  if (accounting != nullptr) {
+    config.inspect = [accounting, strategy](pfkern::Machine& receiver) {
+      const pfobs::Histogram* hist = receiver.metrics().FindHistogram(
+          "pf.filter_eval." + pf::ToString(strategy));
+      if (hist != nullptr) {
+        accounting->hist_count = hist->count();
+        accounting->hist_sum_ns = hist->sum();
+        accounting->hist_p50_ns = hist->Percentile(0.50);
+        accounting->hist_p99_ns = hist->Percentile(0.99);
+      }
+      accounting->ledger_charges = receiver.ledger().count(pfkern::Cost::kFilterEval);
+      accounting->ledger_total_ns = receiver.ledger().total(pfkern::Cost::kFilterEval).count();
+    };
+  }
   return pfbench::MeasureReceivePerPacketMs(config);
 }
 
@@ -56,6 +86,31 @@ int main() {
   std::printf(
       "    backend invariance (21 insns): fast %.2f ms, checked %.2f ms, predecoded %.2f ms\n",
       t21, t21_checked, t21_predecoded);
+
+  // Per-strategy filter-evaluation histograms vs. the Ledger: the registry's
+  // "pf.filter_eval.<strategy>" histogram samples the same simulated cost the
+  // Ledger charges as kFilterEval, so count==charges and sum==total for every
+  // strategy. A mismatch means the two accounting paths diverged.
+  std::printf("\n    filter-eval accounting (21 insns, per strategy):\n");
+  bool reconciled = true;
+  for (const pf::Strategy strategy : pf::kAllStrategies) {
+    FilterEvalAccounting acct;
+    Measure(21, strategy, &acct);
+    const bool ok =
+        acct.hist_count == acct.ledger_charges && acct.hist_sum_ns == acct.ledger_total_ns;
+    reconciled = reconciled && ok;
+    std::printf(
+        "      %-10s hist: n=%llu sum=%.3f ms p50=%.1f us p99=%.1f us | "
+        "ledger kFilterEval: n=%llu sum=%.3f ms  [%s]\n",
+        pf::ToString(strategy).c_str(), (unsigned long long)acct.hist_count,
+        acct.hist_sum_ns / 1e6, acct.hist_p50_ns / 1e3, acct.hist_p99_ns / 1e3,
+        (unsigned long long)acct.ledger_charges, acct.ledger_total_ns / 1e6,
+        ok ? "reconciled" : "MISMATCH");
+  }
+  if (!reconciled) {
+    std::fprintf(stderr, "filter-eval histogram does not reconcile with the ledger\n");
+    return 1;
+  }
 
   // Break-even (§6.5.3): user-level demultiplexing costs ~2.7 ms extra per
   // 128-byte packet (table 6-8); how many 21-instruction filters can the

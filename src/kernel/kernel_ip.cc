@@ -5,6 +5,13 @@
 namespace pfkern {
 
 KernelIpStack::KernelIpStack(Machine* machine, uint32_t ip) : machine_(machine), ip_(ip) {
+  pfobs::MetricsRegistry& registry = machine_->metrics();
+  ip_in_counter_ = registry.counter("ip.packets_in");
+  ip_out_counter_ = registry.counter("ip.packets_out");
+  ip_bad_counter_ = registry.counter("ip.bad");
+  udp_in_counter_ = registry.counter("udp.datagrams_in");
+  udp_no_port_counter_ = registry.counter("udp.no_port");
+  udp_out_counter_ = registry.counter("udp.datagrams_out");
   machine_->RegisterKernelProtocol(
       pfproto::kEtherTypeIp,
       [this](const pflink::Frame& frame, const pflink::LinkHeader& header) {
@@ -22,26 +29,43 @@ pfsim::ValueTask<void> KernelIpStack::Input(const pflink::Frame& frame,
   const auto payload = pflink::FramePayload(machine_->link_properties().type, frame.AsSpan());
   const auto ip = pfproto::ParseIp(payload);
 
+  pfobs::TraceSession* trace = machine_->trace();
+  const int64_t start_ns = trace != nullptr ? machine_->sim()->NowNanos() : 0;
   // IP-layer processing cost is paid for every IP packet, good or bad.
   co_await machine_->Run(Machine::kInterruptContext, Cost::kIpInput,
                          machine_->costs().ip_input);
+  if (trace != nullptr) {
+    trace->Complete(machine_->trace_track(), "kernel", "ip.input", start_ns,
+                    machine_->sim()->NowNanos(),
+                    {{"flow", static_cast<int64_t>(frame.flow_id)}});
+  }
   if (!ip.has_value() || !ip->checksum_ok) {
     ++stats_.ip_bad;
+    ip_bad_counter_->Add();
     co_return;
   }
   ++stats_.ip_in;
+  ip_in_counter_->Add();
 
   if (ip->header.protocol == pfproto::kIpProtoUdp) {
     const auto udp = pfproto::ParseUdp(ip->payload);
+    const int64_t udp_start_ns = trace != nullptr ? machine_->sim()->NowNanos() : 0;
     co_await machine_->Run(Machine::kInterruptContext, Cost::kTransportInput,
                            machine_->costs().transport_input);
+    if (trace != nullptr) {
+      trace->Complete(machine_->trace_track(), "kernel", "udp.input", udp_start_ns,
+                      machine_->sim()->NowNanos(),
+                      {{"flow", static_cast<int64_t>(frame.flow_id)}});
+    }
     if (!udp.has_value()) {
       co_return;
     }
     ++stats_.udp_in;
+    udp_in_counter_->Add();
     const auto it = udp_ports_.find(udp->header.dst_port);
     if (it == udp_ports_.end()) {
       ++stats_.udp_no_port;
+      udp_no_port_counter_->Add();
       co_return;
     }
     UdpDatagram datagram;
@@ -64,7 +88,14 @@ pfsim::ValueTask<bool> KernelIpStack::OutputIp(int ctx, uint32_t dst_ip, uint8_t
   // Routing decision + IP header construction (§6.1 / table 6-1: the
   // kernel datagram path "needs to choose a route ... and compute a
   // [header] checksum"; the packet filter does not).
+  pfobs::TraceSession* trace = machine_->trace();
+  const int64_t start_ns = trace != nullptr ? machine_->sim()->NowNanos() : 0;
   co_await machine_->Run(ctx, Cost::kIpOutput, machine_->costs().ip_output);
+  if (trace != nullptr) {
+    trace->Complete(machine_->trace_track(), "kernel", "ip.output", start_ns,
+                    machine_->sim()->NowNanos(),
+                    {{"bytes", static_cast<int64_t>(segment.size())}});
+  }
   const auto mac = machine_->Resolve(dst_ip);
   if (!mac.has_value()) {
     co_return false;
@@ -75,6 +106,7 @@ pfsim::ValueTask<bool> KernelIpStack::OutputIp(int ctx, uint32_t dst_ip, uint8_t
   header.dst = dst_ip;
   header.identification = next_ip_id_++;
   ++stats_.ip_out;
+  ip_out_counter_->Add();
   co_return co_await machine_->TransmitFrame(ctx, *mac, pfproto::kEtherTypeIp,
                                              pfproto::BuildIp(header, segment));
 }
@@ -92,6 +124,7 @@ pfsim::ValueTask<bool> KernelIpStack::SendUdp(int pid, uint32_t dst_ip, uint16_t
   }
   co_await machine_->RunMulti(pid, std::move(charges));
   ++stats_.udp_out;
+  udp_out_counter_->Add();
   std::vector<uint8_t> segment = pfproto::BuildUdp(
       pfproto::UdpHeader{src_port, dst_port}, ip_, dst_ip, data, checksummed);
   co_return co_await OutputIp(pid, dst_ip, pfproto::kIpProtoUdp, std::move(segment));

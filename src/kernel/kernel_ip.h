@@ -73,6 +73,14 @@ class KernelIpStack {
   TcpInput tcp_input_;
   Stats stats_;
   uint16_t next_ip_id_ = 1;
+
+  // Registry-backed mirrors of Stats (src/obs), cached at construction.
+  pfobs::Counter* ip_in_counter_ = nullptr;
+  pfobs::Counter* ip_out_counter_ = nullptr;
+  pfobs::Counter* ip_bad_counter_ = nullptr;
+  pfobs::Counter* udp_in_counter_ = nullptr;
+  pfobs::Counter* udp_no_port_counter_ = nullptr;
+  pfobs::Counter* udp_out_counter_ = nullptr;
 };
 
 }  // namespace pfkern

@@ -7,6 +7,7 @@ namespace pfkern {
 // ---------------------------------------------------------------- KernelTcp
 
 KernelTcp::KernelTcp(KernelIpStack* stack) : stack_(stack), machine_(stack->machine()) {
+  segments_in_counter_ = machine_->metrics().counter("tcp.segments_in");
   stack_->SetTcpInput([this](const pfproto::IpView& ip) { return Input(ip); });
 }
 
@@ -55,15 +56,23 @@ pfsim::ValueTask<TcpConnection*> KernelTcp::Accept(int pid, uint16_t port,
 
 pfsim::ValueTask<void> KernelTcp::Input(const pfproto::IpView& ip) {
   const auto view = pfproto::ParseTcp(ip.payload, ip.header.src, ip.header.dst);
+  pfobs::TraceSession* trace = machine_->trace();
+  const int64_t start_ns = trace != nullptr ? machine_->sim()->NowNanos() : 0;
   std::vector<Machine::Charge> charges;
   charges.emplace_back(Cost::kTransportInput, machine_->costs().transport_input);
   if (view.has_value()) {
     charges.emplace_back(Cost::kChecksum, machine_->costs().ChecksumCost(view->payload.size()));
   }
   co_await machine_->RunMulti(Machine::kInterruptContext, std::move(charges));
+  if (trace != nullptr) {
+    trace->Complete(machine_->trace_track(), "kernel", "tcp.input", start_ns,
+                    machine_->sim()->NowNanos(),
+                    {{"bytes", view.has_value() ? static_cast<int64_t>(view->payload.size()) : 0}});
+  }
   if (!view.has_value() || !view->checksum_ok) {
     co_return;
   }
+  segments_in_counter_->Add();
 
   TcpConnection* conn = FindConnection(ip.header.src, view->header.dst_port,
                                        view->header.src_port);

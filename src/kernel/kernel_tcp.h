@@ -139,6 +139,7 @@ class KernelTcp {
   size_t mss_ = 1024;
   std::vector<std::unique_ptr<TcpConnection>> connections_;
   std::map<uint16_t, std::unique_ptr<pfsim::MsgQueue<TcpConnection*>>> listeners_;
+  pfobs::Counter* segments_in_counter_ = nullptr;  // registry mirror (src/obs)
 };
 
 }  // namespace pfkern

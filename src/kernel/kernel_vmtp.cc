@@ -15,6 +15,8 @@ std::vector<uint8_t> KernelVmtp::Assembly::Join() const {
 }
 
 KernelVmtp::KernelVmtp(Machine* machine) : machine_(machine) {
+  packets_in_counter_ = machine_->metrics().counter("vmtp.kernel.packets_in");
+  packets_out_counter_ = machine_->metrics().counter("vmtp.kernel.packets_out");
   machine_->RegisterKernelProtocol(
       pfproto::kEtherTypeVmtp,
       [this](const pflink::Frame& frame, const pflink::LinkHeader& header) {
@@ -43,6 +45,7 @@ pfsim::ValueTask<void> KernelVmtp::SendGroup(int ctx, pflink::MacAddr dst,
     // Kernel protocol processing per packet, in kernel context.
     co_await machine_->Run(ctx, Cost::kProtocolKernel, machine_->costs().vmtp_kernel_proc);
     ++stats_.packets_out;
+    packets_out_counter_->Add();
     co_await machine_->TransmitFrame(ctx, dst, pfproto::kEtherTypeVmtp,
                                      pfproto::BuildVmtp(base, chunk));
   }
@@ -52,12 +55,20 @@ pfsim::ValueTask<void> KernelVmtp::Input(const pflink::Frame& frame,
                                          const pflink::LinkHeader& link_header) {
   const auto payload = pflink::FramePayload(machine_->link_properties().type, frame.AsSpan());
   const auto view = pfproto::ParseVmtp(payload);
+  pfobs::TraceSession* trace = machine_->trace();
+  const int64_t start_ns = trace != nullptr ? machine_->sim()->NowNanos() : 0;
   co_await machine_->Run(Machine::kInterruptContext, Cost::kProtocolKernel,
                          machine_->costs().vmtp_kernel_proc);
+  if (trace != nullptr) {
+    trace->Complete(machine_->trace_track(), "kernel", "vmtp.input", start_ns,
+                    machine_->sim()->NowNanos(),
+                    {{"flow", static_cast<int64_t>(frame.flow_id)}});
+  }
   if (!view.has_value()) {
     co_return;
   }
   ++stats_.packets_in;
+  packets_in_counter_->Add();
   const pfproto::VmtpHeader& h = view->header;
 
   switch (h.func) {

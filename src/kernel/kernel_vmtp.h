@@ -109,6 +109,9 @@ class KernelVmtp {
   std::map<uint32_t, std::unique_ptr<ClientState>> clients_;
   uint32_t next_transaction_ = 1;
   VmtpStats stats_;
+  // Registry mirrors (src/obs), cached at construction.
+  pfobs::Counter* packets_in_counter_ = nullptr;
+  pfobs::Counter* packets_out_counter_ = nullptr;
 };
 
 }  // namespace pfkern

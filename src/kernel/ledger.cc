@@ -46,6 +46,61 @@ std::string ToString(Cost category) {
   return "?";
 }
 
+std::string ToSlug(Cost category) {
+  switch (category) {
+    case Cost::kContextSwitch:
+      return "context_switch";
+    case Cost::kSyscall:
+      return "syscall";
+    case Cost::kCopy:
+      return "copy";
+    case Cost::kInterrupt:
+      return "interrupt";
+    case Cost::kFilterEval:
+      return "filter_eval";
+    case Cost::kPfBookkeeping:
+      return "pf_bookkeeping";
+    case Cost::kTimestamp:
+      return "timestamp";
+    case Cost::kIpInput:
+      return "ip_input";
+    case Cost::kTransportInput:
+      return "transport_input";
+    case Cost::kIpOutput:
+      return "ip_output";
+    case Cost::kTransportOutput:
+      return "transport_output";
+    case Cost::kChecksum:
+      return "checksum";
+    case Cost::kDriverSend:
+      return "driver_send";
+    case Cost::kPipe:
+      return "pipe";
+    case Cost::kProtocolUser:
+      return "protocol_user";
+    case Cost::kProtocolKernel:
+      return "protocol_kernel";
+    case Cost::kDisplay:
+      return "display";
+    case Cost::kCount:
+      break;
+  }
+  return "?";
+}
+
+void Ledger::ExportTo(pfobs::MetricsRegistry* registry, const std::string& prefix) const {
+  for (size_t i = 0; i < static_cast<size_t>(Cost::kCount); ++i) {
+    const auto category = static_cast<Cost>(i);
+    if (count(category) == 0) {
+      continue;
+    }
+    const std::string base = prefix + "." + ToSlug(category);
+    registry->gauge(base + ".total_ns")->Set(total(category).count());
+    registry->gauge(base + ".charges")->Set(static_cast<int64_t>(count(category)));
+  }
+  registry->gauge(prefix + ".grand_total_ns")->Set(grand_total().count());
+}
+
 std::string Ledger::Format() const {
   std::string out;
   char line[128];

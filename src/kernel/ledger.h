@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <string>
 
+#include "src/obs/metrics.h"
 #include "src/sim/sim_time.h"
 
 namespace pfkern {
@@ -34,6 +35,9 @@ enum class Cost : uint8_t {
 };
 
 std::string ToString(Cost category);
+// Metric-name form ("context_switch", "copy", ...): lowercase, dots/spaces
+// free, used as "ledger.<slug>.*" in the metrics registry.
+std::string ToSlug(Cost category);
 
 class Ledger {
  public:
@@ -60,6 +64,12 @@ class Ledger {
 
   // Multi-line "gprof" style summary, categories with non-zero time only.
   std::string Format() const;
+
+  // Ledger -> registry bridge (src/obs): writes every category with any
+  // charges as gauges "<prefix>.<slug>.total_ns" and "<prefix>.<slug>.charges"
+  // plus "<prefix>.grand_total_ns". Gauges are overwritten on each call, so
+  // re-exporting after more charges is safe.
+  void ExportTo(pfobs::MetricsRegistry* registry, const std::string& prefix = "ledger") const;
 
  private:
   struct Slot {

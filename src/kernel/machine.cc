@@ -12,11 +12,34 @@ Machine::Machine(pfsim::Simulator* sim, pflink::EthernetSegment* segment, pflink
       costs_(costs),
       name_(std::move(name)),
       cpu_(sim) {
+  nic_in_counter_ = metrics_.counter("nic.frames_in");
+  nic_out_counter_ = metrics_.counter("nic.frames_out");
+  nic_to_kernel_counter_ = metrics_.counter("nic.frames_to_kernel");
+  nic_to_pf_counter_ = metrics_.counter("nic.frames_to_pf");
   pf_device_ = std::make_unique<PacketFilterDevice>(this);
+  pf_device_->core().AttachMetrics(&metrics_);
   segment_->Attach(this);
 }
 
 Machine::~Machine() { segment_->Detach(this); }
+
+void Machine::AttachTrace(pfobs::TraceSession* session) {
+  trace_ = session;
+  trace_track_ = session != nullptr ? session->RegisterTrack(name_) : 0;
+}
+
+std::string Machine::SnapshotText() {
+  ledger_.ExportTo(&metrics_);
+  std::string out = "=== " + name_ + " ===\nledger:\n" + ledger_.Format() + "metrics:\n" +
+                    metrics_.ToText();
+  return out;
+}
+
+std::string Machine::SnapshotJson() {
+  ledger_.ExportTo(&metrics_);
+  // Machine names are plain identifiers; no escaping needed.
+  return "{\"machine\":\"" + name_ + "\",\"metrics\":" + metrics_.ToJson() + "}";
+}
 
 pfsim::ValueTask<void> Machine::Run(int ctx, Cost category, pfsim::Duration work) {
   return RunMulti(ctx, {{category, work}});
@@ -58,9 +81,21 @@ pfsim::ValueTask<bool> Machine::TransmitRaw(int ctx, std::vector<uint8_t> frame_
       frame_bytes.size() > props.header_len + props.mtu) {
     co_return false;
   }
+  pflink::Frame frame{std::move(frame_bytes)};
+  frame.flow_id = segment_->NextFlowId();
+  const int64_t start_ns = trace_ != nullptr ? sim_->NowNanos() : 0;
   co_await Run(ctx, Cost::kDriverSend, costs_.driver_send);
   ++nic_stats_.frames_out;
-  segment_->Transmit(this, pflink::Frame{std::move(frame_bytes)});
+  nic_out_counter_->Add();
+  if (trace_ != nullptr) {
+    const int64_t now_ns = sim_->NowNanos();
+    trace_->Complete(trace_track_, "kernel", "driver.send", start_ns, now_ns,
+                     {{"bytes", static_cast<int64_t>(frame.size())},
+                      {"flow", static_cast<int64_t>(frame.flow_id)}});
+    // The packet's flow starts where it leaves the sending driver.
+    trace_->Flow(pfobs::Phase::kFlowStart, trace_track_, now_ns, frame.flow_id);
+  }
+  segment_->Transmit(this, std::move(frame));
   co_return true;
 }
 
@@ -88,7 +123,17 @@ void Machine::OnFrameDelivered(const pflink::Frame& frame, pfsim::TimePoint at) 
 
 pfsim::Task Machine::ReceiveTask(pflink::Frame frame) {
   ++nic_stats_.frames_in;
+  nic_in_counter_->Add();
+  const int64_t arrive_ns = trace_ != nullptr ? sim_->NowNanos() : 0;
+  if (trace_ != nullptr && frame.flow_id != 0) {
+    trace_->Flow(pfobs::Phase::kFlowStep, trace_track_, arrive_ns, frame.flow_id);
+  }
   co_await Run(kInterruptContext, Cost::kInterrupt, costs_.recv_interrupt);
+  if (trace_ != nullptr) {
+    trace_->Complete(trace_track_, "kernel", "interrupt", arrive_ns, sim_->NowNanos(),
+                     {{"bytes", static_cast<int64_t>(frame.size())},
+                      {"flow", static_cast<int64_t>(frame.flow_id)}});
+  }
 
   bool claimed = false;
   const auto header = pflink::ParseHeader(link_properties().type, frame.AsSpan());
@@ -96,6 +141,7 @@ pfsim::Task Machine::ReceiveTask(pflink::Frame frame) {
     const auto it = kernel_handlers_.find(header->ether_type);
     if (it != kernel_handlers_.end()) {
       ++nic_stats_.frames_to_kernel;
+      nic_to_kernel_counter_->Add();
       co_await it->second(frame, *header);
       claimed = true;
     }
@@ -105,8 +151,10 @@ pfsim::Task Machine::ReceiveTask(pflink::Frame frame) {
   // (Or for every packet when the fig. 3-3 tap is on.)
   if (!claimed || tap_all_to_pf_) {
     ++nic_stats_.frames_to_pf;
+    nic_to_pf_counter_->Add();
     co_await pf_device_->HandlePacket(frame.bytes,
-                                      static_cast<uint64_t>(sim_->Now().time_since_epoch().count()));
+                                      static_cast<uint64_t>(sim_->Now().time_since_epoch().count()),
+                                      frame.flow_id);
   }
 }
 

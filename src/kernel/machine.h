@@ -30,6 +30,8 @@
 #include "src/kernel/cost_model.h"
 #include "src/kernel/ledger.h"
 #include "src/link/frame.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/link/segment.h"
 #include "src/sim/sim_time.h"
 #include "src/sim/simulator.h"
@@ -66,6 +68,24 @@ class Machine : public pflink::Station {
   Ledger& ledger() { return ledger_; }
   const std::string& name() const { return name_; }
   PacketFilterDevice& pf() { return *pf_device_; }
+
+  // --- Observability (src/obs) ---
+  // Every machine owns a metrics registry; the demux, engine, device, and
+  // protocol stacks register their counters/histograms into it at
+  // construction time.
+  pfobs::MetricsRegistry& metrics() { return metrics_; }
+  const pfobs::MetricsRegistry& metrics() const { return metrics_; }
+  // Tracing is opt-in: attach a (shared, per-simulation) session and this
+  // machine emits spans/flow events onto its own track. Null detaches.
+  void AttachTrace(pfobs::TraceSession* session);
+  pfobs::TraceSession* trace() { return trace_; }
+  int trace_track() const { return trace_track_; }
+
+  // Full observability snapshot of this machine: ledger ("gprof" profile)
+  // bridged into the registry, then the registry dumped. Text form for
+  // humans, JSON for tooling (`{"machine":...,"ledger":...,"metrics":...}`).
+  std::string SnapshotText();
+  std::string SnapshotJson();
 
   // NIC hears every frame on the segment (monitor use, §5.4).
   void SetPromiscuous(bool enabled) { promiscuous_ = enabled; }
@@ -128,6 +148,13 @@ class Machine : public pflink::Station {
   CostModel costs_;
   std::string name_;
   Ledger ledger_;
+  pfobs::MetricsRegistry metrics_;
+  pfobs::TraceSession* trace_ = nullptr;
+  int trace_track_ = 0;
+  pfobs::Counter* nic_in_counter_ = nullptr;
+  pfobs::Counter* nic_out_counter_ = nullptr;
+  pfobs::Counter* nic_to_kernel_counter_ = nullptr;
+  pfobs::Counter* nic_to_pf_counter_ = nullptr;
 
   pfsim::AsyncMutex cpu_;
   int cpu_owner_ = kIdleContext;

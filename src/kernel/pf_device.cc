@@ -16,6 +16,16 @@ PacketFilterDevice::PacketFilterDevice(Machine* machine) : machine_(machine) {
   info.local_addr = machine_->link_addr().bytes;
   info.broadcast_addr = props.broadcast.bytes;
   filter_.set_device_info(info);
+
+  pfobs::MetricsRegistry& registry = machine_->metrics();
+  reads_counter_ = registry.counter("pfdev.reads");
+  read_packets_counter_ = registry.counter("pfdev.read_packets");
+  writes_counter_ = registry.counter("pfdev.writes");
+  wakeups_counter_ = registry.counter("pfdev.wakeups");
+  for (const pf::Strategy strategy : pf::kAllStrategies) {
+    filter_eval_hist_[static_cast<size_t>(strategy)] =
+        registry.histogram("pf.filter_eval." + pf::ToString(strategy));
+  }
 }
 
 PacketFilterDevice::PortExtra* PacketFilterDevice::Extra(pf::PortId port) {
@@ -76,6 +86,9 @@ pfsim::ValueTask<void> PacketFilterDevice::Configure(int pid, pf::PortId port,
 
 pfsim::ValueTask<std::vector<pf::ReceivedPacket>> PacketFilterDevice::Read(
     int pid, pf::PortId port, pfsim::Duration timeout) {
+  pfobs::TraceSession* trace = machine_->trace();
+  const int64_t read_start_ns = trace != nullptr ? machine_->sim()->NowNanos() : 0;
+  reads_counter_->Add();
   co_await machine_->Run(pid, Cost::kSyscall, machine_->costs().syscall);
   std::vector<pf::ReceivedPacket> out;
   PortExtra* extra = Extra(port);
@@ -128,15 +141,39 @@ pfsim::ValueTask<std::vector<pf::ReceivedPacket>> PacketFilterDevice::Read(
     charges.emplace_back(Cost::kCopy, machine_->costs().CopyCost(packet.bytes.size()));
   }
   co_await machine_->RunMulti(pid, std::move(charges));
+  read_packets_counter_->Add(out.size());
+  if (trace != nullptr) {
+    const int64_t now_ns = machine_->sim()->NowNanos();
+    const int track = machine_->trace_track();
+    trace->Complete(track, "pf", "pf.read", read_start_ns, now_ns,
+                    {{"packets", static_cast<int64_t>(out.size())},
+                     {"port", static_cast<int64_t>(port)}});
+    // Each packet's journey ends here: delivered into the user's buffer.
+    for (const pf::ReceivedPacket& packet : out) {
+      if (packet.flow_id != 0) {
+        trace->Flow(pfobs::Phase::kFlowEnd, track, now_ns, packet.flow_id);
+      }
+    }
+  }
   co_return out;
 }
 
 pfsim::ValueTask<bool> PacketFilterDevice::Write(int pid, std::vector<uint8_t> frame_bytes) {
+  pfobs::TraceSession* trace = machine_->trace();
+  const int64_t start_ns = trace != nullptr ? machine_->sim()->NowNanos() : 0;
+  const int64_t bytes = static_cast<int64_t>(frame_bytes.size());
+  writes_counter_->Add();
   std::vector<Machine::Charge> charges;
   charges.emplace_back(Cost::kSyscall, machine_->costs().syscall);
   charges.emplace_back(Cost::kCopy, machine_->costs().CopyCost(frame_bytes.size()));
   co_await machine_->RunMulti(pid, std::move(charges));
-  co_return co_await machine_->TransmitRaw(pid, std::move(frame_bytes));
+  const bool sent = co_await machine_->TransmitRaw(pid, std::move(frame_bytes));
+  if (trace != nullptr) {
+    trace->Complete(machine_->trace_track(), "pf", "pf.write", start_ns,
+                    machine_->sim()->NowNanos(),
+                    {{"bytes", bytes}, {"sent", sent ? 1 : 0}});
+  }
+  co_return sent;
 }
 
 pfsim::ValueTask<size_t> PacketFilterDevice::WriteMany(int pid,
@@ -201,15 +238,20 @@ pfsim::ValueTask<pf::PortId> PacketFilterDevice::Select(int pid, std::vector<pf:
 pf::DeviceInfo PacketFilterDevice::GetDeviceInfo() const { return filter_.device_info(); }
 
 pfsim::ValueTask<void> PacketFilterDevice::HandlePacket(const std::vector<uint8_t>& frame_bytes,
-                                                        uint64_t timestamp_ns) {
+                                                        uint64_t timestamp_ns, uint64_t flow_id) {
+  pfobs::TraceSession* trace = machine_->trace();
+  const int64_t demux_start_ns = trace != nullptr ? machine_->sim()->NowNanos() : 0;
   pending_signals_.clear();
-  const pf::DemuxResult result = filter_.Demux(frame_bytes, timestamp_ns);
+  const pf::DemuxResult result = filter_.Demux(frame_bytes, timestamp_ns, flow_id);
 
   // Charge the interpretation + bookkeeping before waking any reader.
   std::vector<Machine::Charge> charges;
   const pfsim::Duration filter_cost = machine_->costs().FilterCost(result.exec);
   if (filter_cost.count() > 0) {
     charges.emplace_back(Cost::kFilterEval, filter_cost);
+    // Same condition as the Ledger charge above, so this histogram's sum
+    // reconciles exactly with ledger.filter_eval.total_ns.
+    filter_eval_hist_[static_cast<size_t>(filter_.strategy())]->Record(filter_cost.count());
   }
   if (result.deliveries > 0) {
     charges.emplace_back(Cost::kPfBookkeeping,
@@ -229,8 +271,24 @@ pfsim::ValueTask<void> PacketFilterDevice::HandlePacket(const std::vector<uint8_
   if (!charges.empty()) {
     co_await machine_->RunMulti(Machine::kInterruptContext, std::move(charges));
   }
+  if (trace != nullptr) {
+    trace->Complete(machine_->trace_track(), "pf", "pf.demux", demux_start_ns,
+                    machine_->sim()->NowNanos(),
+                    {{"deliveries", static_cast<int64_t>(result.deliveries)},
+                     {"drops", static_cast<int64_t>(result.drops)},
+                     {"insns", static_cast<int64_t>(result.exec.insns_executed)},
+                     {"flow", static_cast<int64_t>(flow_id)}});
+  }
 
   // Now wake the readers (and ring any select doorbells / deliver signals).
+  if (!pending_signals_.empty()) {
+    wakeups_counter_->Add(pending_signals_.size());
+    if (trace != nullptr) {
+      trace->Instant(machine_->trace_track(), "pf", "pf.wakeup",
+                     machine_->sim()->NowNanos(),
+                     {{"readers", static_cast<int64_t>(pending_signals_.size())}});
+    }
+  }
   for (const pf::PortId port : pending_signals_) {
     if (PortExtra* extra = Extra(port)) {
       extra->signal.ForcePush('\0');

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "src/kernel/ledger.h"
+#include "src/obs/metrics.h"
 #include "src/pf/demux.h"
 #include "src/sim/sync.h"
 #include "src/sim/value_task.h"
@@ -82,8 +83,10 @@ class PacketFilterDevice {
   pf::DeviceInfo GetDeviceInfo() const;
 
   // --- Kernel-side entry, interrupt context ---
+  // `flow_id` (0 = untracked) is the frame's tracing flow id; it is stamped
+  // onto delivered copies so Read() can close the flow (src/obs).
   pfsim::ValueTask<void> HandlePacket(const std::vector<uint8_t>& frame_bytes,
-                                      uint64_t timestamp_ns);
+                                      uint64_t timestamp_ns, uint64_t flow_id = 0);
 
   static constexpr size_t kMaxBatch = 32;
 
@@ -104,6 +107,16 @@ class PacketFilterDevice {
   std::unordered_map<pf::PortId, std::unique_ptr<PortExtra>> extras_;
   std::vector<pf::PortId> pending_signals_;
   std::vector<pfsim::MsgQueue<char>*> select_doorbells_;  // one per active Select
+
+  // Observability (src/obs): registered into the machine's registry once at
+  // construction, recorded by pointer on the hot paths. The per-strategy
+  // filter-eval histograms sample the *simulated* FilterCost per packet, so
+  // their sums reconcile exactly with the Ledger's kFilterEval charge.
+  pfobs::Counter* reads_counter_ = nullptr;
+  pfobs::Counter* read_packets_counter_ = nullptr;
+  pfobs::Counter* writes_counter_ = nullptr;
+  pfobs::Counter* wakeups_counter_ = nullptr;
+  pfobs::Histogram* filter_eval_hist_[4] = {};
 };
 
 }  // namespace pfkern

@@ -37,6 +37,10 @@ LinkProperties PropertiesFor(LinkType type);
 
 struct Frame {
   std::vector<uint8_t> bytes;
+  // Tracing flow id (src/obs): assigned by the sending driver from its
+  // segment's sequence, carried to every receiver so one packet can be
+  // followed across machines. 0 = untracked. Not part of the wire format.
+  uint64_t flow_id = 0;
 
   std::span<const uint8_t> AsSpan() const { return bytes; }
   size_t size() const { return bytes.size(); }

@@ -55,6 +55,10 @@ class EthernetSegment {
 
   const LinkProperties& properties() const { return props_; }
 
+  // Next per-packet tracing flow id (shared by all stations on the segment
+  // so ids are unique across senders; see src/obs/trace.h).
+  uint64_t NextFlowId() { return next_flow_id_++; }
+
   struct Stats {
     uint64_t frames_carried = 0;
     uint64_t bytes_carried = 0;
@@ -70,6 +74,7 @@ class EthernetSegment {
   std::vector<Station*> stations_;
   pfsim::TimePoint medium_free_at_{};
   double loss_rate_ = 0.0;
+  uint64_t next_flow_id_ = 1;
   std::optional<pfutil::Rng> loss_rng_;
   Stats stats_;
 };

@@ -11,6 +11,38 @@
 
 namespace pfnet {
 
+NetworkMonitor::NetworkMonitor(pfkern::Machine* machine, uint32_t linktype)
+    : machine_(machine), pcap_(linktype) {
+  pfobs::MetricsRegistry& registry = machine_->metrics();
+  frames_ = registry.counter("monitor.frames");
+  bytes_ = registry.counter("monitor.bytes");
+  ip_ = registry.counter("monitor.ip");
+  udp_ = registry.counter("monitor.udp");
+  tcp_ = registry.counter("monitor.tcp");
+  arp_ = registry.counter("monitor.arp");
+  rarp_ = registry.counter("monitor.rarp");
+  pup_ = registry.counter("monitor.pup");
+  vmtp_ = registry.counter("monitor.vmtp");
+  other_ = registry.counter("monitor.other");
+  dropped_ = registry.counter("monitor.dropped");
+}
+
+NetworkMonitor::Counters NetworkMonitor::Snapshot() const {
+  Counters out;
+  out.frames = static_cast<uint64_t>(frames_->value());
+  out.bytes = static_cast<uint64_t>(bytes_->value());
+  out.ip = static_cast<uint64_t>(ip_->value());
+  out.udp = static_cast<uint64_t>(udp_->value());
+  out.tcp = static_cast<uint64_t>(tcp_->value());
+  out.arp = static_cast<uint64_t>(arp_->value());
+  out.rarp = static_cast<uint64_t>(rarp_->value());
+  out.pup = static_cast<uint64_t>(pup_->value());
+  out.vmtp = static_cast<uint64_t>(vmtp_->value());
+  out.other = static_cast<uint64_t>(other_->value());
+  out.dropped = static_cast<uint64_t>(dropped_->value());
+  return out;
+}
+
 pfsim::ValueTask<std::unique_ptr<NetworkMonitor>> NetworkMonitor::Create(
     pfkern::Machine* machine, int pid) {
   const uint32_t linktype = machine->link_properties().type == pflink::LinkType::kEthernet10Mb
@@ -43,42 +75,42 @@ pfsim::ValueTask<size_t> NetworkMonitor::Poll(int pid, pfsim::Duration timeout,
                     DescribeFrame(machine_->link_properties().type, packet.bytes).c_str());
       decoded->push_back(line);
     }
-    ++counters_.frames;
-    counters_.bytes += packet.bytes.size();
-    counters_.dropped += packet.dropped_before;
+    frames_->Add();
+    bytes_->Add(packet.bytes.size());
+    dropped_->Add(packet.dropped_before);
     pcap_.AddRecord(packet.timestamp_ns, packet.bytes);
 
     const auto header = pflink::ParseHeader(machine_->link_properties().type, packet.bytes);
     if (!header.has_value()) {
-      ++counters_.other;
+      other_->Add();
       continue;
     }
     switch (header->ether_type) {
       case pfproto::kEtherTypeIp: {
-        ++counters_.ip;
+        ip_->Add();
         const auto ip = pfproto::ParseIp(
             pflink::FramePayload(machine_->link_properties().type, packet.bytes));
         if (ip.has_value() && ip->header.protocol == pfproto::kIpProtoUdp) {
-          ++counters_.udp;
+          udp_->Add();
         } else if (ip.has_value() && ip->header.protocol == pfproto::kIpProtoTcp) {
-          ++counters_.tcp;
+          tcp_->Add();
         }
         break;
       }
       case pfproto::kEtherTypeArp:
-        ++counters_.arp;
+        arp_->Add();
         break;
       case pfproto::kEtherTypeRarp:
-        ++counters_.rarp;
+        rarp_->Add();
         break;
       case pfproto::kEtherTypePup:
-        ++counters_.pup;
+        pup_->Add();
         break;
       case pfproto::kEtherTypeVmtp:
-        ++counters_.vmtp;
+        vmtp_->Add();
         break;
       default:
-        ++counters_.other;
+        other_->Add();
         break;
     }
   }
@@ -86,16 +118,17 @@ pfsim::ValueTask<size_t> NetworkMonitor::Poll(int pid, pfsim::Duration timeout,
 }
 
 std::string NetworkMonitor::Summary() const {
+  const Counters counters = Snapshot();
   char buf[256];
   std::snprintf(buf, sizeof(buf),
                 "captured %llu frames (%llu bytes, %llu lost): "
                 "ip=%llu (udp=%llu tcp=%llu) arp=%llu rarp=%llu pup=%llu vmtp=%llu other=%llu",
-                (unsigned long long)counters_.frames, (unsigned long long)counters_.bytes,
-                (unsigned long long)counters_.dropped, (unsigned long long)counters_.ip,
-                (unsigned long long)counters_.udp, (unsigned long long)counters_.tcp,
-                (unsigned long long)counters_.arp, (unsigned long long)counters_.rarp,
-                (unsigned long long)counters_.pup, (unsigned long long)counters_.vmtp,
-                (unsigned long long)counters_.other);
+                (unsigned long long)counters.frames, (unsigned long long)counters.bytes,
+                (unsigned long long)counters.dropped, (unsigned long long)counters.ip,
+                (unsigned long long)counters.udp, (unsigned long long)counters.tcp,
+                (unsigned long long)counters.arp, (unsigned long long)counters.rarp,
+                (unsigned long long)counters.pup, (unsigned long long)counters.vmtp,
+                (unsigned long long)counters.other);
   return buf;
 }
 

@@ -27,6 +27,9 @@ namespace pfnet {
 
 class NetworkMonitor {
  public:
+  // A point-in-time copy of the capture counters. The live counters are
+  // "monitor.*" entries in the machine's metrics registry (src/obs); this
+  // struct is just the read-back convenience for callers and tests.
   struct Counters {
     uint64_t frames = 0;
     uint64_t bytes = 0;
@@ -50,7 +53,7 @@ class NetworkMonitor {
   pfsim::ValueTask<size_t> Poll(int pid, pfsim::Duration timeout,
                                 std::vector<std::string>* decoded = nullptr);
 
-  const Counters& counters() const { return counters_; }
+  Counters Snapshot() const;
   pfutil::PcapWriter& pcap() { return pcap_; }
   std::string Summary() const;
 
@@ -60,13 +63,23 @@ class NetworkMonitor {
                                    std::span<const uint8_t> frame);
 
  private:
-  NetworkMonitor(pfkern::Machine* machine, uint32_t linktype)
-      : machine_(machine), pcap_(linktype) {}
+  NetworkMonitor(pfkern::Machine* machine, uint32_t linktype);
 
   pfkern::Machine* machine_;
   pf::PortId port_ = pf::kInvalidPort;
   pfutil::PcapWriter pcap_;
-  Counters counters_;
+  // Live counters in the machine registry ("monitor.frames" etc.), cached.
+  pfobs::Counter* frames_ = nullptr;
+  pfobs::Counter* bytes_ = nullptr;
+  pfobs::Counter* ip_ = nullptr;
+  pfobs::Counter* udp_ = nullptr;
+  pfobs::Counter* tcp_ = nullptr;
+  pfobs::Counter* arp_ = nullptr;
+  pfobs::Counter* rarp_ = nullptr;
+  pfobs::Counter* pup_ = nullptr;
+  pfobs::Counter* vmtp_ = nullptr;
+  pfobs::Counter* other_ = nullptr;
+  pfobs::Counter* dropped_ = nullptr;
 };
 
 }  // namespace pfnet

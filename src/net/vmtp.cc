@@ -51,8 +51,16 @@ pfsim::ValueTask<void> WriteGroupPackets(pfkern::Machine* machine, int pid, pf::
     const size_t n = std::min(per_packet, data.size() - offset);
     base.packet_index = i;
     // User-space protocol processing for this packet...
+    pfobs::TraceSession* trace = machine->trace();
+    const int64_t proc_start_ns = trace != nullptr ? machine->sim()->NowNanos() : 0;
     co_await machine->Run(pid, pfkern::Cost::kProtocolUser,
                       machine->costs().vmtp_user_send_proc);
+    if (trace != nullptr) {
+      trace->Complete(machine->trace_track(), "user", "vmtp.user.send_proc", proc_start_ns,
+                      machine->sim()->NowNanos(),
+                      {{"pkt", static_cast<int64_t>(i)},
+                       {"of", static_cast<int64_t>(count)}});
+    }
     // ...then a write() through the packet filter.
     pflink::LinkHeader link;
     link.dst = dst;
@@ -182,8 +190,15 @@ pfsim::ValueTask<std::optional<std::vector<uint8_t>>> UserVmtpClient::Transact(
       bool complete = false;
       bool saw_group_end = false;
       for (const pf::ReceivedPacket& packet : packets) {
+        pfobs::TraceSession* trace = machine_->trace();
+        const int64_t proc_start_ns = trace != nullptr ? machine_->sim()->NowNanos() : 0;
         co_await machine_->Run(pid, pfkern::Cost::kProtocolUser,
                                machine_->costs().vmtp_user_recv_proc);
+        if (trace != nullptr) {
+          trace->Complete(machine_->trace_track(), "user", "vmtp.user.recv_proc",
+                          proc_start_ns, machine_->sim()->NowNanos(),
+                          {{"flow", static_cast<int64_t>(packet.flow_id)}});
+        }
         ++stats_.packets_received;
         const auto view = pfproto::ParseVmtp(
             pflink::FramePayload(machine_->link_properties().type, packet.bytes));
@@ -259,8 +274,15 @@ pfsim::ValueTask<std::optional<pfkern::VmtpRequest>> UserVmtpServer::ReceiveRequ
       co_return std::nullopt;
     }
     for (const pf::ReceivedPacket& packet : packets) {
+      pfobs::TraceSession* trace = machine_->trace();
+      const int64_t proc_start_ns = trace != nullptr ? machine_->sim()->NowNanos() : 0;
       co_await machine_->Run(pid, pfkern::Cost::kProtocolUser,
                              machine_->costs().vmtp_user_recv_proc);
+      if (trace != nullptr) {
+        trace->Complete(machine_->trace_track(), "user", "vmtp.user.recv_proc",
+                        proc_start_ns, machine_->sim()->NowNanos(),
+                        {{"flow", static_cast<int64_t>(packet.flow_id)}});
+      }
       ++stats_.packets_received;
       const auto link = pflink::ParseHeader(machine_->link_properties().type, packet.bytes);
       const auto view = pfproto::ParseVmtp(

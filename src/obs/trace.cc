@@ -1,0 +1,147 @@
+#include "src/obs/trace.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace pfobs {
+
+int TraceSession::RegisterTrack(const std::string& name) {
+  track_names_.push_back(name);
+  return static_cast<int>(track_names_.size());  // track ids start at 1
+}
+
+void TraceSession::Complete(int track, const char* category, const char* name,
+                            int64_t start_ns, int64_t end_ns, Args args) {
+  TraceEvent event;
+  event.phase = Phase::kComplete;
+  event.name = name;
+  event.category = category;
+  event.track = track;
+  event.ts_ns = start_ns;
+  event.dur_ns = end_ns - start_ns;
+  event.args = std::move(args);
+  events_.push_back(std::move(event));
+}
+
+void TraceSession::Instant(int track, const char* category, const char* name, int64_t ts_ns,
+                           Args args) {
+  TraceEvent event;
+  event.phase = Phase::kInstant;
+  event.name = name;
+  event.category = category;
+  event.track = track;
+  event.ts_ns = ts_ns;
+  event.args = std::move(args);
+  events_.push_back(std::move(event));
+}
+
+void TraceSession::Flow(Phase phase, int track, int64_t ts_ns, uint64_t flow_id) {
+  // Chrome only renders a flow whose first event is a start ("s"). Frames
+  // injected directly at a NIC (bench load generators) skip the sending
+  // driver, so promote the first event of a never-seen flow to its start.
+  if (phase == Phase::kFlowStep && started_flows_.insert(flow_id).second) {
+    phase = Phase::kFlowStart;
+  } else if (phase == Phase::kFlowStart) {
+    started_flows_.insert(flow_id);
+  }
+  TraceEvent event;
+  event.phase = phase;
+  event.name = "pkt";
+  event.category = "flow";
+  event.track = track;
+  event.ts_ns = ts_ns;
+  event.flow_id = flow_id;
+  events_.push_back(std::move(event));
+}
+
+namespace {
+
+void AppendEscaped(std::ostream& os, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      os << '\\';
+    }
+    os << c;
+  }
+}
+
+// Microseconds with nanosecond precision, Chrome's timestamp unit.
+void AppendTimestamp(std::ostream& os, int64_t ns) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%lld.%03lld", static_cast<long long>(ns / 1000),
+                static_cast<long long>(ns % 1000));
+  os << buf;
+}
+
+}  // namespace
+
+void TraceSession::WriteChromeTrace(std::ostream& os) const {
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (size_t i = 0; i < track_names_.size(); ++i) {
+    if (!first) {
+      os << ',';
+    }
+    first = false;
+    os << "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" << (i + 1)
+       << ",\"args\":{\"name\":\"";
+    AppendEscaped(os, track_names_[i]);
+    os << "\"}}";
+  }
+  for (const TraceEvent& event : events_) {
+    if (!first) {
+      os << ',';
+    }
+    first = false;
+    os << "{\"ph\":\"" << static_cast<char>(event.phase) << "\",\"name\":\"" << event.name
+       << "\",\"cat\":\"" << event.category << "\",\"pid\":" << event.track
+       << ",\"tid\":" << event.tid << ",\"ts\":";
+    AppendTimestamp(os, event.ts_ns);
+    if (event.phase == Phase::kComplete) {
+      os << ",\"dur\":";
+      AppendTimestamp(os, event.dur_ns);
+    }
+    if (event.phase == Phase::kFlowStart || event.phase == Phase::kFlowStep ||
+        event.phase == Phase::kFlowEnd) {
+      os << ",\"id\":" << event.flow_id;
+      if (event.phase == Phase::kFlowEnd) {
+        os << ",\"bp\":\"e\"";  // bind the arrow to the enclosing slice
+      }
+    }
+    if (event.phase == Phase::kInstant) {
+      os << ",\"s\":\"t\"";  // thread-scoped instant
+    }
+    if (!event.args.empty()) {
+      os << ",\"args\":{";
+      bool first_arg = true;
+      for (const auto& [key, value] : event.args) {
+        if (!first_arg) {
+          os << ',';
+        }
+        first_arg = false;
+        os << '"' << key << "\":" << value;
+      }
+      os << '}';
+    }
+    os << '}';
+  }
+  os << "]}";
+}
+
+std::string TraceSession::ToChromeTraceJson() const {
+  std::ostringstream os;
+  WriteChromeTrace(os);
+  return os.str();
+}
+
+bool TraceSession::WriteChromeTraceFile(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) {
+    return false;
+  }
+  WriteChromeTrace(file);
+  return static_cast<bool>(file);
+}
+
+}  // namespace pfobs

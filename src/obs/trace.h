@@ -1,0 +1,101 @@
+// Structured tracing keyed on simulated time, exported as Chrome
+// `trace_event` JSON (viewable in Perfetto / chrome://tracing).
+//
+// A TraceSession is a passive recorder shared by every machine in one
+// simulation run: each machine registers a *track* (rendered as a Chrome
+// "process", named after the machine), and emitters stamp events with the
+// simulated clock they already hold. The session itself never reads a
+// clock, owns no threads, and performs no I/O until WriteChromeTrace().
+//
+// Zero overhead when disabled: call sites hold a `TraceSession*` that is
+// null by default, so instrumentation compiles to a branch on a null
+// pointer. Events:
+//   * Complete spans ("X") — a named interval [start_ns, end_ns) with
+//     integer args (bytes, deliveries, ...).
+//   * Instants ("i") — a point event (e.g. a reader wakeup).
+//   * Flow events ("s"/"t"/"f") — one per-packet flow id carried across
+//     machines, so a single packet can be followed from the sender's write
+//     syscall to the receiver's user-level read as arrows in Perfetto.
+//
+// The event taxonomy (span names, categories, who emits what) is documented
+// in DESIGN.md's Observability section.
+#ifndef SRC_OBS_TRACE_H_
+#define SRC_OBS_TRACE_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+namespace pfobs {
+
+enum class Phase : char {
+  kComplete = 'X',
+  kInstant = 'i',
+  kFlowStart = 's',
+  kFlowStep = 't',
+  kFlowEnd = 'f',
+};
+
+struct TraceEvent {
+  Phase phase = Phase::kInstant;
+  // Names and categories are string literals at every call site; the
+  // session stores the pointers, not copies.
+  const char* name = "";
+  const char* category = "";
+  int track = 0;      // Chrome "pid": one per registered machine
+  int tid = 0;        // execution context (process id / interrupt)
+  int64_t ts_ns = 0;  // simulated time
+  int64_t dur_ns = 0;        // kComplete only
+  uint64_t flow_id = 0;      // flow phases only; 0 = none
+  std::vector<std::pair<const char*, int64_t>> args;
+};
+
+class TraceSession {
+ public:
+  using Args = std::vector<std::pair<const char*, int64_t>>;
+
+  TraceSession() = default;
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  // Registers a named track (machine); returns its id.
+  int RegisterTrack(const std::string& name);
+
+  void Complete(int track, const char* category, const char* name, int64_t start_ns,
+                int64_t end_ns, Args args = {});
+  void Instant(int track, const char* category, const char* name, int64_t ts_ns,
+               Args args = {});
+  // phase must be kFlowStart / kFlowStep / kFlowEnd. All flow events share
+  // one name/category ("pkt"/"flow") so Chrome links them by id alone. A
+  // step for a flow id never seen before is promoted to a start (frames
+  // injected directly at a NIC have no sending driver to start the flow).
+  void Flow(Phase phase, int track, int64_t ts_ns, uint64_t flow_id);
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  const std::vector<std::string>& tracks() const { return track_names_; }
+  size_t event_count() const { return events_.size(); }
+  void Clear() {
+    events_.clear();
+    started_flows_.clear();
+  }
+
+  // Chrome trace_event JSON object format: {"traceEvents":[...]} with
+  // process_name metadata per track. Timestamps are emitted in microseconds
+  // (Chrome's unit) at nanosecond precision.
+  void WriteChromeTrace(std::ostream& os) const;
+  std::string ToChromeTraceJson() const;
+  // Returns false if the file could not be opened.
+  bool WriteChromeTraceFile(const std::string& path) const;
+
+ private:
+  std::vector<std::string> track_names_;
+  std::vector<TraceEvent> events_;
+  std::unordered_set<uint64_t> started_flows_;
+};
+
+}  // namespace pfobs
+
+#endif  // SRC_OBS_TRACE_H_

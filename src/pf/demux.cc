@@ -98,6 +98,20 @@ void PacketFilter::SetBusyReordering(bool enabled) {
   order_dirty_ = true;
 }
 
+void PacketFilter::AttachMetrics(pfobs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    metrics_ = DemuxMetrics{};
+  } else {
+    metrics_.packets_in = registry->counter("pf.demux.packets_in");
+    metrics_.accepted = registry->counter("pf.demux.accepted");
+    metrics_.unclaimed = registry->counter("pf.demux.unclaimed");
+    metrics_.deliveries = registry->counter("pf.demux.deliveries");
+    metrics_.drops = registry->counter("pf.demux.drops");
+    metrics_.filter_errors = registry->counter("pf.demux.filter_errors");
+  }
+  engine_.AttachMetrics(registry);
+}
+
 void PacketFilter::RebuildOrder() {
   ordered_.clear();
   ordered_.reserve(ports_.size());
@@ -121,7 +135,7 @@ void PacketFilter::RebuildOrder() {
 }
 
 void PacketFilter::DeliverTo(PortState& port, std::span<const uint8_t> packet,
-                             uint64_t timestamp_ns, DemuxResult* result) {
+                             uint64_t timestamp_ns, uint64_t flow_id, DemuxResult* result) {
   ++port.stats.accepts;
   if (port.queue.size() >= port.queue_limit) {
     ++port.stats.dropped;
@@ -134,6 +148,7 @@ void PacketFilter::DeliverTo(PortState& port, std::span<const uint8_t> packet,
   rp.bytes.assign(packet.begin(), packet.end());
   rp.timestamp_ns = port.timestamps ? timestamp_ns : 0;
   rp.dropped_before = port.lost_since_enqueue;
+  rp.flow_id = flow_id;
   port.lost_since_enqueue = 0;
   port.queue.push_back(std::move(rp));
   ++port.stats.enqueued;
@@ -144,7 +159,8 @@ void PacketFilter::DeliverTo(PortState& port, std::span<const uint8_t> packet,
   }
 }
 
-DemuxResult PacketFilter::Demux(std::span<const uint8_t> packet, uint64_t timestamp_ns) {
+DemuxResult PacketFilter::Demux(std::span<const uint8_t> packet, uint64_t timestamp_ns,
+                                uint64_t flow_id) {
   DemuxResult result;
   ++global_stats_.packets_in;
   ++demux_count_;
@@ -156,15 +172,17 @@ DemuxResult PacketFilter::Demux(std::span<const uint8_t> packet, uint64_t timest
   // once for every conjunction filter; the sequential strategies evaluate
   // lazily, so breaking out early skips the remaining filters' work.
   Engine::MatchPass pass = engine_.Match(packet);
+  uint32_t filter_errors = 0;
   for (PortState* port : ordered_) {
     const Verdict verdict = pass.Test(port->id);
     if (verdict.status != ExecStatus::kOk) {
       ++port->stats.filter_errors;
+      ++filter_errors;
     }
     if (!verdict.accept) {
       continue;
     }
-    DeliverTo(*port, packet, timestamp_ns, &result);
+    DeliverTo(*port, packet, timestamp_ns, flow_id, &result);
     result.accepted = true;
     if (!port->deliver_to_lower) {
       break;  // first accepting filter claims the packet (§3.2)
@@ -173,10 +191,18 @@ DemuxResult PacketFilter::Demux(std::span<const uint8_t> packet, uint64_t timest
 
   result.exec = pass.telemetry();
   global_stats_.exec += result.exec;
+  engine_.RecordPass(result.exec);
   if (result.accepted) {
     ++global_stats_.packets_accepted;
   } else {
     ++global_stats_.packets_unclaimed;
+  }
+  if (metrics_.packets_in != nullptr) {
+    metrics_.packets_in->Add();
+    (result.accepted ? metrics_.accepted : metrics_.unclaimed)->Add();
+    metrics_.deliveries->Add(result.deliveries);
+    metrics_.drops->Add(result.drops);
+    metrics_.filter_errors->Add(filter_errors);
   }
   return result;
 }

@@ -53,6 +53,7 @@ struct ReceivedPacket {
   uint64_t timestamp_ns = 0;      // 0 unless timestamps are enabled
   uint32_t dropped_before = 0;    // queue-overflow losses since the previous
                                   // packet enqueued on this port
+  uint64_t flow_id = 0;           // tracing flow id (src/obs); 0 = untracked
 };
 
 struct PortStats {
@@ -103,7 +104,10 @@ class PacketFilter {
   void SetEnqueueCallback(PortId id, std::function<void()> callback);
 
   // --- Demultiplexing (fig. 4-1) ---
-  DemuxResult Demux(std::span<const uint8_t> packet, uint64_t timestamp_ns = 0);
+  // `flow_id` (if non-zero) is stamped onto every delivered copy so the
+  // packet can be followed through the read path (src/obs tracing).
+  DemuxResult Demux(std::span<const uint8_t> packet, uint64_t timestamp_ns = 0,
+                    uint64_t flow_id = 0);
 
   // --- Port-side dequeue (the read() surface) ---
   std::optional<ReceivedPacket> Pop(PortId id);
@@ -128,6 +132,13 @@ class PacketFilter {
   // Periodically move busier filters first within equal priority (§3.2).
   void SetBusyReordering(bool enabled);
 
+  // --- Observability (src/obs) ---
+  // Registers the demultiplexer's counters ("pf.demux.*") and the engine's
+  // per-strategy metrics into `registry`. Counter pointers are cached, so
+  // with no registry attached (the default — e.g. the wall-clock
+  // microbenchmarks) each hook is a null check.
+  void AttachMetrics(pfobs::MetricsRegistry* registry);
+
  private:
   struct PortState {
     PortId id = kInvalidPort;
@@ -150,7 +161,7 @@ class PacketFilter {
   const PortState* Find(PortId id) const;
   void RebuildOrder();
   void DeliverTo(PortState& port, std::span<const uint8_t> packet, uint64_t timestamp_ns,
-                 DemuxResult* result);
+                 uint64_t flow_id, DemuxResult* result);
 
   DeviceInfo info_;
   Engine engine_;
@@ -162,6 +173,16 @@ class PacketFilter {
   uint64_t next_open_seq_ = 0;
   uint64_t demux_count_ = 0;
   FilterGlobalStats global_stats_;
+
+  struct DemuxMetrics {
+    pfobs::Counter* packets_in = nullptr;
+    pfobs::Counter* accepted = nullptr;
+    pfobs::Counter* unclaimed = nullptr;
+    pfobs::Counter* deliveries = nullptr;
+    pfobs::Counter* drops = nullptr;
+    pfobs::Counter* filter_errors = nullptr;
+  };
+  DemuxMetrics metrics_;
 };
 
 }  // namespace pf

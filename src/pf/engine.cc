@@ -142,6 +142,39 @@ ExecResult InterpretPredecoded(std::span<const PredecodedInsn> insns,
   return res;
 }
 
+void Engine::AttachMetrics(pfobs::MetricsRegistry* registry) {
+  metrics_registry_ = registry;
+  if (registry == nullptr) {
+    for (StrategyMetrics& metrics : strategy_metrics_) {
+      metrics = StrategyMetrics{};
+    }
+    return;
+  }
+  // Work histograms are instruction counts, not latencies: small linear-ish
+  // bounds instead of the default nanosecond scale.
+  const std::vector<int64_t> insn_bounds = {0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512};
+  for (const Strategy strategy : kAllStrategies) {
+    const std::string prefix = "engine." + ToString(strategy);
+    StrategyMetrics& metrics = strategy_metrics_[static_cast<size_t>(strategy)];
+    metrics.passes = registry->counter(prefix + ".passes");
+    metrics.filters_run = registry->counter(prefix + ".filters_run");
+    metrics.insns = registry->counter(prefix + ".insns");
+    metrics.insns_per_pass = registry->histogram(prefix + ".insns_per_pass", insn_bounds);
+  }
+}
+
+void Engine::RecordPass(const ExecTelemetry& telemetry) {
+  if (metrics_registry_ == nullptr) {
+    return;
+  }
+  StrategyMetrics& metrics = strategy_metrics_[static_cast<size_t>(strategy_)];
+  metrics.passes->Add();
+  metrics.filters_run->Add(telemetry.filters_run);
+  const uint64_t work = telemetry.insns_executed + telemetry.tree_probes;
+  metrics.insns->Add(work);
+  metrics.insns_per_pass->Record(static_cast<int64_t>(work));
+}
+
 void Engine::set_strategy(Strategy strategy) {
   if (strategy_ == strategy) {
     return;
@@ -242,6 +275,7 @@ Verdict Engine::MatchPass::Test(Key key) {
 Verdict Engine::RunOne(Key key, std::span<const uint8_t> packet, ExecTelemetry* telemetry) {
   MatchPass pass = Match(packet);
   const Verdict verdict = pass.Test(key);
+  RecordPass(pass.telemetry());
   if (telemetry != nullptr) {
     *telemetry += pass.telemetry();
   }

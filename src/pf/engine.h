@@ -37,6 +37,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/obs/metrics.h"
 #include "src/pf/decision_tree.h"
 #include "src/pf/interpreter.h"
 #include "src/pf/program.h"
@@ -107,6 +108,17 @@ class Engine {
   void set_strategy(Strategy strategy);
   Strategy strategy() const { return strategy_; }
 
+  // --- Observability (src/obs) ---
+  // Registers per-strategy counters ("engine.<strategy>.passes" /
+  // ".filters_run" / ".insns") and a work histogram
+  // ("engine.<strategy>.insns_per_pass"). Metric pointers are cached here,
+  // so with no registry attached instrumentation is a null check.
+  void AttachMetrics(pfobs::MetricsRegistry* registry);
+  // Folds one finished pass's telemetry into the attached registry under
+  // the *current* strategy; no-op when none is attached. Hosts that own the
+  // whole pass (PacketFilter::Demux, RunOne) call this once per packet.
+  void RecordPass(const ExecTelemetry& telemetry);
+
   // --- The bound filter set ---
   // Bind() performs every ahead-of-time step once: the program arrives
   // already validated, is pre-decoded for kPredecoded, and its conjunction
@@ -163,7 +175,16 @@ class Engine {
   const Binding* FindBinding(Key key) const;
   void RebuildTree();
 
+  struct StrategyMetrics {
+    pfobs::Counter* passes = nullptr;
+    pfobs::Counter* filters_run = nullptr;
+    pfobs::Counter* insns = nullptr;
+    pfobs::Histogram* insns_per_pass = nullptr;
+  };
+
   Strategy strategy_;
+  pfobs::MetricsRegistry* metrics_registry_ = nullptr;
+  StrategyMetrics strategy_metrics_[4];
   std::unordered_map<Key, Binding> filters_;
   DecisionTree tree_;
   bool tree_dirty_ = false;

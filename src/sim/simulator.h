@@ -29,6 +29,9 @@ class Simulator {
   ~Simulator();
 
   TimePoint Now() const { return now_; }
+  // The clock as raw nanoseconds — the unit the observability layer
+  // (src/obs) stamps trace events and histogram samples with.
+  int64_t NowNanos() const { return now_.time_since_epoch().count(); }
 
   // Schedules `fn` to run `delay` from now (delay may be zero; never
   // negative).

@@ -7,6 +7,7 @@
 #include "src/kernel/machine.h"
 #include "src/net/monitor.h"
 #include "src/net/pup_endpoint.h"
+#include "src/obs/metrics.h"
 #include "src/net/rarp.h"
 #include "src/proto/ethertypes.h"
 
@@ -188,11 +189,25 @@ TEST(MonitorTest, CapturesCoexistingTrafficWithoutStealing) {
   EXPECT_EQ(udp_received, 3);   // kernel protocol undisturbed
   EXPECT_EQ(pf_received, 2u);   // user-level protocol undisturbed
   ASSERT_NE(monitor_raw, nullptr);
-  const auto& counters = monitor_raw->counters();
+  const pfnet::NetworkMonitor::Counters counters = monitor_raw->Snapshot();
   EXPECT_EQ(counters.udp, 3u);
   EXPECT_EQ(counters.frames, 5u);
   EXPECT_EQ(monitor_raw->pcap().record_count(), 5u);
   EXPECT_NE(monitor_raw->Summary().find("ip=3"), std::string::npos);
+
+  // The monitor's counters are not private state: they live in the watcher
+  // machine's metrics registry, so external tooling sees the same numbers.
+  const pfobs::Counter* frames = watcher.metrics().FindCounter("monitor.frames");
+  const pfobs::Counter* udp = watcher.metrics().FindCounter("monitor.udp");
+  ASSERT_NE(frames, nullptr);
+  ASSERT_NE(udp, nullptr);
+  EXPECT_EQ(frames->value(), 5u);
+  EXPECT_EQ(udp->value(), 3u);
+  // The NIC-level counters agree that the promiscuous watcher heard
+  // everything on the wire.
+  const pfobs::Counter* nic_in = watcher.metrics().FindCounter("nic.frames_in");
+  ASSERT_NE(nic_in, nullptr);
+  EXPECT_GE(nic_in->value(), frames->value());
 }
 
 TEST(MonitorTest, DescribeFrameFormats) {
