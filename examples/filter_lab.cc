@@ -47,7 +47,7 @@ void Show(const char* name, const pf::Program& program,
               (unsigned long long)checked_telemetry.insns_executed,
               checked_telemetry.insns_executed == 1 ? "" : "s",
               checked.short_circuited ? ", short-circuited" : "",
-              all_agree ? ", all 4 backends agree" : "");
+              all_agree ? ", all backends agree" : "");
   const auto& meta = validated->meta();
   std::printf("  validated: max stack depth %u, highest word %u%s\n\n",
               meta.max_stack_depth, meta.max_word_index,

@@ -51,6 +51,14 @@ struct CostModel {
   // §7: microtime() for the per-packet timestamp "costs about 70 µSec".
   pfsim::Duration timestamp = pfsim::Microseconds(70);
 
+  // Hash-dispatch index (Strategy::kIndexed): one discriminating-word probe
+  // is a load + mask + hash mix — the same order of work as one filter
+  // instruction or tree probe.
+  pfsim::Duration index_probe = pfsim::Microseconds(25);
+  // One flow-verdict-cache lookup in Demux (hash of an already-computed
+  // signature): cheaper than a filter instruction.
+  pfsim::Duration flow_cache_lookup = pfsim::Microseconds(20);
+
   // Kernel-resident IP: §6.1 "the IP layer processing ... about 0.49 mSec";
   // full input to TCP/UDP is 1.77 ms, so the transport share is ~0.9 ms
   // after the driver share.

@@ -40,6 +40,10 @@ std::string ToString(Cost category) {
       return "kernel protocol code";
     case Cost::kDisplay:
       return "character display";
+    case Cost::kIndexProbe:
+      return "index probe";
+    case Cost::kFlowCache:
+      return "flow-cache lookup";
     case Cost::kCount:
       break;
   }
@@ -82,6 +86,10 @@ std::string ToSlug(Cost category) {
       return "protocol_kernel";
     case Cost::kDisplay:
       return "display";
+    case Cost::kIndexProbe:
+      return "index_probe";
+    case Cost::kFlowCache:
+      return "flow_cache";
     case Cost::kCount:
       break;
   }

@@ -31,6 +31,8 @@ enum class Cost : uint8_t {
   kProtocolUser,    // user-level protocol processing (VMTP/BSP/RARP code)
   kProtocolKernel,  // kernel-resident VMTP processing
   kDisplay,         // character display (Telnet experiment, table 6-7)
+  kIndexProbe,      // hash-dispatch discriminating-word probes (kIndexed)
+  kFlowCache,       // per-flow verdict-cache lookups in Demux
   kCount,
 };
 

@@ -26,6 +26,7 @@ PacketFilterDevice::PacketFilterDevice(Machine* machine) : machine_(machine) {
     filter_eval_hist_[static_cast<size_t>(strategy)] =
         registry.histogram("pf.filter_eval." + pf::ToString(strategy));
   }
+  flow_cache_hist_ = registry.histogram("pf.demux.cache.lookup");
 }
 
 PacketFilterDevice::PortExtra* PacketFilterDevice::Extra(pf::PortId port) {
@@ -252,6 +253,18 @@ pfsim::ValueTask<void> PacketFilterDevice::HandlePacket(const std::vector<uint8_
     // Same condition as the Ledger charge above, so this histogram's sum
     // reconciles exactly with ledger.filter_eval.total_ns.
     filter_eval_hist_[static_cast<size_t>(filter_.strategy())]->Record(filter_cost.count());
+  }
+  const pfsim::Duration index_cost =
+      machine_->costs().index_probe * static_cast<int64_t>(result.exec.index_probes);
+  if (index_cost.count() > 0) {
+    charges.emplace_back(Cost::kIndexProbe, index_cost);
+  }
+  if (result.cache_lookup) {
+    const pfsim::Duration cache_cost = machine_->costs().flow_cache_lookup;
+    charges.emplace_back(Cost::kFlowCache, cache_cost);
+    // Same condition as the Ledger charge, so "pf.demux.cache.lookup"
+    // reconciles exactly with ledger.flow_cache.* (asserted in obs_test).
+    flow_cache_hist_->Record(cache_cost.count());
   }
   if (result.deliveries > 0) {
     charges.emplace_back(Cost::kPfBookkeeping,

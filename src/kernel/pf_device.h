@@ -116,7 +116,10 @@ class PacketFilterDevice {
   pfobs::Counter* read_packets_counter_ = nullptr;
   pfobs::Counter* writes_counter_ = nullptr;
   pfobs::Counter* wakeups_counter_ = nullptr;
-  pfobs::Histogram* filter_eval_hist_[4] = {};
+  pfobs::Histogram* filter_eval_hist_[pf::kStrategyCount] = {};
+  // Samples the simulated flow-cache lookup cost per consulting packet;
+  // reconciles exactly with the Ledger's kFlowCache charges.
+  pfobs::Histogram* flow_cache_hist_ = nullptr;
 };
 
 }  // namespace pfkern

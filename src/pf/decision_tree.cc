@@ -75,20 +75,6 @@ std::optional<std::vector<FieldTest>> ExtractConjunction(const Program& program)
   return tests;
 }
 
-namespace {
-
-// Key for grouping tests: (word, mask).
-struct TestKey {
-  uint8_t word;
-  uint16_t mask;
-  friend bool operator<(const TestKey& a, const TestKey& b) {
-    return a.word != b.word ? a.word < b.word : a.mask < b.mask;
-  }
-  friend bool operator==(const TestKey&, const TestKey&) = default;
-};
-
-}  // namespace
-
 void DecisionTree::Build(std::vector<std::pair<uint32_t, std::vector<FieldTest>>> filters) {
   node_count_ = 0;
   root_ = filters.empty() ? nullptr : BuildNode(std::move(filters));
@@ -113,16 +99,16 @@ std::unique_ptr<DecisionTree::Node> DecisionTree::BuildNode(std::vector<Entry> f
 
   // Pick the (word, mask) tested by the most remaining filters, so the tree
   // discriminates as many filters per probe as possible.
-  std::map<TestKey, size_t> counts;
+  std::map<FieldTestKey, size_t> counts;
   for (const Entry& entry : rest) {
     for (const FieldTest& t : entry.second) {
-      ++counts[TestKey{t.word, t.mask}];
+      ++counts[KeyOf(t)];
     }
   }
   const auto best = std::max_element(
       counts.begin(), counts.end(),
       [](const auto& a, const auto& b) { return a.second < b.second; });
-  const TestKey key = best->first;
+  const FieldTestKey key = best->first;
   node->word = key.word;
   node->mask = key.mask;
   node->has_test = true;

@@ -39,6 +39,21 @@ struct FieldTest {
   friend bool operator==(const FieldTest&, const FieldTest&) = default;
 };
 
+// The (word, mask) pair a FieldTest examines — the unit both the
+// decision-tree builder and the engine's hashed dispatch index group by
+// when choosing discriminating probes.
+struct FieldTestKey {
+  uint8_t word = 0;
+  uint16_t mask = 0xffff;
+
+  friend bool operator==(const FieldTestKey&, const FieldTestKey&) = default;
+  friend bool operator<(const FieldTestKey& a, const FieldTestKey& b) {
+    return a.word != b.word ? a.word < b.word : a.mask < b.mask;
+  }
+};
+
+inline FieldTestKey KeyOf(const FieldTest& test) { return FieldTestKey{test.word, test.mask}; }
+
 // Attempts to express `program` as a conjunction of field tests (an empty
 // vector means the filter accepts everything). Returns nullopt when the
 // program is not in the canonical conjunction shape:

@@ -67,6 +67,10 @@ void PacketFilter::ClearFilter(PortId id) {
 void PacketFilter::SetDeliverToLower(PortId id, bool enabled) {
   if (PortState* port = Find(id)) {
     port->deliver_to_lower = enabled;
+    // Copy-all semantics change who receives an already-cached flow (a
+    // newly copy-all high-priority port must see its copies), and this
+    // does not dirty the priority order — wipe the cache directly.
+    InvalidateFlowCache();
   }
 }
 
@@ -98,6 +102,29 @@ void PacketFilter::SetBusyReordering(bool enabled) {
   order_dirty_ = true;
 }
 
+void PacketFilter::SetStrategy(Strategy strategy) {
+  engine_.set_strategy(strategy);
+  // Strategy changes rebuild the engine's index, so cached signatures no
+  // longer mean anything.
+  InvalidateFlowCache();
+}
+
+void PacketFilter::SetFlowCacheCapacity(size_t capacity) {
+  flow_cache_capacity_ = capacity;
+  InvalidateFlowCache();
+}
+
+void PacketFilter::InvalidateFlowCache() {
+  if (flow_cache_.empty()) {
+    return;
+  }
+  flow_cache_.clear();
+  ++flow_cache_stats_.invalidations;
+  if (metrics_.cache_invalidations != nullptr) {
+    metrics_.cache_invalidations->Add();
+  }
+}
+
 void PacketFilter::AttachMetrics(pfobs::MetricsRegistry* registry) {
   if (registry == nullptr) {
     metrics_ = DemuxMetrics{};
@@ -108,6 +135,10 @@ void PacketFilter::AttachMetrics(pfobs::MetricsRegistry* registry) {
     metrics_.deliveries = registry->counter("pf.demux.deliveries");
     metrics_.drops = registry->counter("pf.demux.drops");
     metrics_.filter_errors = registry->counter("pf.demux.filter_errors");
+    metrics_.cache_lookups = registry->counter("pf.demux.cache.lookups");
+    metrics_.cache_hits = registry->counter("pf.demux.cache.hits");
+    metrics_.cache_insertions = registry->counter("pf.demux.cache.insertions");
+    metrics_.cache_invalidations = registry->counter("pf.demux.cache.invalidations");
   }
   engine_.AttachMetrics(registry);
 }
@@ -116,6 +147,7 @@ void PacketFilter::RebuildOrder() {
   ordered_.clear();
   ordered_.reserve(ports_.size());
   for (auto& [id, port] : ports_) {
+    port->binding = port->has_filter ? engine_.FindBinding(port->id) : nullptr;
     if (port->has_filter) {
       ordered_.push_back(port.get());
     }
@@ -165,31 +197,108 @@ DemuxResult PacketFilter::Demux(std::span<const uint8_t> packet, uint64_t timest
   ++global_stats_.packets_in;
   ++demux_count_;
   if (order_dirty_ || (busy_reordering_ && demux_count_ % kReorderInterval == 0)) {
+    // Any change that dirtied the order (SetFilter / ClearFilter /
+    // ClosePort / a priority change) — and any busy-reordering shuffle that
+    // actually moved a port — makes cached flow verdicts stale.
+    const bool was_dirty = order_dirty_;
+    std::vector<PortState*> previous;
+    if (!was_dirty && !flow_cache_.empty()) {
+      previous = ordered_;
+    }
     RebuildOrder();
+    if (was_dirty || (!previous.empty() && previous != ordered_)) {
+      InvalidateFlowCache();
+    }
   }
 
-  // One engine pass per packet: under kTree its construction walks the tree
-  // once for every conjunction filter; the sequential strategies evaluate
-  // lazily, so breaking out early skips the remaining filters' work.
-  Engine::MatchPass pass = engine_.Match(packet);
   uint32_t filter_errors = 0;
-  for (PortState* port : ordered_) {
-    const Verdict verdict = pass.Test(port->id);
-    if (verdict.status != ExecStatus::kOk) {
-      ++port->stats.filter_errors;
-      ++filter_errors;
+
+  // Flow-cache fast path: if the engine's discriminating-word signature
+  // fully determines every filter's verdict and we have seen this flow
+  // claim a port before, re-confirm with that port's own filter and skip
+  // the priority walk entirely.
+  std::optional<uint64_t> signature;
+  if (flow_cache_capacity_ > 0) {
+    signature = engine_.IndexSignature(packet);
+    if (signature.has_value() && !engine_.index_covers_all()) {
+      signature.reset();
     }
-    if (!verdict.accept) {
-      continue;
-    }
-    DeliverTo(*port, packet, timestamp_ns, flow_id, &result);
-    result.accepted = true;
-    if (!port->deliver_to_lower) {
-      break;  // first accepting filter claims the packet (§3.2)
+  }
+  bool served_from_cache = false;
+  if (signature.has_value()) {
+    result.cache_lookup = true;
+    ++flow_cache_stats_.lookups;
+    const auto it = flow_cache_.find(*signature);
+    if (it != flow_cache_.end()) {
+      PortState* port = Find(it->second);
+      if (port != nullptr && port->has_filter && !port->deliver_to_lower) {
+        Engine::MatchPass pass = engine_.Match(packet);
+        const Verdict verdict = pass.Test(port->id, port->binding);
+        result.exec += pass.telemetry();
+        if (verdict.status != ExecStatus::kOk) {
+          ++port->stats.filter_errors;
+          ++filter_errors;
+        }
+        if (verdict.accept) {
+          DeliverTo(*port, packet, timestamp_ns, flow_id, &result);
+          result.accepted = true;
+          result.cache_hit = true;
+          ++flow_cache_stats_.hits;
+          served_from_cache = true;
+        }
+      }
+      if (!served_from_cache) {
+        // Hash collision or a port reconfiguration we could not attribute:
+        // drop the entry and take the full walk below.
+        flow_cache_.erase(it);
+        ++flow_cache_stats_.stale;
+      }
     }
   }
 
-  result.exec = pass.telemetry();
+  if (!served_from_cache) {
+    // One engine pass per packet: under kTree its construction walks the
+    // tree once for every conjunction filter; under kIndexed it probes the
+    // hash index once; the sequential strategies evaluate lazily, so
+    // breaking out early skips the remaining filters' work.
+    Engine::MatchPass pass = engine_.Match(packet);
+    uint32_t accepts = 0;
+    PortState* claimer = nullptr;
+    for (PortState* port : ordered_) {
+      const Verdict verdict = pass.Test(port->id, port->binding);
+      if (verdict.status != ExecStatus::kOk) {
+        ++port->stats.filter_errors;
+        ++filter_errors;
+      }
+      if (!verdict.accept) {
+        continue;
+      }
+      DeliverTo(*port, packet, timestamp_ns, flow_id, &result);
+      result.accepted = true;
+      ++accepts;
+      claimer = port;
+      if (!port->deliver_to_lower) {
+        break;  // first accepting filter claims the packet (§3.2)
+      }
+    }
+    result.exec += pass.telemetry();
+
+    // Record the flow only when exactly one port took the packet and it
+    // claimed exclusively — copy-all (deliver_to_lower) deliveries must
+    // keep taking the full walk.
+    if (signature.has_value() && accepts == 1 && claimer != nullptr &&
+        !claimer->deliver_to_lower) {
+      if (flow_cache_.size() >= flow_cache_capacity_ && !flow_cache_.contains(*signature)) {
+        flow_cache_.clear();  // coarse wipe; live flows re-enter immediately
+      }
+      flow_cache_[*signature] = claimer->id;
+      ++flow_cache_stats_.insertions;
+      if (metrics_.cache_insertions != nullptr) {
+        metrics_.cache_insertions->Add();
+      }
+    }
+  }
+
   global_stats_.exec += result.exec;
   engine_.RecordPass(result.exec);
   if (result.accepted) {
@@ -203,6 +312,12 @@ DemuxResult PacketFilter::Demux(std::span<const uint8_t> packet, uint64_t timest
     metrics_.deliveries->Add(result.deliveries);
     metrics_.drops->Add(result.drops);
     metrics_.filter_errors->Add(filter_errors);
+    if (result.cache_lookup) {
+      metrics_.cache_lookups->Add();
+    }
+    if (result.cache_hit) {
+      metrics_.cache_hits->Add();
+    }
   }
   return result;
 }

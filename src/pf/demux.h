@@ -70,7 +70,18 @@ struct DemuxResult {
   bool accepted = false;       // at least one port took the packet
   uint32_t deliveries = 0;     // copies enqueued
   uint32_t drops = 0;          // copies lost to full queues
+  bool cache_lookup = false;   // the flow verdict cache was consulted
+  bool cache_hit = false;      // delivery served from the cache (re-confirmed)
   ExecTelemetry exec;          // what the engine did for this packet
+};
+
+// Per-flow verdict cache counters (see PacketFilter::Demux).
+struct FlowCacheStats {
+  uint64_t lookups = 0;        // packets for which the cache was consulted
+  uint64_t hits = 0;           // deliveries served from the cache
+  uint64_t stale = 0;          // entries evicted after failing re-confirmation
+  uint64_t insertions = 0;     // new flow entries recorded
+  uint64_t invalidations = 0;  // full wipes (filter/port/priority changes)
 };
 
 struct FilterGlobalStats {
@@ -124,8 +135,23 @@ class PacketFilter {
   uint8_t PortPriority(PortId id) const;
 
   // --- Execution strategy (benchmarked in bench/micro_*) ---
-  void SetStrategy(Strategy strategy) { engine_.set_strategy(strategy); }
+  void SetStrategy(Strategy strategy);
   Strategy strategy() const { return engine_.strategy(); }
+
+  // --- Flow verdict cache (active under Strategy::kIndexed) ---
+  // Demux() caches "this flow signature was claimed by this port" keyed by
+  // the engine's discriminating-word signature, so repeated packets of an
+  // established flow skip the priority walk. Soundness: entries are only
+  // consulted when the signature determines every filter's verdict
+  // (Engine::index_covers_all), the cached port's own filter re-confirms
+  // every hit, deliver_to_lower ports are never served from (or entered
+  // into) the cache, and any SetFilter/ClearFilter/ClosePort/priority or
+  // strategy change wipes it. `capacity` 0 disables the cache; when full it
+  // is wiped wholesale (coarse, but an established flow re-enters on its
+  // next packet).
+  void SetFlowCacheCapacity(size_t capacity);
+  size_t flow_cache_size() const { return flow_cache_.size(); }
+  const FlowCacheStats& flow_cache_stats() const { return flow_cache_stats_; }
   // The engine executing this demultiplexer's filters (tree introspection,
   // bound-program lookup).
   const Engine& engine() const { return engine_; }
@@ -152,14 +178,20 @@ class PacketFilter {
     uint32_t lost_since_enqueue = 0;
     std::function<void()> on_enqueue;
     PortStats stats;
+    // Cached engine binding handle (refreshed by RebuildOrder), so the
+    // demux walk does no per-(packet, port) hash lookup. nullptr when no
+    // filter is bound.
+    const Engine::Binding* binding = nullptr;
   };
 
   static constexpr size_t kDefaultQueueLimit = 32;
   static constexpr uint64_t kReorderInterval = 256;
+  static constexpr size_t kDefaultFlowCacheCapacity = 1024;
 
   PortState* Find(PortId id);
   const PortState* Find(PortId id) const;
   void RebuildOrder();
+  void InvalidateFlowCache();
   void DeliverTo(PortState& port, std::span<const uint8_t> packet, uint64_t timestamp_ns,
                  uint64_t flow_id, DemuxResult* result);
 
@@ -174,6 +206,11 @@ class PacketFilter {
   uint64_t demux_count_ = 0;
   FilterGlobalStats global_stats_;
 
+  // Flow verdict cache: discriminating-word signature -> claiming port.
+  std::unordered_map<uint64_t, PortId> flow_cache_;
+  size_t flow_cache_capacity_ = kDefaultFlowCacheCapacity;
+  FlowCacheStats flow_cache_stats_;
+
   struct DemuxMetrics {
     pfobs::Counter* packets_in = nullptr;
     pfobs::Counter* accepted = nullptr;
@@ -181,6 +218,10 @@ class PacketFilter {
     pfobs::Counter* deliveries = nullptr;
     pfobs::Counter* drops = nullptr;
     pfobs::Counter* filter_errors = nullptr;
+    pfobs::Counter* cache_lookups = nullptr;
+    pfobs::Counter* cache_hits = nullptr;
+    pfobs::Counter* cache_insertions = nullptr;
+    pfobs::Counter* cache_invalidations = nullptr;
   };
   DemuxMetrics metrics_;
 };

@@ -1,6 +1,7 @@
 #include "src/pf/engine.h"
 
 #include <algorithm>
+#include <map>
 
 #include "src/util/byte_order.h"
 
@@ -16,9 +17,27 @@ std::string ToString(Strategy strategy) {
       return "tree";
     case Strategy::kPredecoded:
       return "predecoded";
+    case Strategy::kIndexed:
+      return "indexed";
   }
   return "unknown";
 }
+
+namespace {
+
+// FNV-1a over the discriminating words' masked values. Collisions only ever
+// *add* false candidates to a bucket (weeded out by re-confirmation); they
+// can never remove a true match, because equal tuples hash equally.
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+uint64_t MixIndexHash(uint64_t hash, uint16_t value) {
+  hash = (hash ^ static_cast<uint64_t>(value & 0xff)) * kFnvPrime;
+  hash = (hash ^ static_cast<uint64_t>(value >> 8)) * kFnvPrime;
+  return hash;
+}
+
+}  // namespace
 
 std::vector<PredecodedInsn> Predecode(const ValidatedProgram& program) {
   const std::vector<uint16_t>& words = program.program().words;
@@ -170,7 +189,8 @@ void Engine::RecordPass(const ExecTelemetry& telemetry) {
   StrategyMetrics& metrics = strategy_metrics_[static_cast<size_t>(strategy_)];
   metrics.passes->Add();
   metrics.filters_run->Add(telemetry.filters_run);
-  const uint64_t work = telemetry.insns_executed + telemetry.tree_probes;
+  const uint64_t work =
+      telemetry.insns_executed + telemetry.tree_probes + telemetry.index_probes;
   metrics.insns->Add(work);
   metrics.insns_per_pass->Record(static_cast<int64_t>(work));
 }
@@ -181,14 +201,16 @@ void Engine::set_strategy(Strategy strategy) {
   }
   strategy_ = strategy;
   tree_dirty_ = true;
+  index_dirty_ = true;
 }
 
 void Engine::Bind(Key key, ValidatedProgram program) {
-  Binding binding{std::move(program), {}, std::nullopt};
+  Binding binding{std::move(program), {}, std::nullopt, false};
   binding.decoded = Predecode(binding.program);
   binding.conjunction = ExtractConjunction(binding.program.program());
   filters_.insert_or_assign(key, std::move(binding));
   tree_dirty_ = true;
+  index_dirty_ = true;
 }
 
 bool Engine::Unbind(Key key) {
@@ -196,6 +218,7 @@ bool Engine::Unbind(Key key) {
     return false;
   }
   tree_dirty_ = true;
+  index_dirty_ = true;
   return true;
 }
 
@@ -203,6 +226,12 @@ void Engine::Clear() {
   filters_.clear();
   tree_.Build({});
   tree_dirty_ = false;
+  index_pairs_.clear();
+  index_buckets_.clear();
+  index_entries_ = 0;
+  index_covers_all_ = false;
+  index_min_packet_bytes_ = 0;
+  index_dirty_ = false;
 }
 
 const ValidatedProgram* Engine::Find(Key key) const {
@@ -213,6 +242,123 @@ const ValidatedProgram* Engine::Find(Key key) const {
 const Engine::Binding* Engine::FindBinding(Key key) const {
   const auto it = filters_.find(key);
   return it == filters_.end() ? nullptr : &it->second;
+}
+
+void Engine::RebuildIndex() {
+  index_pairs_.clear();
+  index_buckets_.clear();
+  index_entries_ = 0;
+  index_covers_all_ = false;
+  index_min_packet_bytes_ = 0;
+  index_dirty_ = false;
+  for (auto& [key, binding] : filters_) {
+    binding.indexed = false;
+  }
+  if (strategy_ != Strategy::kIndexed || filters_.empty()) {
+    return;
+  }
+
+  // Count how many conjunction filters test each (word, mask) pair; the
+  // pairs tested by the *most* filters discriminate best (same heuristic as
+  // DecisionTree::BuildNode). std::map keeps the choice deterministic.
+  std::map<FieldTestKey, size_t> counts;
+  bool all_conjunctions = true;
+  for (const auto& [key, binding] : filters_) {
+    if (!binding.conjunction.has_value()) {
+      all_conjunctions = false;
+      continue;
+    }
+    for (const FieldTest& test : *binding.conjunction) {
+      // Count each pair once per filter even if tested twice.
+      bool first = true;
+      for (const FieldTest& prior : *binding.conjunction) {
+        if (&prior == &test) {
+          break;
+        }
+        if (KeyOf(prior) == KeyOf(test)) {
+          first = false;
+          break;
+        }
+      }
+      if (first) {
+        ++counts[KeyOf(test)];
+      }
+    }
+  }
+  if (counts.empty()) {
+    return;  // only accept-alls / non-conjunctions bound: nothing to probe
+  }
+  size_t max_count = 0;
+  for (const auto& [pair, n] : counts) {
+    max_count = std::max(max_count, n);
+  }
+  for (const auto& [pair, n] : counts) {
+    if (n == max_count && index_pairs_.size() < kMaxIndexWords) {
+      index_pairs_.push_back(pair);
+    }
+  }
+
+  // The signature fully determines every filter's verdict iff every filter
+  // is a conjunction and every tested pair is among the probed ones.
+  index_covers_all_ = all_conjunctions;
+  for (const auto& [pair, n] : counts) {
+    if (std::find(index_pairs_.begin(), index_pairs_.end(), pair) == index_pairs_.end()) {
+      index_covers_all_ = false;
+      break;
+    }
+  }
+
+  // A filter joins the index iff it tests every discriminating pair: its
+  // bucket key is the hash of its expected masked values in pair order.
+  // Empty conjunctions (accept-all) match every packet and stay sequential.
+  for (auto& [key, binding] : filters_) {
+    if (!binding.conjunction.has_value() || binding.conjunction->empty()) {
+      continue;
+    }
+    const std::vector<FieldTest>& tests = *binding.conjunction;
+    uint64_t bucket = kFnvOffset;
+    bool indexable = true;
+    for (const FieldTestKey& pair : index_pairs_) {
+      const auto it = std::find_if(tests.begin(), tests.end(),
+                                   [&](const FieldTest& t) { return KeyOf(t) == pair; });
+      if (it == tests.end()) {
+        indexable = false;
+        break;
+      }
+      bucket = MixIndexHash(bucket, static_cast<uint16_t>(it->value & it->mask));
+    }
+    if (!indexable) {
+      continue;
+    }
+    binding.indexed = true;
+    ++index_entries_;
+    index_buckets_[bucket].push_back(key);
+    for (const FieldTest& test : tests) {
+      index_min_packet_bytes_ =
+          std::max<size_t>(index_min_packet_bytes_, 2 * (static_cast<size_t>(test.word) + 1));
+    }
+  }
+}
+
+std::optional<uint64_t> Engine::IndexSignature(std::span<const uint8_t> packet) {
+  if (strategy_ != Strategy::kIndexed) {
+    return std::nullopt;
+  }
+  if (index_dirty_) {
+    RebuildIndex();
+  }
+  if (index_pairs_.empty()) {
+    return std::nullopt;
+  }
+  uint64_t signature = kFnvOffset;
+  for (const FieldTestKey& pair : index_pairs_) {
+    uint16_t word = 0;
+    if (!pfutil::LoadPacketWord(packet, pair.word, &word)) {
+      return std::nullopt;
+    }
+    signature = MixIndexHash(signature, static_cast<uint16_t>(word & pair.mask));
+  }
+  return signature;
 }
 
 void Engine::RebuildTree() {
@@ -232,17 +378,40 @@ Engine::MatchPass Engine::Match(std::span<const uint8_t> packet) {
   if (strategy_ == Strategy::kTree && tree_dirty_) {
     RebuildTree();
   }
+  if (strategy_ == Strategy::kIndexed && index_dirty_) {
+    RebuildIndex();
+  }
   MatchPass pass(this, packet);
   if (tree_in_use()) {
     match_buffer_.clear();
     tree_.Match(packet, &match_buffer_, &pass.telemetry_.tree_probes);
     pass.tree_matches_ = &match_buffer_;
   }
+  if (index_in_use()) {
+    pass.index_active_ = true;
+    if (packet.size() < index_min_packet_bytes_) {
+      // A pruned filter could have reported kOutOfPacket on this packet;
+      // run everything sequentially so statuses stay exact.
+      pass.index_seq_fallback_ = true;
+    } else {
+      uint64_t signature = kFnvOffset;
+      for (const FieldTestKey& pair : index_pairs_) {
+        uint16_t word = 0;
+        // Cannot fail: every indexed word fits in index_min_packet_bytes_.
+        pfutil::LoadPacketWord(packet, pair.word, &word);
+        signature = MixIndexHash(signature, static_cast<uint16_t>(word & pair.mask));
+        ++pass.telemetry_.index_probes;
+      }
+      const auto it = index_buckets_.find(signature);
+      pass.index_candidates_ = it == index_buckets_.end() ? nullptr : &it->second;
+    }
+  }
   return pass;
 }
 
-Verdict Engine::MatchPass::Test(Key key) {
-  const Binding* binding = engine_->FindBinding(key);
+Verdict Engine::MatchPass::Test(Key key) { return Test(key, engine_->FindBinding(key)); }
+
+Verdict Engine::MatchPass::Test(Key key, const Binding* binding) {
   if (binding == nullptr) {
     return Verdict{};  // nothing bound: never accepts
   }
@@ -253,6 +422,18 @@ Verdict Engine::MatchPass::Test(Key key) {
                      tree_matches_->end();
     return verdict;
   }
+  if (index_active_ && binding->indexed && !index_seq_fallback_) {
+    const bool candidate =
+        index_candidates_ != nullptr &&
+        std::find(index_candidates_->begin(), index_candidates_->end(), key) !=
+            index_candidates_->end();
+    if (!candidate) {
+      // Some discriminating test mismatched, and the packet is long enough
+      // that the program itself would have rejected cleanly: exact prune.
+      return Verdict{};
+    }
+    // Bucket hit: fall through and re-confirm with the filter itself.
+  }
   ++telemetry_.filters_run;
   ExecResult exec;
   switch (engine_->strategy_) {
@@ -260,6 +441,7 @@ Verdict Engine::MatchPass::Test(Key key) {
       exec = InterpretChecked(binding->program.program(), packet_);
       break;
     case Strategy::kPredecoded:
+    case Strategy::kIndexed:  // re-confirmation / sequential fallback
       exec = InterpretPredecoded(binding->decoded, packet_);
       ++telemetry_.decode_cache_hits;
       break;

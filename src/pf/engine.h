@@ -3,7 +3,7 @@
 //
 // The paper describes a single interpreter (§4) and sketches two §7
 // improvements — performing the validity tests ahead of time, and compiling
-// the active filter set into a decision table. Those exist here as four
+// the active filter set into a decision table. Those exist here as five
 // selectable strategies behind one interface:
 //
 //   * kChecked    — the historical interpreter: every check per instruction
@@ -20,6 +20,18 @@
 //                   fetching, or constant-table lookups. The natural next
 //                   step after kFast: *all* static work, not just the safety
 //                   tests, is performed ahead of time.
+//   * kIndexed    — a hash dispatch index over the conjunction-shaped
+//                   filters: Bind() time chooses a small set of
+//                   discriminating (word, mask) pairs shared across the
+//                   bound set; Match() hashes those words' masked values
+//                   once and only the filters in the matching bucket are
+//                   (re-)executed. The index is a pruner, never an oracle —
+//                   a bucket hit is always re-confirmed by running the
+//                   filter itself (pre-decoded), so hash collisions cannot
+//                   mis-deliver. Filters outside the conjunction subset,
+//                   and packets too short to load every indexed word, fall
+//                   back to the sequential pre-decoded pass. Common-case
+//                   cost is O(index width), independent of bound_count().
 //
 // An Engine owns the bound filter set (keyed by an opaque uint32_t — the
 // demultiplexer uses its PortId). Match(packet) starts one evaluation pass;
@@ -32,6 +44,7 @@
 #define SRC_PF_ENGINE_H_
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -50,10 +63,13 @@ enum class Strategy : uint8_t {
   kFast,         // §7 validate-ahead interpretation
   kTree,         // §7 decision-tree compilation of the conjunction subset
   kPredecoded,   // bind-time pre-decode, no per-instruction operand fetching
+  kIndexed,      // hash dispatch on shared discriminating words + re-confirm
 };
 
 inline constexpr Strategy kAllStrategies[] = {Strategy::kChecked, Strategy::kFast,
-                                              Strategy::kTree, Strategy::kPredecoded};
+                                              Strategy::kTree, Strategy::kPredecoded,
+                                              Strategy::kIndexed};
+inline constexpr size_t kStrategyCount = sizeof(kAllStrategies) / sizeof(kAllStrategies[0]);
 
 std::string ToString(Strategy strategy);
 
@@ -65,12 +81,14 @@ struct ExecTelemetry {
   uint64_t insns_executed = 0;    // filter instructions evaluated
   uint32_t tree_probes = 0;       // decision-tree node probes
   uint32_t decode_cache_hits = 0; // verdicts served from a pre-decoded program
+  uint32_t index_probes = 0;      // discriminating-word loads for the hash index
 
   ExecTelemetry& operator+=(const ExecTelemetry& other) {
     filters_run += other.filters_run;
     insns_executed += other.insns_executed;
     tree_probes += other.tree_probes;
     decode_cache_hits += other.decode_cache_hits;
+    index_probes += other.index_probes;
     return *this;
   }
 };
@@ -103,6 +121,19 @@ class Engine {
  public:
   using Key = uint32_t;
 
+  // One bound filter and everything Bind() precomputed for it. Exposed so
+  // hosts can cache a `const Binding*` handle (PacketFilter keeps one per
+  // port, refreshed when it rebuilds its priority order) and hand it back
+  // to MatchPass::Test(), skipping the per-(packet, key) hash lookup on the
+  // demux hot path. A handle stays valid until its key is Unbind()ed or
+  // Clear() runs; re-Bind()ing the same key updates it in place.
+  struct Binding {
+    ValidatedProgram program;
+    std::vector<PredecodedInsn> decoded;
+    std::optional<std::vector<FieldTest>> conjunction;
+    bool indexed = false;  // dispatched through the hash index (kIndexed)
+  };
+
   explicit Engine(Strategy strategy = Strategy::kFast) : strategy_(strategy) {}
 
   void set_strategy(Strategy strategy);
@@ -129,11 +160,33 @@ class Engine {
   size_t bound_count() const { return filters_.size(); }
   // The bound program, or nullptr. Pointer invalidated by Bind/Unbind/Clear.
   const ValidatedProgram* Find(Key key) const;
+  // The full binding (see struct Binding above), or nullptr. The pointer
+  // survives re-Bind() of the same key; Unbind/Clear invalidate it.
+  const Binding* FindBinding(Key key) const;
 
   // --- Tree introspection (meaningful under kTree) ---
   // True once a non-empty tree has been built and the strategy uses it.
   bool tree_in_use() const { return strategy_ == Strategy::kTree && !tree_.empty(); }
   size_t tree_nodes() const { return tree_.node_count(); }
+
+  // --- Index introspection (meaningful under kIndexed) ---
+  // These reflect the most recently built index; Match() and
+  // IndexSignature() rebuild it lazily after Bind/Unbind/set_strategy.
+  bool index_in_use() const { return strategy_ == Strategy::kIndexed && index_entries_ > 0; }
+  // Number of discriminating (word, mask) pairs probed per packet.
+  size_t index_width() const { return index_pairs_.size(); }
+  // Filters dispatched through the index (the rest run sequentially).
+  size_t index_entries() const { return index_entries_; }
+  // True when *every* bound filter is a conjunction over the discriminating
+  // pairs, i.e. the index signature fully determines every filter's
+  // verdict. This is the soundness precondition for hosts that cache
+  // verdicts keyed by IndexSignature() (PacketFilter's flow cache).
+  bool index_covers_all() const { return index_covers_all_; }
+  // The hash of the discriminating words' masked values for `packet` —
+  // the flow-cache key. Rebuilds the index if stale. nullopt when the
+  // strategy is not kIndexed, no index exists, or the packet is too short
+  // to load every discriminating word.
+  std::optional<uint64_t> IndexSignature(std::span<const uint8_t> packet);
 
   // One packet's evaluation pass over the bound set. Test() is lazy for the
   // sequential strategies; the kTree constructor front-loads the single
@@ -145,6 +198,9 @@ class Engine {
    public:
     // Verdict for the filter bound at `key` (reject if none is bound).
     Verdict Test(Key key);
+    // Same, with the binding handle supplied by the caller (must be the
+    // engine's binding for `key`, or nullptr) — skips the map lookup.
+    Verdict Test(Key key, const Binding* binding);
     const ExecTelemetry& telemetry() const { return telemetry_; }
 
    private:
@@ -156,6 +212,12 @@ class Engine {
     std::span<const uint8_t> packet_;
     ExecTelemetry telemetry_;
     const std::vector<Key>* tree_matches_ = nullptr;  // kTree: the walk's output
+    // kIndexed: candidates in the packet's hash bucket (nullptr = empty
+    // bucket, prune everything indexed), unless the whole pass fell back
+    // to sequential execution (short packet).
+    const std::vector<Key>* index_candidates_ = nullptr;
+    bool index_active_ = false;
+    bool index_seq_fallback_ = false;
   };
 
   MatchPass Match(std::span<const uint8_t> packet);
@@ -166,14 +228,12 @@ class Engine {
   Verdict RunOne(Key key, std::span<const uint8_t> packet, ExecTelemetry* telemetry = nullptr);
 
  private:
-  struct Binding {
-    ValidatedProgram program;
-    std::vector<PredecodedInsn> decoded;
-    std::optional<std::vector<FieldTest>> conjunction;
-  };
+  // At most this many discriminating (word, mask) pairs are probed per
+  // packet — the constant bounding kIndexed's common-case cost.
+  static constexpr size_t kMaxIndexWords = 4;
 
-  const Binding* FindBinding(Key key) const;
   void RebuildTree();
+  void RebuildIndex();
 
   struct StrategyMetrics {
     pfobs::Counter* passes = nullptr;
@@ -184,11 +244,22 @@ class Engine {
 
   Strategy strategy_;
   pfobs::MetricsRegistry* metrics_registry_ = nullptr;
-  StrategyMetrics strategy_metrics_[4];
+  StrategyMetrics strategy_metrics_[kStrategyCount];
   std::unordered_map<Key, Binding> filters_;
   DecisionTree tree_;
   bool tree_dirty_ = false;
   std::vector<Key> match_buffer_;  // reused across passes (kTree walk output)
+
+  // --- Hash dispatch index (kIndexed) ---
+  bool index_dirty_ = false;
+  std::vector<FieldTestKey> index_pairs_;  // the discriminating words, sorted
+  std::unordered_map<uint64_t, std::vector<Key>> index_buckets_;
+  size_t index_entries_ = 0;
+  bool index_covers_all_ = false;
+  // Every indexed filter's word references fit in a packet of at least this
+  // many bytes; shorter packets take the sequential fallback so pruning
+  // can never hide a kOutOfPacket status a sequential run would report.
+  size_t index_min_packet_bytes_ = 0;
 };
 
 // Bind-time pre-decode of a validated program (exposed for tests and the

@@ -267,9 +267,10 @@ TEST(DemuxTest, StrategySwitchableAtRuntime) {
     EXPECT_EQ(filter.strategy(), strategy);
     filter.Demux(pftest::MakePupFrame(8, 35));
   }
-  EXPECT_EQ(filter.QueueLength(port), 4u);
-  // The pre-decoded pass reported its decode-cache hit in the telemetry.
-  EXPECT_EQ(filter.global_stats().exec.decode_cache_hits, 1u);
+  EXPECT_EQ(filter.QueueLength(port), 5u);
+  // The pre-decoded pass reported its decode-cache hit, and the indexed
+  // pass re-confirmed its bucket hit from the same pre-decoded form.
+  EXPECT_EQ(filter.global_stats().exec.decode_cache_hits, 2u);
 }
 
 TEST(DemuxTest, GlobalStatsAccumulate) {
@@ -311,6 +312,143 @@ TEST(DemuxTest, AcceptsInvariantAcrossOverflowAndCopyAll) {
   EXPECT_EQ(filter.Stats(monitor)->enqueued, 2u);
   EXPECT_EQ(filter.Stats(monitor)->dropped, 10u);
   EXPECT_EQ(filter.Stats(app)->accepts, 6u);
+}
+
+// --- Flow verdict cache (Strategy::kIndexed) ---
+
+TEST(DemuxFlowCacheTest, ServesRepeatedFlowFromCache) {
+  PacketFilter filter;
+  filter.SetStrategy(pf::Strategy::kIndexed);
+  const PortId p35 = filter.OpenPort();
+  const PortId p36 = filter.OpenPort();
+  ASSERT_TRUE(filter.SetFilter(p35, SocketFilter(35, 10)).ok);
+  ASSERT_TRUE(filter.SetFilter(p36, SocketFilter(36, 10)).ok);
+
+  for (int i = 0; i < 3; ++i) {
+    const auto r = filter.Demux(pftest::MakePupFrame(8, 35));
+    EXPECT_TRUE(r.accepted);
+    EXPECT_TRUE(r.cache_lookup);
+    EXPECT_EQ(r.cache_hit, i > 0);  // first packet takes the full walk
+  }
+  EXPECT_EQ(filter.QueueLength(p35), 3u);
+  EXPECT_EQ(filter.QueueLength(p36), 0u);
+  const pf::FlowCacheStats& stats = filter.flow_cache_stats();
+  EXPECT_EQ(stats.lookups, 3u);
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(filter.flow_cache_size(), 1u);
+}
+
+TEST(DemuxFlowCacheTest, OtherStrategiesNeverConsultTheCache) {
+  PacketFilter filter;
+  filter.SetStrategy(pf::Strategy::kFast);
+  const PortId port = filter.OpenPort();
+  ASSERT_TRUE(filter.SetFilter(port, SocketFilter(35, 10)).ok);
+  filter.Demux(pftest::MakePupFrame(8, 35));
+  filter.Demux(pftest::MakePupFrame(8, 35));
+  EXPECT_EQ(filter.flow_cache_stats().lookups, 0u);
+  EXPECT_EQ(filter.flow_cache_size(), 0u);
+}
+
+TEST(DemuxFlowCacheTest, RebindInvalidatesAndRedirectsTheFlow) {
+  PacketFilter filter;
+  filter.SetStrategy(pf::Strategy::kIndexed);
+  const PortId a = filter.OpenPort();
+  const PortId b = filter.OpenPort();
+  ASSERT_TRUE(filter.SetFilter(a, SocketFilter(35, 10)).ok);
+  ASSERT_TRUE(filter.SetFilter(b, SocketFilter(35, 10)).ok);
+  // Equal priority: `a` opened first, claims, and the flow is cached on it.
+  filter.Demux(pftest::MakePupFrame(8, 35));
+  filter.Demux(pftest::MakePupFrame(8, 35));
+  EXPECT_EQ(filter.QueueLength(a), 2u);
+  EXPECT_GT(filter.flow_cache_stats().hits, 0u);
+
+  // Rebinding `a` to a different socket must invalidate: the next socket-35
+  // packet belongs to `b`, not the stale cache entry.
+  ASSERT_TRUE(filter.SetFilter(a, SocketFilter(99, 10)).ok);
+  filter.Demux(pftest::MakePupFrame(8, 35));
+  EXPECT_EQ(filter.QueueLength(a), 2u);  // no stale delivery
+  EXPECT_EQ(filter.QueueLength(b), 1u);
+  EXPECT_GT(filter.flow_cache_stats().invalidations, 0u);
+}
+
+TEST(DemuxFlowCacheTest, ClosePortInvalidates) {
+  PacketFilter filter;
+  filter.SetStrategy(pf::Strategy::kIndexed);
+  const PortId a = filter.OpenPort();
+  ASSERT_TRUE(filter.SetFilter(a, SocketFilter(35, 10)).ok);
+  filter.Demux(pftest::MakePupFrame(8, 35));
+  filter.Demux(pftest::MakePupFrame(8, 35));
+  EXPECT_GT(filter.flow_cache_stats().hits, 0u);
+
+  ASSERT_TRUE(filter.ClosePort(a));
+  const auto r = filter.Demux(pftest::MakePupFrame(8, 35));
+  EXPECT_FALSE(r.accepted);  // no ghost delivery to the closed port
+  EXPECT_EQ(filter.global_stats().packets_unclaimed, 1u);
+}
+
+TEST(DemuxFlowCacheTest, PriorityChangeInvalidates) {
+  PacketFilter filter;
+  filter.SetStrategy(pf::Strategy::kIndexed);
+  const PortId low = filter.OpenPort();
+  const PortId high = filter.OpenPort();
+  ASSERT_TRUE(filter.SetFilter(low, SocketFilter(35, 10)).ok);
+  ASSERT_TRUE(filter.SetFilter(high, SocketFilter(35, 5)).ok);
+  // `low` wins at priority 10 and the flow caches on it.
+  filter.Demux(pftest::MakePupFrame(8, 35));
+  filter.Demux(pftest::MakePupFrame(8, 35));
+  EXPECT_EQ(filter.QueueLength(low), 2u);
+
+  // Raising `high` above it must redirect the flow — a cached verdict that
+  // survived this would mis-deliver even though `low`'s filter still accepts.
+  ASSERT_TRUE(filter.SetFilter(high, SocketFilter(35, 200)).ok);
+  filter.Demux(pftest::MakePupFrame(8, 35));
+  EXPECT_EQ(filter.QueueLength(low), 2u);
+  EXPECT_EQ(filter.QueueLength(high), 1u);
+}
+
+TEST(DemuxFlowCacheTest, DeliverToLowerPortsBypassTheCache) {
+  PacketFilter filter;
+  filter.SetStrategy(pf::Strategy::kIndexed);
+  const PortId monitor = filter.OpenPort();
+  const PortId app = filter.OpenPort();
+  ASSERT_TRUE(filter.SetFilter(monitor, AcceptAll(255)).ok);
+  ASSERT_TRUE(filter.SetFilter(app, SocketFilter(35, 10)).ok);
+  filter.SetDeliverToLower(monitor, true);
+
+  for (int i = 0; i < 4; ++i) {
+    const auto r = filter.Demux(pftest::MakePupFrame(8, 35));
+    EXPECT_EQ(r.deliveries, 2u) << "copy-all must reach both ports, packet " << i;
+    EXPECT_FALSE(r.cache_hit);
+  }
+  // Monitor-only traffic: the sole acceptor delivers-to-lower, so the flow
+  // must not be recorded either.
+  filter.Demux(pftest::MakePupFrame(8, 99));
+  EXPECT_EQ(filter.flow_cache_stats().hits, 0u);
+  EXPECT_EQ(filter.flow_cache_stats().insertions, 0u);
+  EXPECT_EQ(filter.flow_cache_size(), 0u);
+  EXPECT_EQ(filter.QueueLength(monitor), 5u);
+  EXPECT_EQ(filter.QueueLength(app), 4u);
+}
+
+TEST(DemuxFlowCacheTest, CapacityBoundsAndDisable) {
+  PacketFilter filter;
+  filter.SetStrategy(pf::Strategy::kIndexed);
+  for (uint32_t socket = 1; socket <= 4; ++socket) {
+    const PortId port = filter.OpenPort();
+    ASSERT_TRUE(filter.SetFilter(port, SocketFilter(socket, 10)).ok);
+  }
+  filter.SetFlowCacheCapacity(2);
+  for (uint32_t socket = 1; socket <= 4; ++socket) {
+    filter.Demux(pftest::MakePupFrame(8, socket));
+  }
+  EXPECT_LE(filter.flow_cache_size(), 2u);
+
+  filter.SetFlowCacheCapacity(0);  // disabled entirely
+  const uint64_t lookups_before = filter.flow_cache_stats().lookups;
+  filter.Demux(pftest::MakePupFrame(8, 1));
+  EXPECT_EQ(filter.flow_cache_stats().lookups, lookups_before);
+  EXPECT_EQ(filter.flow_cache_size(), 0u);
 }
 
 TEST(DemuxTest, DeviceInfoRoundTrips) {

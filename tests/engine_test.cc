@@ -1,7 +1,8 @@
 // pf::Engine tests: strategy selection, bind-time pre-decoding, per-pass
-// telemetry, lazy evaluation — and the cross-backend parity property:
-// randomized programs (conjunction-shaped and not) against randomized
-// packets must produce identical verdicts under all four strategies.
+// telemetry, lazy evaluation, the kIndexed hash dispatch index — and the
+// cross-backend parity property: randomized programs (conjunction-shaped
+// and not) against randomized packets must produce identical verdicts
+// under all five strategies.
 #include <gtest/gtest.h>
 
 #include "src/pf/builder.h"
@@ -113,7 +114,11 @@ TEST(EngineTest, DecodeCacheHitsCountOnlyPredecodedRuns) {
     engine.Bind(kKey, *ValidatedProgram::Create(pf::PaperFig38Filter()));
     pf::ExecTelemetry telemetry;
     engine.RunOne(kKey, pftest::MakePupFrame(50, 35), &telemetry);
-    EXPECT_EQ(telemetry.decode_cache_hits, strategy == Strategy::kPredecoded ? 1u : 0u)
+    // kIndexed also runs from the pre-decoded form (fig. 3-8 is not a
+    // conjunction, so it takes the sequential fallback).
+    const bool predecoded_path =
+        strategy == Strategy::kPredecoded || strategy == Strategy::kIndexed;
+    EXPECT_EQ(telemetry.decode_cache_hits, predecoded_path ? 1u : 0u)
         << pf::ToString(strategy);
   }
 }
@@ -140,6 +145,117 @@ TEST(EngineTest, StrategySwitchRebuildsTree) {
   EXPECT_TRUE(engine.tree_in_use());
   engine.set_strategy(Strategy::kFast);
   EXPECT_FALSE(engine.tree_in_use());
+}
+
+// --- kIndexed hash dispatch index ---
+
+Program SocketConjunction(uint32_t socket, uint8_t priority = 10) {
+  FilterBuilder b;
+  b.WordEqualsShortCircuit(pfproto::kWordDstSocketLow, static_cast<uint16_t>(socket & 0xffff))
+      .WordEqualsShortCircuit(pfproto::kWordDstSocketHigh, static_cast<uint16_t>(socket >> 16))
+      .WordEquals(pfproto::kWordEtherType, pfproto::kEtherTypePup);
+  return b.Build(priority);
+}
+
+TEST(EngineIndexTest, BuildsOverSharedDiscriminatingPairs) {
+  Engine engine(Strategy::kIndexed);
+  for (Engine::Key key = 1; key <= 8; ++key) {
+    engine.Bind(key, *ValidatedProgram::Create(SocketConjunction(key)));
+  }
+  // IndexSignature rebuilds the index lazily; any packet will do.
+  const auto packet = pftest::MakePupFrame(50, 5);
+  ASSERT_TRUE(engine.IndexSignature(packet).has_value());
+  EXPECT_TRUE(engine.index_in_use());
+  EXPECT_EQ(engine.index_width(), 3u);   // socket-low, socket-high, ether type
+  EXPECT_EQ(engine.index_entries(), 8u); // every filter dispatches via the index
+  EXPECT_TRUE(engine.index_covers_all());
+}
+
+TEST(EngineIndexTest, PrunesNonMatchingFiltersWithoutRunningThem) {
+  Engine engine(Strategy::kIndexed);
+  for (Engine::Key key = 1; key <= 8; ++key) {
+    engine.Bind(key, *ValidatedProgram::Create(SocketConjunction(key)));
+  }
+  const auto packet = pftest::MakePupFrame(50, 5);
+  Engine::MatchPass pass = engine.Match(packet);
+  for (Engine::Key key = 1; key <= 8; ++key) {
+    EXPECT_EQ(pass.Test(key).accept, key == 5u) << "key " << key;
+  }
+  // Three index probes answered seven filters; only the candidate ran.
+  EXPECT_EQ(pass.telemetry().index_probes, 3u);
+  EXPECT_EQ(pass.telemetry().filters_run, 1u);
+  EXPECT_EQ(pass.telemetry().decode_cache_hits, 1u);
+}
+
+TEST(EngineIndexTest, ShortPacketFallsBackToSequentialExactness) {
+  Engine engine(Strategy::kIndexed);
+  for (Engine::Key key = 1; key <= 4; ++key) {
+    engine.Bind(key, *ValidatedProgram::Create(SocketConjunction(key)));
+  }
+  // 4 bytes: too short to load the socket words — every filter must run
+  // sequentially so kOutOfPacket statuses match kChecked exactly.
+  const std::vector<uint8_t> runt = {1, 2, 3, 4};
+  Engine::MatchPass pass = engine.Match(runt);
+  for (Engine::Key key = 1; key <= 4; ++key) {
+    const Verdict verdict = pass.Test(key);
+    EXPECT_FALSE(verdict.accept);
+    EXPECT_EQ(verdict.status, ExecStatus::kOutOfPacket);
+  }
+  EXPECT_EQ(pass.telemetry().index_probes, 0u);
+  EXPECT_EQ(pass.telemetry().filters_run, 4u);
+}
+
+TEST(EngineIndexTest, NonConjunctionFiltersFallBackButConjunctionsStayIndexed) {
+  Engine engine(Strategy::kIndexed);
+  engine.Bind(1, *ValidatedProgram::Create(pf::PaperFig38Filter()));  // ranges: not indexable
+  engine.Bind(2, *ValidatedProgram::Create(SocketConjunction(35)));
+  engine.Bind(3, *ValidatedProgram::Create(SocketConjunction(36)));
+  const auto packet = pftest::MakePupFrame(50, 35);
+  ASSERT_TRUE(engine.IndexSignature(packet).has_value());
+  EXPECT_TRUE(engine.index_in_use());
+  EXPECT_EQ(engine.index_entries(), 2u);
+  // A non-conjunction filter's verdict is not a function of the
+  // discriminating words, so signature-keyed caching would be unsound.
+  EXPECT_FALSE(engine.index_covers_all());
+
+  Engine::MatchPass pass = engine.Match(packet);
+  EXPECT_TRUE(pass.Test(1).accept);   // fig. 3-8 accepts this frame (ran sequentially)
+  EXPECT_TRUE(pass.Test(2).accept);   // bucket hit, re-confirmed
+  EXPECT_FALSE(pass.Test(3).accept);  // pruned
+  EXPECT_EQ(pass.telemetry().filters_run, 2u);
+}
+
+TEST(EngineIndexTest, SignatureIsStablePerFlowAndDistinguishesFlows) {
+  Engine engine(Strategy::kIndexed);
+  engine.Bind(1, *ValidatedProgram::Create(SocketConjunction(35)));
+  engine.Bind(2, *ValidatedProgram::Create(SocketConjunction(36)));
+  const auto sig_a1 = engine.IndexSignature(pftest::MakePupFrame(50, 35));
+  const auto sig_a2 = engine.IndexSignature(pftest::MakePupFrame(51, 35));
+  const auto sig_b = engine.IndexSignature(pftest::MakePupFrame(50, 36));
+  ASSERT_TRUE(sig_a1.has_value());
+  ASSERT_TRUE(sig_a2.has_value());
+  ASSERT_TRUE(sig_b.has_value());
+  // The pup type is not a discriminating word; the socket is.
+  EXPECT_EQ(*sig_a1, *sig_a2);
+  EXPECT_NE(*sig_a1, *sig_b);
+  // Too short to load the discriminating words -> no signature.
+  EXPECT_FALSE(engine.IndexSignature(std::vector<uint8_t>{1, 2, 3, 4}).has_value());
+  // Other strategies never produce one.
+  engine.set_strategy(Strategy::kFast);
+  EXPECT_FALSE(engine.IndexSignature(pftest::MakePupFrame(50, 35)).has_value());
+}
+
+TEST(EngineIndexTest, BindingHandleSkipsTheMapLookup) {
+  Engine engine(Strategy::kIndexed);
+  engine.Bind(1, *ValidatedProgram::Create(SocketConjunction(35)));
+  const Engine::Binding* binding = engine.FindBinding(1);
+  ASSERT_NE(binding, nullptr);
+  // Re-binding the same key keeps the handle valid (node stability).
+  engine.Bind(1, *ValidatedProgram::Create(SocketConjunction(36)));
+  EXPECT_EQ(engine.FindBinding(1), binding);
+  const auto packet = pftest::MakePupFrame(50, 36);
+  Engine::MatchPass pass = engine.Match(packet);
+  EXPECT_TRUE(pass.Test(1, binding).accept);
 }
 
 // --- Cross-backend parity property ---
@@ -268,8 +384,19 @@ TEST(EngineParityProperty, AllStrategiesAgreeOnRandomPrograms) {
             << "trial " << trial << " packet " << p << " strategy " << pf::ToString(strategy);
         // The sequential backends must also agree on the error status and
         // on work done. A conjunction answered by the tree walk reports no
-        // status (a failed test is just a non-match).
-        if (strategy != Strategy::kTree || !conjunction_shaped) {
+        // status (a failed test is just a non-match). kIndexed reports
+        // *exact* statuses even for pruned filters (short packets take its
+        // sequential fallback), but a pruned filter executes no
+        // instructions, so insns only match when it cannot prune.
+        if (strategy == Strategy::kIndexed) {
+          EXPECT_EQ(verdicts[s].status, checked.status)
+              << "trial " << trial << " packet " << p << " strategy " << pf::ToString(strategy);
+          if (!conjunction_shaped) {
+            EXPECT_EQ(telemetry[s].insns_executed, telemetry[0].insns_executed)
+                << "trial " << trial << " packet " << p << " strategy "
+                << pf::ToString(strategy);
+          }
+        } else if (strategy != Strategy::kTree || !conjunction_shaped) {
           EXPECT_EQ(verdicts[s].status, checked.status)
               << "trial " << trial << " packet " << p << " strategy " << pf::ToString(strategy);
           EXPECT_EQ(telemetry[s].insns_executed, telemetry[0].insns_executed)
@@ -282,6 +409,51 @@ TEST(EngineParityProperty, AllStrategiesAgreeOnRandomPrograms) {
   // error paths, or the property is vacuous.
   EXPECT_GT(conjunctions, 50);
   EXPECT_LT(conjunctions, 350);
+  EXPECT_GT(errors_seen, 0);
+}
+
+// The tentpole's correctness property: with a whole *set* of filters bound
+// (the situation the index exists for), kIndexed must agree with kChecked
+// on every filter's accept AND status for every packet — including
+// non-conjunction fallbacks, error-rejecting programs, and runt packets.
+TEST(EngineParityProperty, IndexedMatchesCheckedOnRandomFilterSets) {
+  pfutil::Rng rng(0x1d3a7);
+  int pruned_passes = 0;
+  int errors_seen = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    Engine checked(Strategy::kChecked);
+    Engine indexed(Strategy::kIndexed);
+    const size_t filters = rng.Range(2, 12);
+    for (Engine::Key key = 1; key <= filters; ++key) {
+      const Program program =
+          rng.Chance(0.7) ? RandomConjunction(&rng) : RandomWalkProgram(&rng);
+      const auto validated = ValidatedProgram::Create(program);
+      ASSERT_TRUE(validated.has_value());
+      checked.Bind(key, *validated);
+      indexed.Bind(key, *validated);
+    }
+    for (int p = 0; p < 6; ++p) {
+      std::vector<uint8_t> packet;
+      const size_t bytes = rng.Below(2) == 0 ? rng.Below(6) : rng.Range(8, 28);
+      for (size_t i = 0; i < bytes; ++i) {
+        packet.push_back(static_cast<uint8_t>(rng.Below(6)));
+      }
+      Engine::MatchPass checked_pass = checked.Match(packet);
+      Engine::MatchPass indexed_pass = indexed.Match(packet);
+      for (Engine::Key key = 1; key <= filters; ++key) {
+        const Verdict want = checked_pass.Test(key);
+        const Verdict got = indexed_pass.Test(key);
+        EXPECT_EQ(got.accept, want.accept) << "trial " << trial << " key " << key;
+        EXPECT_EQ(got.status, want.status) << "trial " << trial << " key " << key;
+        errors_seen += want.status != ExecStatus::kOk ? 1 : 0;
+      }
+      // Pruning must actually happen somewhere, or the test is vacuous.
+      if (indexed_pass.telemetry().filters_run < checked_pass.telemetry().filters_run) {
+        ++pruned_passes;
+      }
+    }
+  }
+  EXPECT_GT(pruned_passes, 0);
   EXPECT_GT(errors_seen, 0);
 }
 
