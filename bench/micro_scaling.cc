@@ -25,6 +25,7 @@
 
 #include "bench/harness.h"
 #include "src/net/pup_endpoint.h"
+#include "src/obs/metrics.h"
 #include "src/pf/demux.h"
 #include "tests/test_packets.h"
 
@@ -97,6 +98,76 @@ WorkSample Measure(pf::Strategy strategy, int ports, bool flow_cache) {
   return sample;
 }
 
+// Drop accounting (PR 4): over a full run that loses packets every way the
+// demux can — queue overflow (1-deep queues, no reader), no-match (traffic
+// to unbound sockets), short-packet (truncated frames) — every non-delivered
+// packet must land in exactly one pf.drop.<reason> bucket:
+//
+//   packets_in == sum(enqueued) + sum(drops_by_reason)      (single-claim)
+//
+// the registry's "pf.drop.*" counters must mirror the struct counters, and
+// the flight recorder must stay bounded while counting every loss.
+bool VerifyDropAccounting() {
+  pfobs::MetricsRegistry registry;
+  pf::PacketFilter filter;
+  filter.AttachMetrics(&registry);
+  constexpr size_t kRecorderCapacity = 32;
+  filter.SetFlightRecorder(kRecorderCapacity);
+
+  constexpr int kPorts = 16;
+  std::vector<pf::PortId> ids;
+  for (int socket = 1; socket <= kPorts; ++socket) {
+    const pf::PortId port = filter.OpenPort();
+    filter.SetFilter(port, pfnet::MakePupSocketFilter(static_cast<uint32_t>(socket), 10));
+    filter.SetQueueLimit(port, 1);
+    ids.push_back(port);
+  }
+
+  std::vector<uint8_t> truncated = pftest::MakePupFrame(8, 1);
+  truncated.resize(8);  // valid link header, Pup words cut off
+  for (int round = 0; round < 64; ++round) {
+    for (int socket = 1; socket <= kPorts; ++socket) {
+      filter.Demux(pftest::MakePupFrame(8, static_cast<uint32_t>(socket)));
+    }
+    filter.Demux(pftest::MakePupFrame(8, 999));  // no port bound
+    filter.Demux(truncated);
+  }
+
+  const pf::FilterGlobalStats& global = filter.global_stats();
+  uint64_t enqueued = 0;
+  for (const pf::PortId id : ids) {
+    enqueued += filter.Stats(id)->enqueued;
+  }
+  bool ok = global.packets_in == enqueued + pf::TotalDrops(global.drops_by_reason);
+  for (size_t i = 0; i < pf::kDropReasonCount; ++i) {
+    const pfobs::Counter* counter =
+        registry.FindCounter("pf.drop." + pf::ToSlug(static_cast<pf::DropReason>(i)));
+    ok = ok && counter != nullptr &&
+         static_cast<uint64_t>(counter->value()) == global.drops_by_reason[i];
+  }
+  const pf::DropRecorder* recorder = filter.flight_recorder();
+  ok = ok && recorder != nullptr && recorder->size() <= kRecorderCapacity &&
+       recorder->total_recorded() == pf::TotalDrops(global.drops_by_reason);
+  // This scenario exercises three distinct reasons; all must be non-zero.
+  using R = pf::DropReason;
+  ok = ok && global.drops_by_reason[static_cast<size_t>(R::kQueueOverflow)] > 0 &&
+       global.drops_by_reason[static_cast<size_t>(R::kNoMatch)] > 0 &&
+       global.drops_by_reason[static_cast<size_t>(R::kShortPacket)] > 0;
+
+  std::printf(
+      "drop accounting: in=%llu enqueued=%llu dropped=%llu "
+      "(overflow=%llu no-match=%llu short=%llu) recorder=%zu/%zu of %llu  [%s]\n",
+      (unsigned long long)global.packets_in, (unsigned long long)enqueued,
+      (unsigned long long)pf::TotalDrops(global.drops_by_reason),
+      (unsigned long long)global.drops_by_reason[static_cast<size_t>(R::kQueueOverflow)],
+      (unsigned long long)global.drops_by_reason[static_cast<size_t>(R::kNoMatch)],
+      (unsigned long long)global.drops_by_reason[static_cast<size_t>(R::kShortPacket)],
+      recorder != nullptr ? recorder->size() : 0, kRecorderCapacity,
+      (unsigned long long)(recorder != nullptr ? recorder->total_recorded() : 0),
+      ok ? "accounted" : "MISMATCH");
+  return ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -155,6 +226,10 @@ int main(int argc, char** argv) {
     std::printf("check: kFast@256 = %.2f, kIndexed@256 = %.2f, ratio = %.1fx (need >= 5x)\n",
                 fast_at_256, indexed_at_256, ratio);
     if (ratio < 5.0) {
+      std::printf("check FAILED\n");
+      return 1;
+    }
+    if (!VerifyDropAccounting()) {
       std::printf("check FAILED\n");
       return 1;
     }

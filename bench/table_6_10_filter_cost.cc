@@ -35,6 +35,22 @@ struct FilterEvalAccounting {
   int64_t ledger_total_ns = 0;
 };
 
+// One profiled run (PR 4 tentpole): the engine's per-pc profile against the
+// Ledger's kFilterEval slot. The attribution identity is exact:
+//   kFilterEval total == filter_apply * runs
+//                      + filter_insn  * (charged_insns + tree_probes)
+// because the Ledger charges FilterCost(exec) per packet from the same
+// telemetry the profiler folds in (index probes are charged separately, as
+// kIndexProbe).
+struct ProfiledRun {
+  pf::ProfileTotals totals;
+  std::vector<uint64_t> hits;  // per-pc equivalent-execution counts
+  int hottest_pc = -1;
+  uint64_t ledger_charges = 0;
+  int64_t ledger_total_ns = 0;
+  std::string dump;  // annotated disassembly of the bound filter
+};
+
 double Measure(int filter_length, pf::Strategy strategy = pf::Strategy::kFast,
                FilterEvalAccounting* accounting = nullptr) {
   pfbench::RecvConfig config;
@@ -58,6 +74,36 @@ double Measure(int filter_length, pf::Strategy strategy = pf::Strategy::kFast,
     };
   }
   return pfbench::MeasureReceivePerPacketMs(config);
+}
+
+ProfiledRun MeasureProfiled(int filter_length, pf::Strategy strategy) {
+  ProfiledRun run;
+  pfbench::RecvConfig config;
+  config.frame_total = 128;
+  config.burst = 4;
+  config.batching = true;
+  config.filter = AcceptAllOfLength(filter_length);
+  config.strategy = strategy;
+  config.profile = true;
+  config.inspect = [&run](pfkern::Machine& receiver) {
+    pf::PacketFilter& core = receiver.pf().core();
+    run.totals = core.engine().profile_totals();
+    for (const pf::PortId id : core.Ports()) {
+      const pf::ProgramProfile* profile = core.Profile(id);
+      if (profile == nullptr) {
+        continue;
+      }
+      run.hottest_pc = profile->HottestPc();
+      for (const pf::PcProfile& pc : profile->pc) {
+        run.hits.push_back(pc.hits);
+      }
+      run.dump = receiver.pf().ProfileDump(id);
+    }
+    run.ledger_charges = receiver.ledger().count(pfkern::Cost::kFilterEval);
+    run.ledger_total_ns = receiver.ledger().total(pfkern::Cost::kFilterEval).count();
+  };
+  pfbench::MeasureReceivePerPacketMs(config);
+  return run;
 }
 
 }  // namespace
@@ -111,6 +157,45 @@ int main() {
     std::fprintf(stderr, "filter-eval histogram does not reconcile with the ledger\n");
     return 1;
   }
+
+  // Profiler attribution (PR 4): the per-pc profile's charged counts, priced
+  // by the cost model, must equal the Ledger's kFilterEval total *exactly*,
+  // and the per-pc equivalent-hit counts (and thus the hot instruction) must
+  // be identical whichever strategy produced them.
+  const pfkern::CostModel costs = pfkern::MicroVaxUltrixCosts();
+  std::printf("\n    profiler attribution (21 insns, per strategy):\n");
+  bool attributed = true;
+  ProfiledRun reference;
+  bool have_reference = false;
+  for (const pf::Strategy strategy : pf::kAllStrategies) {
+    const ProfiledRun run = MeasureProfiled(21, strategy);
+    const int64_t attributed_ns =
+        costs.filter_apply.count() * static_cast<int64_t>(run.totals.runs) +
+        costs.filter_insn.count() *
+            static_cast<int64_t>(run.totals.charged_insns + run.totals.tree_probes);
+    bool ok = attributed_ns == run.ledger_total_ns && run.hottest_pc >= 0;
+    if (!have_reference) {
+      reference = run;
+      have_reference = true;
+    } else {
+      ok = ok && run.hits == reference.hits && run.hottest_pc == reference.hottest_pc;
+    }
+    attributed = attributed && ok;
+    std::printf(
+        "      %-10s passes=%llu runs=%llu hit-insns=%llu charged-insns=%llu "
+        "tree-probes=%llu | attributed %.3f ms vs ledger %.3f ms, hot pc %d  [%s]\n",
+        pf::ToString(strategy).c_str(), (unsigned long long)run.totals.passes,
+        (unsigned long long)run.totals.runs, (unsigned long long)run.totals.hit_insns,
+        (unsigned long long)run.totals.charged_insns, (unsigned long long)run.totals.tree_probes,
+        attributed_ns / 1e6, run.ledger_total_ns / 1e6, run.hottest_pc,
+        ok ? "exact" : "MISMATCH");
+  }
+  if (!attributed) {
+    std::fprintf(stderr, "profiler attribution does not reconcile with the ledger\n");
+    return 1;
+  }
+  std::printf("\n    annotated profile (21 insns, %s):\n%s",
+              pf::ToString(pf::kAllStrategies[0]).c_str(), reference.dump.c_str());
 
   // Break-even (§6.5.3): user-level demultiplexing costs ~2.7 ms extra per
   // 128-byte packet (table 6-8); how many 21-instruction filters can the

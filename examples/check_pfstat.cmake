@@ -1,0 +1,72 @@
+# Smoke test for examples/pfstat: runs one --once session with all three
+# exports and verifies (a) the flight-recorder JSON parses and is bounded at
+# its advertised capacity with at least one record, and (b) the sampled
+# time-series CSV/JSON were written with at least one row.
+#
+# Usage: cmake -DPFSTAT=<binary> -DOUTDIR=<dir> -P check_pfstat.cmake
+
+if(NOT PFSTAT OR NOT OUTDIR)
+  message(FATAL_ERROR "usage: cmake -DPFSTAT=... -DOUTDIR=... -P check_pfstat.cmake")
+endif()
+
+set(flight "${OUTDIR}/pfstat_flight.json")
+set(csv "${OUTDIR}/pfstat_series.csv")
+set(series "${OUTDIR}/pfstat_series.json")
+
+execute_process(
+  COMMAND "${PFSTAT}" --once --duration-ms 60 --interval-ms 10
+          --flight-json "${flight}" --csv "${csv}" --json "${series}"
+  RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "pfstat --once exited with ${rc}")
+endif()
+
+foreach(out "${flight}" "${csv}" "${series}")
+  if(NOT EXISTS "${out}")
+    message(FATAL_ERROR "pfstat did not write ${out}")
+  endif()
+endforeach()
+
+file(READ "${flight}" flight_json)
+if(CMAKE_VERSION VERSION_GREATER_EQUAL 3.19)
+  # The flight recorder must parse as JSON and honour its bound: at most
+  # `capacity` records retained, and this scenario certainly drops packets.
+  string(JSON capacity ERROR_VARIABLE err GET "${flight_json}" "capacity")
+  if(err)
+    message(FATAL_ERROR "flight-recorder JSON does not parse: ${err}")
+  endif()
+  string(JSON n_records LENGTH "${flight_json}" "records")
+  if(n_records GREATER capacity)
+    message(FATAL_ERROR "flight recorder holds ${n_records} > capacity ${capacity}")
+  endif()
+  if(n_records EQUAL 0)
+    message(FATAL_ERROR "flight recorder is empty after a dropping scenario")
+  endif()
+  string(JSON reason GET "${flight_json}" "records" 0 "reason")
+  message(STATUS "flight recorder parses: ${n_records}/${capacity} records, first reason ${reason}")
+endif()
+
+# The time series must have a header plus at least one sample row, and the
+# drop-reason counters must be among the sampled columns.
+file(STRINGS "${csv}" csv_lines)
+list(LENGTH csv_lines n_lines)
+if(n_lines LESS 2)
+  message(FATAL_ERROR "sampler CSV has ${n_lines} lines (want header + rows)")
+endif()
+list(GET csv_lines 0 csv_header)
+string(FIND "${csv_header}" "pf.drop.queue_overflow" at)
+if(at EQUAL -1)
+  message(FATAL_ERROR "sampler CSV header lacks pf.drop.* columns: ${csv_header}")
+endif()
+
+file(READ "${series}" series_json)
+if(CMAKE_VERSION VERSION_GREATER_EQUAL 3.19)
+  string(JSON n_rows ERROR_VARIABLE err LENGTH "${series_json}" "rows")
+  if(err)
+    message(FATAL_ERROR "sampler JSON does not parse: ${err}")
+  endif()
+  if(n_rows LESS 1)
+    message(FATAL_ERROR "sampler JSON has no rows")
+  endif()
+endif()
+message(STATUS "pfstat smoke test passed: ${flight}")

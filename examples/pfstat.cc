@@ -1,0 +1,264 @@
+// pfstat: live introspection of a packet-filter machine (PR 4 tentpole).
+//
+// Runs a small simulated scenario — three bound Pup sockets (one with a
+// tiny queue and no reader, to force queue overflows), plus traffic to an
+// unbound socket and truncated frames — and renders the machine's demux
+// state as a table on a simulated-clock period: per-port bindings,
+// accept/drop rates, hot filter pc, p99 demux latency, the drop-reason
+// taxonomy, and the flight-recorder tail. A MetricsSampler snapshots the
+// "pf.*" registry metrics each period; --csv/--json export the time series
+// and --flight-json exports the flight recorder (consumed by the CI smoke
+// test, cmake/check_pfstat.cmake).
+//
+// Flags:
+//   --once             print only the final table (default: one per period)
+//   --interval-ms N    sampling/render period in simulated ms (default 10)
+//   --duration-ms N    traffic duration in simulated ms (default 100)
+//   --strategy S       checked|fast|tree|predecoded|indexed (default indexed)
+//   --csv PATH         write the sampled time series as CSV
+//   --json PATH        write the sampled time series as JSON
+//   --flight-json PATH write the flight recorder as JSON
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/kernel/machine.h"
+#include "src/kernel/pf_device.h"
+#include "src/net/pup_endpoint.h"
+#include "src/obs/sampler.h"
+#include "src/pf/disasm.h"
+#include "tests/test_packets.h"
+
+namespace {
+
+struct Options {
+  bool once = false;
+  int interval_ms = 10;
+  int duration_ms = 100;
+  pf::Strategy strategy = pf::Strategy::kIndexed;
+  const char* csv_path = nullptr;
+  const char* json_path = nullptr;
+  const char* flight_json_path = nullptr;
+};
+
+bool ParseStrategy(const char* name, pf::Strategy* out) {
+  for (const pf::Strategy strategy : pf::kAllStrategies) {
+    if (pf::ToString(strategy) == name) {
+      *out = strategy;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ParseOptions(int argc, char** argv, Options* options) {
+  for (int i = 1; i < argc; ++i) {
+    const auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (std::strcmp(argv[i], "--once") == 0) {
+      options->once = true;
+    } else if (std::strcmp(argv[i], "--interval-ms") == 0) {
+      const char* v = value();
+      if (v == nullptr || std::atoi(v) <= 0) return false;
+      options->interval_ms = std::atoi(v);
+    } else if (std::strcmp(argv[i], "--duration-ms") == 0) {
+      const char* v = value();
+      if (v == nullptr || std::atoi(v) <= 0) return false;
+      options->duration_ms = std::atoi(v);
+    } else if (std::strcmp(argv[i], "--strategy") == 0) {
+      const char* v = value();
+      if (v == nullptr || !ParseStrategy(v, &options->strategy)) return false;
+    } else if (std::strcmp(argv[i], "--csv") == 0) {
+      if ((options->csv_path = value()) == nullptr) return false;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      if ((options->json_path = value()) == nullptr) return false;
+    } else if (std::strcmp(argv[i], "--flight-json") == 0) {
+      if ((options->flight_json_path = value()) == nullptr) return false;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool WriteFile(const char* path, const std::string& content) {
+  FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "pfstat: cannot write %s\n", path);
+    return false;
+  }
+  std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+// The live table: one row per bound port, then the machine-wide demux
+// counters, the drop-reason taxonomy, the demux-latency histogram, and the
+// newest flight-recorder entries.
+void RenderTable(pfkern::Machine& machine, double now_ms) {
+  pf::PacketFilter& core = machine.pf().core();
+  std::printf("=== pfstat %-8s t=%.3f ms strategy=%s ===\n", machine.name().c_str(), now_ms,
+              pf::ToString(core.strategy()).c_str());
+  std::printf(" port pri  accepts enqueued  dropped  errors  queue  hot-pc\n");
+  for (const pf::PortId id : core.Ports()) {
+    const pf::PortStats* stats = core.Stats(id);
+    if (stats == nullptr) {
+      continue;
+    }
+    const pf::ProgramProfile* profile = core.Profile(id);
+    char hot[16] = "-";
+    if (profile != nullptr && profile->HottestPc() >= 0) {
+      std::snprintf(hot, sizeof(hot), "%d", profile->HottestPc());
+    }
+    std::printf(" %4u %3u %8llu %8llu %8llu %7llu %6zu  %s\n", id, core.PortPriority(id),
+                (unsigned long long)stats->accepts, (unsigned long long)stats->enqueued,
+                (unsigned long long)stats->dropped, (unsigned long long)stats->filter_errors,
+                core.QueueLength(id), hot);
+  }
+  const pf::FilterGlobalStats& global = core.global_stats();
+  std::printf(" demux: in=%llu accepted=%llu unclaimed=%llu\n",
+              (unsigned long long)global.packets_in,
+              (unsigned long long)global.packets_accepted,
+              (unsigned long long)global.packets_unclaimed);
+  std::printf(" drops:");
+  for (size_t i = 0; i < pf::kDropReasonCount; ++i) {
+    std::printf(" %s=%llu", pf::ToString(static_cast<pf::DropReason>(i)).c_str(),
+                (unsigned long long)global.drops_by_reason[i]);
+  }
+  std::printf("\n");
+  const pfobs::Histogram* latency = machine.metrics().FindHistogram("pf.demux.latency");
+  if (latency != nullptr && latency->count() > 0) {
+    std::printf(" demux latency: n=%llu p50=%.1f us p99=%.1f us max=%.1f us\n",
+                (unsigned long long)latency->count(), latency->Percentile(0.50) / 1e3,
+                latency->Percentile(0.99) / 1e3, latency->max() / 1e3);
+  }
+  const pf::DropRecorder* recorder = machine.pf().FlightRecorder();
+  if (recorder != nullptr && recorder->size() > 0) {
+    const std::vector<pf::DropRecord> tail = recorder->Tail(4);
+    std::printf(" last %zu drops (of %llu recorded):\n", tail.size(),
+                (unsigned long long)recorder->total_recorded());
+    for (const pf::DropRecord& r : tail) {
+      std::printf("  t=%-12llu flow=%-6llu %-14s port=%-4u pc=%-3d %u bytes\n",
+                  (unsigned long long)r.timestamp_ns, (unsigned long long)r.flow_id,
+                  pf::ToString(r.reason).c_str(), r.port, r.pc, r.packet_bytes);
+    }
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  if (!ParseOptions(argc, argv, &options)) {
+    std::fprintf(stderr,
+                 "usage: pfstat [--once] [--interval-ms N] [--duration-ms N]\n"
+                 "              [--strategy checked|fast|tree|predecoded|indexed]\n"
+                 "              [--csv PATH] [--json PATH] [--flight-json PATH]\n");
+    return 2;
+  }
+
+  pfsim::Simulator sim;
+  pflink::EthernetSegment wire(&sim, pflink::LinkType::kExperimental3Mb);
+  pfkern::Machine sender(&sim, &wire, pflink::MacAddr::Experimental(1),
+                         pfkern::MicroVaxUltrixCosts(), "sender");
+  pfkern::Machine receiver(&sim, &wire, pflink::MacAddr::Experimental(2),
+                           pfkern::MicroVaxUltrixCosts(), "receiver");
+  receiver.pf().core().SetStrategy(options.strategy);
+  receiver.pf().core().SetProfiling(true);
+
+  const pfsim::Duration duration = pfsim::Milliseconds(options.duration_ms);
+  const pfsim::Duration interval = pfsim::Milliseconds(options.interval_ms);
+
+  // Three bound sockets. Socket 77's port gets a 2-packet queue and no
+  // reader: every accepted packet beyond the first two is a queue-overflow
+  // drop. Traffic also goes to unbound socket 99 (no-match) and arrives as
+  // truncated frames (short-packet).
+  pf::PortId overflow_port = pf::kInvalidPort;
+  auto receiver_setup = [&]() -> pfsim::Task {
+    const int pid = receiver.NewPid();
+    const pf::PortId port35 = co_await receiver.pf().Open(pid);
+    co_await receiver.pf().SetFilter(pid, port35, pfnet::MakePupSocketFilter(35, 10));
+    const pf::PortId port44 = co_await receiver.pf().Open(pid);
+    co_await receiver.pf().SetFilter(pid, port44, pfnet::MakePupSocketFilter(44, 8));
+    const pf::PortId port77 = co_await receiver.pf().Open(pid);
+    co_await receiver.pf().SetFilter(pid, port77, pfnet::MakePupSocketFilter(77, 6));
+    pfkern::PacketFilterDevice::PortOptions tiny;
+    tiny.queue_limit = 2;
+    co_await receiver.pf().Configure(pid, port77, tiny);
+    overflow_port = port77;
+
+    // Drain the two live sockets for the duration of the run.
+    for (const pf::PortId port : {port35, port44}) {
+      sim.Spawn([](pfkern::Machine& m, int reader_pid, pf::PortId p,
+                   pfsim::Duration total) -> pfsim::Task {
+        const auto deadline = m.sim()->Now() + total;
+        while (m.sim()->Now() < deadline) {
+          co_await m.pf().Read(reader_pid, p, pfsim::Milliseconds(5));
+        }
+      }(receiver, pid, port, duration));
+    }
+  };
+
+  auto sender_process = [&]() -> pfsim::Task {
+    const int pid = sender.NewPid();
+    co_await sim.Delay(pfsim::Milliseconds(1));  // let the receiver bind
+    const auto deadline = sim.Now() + duration;
+    std::vector<uint8_t> truncated = pftest::MakePupFrame(8, 35);
+    truncated.resize(8);  // valid link header, Pup layer cut off mid-word
+    while (sim.Now() < deadline) {
+      co_await sender.pf().Write(pid, pftest::MakePupFrame(8, 35));
+      co_await sender.pf().Write(pid, pftest::MakePupFrame(8, 44));
+      co_await sender.pf().Write(pid, pftest::MakePupFrame(8, 77));
+      co_await sender.pf().Write(pid, pftest::MakePupFrame(8, 99));  // unbound
+      co_await sender.pf().Write(pid, truncated);
+      co_await sim.Delay(pfsim::Milliseconds(2));
+    }
+  };
+
+  pfobs::MetricsSampler sampler(&receiver.metrics(), {"pf.*"});
+  auto stat_process = [&]() -> pfsim::Task {
+    const auto deadline = sim.Now() + duration + interval;
+    while (sim.Now() < deadline) {
+      co_await sim.Delay(interval);
+      sampler.Sample(sim.NowNanos());
+      if (!options.once) {
+        RenderTable(receiver, pfsim::ToMilliseconds(sim.Now().time_since_epoch()));
+      }
+    }
+  };
+
+  sim.Spawn(receiver_setup());
+  sim.Spawn(sender_process());
+  sim.Spawn(stat_process());
+  sim.Run();
+
+  // Final state (the only table under --once) plus the hottest filter's
+  // annotated disassembly, driven by the same profile the table reads.
+  RenderTable(receiver, pfsim::ToMilliseconds(sim.Now().time_since_epoch()));
+  if (overflow_port != pf::kInvalidPort) {
+    const std::string dump = receiver.pf().ProfileDump(overflow_port);
+    if (!dump.empty()) {
+      std::printf("overflowing port %u filter profile:\n%s\n", overflow_port, dump.c_str());
+    }
+  }
+
+  bool ok = true;
+  if (options.csv_path != nullptr) {
+    ok = WriteFile(options.csv_path, sampler.ToCsv()) && ok;
+  }
+  if (options.json_path != nullptr) {
+    ok = WriteFile(options.json_path, sampler.ToJson()) && ok;
+  }
+  if (options.flight_json_path != nullptr) {
+    const pf::DropRecorder* recorder = receiver.pf().FlightRecorder();
+    ok = recorder != nullptr &&
+         WriteFile(options.flight_json_path, recorder->ToJson()) && ok;
+  }
+  std::printf("sampled %zu rows x %zu columns over %.0f ms simulated\n", sampler.row_count(),
+              sampler.columns().size() + 1, pfsim::ToMilliseconds(sim.Now().time_since_epoch()));
+  return ok ? 0 : 1;
+}

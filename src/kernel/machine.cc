@@ -32,13 +32,23 @@ std::string Machine::SnapshotText() {
   ledger_.ExportTo(&metrics_);
   std::string out = "=== " + name_ + " ===\nledger:\n" + ledger_.Format() + "metrics:\n" +
                     metrics_.ToText();
+  const pf::DropRecorder* recorder = pf_device_->FlightRecorder();
+  if (recorder != nullptr && recorder->size() > 0) {
+    out += "recent drops (" + std::to_string(recorder->size()) + " of " +
+           std::to_string(recorder->total_recorded()) + "):\n" + recorder->ToText();
+  }
   return out;
 }
 
 std::string Machine::SnapshotJson() {
   ledger_.ExportTo(&metrics_);
   // Machine names are plain identifiers; no escaping needed.
-  return "{\"machine\":\"" + name_ + "\",\"metrics\":" + metrics_.ToJson() + "}";
+  std::string out = "{\"machine\":\"" + name_ + "\",\"metrics\":" + metrics_.ToJson();
+  const pf::DropRecorder* recorder = pf_device_->FlightRecorder();
+  if (recorder != nullptr) {
+    out += ",\"flight_recorder\":" + recorder->ToJson();
+  }
+  return out + "}";
 }
 
 pfsim::ValueTask<void> Machine::Run(int ctx, Cost category, pfsim::Duration work) {

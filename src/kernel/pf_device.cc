@@ -1,6 +1,7 @@
 #include "src/kernel/pf_device.h"
 
 #include "src/kernel/machine.h"
+#include "src/pf/disasm.h"
 
 namespace pfkern {
 
@@ -27,6 +28,12 @@ PacketFilterDevice::PacketFilterDevice(Machine* machine) : machine_(machine) {
         registry.histogram("pf.filter_eval." + pf::ToString(strategy));
   }
   flow_cache_hist_ = registry.histogram("pf.demux.cache.lookup");
+  demux_latency_hist_ = registry.histogram("pf.demux.latency");
+
+  // The kernel device always flies with its recorder on: losses are rare
+  // enough that a bounded ring of recent drops costs nothing measurable,
+  // and it is the only way to diagnose them after the fact.
+  filter_.SetFlightRecorder(kFlightRecorderDepth);
 }
 
 PacketFilterDevice::PortExtra* PacketFilterDevice::Extra(pf::PortId port) {
@@ -238,10 +245,28 @@ pfsim::ValueTask<pf::PortId> PacketFilterDevice::Select(int pid, std::vector<pf:
 
 pf::DeviceInfo PacketFilterDevice::GetDeviceInfo() const { return filter_.device_info(); }
 
+pfsim::ValueTask<void> PacketFilterDevice::SetProfiling(int pid, bool enabled) {
+  co_await machine_->Run(pid, Cost::kSyscall, machine_->costs().syscall);
+  filter_.SetProfiling(enabled);
+}
+
+const pf::ProgramProfile* PacketFilterDevice::Profile(pf::PortId port) const {
+  return filter_.Profile(port);
+}
+
+std::string PacketFilterDevice::ProfileDump(pf::PortId port) const {
+  const pf::ValidatedProgram* program = filter_.engine().Find(port);
+  const pf::ProgramProfile* profile = filter_.Profile(port);
+  if (program == nullptr || profile == nullptr) {
+    return std::string();
+  }
+  return pf::DisassembleAnnotated(*program, *profile, machine_->costs().filter_insn.count());
+}
+
 pfsim::ValueTask<void> PacketFilterDevice::HandlePacket(const std::vector<uint8_t>& frame_bytes,
                                                         uint64_t timestamp_ns, uint64_t flow_id) {
   pfobs::TraceSession* trace = machine_->trace();
-  const int64_t demux_start_ns = trace != nullptr ? machine_->sim()->NowNanos() : 0;
+  const int64_t demux_start_ns = machine_->sim()->NowNanos();
   pending_signals_.clear();
   const pf::DemuxResult result = filter_.Demux(frame_bytes, timestamp_ns, flow_id);
 
@@ -284,6 +309,7 @@ pfsim::ValueTask<void> PacketFilterDevice::HandlePacket(const std::vector<uint8_
   if (!charges.empty()) {
     co_await machine_->RunMulti(Machine::kInterruptContext, std::move(charges));
   }
+  demux_latency_hist_->Record(machine_->sim()->NowNanos() - demux_start_ns);
   if (trace != nullptr) {
     trace->Complete(machine_->trace_track(), "pf", "pf.demux", demux_start_ns,
                     machine_->sim()->NowNanos(),

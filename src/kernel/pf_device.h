@@ -82,6 +82,21 @@ class PacketFilterDevice {
   // §3.3 status information; free (a cheap ioctl, not on any hot path).
   pf::DeviceInfo GetDeviceInfo() const;
 
+  // --- Introspection ioctls (profiler + flight recorder, src/pf) ---
+  // Toggles per-filter profiling in the demux core (one syscall charge).
+  pfsim::ValueTask<void> SetProfiling(int pid, bool enabled);
+  // The collected per-pc profile of `port`'s filter, or nullptr. Free, like
+  // GetDeviceInfo: cheap status ioctls off the hot paths.
+  const pf::ProgramProfile* Profile(pf::PortId port) const;
+  // Annotated disassembly of `port`'s filter, cost-scaled by this machine's
+  // per-instruction filter cost. Empty when no filter or profile exists.
+  std::string ProfileDump(pf::PortId port) const;
+  // The demux flight recorder: the kernel device always keeps the last
+  // kFlightRecorderDepth drops (a simulated tcpdump for losses).
+  const pf::DropRecorder* FlightRecorder() const { return filter_.flight_recorder(); }
+
+  static constexpr size_t kFlightRecorderDepth = 64;
+
   // --- Kernel-side entry, interrupt context ---
   // `flow_id` (0 = untracked) is the frame's tracing flow id; it is stamped
   // onto delivered copies so Read() can close the flow (src/obs).
@@ -120,6 +135,9 @@ class PacketFilterDevice {
   // Samples the simulated flow-cache lookup cost per consulting packet;
   // reconciles exactly with the Ledger's kFlowCache charges.
   pfobs::Histogram* flow_cache_hist_ = nullptr;
+  // End-to-end simulated latency of HandlePacket (demux + charges) per
+  // frame — the "p99 demux latency" pfstat renders.
+  pfobs::Histogram* demux_latency_hist_ = nullptr;
 };
 
 }  // namespace pfkern

@@ -129,7 +129,24 @@ std::string NetworkMonitor::Summary() const {
                 (unsigned long long)counters.arp, (unsigned long long)counters.rarp,
                 (unsigned long long)counters.pup, (unsigned long long)counters.vmtp,
                 (unsigned long long)counters.other);
-  return buf;
+  std::string out = buf;
+  // The monitor sees accepted traffic; the demux core knows why the rest
+  // was lost. Fold its drop taxonomy into the summary when anything dropped.
+  const pf::DropCounts& reasons =
+      machine_->pf().core().global_stats().drops_by_reason;
+  if (pf::TotalDrops(reasons) > 0) {
+    out += "; pf drops:";
+    for (size_t i = 0; i < pf::kDropReasonCount; ++i) {
+      if (reasons[i] == 0) {
+        continue;
+      }
+      std::snprintf(buf, sizeof(buf), " %s=%llu",
+                    pf::ToString(static_cast<pf::DropReason>(i)).c_str(),
+                    (unsigned long long)reasons[i]);
+      out += buf;
+    }
+  }
+  return out;
 }
 
 std::string NetworkMonitor::DescribeFrame(pflink::LinkType link_type,

@@ -41,7 +41,11 @@ int64_t Histogram::Percentile(double p) const {
   for (size_t i = 0; i < buckets_.size(); ++i) {
     seen += buckets_[i];
     if (seen >= rank) {
-      return i < bounds_.size() ? bounds_[i] : max_;
+      // Clamp the bucket bound into the observed range: a sample can sit
+      // well below its bucket's upper bound (and the overflow bucket has
+      // none), but no sample is outside [min_, max_].
+      const int64_t bound = i < bounds_.size() ? bounds_[i] : max_;
+      return std::clamp(bound, min_, max_);
     }
   }
   return max_;

@@ -71,8 +71,16 @@ class Histogram {
     return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
   }
 
-  // Upper bound of the bucket containing the p-th percentile (p in [0,1]);
-  // the overflow bucket reports the exact maximum seen. 0 if empty.
+  // Bucket-resolution percentile estimate (p in [0,1], clamped): the upper
+  // bound of the bucket containing the p-th ranked sample, clamped to the
+  // exact [min(), max()] range seen. Documented edge cases (unit-tested in
+  // tests/obs_test.cc):
+  //   * empty histogram        -> 0
+  //   * single sample          -> that sample exactly, for every p
+  //   * all samples > bounds() -> max() exactly (the overflow bucket has no
+  //     upper bound of its own)
+  // The clamp keeps estimates inside the observed range — without it a
+  // lone sample of 5 in the (.., 10] bucket would report p50 = 10.
   int64_t Percentile(double p) const;
 
   const std::vector<int64_t>& bounds() const { return bounds_; }
@@ -107,6 +115,11 @@ class MetricsRegistry {
   const Counter* FindCounter(const std::string& name) const;
   const Gauge* FindGauge(const std::string& name) const;
   const Histogram* FindHistogram(const std::string& name) const;
+
+  // Enumeration for dump/sampling tooling (sampler.h, examples/pfstat).
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+  const std::map<std::string, Gauge>& gauges() const { return gauges_; }
+  const std::map<std::string, Histogram>& histograms() const { return histograms_; }
 
   size_t size() const { return counters_.size() + gauges_.size() + histograms_.size(); }
 

@@ -1,0 +1,124 @@
+#include "src/obs/sampler.h"
+
+#include <cstdio>
+
+namespace pfobs {
+
+MetricsSampler::MetricsSampler(const MetricsRegistry* registry,
+                               std::vector<std::string> selectors)
+    : registry_(registry), selectors_(std::move(selectors)) {}
+
+bool MetricsSampler::Selected(const std::string& name) const {
+  if (selectors_.empty()) {
+    return true;
+  }
+  for (const std::string& selector : selectors_) {
+    if (!selector.empty() && selector.back() == '*') {
+      if (name.compare(0, selector.size() - 1, selector, 0, selector.size() - 1) == 0) {
+        return true;
+      }
+    } else if (name == selector) {
+      return true;
+    }
+  }
+  return false;
+}
+
+size_t MetricsSampler::ColumnIndex(const std::string& name) {
+  const auto it = column_index_.find(name);
+  if (it != column_index_.end()) {
+    return it->second;
+  }
+  const size_t index = columns_.size();
+  columns_.push_back(name);
+  column_index_.emplace(name, index);
+  return index;
+}
+
+void MetricsSampler::Sample(int64_t t_ns) {
+  Row row;
+  row.t_ns = t_ns;
+  const auto set = [&row](size_t index, double value) {
+    if (row.values.size() <= index) {
+      row.values.resize(index + 1, 0.0);
+    }
+    row.values[index] = value;
+  };
+  for (const auto& [name, counter] : registry_->counters()) {
+    if (Selected(name)) {
+      set(ColumnIndex(name), static_cast<double>(counter.value()));
+    }
+  }
+  for (const auto& [name, gauge] : registry_->gauges()) {
+    if (Selected(name)) {
+      set(ColumnIndex(name), static_cast<double>(gauge.value()));
+    }
+  }
+  for (const auto& [name, histogram] : registry_->histograms()) {
+    if (Selected(name)) {
+      set(ColumnIndex(name + ".count"), static_cast<double>(histogram.count()));
+      set(ColumnIndex(name + ".p50"), static_cast<double>(histogram.Percentile(0.50)));
+      set(ColumnIndex(name + ".p99"), static_cast<double>(histogram.Percentile(0.99)));
+    }
+  }
+  rows_.push_back(std::move(row));
+}
+
+namespace {
+
+void AppendValue(std::string* out, double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.10g", value);
+  out->append(buf);
+}
+
+}  // namespace
+
+std::string MetricsSampler::ToCsv() const {
+  std::string out = "time_ns";
+  for (const std::string& column : columns_) {
+    out += ',';
+    out += column;
+  }
+  out += '\n';
+  for (const Row& row : rows_) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(row.t_ns));
+    out += buf;
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      out += ',';
+      AppendValue(&out, i < row.values.size() ? row.values[i] : 0.0);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string MetricsSampler::ToJson() const {
+  std::string out = "{\"columns\":[\"time_ns\"";
+  for (const std::string& column : columns_) {
+    out += ",\"";
+    out += column;  // metric names never contain characters needing escape
+    out += '"';
+  }
+  out += "],\"rows\":[";
+  bool first_row = true;
+  for (const Row& row : rows_) {
+    if (!first_row) {
+      out += ',';
+    }
+    first_row = false;
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "[%lld", static_cast<long long>(row.t_ns));
+    out += buf;
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      out += ',';
+      AppendValue(&out, i < row.values.size() ? row.values[i] : 0.0);
+    }
+    out += ']';
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace pfobs

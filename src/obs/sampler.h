@@ -1,0 +1,59 @@
+// Metric time series: periodically snapshots selected metrics out of a
+// MetricsRegistry so benches and tools (examples/pfstat) can export the
+// *evolution* of a run instead of only its end state.
+//
+// Like the rest of pfobs this is a passive container — no threads, no
+// clock. The caller (typically a simulated task) invokes Sample(now_ns) on
+// whatever period it wants; rows are kept in memory and exported as CSV or
+// JSON on demand. Metrics registered after sampling starts simply appear as
+// new columns (earlier rows export as 0 for them).
+#ifndef SRC_OBS_SAMPLER_H_
+#define SRC_OBS_SAMPLER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/obs/metrics.h"
+
+namespace pfobs {
+
+class MetricsSampler {
+ public:
+  // `selectors` picks the metrics to record: an exact name, or a prefix
+  // ending in '*' ("pf.drop.*"). An empty selector list selects everything.
+  // Counters and gauges contribute one column (their value); a histogram
+  // contributes three: "<name>.count", "<name>.p50", "<name>.p99".
+  MetricsSampler(const MetricsRegistry* registry, std::vector<std::string> selectors);
+
+  // Records one row stamped `t_ns` (simulated time, by convention).
+  void Sample(int64_t t_ns);
+
+  size_t row_count() const { return rows_.size(); }
+  const std::vector<std::string>& columns() const { return columns_; }
+
+  // "time_ns,<col>,..." header plus one line per sample.
+  std::string ToCsv() const;
+  // {"columns":["time_ns",...],"rows":[[t,v,...],...]}
+  std::string ToJson() const;
+
+ private:
+  struct Row {
+    int64_t t_ns = 0;
+    std::vector<double> values;  // aligned to columns_ at sample time
+  };
+
+  bool Selected(const std::string& name) const;
+  size_t ColumnIndex(const std::string& name);
+
+  const MetricsRegistry* registry_;
+  std::vector<std::string> selectors_;
+  std::vector<std::string> columns_;
+  std::map<std::string, size_t> column_index_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace pfobs
+
+#endif  // SRC_OBS_SAMPLER_H_

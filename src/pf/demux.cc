@@ -114,6 +114,22 @@ void PacketFilter::SetFlowCacheCapacity(size_t capacity) {
   InvalidateFlowCache();
 }
 
+void PacketFilter::SetProfiling(bool enabled) { engine_.SetProfiling(enabled); }
+
+void PacketFilter::SetFlightRecorder(size_t capacity) {
+  recorder_ = capacity == 0 ? nullptr : std::make_unique<DropRecorder>(capacity);
+}
+
+std::vector<PortId> PacketFilter::Ports() const {
+  std::vector<PortId> ids;
+  ids.reserve(ports_.size());
+  for (const auto& [id, port] : ports_) {
+    ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
 void PacketFilter::InvalidateFlowCache() {
   if (flow_cache_.empty()) {
     return;
@@ -139,6 +155,10 @@ void PacketFilter::AttachMetrics(pfobs::MetricsRegistry* registry) {
     metrics_.cache_hits = registry->counter("pf.demux.cache.hits");
     metrics_.cache_insertions = registry->counter("pf.demux.cache.insertions");
     metrics_.cache_invalidations = registry->counter("pf.demux.cache.invalidations");
+    for (size_t i = 0; i < kDropReasonCount; ++i) {
+      metrics_.drop_reasons[i] =
+          registry->counter("pf.drop." + ToSlug(static_cast<DropReason>(i)));
+    }
   }
   engine_.AttachMetrics(registry);
 }
@@ -166,6 +186,27 @@ void PacketFilter::RebuildOrder() {
   order_dirty_ = false;
 }
 
+void PacketFilter::CountDrop(PortState* port, DropReason reason, std::span<const uint8_t> packet,
+                             uint64_t timestamp_ns, uint64_t flow_id, int32_t pc) {
+  const size_t index = static_cast<size_t>(reason);
+  if (port != nullptr) {
+    ++port->stats.drops_by_reason[index];
+  }
+  ++global_stats_.drops_by_reason[index];
+  if (metrics_.drop_reasons[index] != nullptr) {
+    metrics_.drop_reasons[index]->Add();
+  }
+  if (recorder_ != nullptr) {
+    DropRecord record;
+    record.timestamp_ns = timestamp_ns;
+    record.flow_id = flow_id;
+    record.reason = reason;
+    record.port = port != nullptr ? port->id : 0;
+    record.pc = pc;
+    recorder_->RecordPacket(record, packet);
+  }
+}
+
 void PacketFilter::DeliverTo(PortState& port, std::span<const uint8_t> packet,
                              uint64_t timestamp_ns, uint64_t flow_id, DemuxResult* result) {
   ++port.stats.accepts;
@@ -173,7 +214,9 @@ void PacketFilter::DeliverTo(PortState& port, std::span<const uint8_t> packet,
     ++port.stats.dropped;
     ++port.lost_since_enqueue;
     ++result->drops;
+    CountDrop(&port, DropReason::kQueueOverflow, packet, timestamp_ns, flow_id, /*pc=*/-1);
     assert(port.stats.accepts == port.stats.enqueued + port.stats.dropped);
+    assert(port.stats.dropped == TotalDrops(port.stats.drops_by_reason));
     return;
   }
   ReceivedPacket rp;
@@ -212,6 +255,11 @@ DemuxResult PacketFilter::Demux(std::span<const uint8_t> packet, uint64_t timest
   }
 
   uint32_t filter_errors = 0;
+  // Drop classification inputs: what went wrong while testing filters, and
+  // where the first erroring filter stopped (the flight recorder's pc).
+  bool saw_short = false;
+  bool saw_other_error = false;
+  int32_t error_pc = -1;
 
   // Flow-cache fast path: if the engine's discriminating-word signature
   // fully determines every filter's verdict and we have seen this flow
@@ -238,6 +286,10 @@ DemuxResult PacketFilter::Demux(std::span<const uint8_t> packet, uint64_t timest
         if (verdict.status != ExecStatus::kOk) {
           ++port->stats.filter_errors;
           ++filter_errors;
+          (verdict.status == ExecStatus::kOutOfPacket ? saw_short : saw_other_error) = true;
+          if (error_pc < 0 && verdict.insns_executed > 0) {
+            error_pc = static_cast<int32_t>(verdict.insns_executed) - 1;
+          }
         }
         if (verdict.accept) {
           DeliverTo(*port, packet, timestamp_ns, flow_id, &result);
@@ -269,6 +321,10 @@ DemuxResult PacketFilter::Demux(std::span<const uint8_t> packet, uint64_t timest
       if (verdict.status != ExecStatus::kOk) {
         ++port->stats.filter_errors;
         ++filter_errors;
+        (verdict.status == ExecStatus::kOutOfPacket ? saw_short : saw_other_error) = true;
+        if (error_pc < 0 && verdict.insns_executed > 0) {
+          error_pc = static_cast<int32_t>(verdict.insns_executed) - 1;
+        }
       }
       if (!verdict.accept) {
         continue;
@@ -305,6 +361,26 @@ DemuxResult PacketFilter::Demux(std::span<const uint8_t> packet, uint64_t timest
     ++global_stats_.packets_accepted;
   } else {
     ++global_stats_.packets_unclaimed;
+    // Exactly one reason per unclaimed packet. Errors take precedence over
+    // short reads (both reject, but a run-time error is the sharper
+    // diagnosis), short reads over a clean no-match.
+    DropReason reason = DropReason::kNoMatch;
+    if (ordered_.empty()) {
+      reason = DropReason::kNoPorts;
+    } else if (saw_other_error) {
+      reason = DropReason::kFilterError;
+    } else if (saw_short) {
+      reason = DropReason::kShortPacket;
+    }
+    CountDrop(nullptr, reason, packet, timestamp_ns, flow_id,
+              reason == DropReason::kFilterError || reason == DropReason::kShortPacket
+                  ? error_pc
+                  : -1);
+    assert(global_stats_.packets_unclaimed ==
+           global_stats_.drops_by_reason[static_cast<size_t>(DropReason::kNoMatch)] +
+               global_stats_.drops_by_reason[static_cast<size_t>(DropReason::kNoPorts)] +
+               global_stats_.drops_by_reason[static_cast<size_t>(DropReason::kShortPacket)] +
+               global_stats_.drops_by_reason[static_cast<size_t>(DropReason::kFilterError)]);
   }
   if (metrics_.packets_in != nullptr) {
     metrics_.packets_in->Add();

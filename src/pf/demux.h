@@ -29,6 +29,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/pf/drop.h"
 #include "src/pf/engine.h"
 #include "src/pf/program.h"
 #include "src/pf/validate.h"
@@ -64,6 +65,10 @@ struct PortStats {
   // covered in demux_test.cc).
   uint64_t accepts = 0;
   uint64_t filter_errors = 0;  // interpreter errors while testing packets
+  // Per-reason decomposition of this port's losses. For a port the only
+  // applicable reason today is kQueueOverflow, so
+  // `dropped == TotalDrops(drops_by_reason)` (asserted in demux.cc).
+  DropCounts drops_by_reason{};
 };
 
 struct DemuxResult {
@@ -89,6 +94,13 @@ struct FilterGlobalStats {
   uint64_t packets_accepted = 0;
   uint64_t packets_unclaimed = 0;  // rejected by every filter (fig. 4-1 Drop)
   ExecTelemetry exec;              // accumulated engine telemetry
+  // Every non-delivered packet (and every non-delivered copy) accounted to
+  // exactly one reason: the whole-packet reasons decompose
+  // `packets_unclaimed`, kQueueOverflow counts dropped copies. Invariants
+  // (asserted in demux.cc, property-tested in demux_test.cc):
+  //   packets_unclaimed == sum of the non-overflow reasons
+  //   sum of per-port dropped == drops_by_reason[kQueueOverflow]
+  DropCounts drops_by_reason{};
 };
 
 class PacketFilter {
@@ -133,6 +145,24 @@ class PacketFilter {
   void set_device_info(const DeviceInfo& info) { info_ = info; }
   // Priority of the port's current filter (0 if none).
   uint8_t PortPriority(PortId id) const;
+  // Every open port id, ascending (for dump tooling like examples/pfstat).
+  std::vector<PortId> Ports() const;
+
+  // --- Filter-program profiling (engine.h / profile.h) ---
+  // Opt-in per-pc profiles for every bound filter; zero-overhead (one
+  // branch per filter test) when off. See Engine::SetProfiling.
+  void SetProfiling(bool enabled);
+  bool profiling() const { return engine_.profiling(); }
+  // The profile for the filter bound at `id`, or nullptr.
+  const ProgramProfile* Profile(PortId id) const { return engine_.Profile(id); }
+
+  // --- Drop-reason flight recorder (drop.h) ---
+  // Keeps the last `capacity` DropRecords (0 — the default — disables it;
+  // the drop path then only pays a null check). Re-enabling with a new
+  // capacity clears previous records.
+  void SetFlightRecorder(size_t capacity);
+  // The recorder, or nullptr when disabled.
+  const DropRecorder* flight_recorder() const { return recorder_.get(); }
 
   // --- Execution strategy (benchmarked in bench/micro_*) ---
   void SetStrategy(Strategy strategy);
@@ -194,6 +224,8 @@ class PacketFilter {
   void InvalidateFlowCache();
   void DeliverTo(PortState& port, std::span<const uint8_t> packet, uint64_t timestamp_ns,
                  uint64_t flow_id, DemuxResult* result);
+  void CountDrop(PortState* port, DropReason reason, std::span<const uint8_t> packet,
+                 uint64_t timestamp_ns, uint64_t flow_id, int32_t pc);
 
   DeviceInfo info_;
   Engine engine_;
@@ -211,6 +243,9 @@ class PacketFilter {
   size_t flow_cache_capacity_ = kDefaultFlowCacheCapacity;
   FlowCacheStats flow_cache_stats_;
 
+  // Flight recorder (null = disabled, the default).
+  std::unique_ptr<DropRecorder> recorder_;
+
   struct DemuxMetrics {
     pfobs::Counter* packets_in = nullptr;
     pfobs::Counter* accepted = nullptr;
@@ -222,6 +257,8 @@ class PacketFilter {
     pfobs::Counter* cache_hits = nullptr;
     pfobs::Counter* cache_insertions = nullptr;
     pfobs::Counter* cache_invalidations = nullptr;
+    // "pf.drop.<reason>", indexed by DropReason.
+    pfobs::Counter* drop_reasons[kDropReasonCount] = {};
   };
   DemuxMetrics metrics_;
 };

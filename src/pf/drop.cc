@@ -1,0 +1,122 @@
+#include "src/pf/drop.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/util/byte_order.h"
+
+namespace pf {
+
+std::string ToString(DropReason reason) {
+  switch (reason) {
+    case DropReason::kNoMatch:
+      return "no-match";
+    case DropReason::kNoPorts:
+      return "no-ports";
+    case DropReason::kShortPacket:
+      return "short-packet";
+    case DropReason::kFilterError:
+      return "filter-error";
+    case DropReason::kQueueOverflow:
+      return "queue-overflow";
+    case DropReason::kCount:
+      break;
+  }
+  return "unknown";
+}
+
+std::string ToSlug(DropReason reason) {
+  std::string slug = ToString(reason);
+  for (char& c : slug) {
+    if (c == '-') {
+      c = '_';
+    }
+  }
+  return slug;
+}
+
+DropRecorder::DropRecorder(size_t capacity) : capacity_(capacity) {}
+
+void DropRecorder::Record(DropRecord record) {
+  ++total_;
+  if (capacity_ == 0) {
+    return;
+  }
+  if (ring_.size() >= capacity_) {
+    ring_.pop_front();
+  }
+  ring_.push_back(record);
+}
+
+void DropRecorder::RecordPacket(DropRecord record, std::span<const uint8_t> packet) {
+  record.packet_bytes = static_cast<uint32_t>(packet.size());
+  record.head_word_count = 0;
+  for (size_t w = 0; w < record.head_words.size(); ++w) {
+    uint16_t value = 0;
+    if (!pfutil::LoadPacketWord(packet, w, &value)) {
+      break;
+    }
+    record.head_words[w] = value;
+    ++record.head_word_count;
+  }
+  Record(record);
+}
+
+std::vector<DropRecord> DropRecorder::Tail(size_t max) const {
+  const size_t n = std::min(max, ring_.size());
+  return std::vector<DropRecord>(ring_.end() - static_cast<ptrdiff_t>(n), ring_.end());
+}
+
+std::string DropRecorder::ToText() const {
+  std::string out;
+  char line[192];
+  for (const DropRecord& r : ring_) {
+    std::snprintf(line, sizeof(line), "  t=%-12llu flow=%-6llu %-14s port=%-4u pc=%-3d %u bytes [",
+                  static_cast<unsigned long long>(r.timestamp_ns),
+                  static_cast<unsigned long long>(r.flow_id), ToString(r.reason).c_str(), r.port,
+                  r.pc, r.packet_bytes);
+    out += line;
+    for (uint8_t w = 0; w < r.head_word_count; ++w) {
+      std::snprintf(line, sizeof(line), "%s%04x", w == 0 ? "" : " ", r.head_words[w]);
+      out += line;
+    }
+    out += "]\n";
+  }
+  return out;
+}
+
+std::string DropRecorder::ToJson() const {
+  std::string out;
+  char buf[192];
+  std::snprintf(buf, sizeof(buf), "{\"capacity\":%zu,\"total_recorded\":%llu,\"records\":[",
+                capacity_, static_cast<unsigned long long>(total_));
+  out = buf;
+  bool first = true;
+  for (const DropRecord& r : ring_) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    std::snprintf(buf, sizeof(buf),
+                  "{\"timestamp_ns\":%llu,\"flow_id\":%llu,\"reason\":\"%s\","
+                  "\"port\":%u,\"pc\":%d,\"packet_bytes\":%u,\"head_words\":[",
+                  static_cast<unsigned long long>(r.timestamp_ns),
+                  static_cast<unsigned long long>(r.flow_id), ToString(r.reason).c_str(), r.port,
+                  r.pc, r.packet_bytes);
+    out += buf;
+    for (uint8_t w = 0; w < r.head_word_count; ++w) {
+      std::snprintf(buf, sizeof(buf), "%s%u", w == 0 ? "" : ",", r.head_words[w]);
+      out += buf;
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+void DropRecorder::Clear() {
+  ring_.clear();
+  total_ = 0;
+}
+
+}  // namespace pf

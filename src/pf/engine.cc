@@ -205,9 +205,13 @@ void Engine::set_strategy(Strategy strategy) {
 }
 
 void Engine::Bind(Key key, ValidatedProgram program) {
-  Binding binding{std::move(program), {}, std::nullopt, false};
+  Binding binding{std::move(program), {}, std::nullopt, false, nullptr};
   binding.decoded = Predecode(binding.program);
   binding.conjunction = ExtractConjunction(binding.program.program());
+  if (profiling_) {
+    binding.profile = std::make_unique<ProgramProfile>();
+    binding.profile->pc.resize(binding.decoded.size());
+  }
   filters_.insert_or_assign(key, std::move(binding));
   tree_dirty_ = true;
   index_dirty_ = true;
@@ -242,6 +246,50 @@ const ValidatedProgram* Engine::Find(Key key) const {
 const Engine::Binding* Engine::FindBinding(Key key) const {
   const auto it = filters_.find(key);
   return it == filters_.end() ? nullptr : &it->second;
+}
+
+void Engine::SetProfiling(bool enabled) {
+  profiling_ = enabled;
+  if (!enabled) {
+    return;  // keep collected profiles readable after disabling
+  }
+  for (auto& [key, binding] : filters_) {
+    if (binding.profile == nullptr) {
+      binding.profile = std::make_unique<ProgramProfile>();
+      binding.profile->pc.resize(binding.decoded.size());
+    }
+  }
+}
+
+const ProgramProfile* Engine::Profile(Key key) const {
+  const Binding* binding = FindBinding(key);
+  return binding == nullptr ? nullptr : binding->profile.get();
+}
+
+ProfileTotals Engine::profile_totals() const {
+  ProfileTotals totals;
+  totals.tree_probes = profiled_tree_probes_;
+  totals.index_probes = profiled_index_probes_;
+  for (const auto& [key, binding] : filters_) {
+    if (binding.profile == nullptr) {
+      continue;
+    }
+    totals.passes += binding.profile->passes;
+    totals.runs += binding.profile->runs;
+    totals.hit_insns += binding.profile->hit_insns();
+    totals.charged_insns += binding.profile->charged_insns();
+  }
+  return totals;
+}
+
+void Engine::ResetProfiles() {
+  profiled_tree_probes_ = 0;
+  profiled_index_probes_ = 0;
+  for (auto& [key, binding] : filters_) {
+    if (binding.profile != nullptr) {
+      binding.profile->Reset();
+    }
+  }
 }
 
 void Engine::RebuildIndex() {
@@ -386,6 +434,9 @@ Engine::MatchPass Engine::Match(std::span<const uint8_t> packet) {
     match_buffer_.clear();
     tree_.Match(packet, &match_buffer_, &pass.telemetry_.tree_probes);
     pass.tree_matches_ = &match_buffer_;
+    if (profiling_) {
+      profiled_tree_probes_ += pass.telemetry_.tree_probes;
+    }
   }
   if (index_in_use()) {
     pass.index_active_ = true;
@@ -404,6 +455,9 @@ Engine::MatchPass Engine::Match(std::span<const uint8_t> packet) {
       }
       const auto it = index_buckets_.find(signature);
       pass.index_candidates_ = it == index_buckets_.end() ? nullptr : &it->second;
+      if (profiling_) {
+        profiled_index_probes_ += pass.telemetry_.index_probes;
+      }
     }
   }
   return pass;
@@ -420,6 +474,11 @@ Verdict Engine::MatchPass::Test(Key key, const Binding* binding) {
     Verdict verdict;
     verdict.accept = std::find(tree_matches_->begin(), tree_matches_->end(), key) !=
                      tree_matches_->end();
+    if (engine_->profiling_ && binding->profile != nullptr) {
+      // Replay (uncharged) so per-pc hit counts match a sequential run.
+      binding->profile->RecordExec(InterpretPredecoded(binding->decoded, packet_),
+                                   /*charged=*/false);
+    }
     return verdict;
   }
   if (index_active_ && binding->indexed && !index_seq_fallback_) {
@@ -430,6 +489,10 @@ Verdict Engine::MatchPass::Test(Key key, const Binding* binding) {
     if (!candidate) {
       // Some discriminating test mismatched, and the packet is long enough
       // that the program itself would have rejected cleanly: exact prune.
+      if (engine_->profiling_ && binding->profile != nullptr) {
+        binding->profile->RecordExec(InterpretPredecoded(binding->decoded, packet_),
+                                     /*charged=*/false);
+      }
       return Verdict{};
     }
     // Bucket hit: fall through and re-confirm with the filter itself.
@@ -451,7 +514,10 @@ Verdict Engine::MatchPass::Test(Key key, const Binding* binding) {
       break;
   }
   telemetry_.insns_executed += exec.insns_executed;
-  return Verdict{exec.accept, exec.status, exec.short_circuited};
+  if (engine_->profiling_ && binding->profile != nullptr) {
+    binding->profile->RecordExec(exec, /*charged=*/true);
+  }
+  return Verdict{exec.accept, exec.status, exec.short_circuited, exec.insns_executed};
 }
 
 Verdict Engine::RunOne(Key key, std::span<const uint8_t> packet, ExecTelemetry* telemetry) {

@@ -44,6 +44,7 @@
 #define SRC_PF_ENGINE_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
@@ -53,6 +54,7 @@
 #include "src/obs/metrics.h"
 #include "src/pf/decision_tree.h"
 #include "src/pf/interpreter.h"
+#include "src/pf/profile.h"
 #include "src/pf/program.h"
 #include "src/pf/validate.h"
 
@@ -94,11 +96,16 @@ struct ExecTelemetry {
 };
 
 // One filter's answer for one packet. Errors reject (§4) and are surfaced in
-// `status` so hosts can count them per port.
+// `status` so hosts can count them per port. `insns_executed` is how many
+// instructions *this* filter ran (0 when the verdict came from the decision
+// tree or an index prune); since execution is straight-line, the erroring
+// instruction of a non-kOk verdict is pc insns_executed - 1 — the flight
+// recorder's "rejecting pc".
 struct Verdict {
   bool accept = false;
   ExecStatus status = ExecStatus::kOk;
   bool short_circuited = false;
+  uint32_t insns_executed = 0;
 };
 
 // One pre-decoded instruction. The operand is resolved at Bind() time:
@@ -132,6 +139,10 @@ class Engine {
     std::vector<PredecodedInsn> decoded;
     std::optional<std::vector<FieldTest>> conjunction;
     bool indexed = false;  // dispatched through the hash index (kIndexed)
+    // Allocated by SetProfiling(true) / Bind() while profiling; updated by
+    // the (const) MatchPass, hence mutable. Null whenever profiling has
+    // never been on for this binding.
+    mutable std::unique_ptr<ProgramProfile> profile;
   };
 
   explicit Engine(Strategy strategy = Strategy::kFast) : strategy_(strategy) {}
@@ -188,6 +199,24 @@ class Engine {
   // to load every discriminating word.
   std::optional<uint64_t> IndexSignature(std::span<const uint8_t> packet);
 
+  // --- Filter-program profiling (src/pf/profile.h) ---
+  // Opt-in per-binding profiles: per-pc hit counts, exit pcs, and charged
+  // (ledger-reconcilable) instruction counts. When a strategy answers a
+  // filter without running it (kTree's walk, kIndexed's prune), the pass
+  // replays the pre-decoded program once — uncharged — so per-pc *hit*
+  // counts are identical across every strategy. Off (the default) the cost
+  // is a single branch per filter test.
+  void SetProfiling(bool enabled);
+  bool profiling() const { return profiling_; }
+  // The profile collected for `key`, or nullptr (not bound, or profiling
+  // was never enabled for it). Same lifetime rules as FindBinding().
+  const ProgramProfile* Profile(Key key) const;
+  // Sum over every binding's profile plus the probe work done while
+  // profiling was on (the kFilterEval reconciliation inputs).
+  ProfileTotals profile_totals() const;
+  // Zeroes every profile and the probe totals; keeps profiling enabled.
+  void ResetProfiles();
+
   // One packet's evaluation pass over the bound set. Test() is lazy for the
   // sequential strategies; the kTree constructor front-loads the single
   // walk that yields every conjunction filter's verdict. At most one pass
@@ -243,6 +272,11 @@ class Engine {
   };
 
   Strategy strategy_;
+  bool profiling_ = false;
+  // Probe work performed while profiling (accumulated by Match); the
+  // per-binding instruction counts live in Binding::profile.
+  uint64_t profiled_tree_probes_ = 0;
+  uint64_t profiled_index_probes_ = 0;
   pfobs::MetricsRegistry* metrics_registry_ = nullptr;
   StrategyMetrics strategy_metrics_[kStrategyCount];
   std::unordered_map<Key, Binding> filters_;

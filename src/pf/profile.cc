@@ -1,0 +1,77 @@
+#include "src/pf/profile.h"
+
+#include <algorithm>
+
+namespace pf {
+
+void ProgramProfile::RecordExec(const ExecResult& exec, bool charged) {
+  ++passes;
+  if (charged) {
+    ++runs;
+  }
+  // No branches: the executed pcs are exactly [0, insns_executed).
+  const size_t executed = std::min<size_t>(exec.insns_executed, pc.size());
+  for (size_t i = 0; i < executed; ++i) {
+    ++pc[i].hits;
+    if (charged) {
+      ++pc[i].charged;
+    }
+  }
+  if (exec.status != ExecStatus::kOk) {
+    ++errors;
+    if (executed > 0) {
+      ++pc[executed - 1].reject_exits;  // errors reject (§4)
+    }
+  } else if (exec.accept) {
+    ++accepts;
+    if (executed > 0) {
+      ++pc[executed - 1].accept_exits;
+    }
+  } else {
+    ++rejects;
+    if (executed > 0) {
+      ++pc[executed - 1].reject_exits;
+    }
+  }
+}
+
+uint64_t ProgramProfile::hit_insns() const {
+  uint64_t total = 0;
+  for (const PcProfile& slot : pc) {
+    total += slot.hits;
+  }
+  return total;
+}
+
+uint64_t ProgramProfile::charged_insns() const {
+  uint64_t total = 0;
+  for (const PcProfile& slot : pc) {
+    total += slot.charged;
+  }
+  return total;
+}
+
+int ProgramProfile::HottestPc() const {
+  int hottest = -1;
+  uint64_t best = 0;
+  for (size_t i = 0; i < pc.size(); ++i) {
+    if (pc[i].hits > best) {
+      best = pc[i].hits;
+      hottest = static_cast<int>(i);
+    }
+  }
+  return hottest;
+}
+
+void ProgramProfile::Reset() {
+  for (PcProfile& slot : pc) {
+    slot = PcProfile{};
+  }
+  passes = 0;
+  runs = 0;
+  accepts = 0;
+  rejects = 0;
+  errors = 0;
+}
+
+}  // namespace pf

@@ -462,4 +462,193 @@ TEST(DemuxTest, DeviceInfoRoundTrips) {
   EXPECT_EQ(filter.device_info().addr_len, 6);
 }
 
+// ------------------------------------------------- drop-reason taxonomy
+
+// A frame whose link header parses but whose Pup words are cut off: every
+// socket filter faults with kOutOfPacket on it.
+std::vector<uint8_t> TruncatedFrame() {
+  std::vector<uint8_t> frame = pftest::MakePupFrame(8, 35);
+  frame.resize(8);
+  return frame;
+}
+
+// A filter that divides by the dst-socket low word: socket 0 traffic makes
+// it fail with kDivideByZero (the kFilterError reason).
+Program DividingFilter(uint8_t priority) {
+  FilterBuilder b(pf::LangVersion::kV2);  // DIV is a v2 extension op
+  b.PushOne().PushWord(pfproto::kWordDstSocketLow).Op(BinaryOp::kDiv);
+  return b.Build(priority);
+}
+
+TEST(DropReasonTest, EachReasonCountedOnce) {
+  PacketFilter filter;
+  const PortId p35 = filter.OpenPort();
+  ASSERT_TRUE(filter.SetFilter(p35, SocketFilter(35, 10)).ok);
+  filter.SetQueueLimit(p35, 1);
+
+  filter.Demux(pftest::MakePupFrame(8, 35));  // delivered
+  filter.Demux(pftest::MakePupFrame(8, 35));  // accepted, queue full -> overflow
+  filter.Demux(pftest::MakePupFrame(8, 99));  // rejected everywhere -> no-match
+  filter.Demux(TruncatedFrame());             // faulted everywhere -> short-packet
+
+  const pf::FilterGlobalStats& global = filter.global_stats();
+  using R = pf::DropReason;
+  EXPECT_EQ(global.drops_by_reason[static_cast<size_t>(R::kQueueOverflow)], 1u);
+  EXPECT_EQ(global.drops_by_reason[static_cast<size_t>(R::kNoMatch)], 1u);
+  EXPECT_EQ(global.drops_by_reason[static_cast<size_t>(R::kShortPacket)], 1u);
+  EXPECT_EQ(global.drops_by_reason[static_cast<size_t>(R::kFilterError)], 0u);
+  EXPECT_EQ(global.drops_by_reason[static_cast<size_t>(R::kNoPorts)], 0u);
+
+  const pf::PortStats* stats = filter.Stats(p35);
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->dropped, pf::TotalDrops(stats->drops_by_reason));
+  EXPECT_EQ(stats->drops_by_reason[static_cast<size_t>(R::kQueueOverflow)], 1u);
+}
+
+TEST(DropReasonTest, NoPortsAndFilterErrorReasons) {
+  PacketFilter filter;
+  filter.Demux(pftest::MakePupFrame(8, 35));  // nothing bound at all
+  using R = pf::DropReason;
+  EXPECT_EQ(filter.global_stats().drops_by_reason[static_cast<size_t>(R::kNoPorts)], 1u);
+
+  const PortId port = filter.OpenPort();
+  ASSERT_TRUE(filter.SetFilter(port, DividingFilter(10)).ok);
+  filter.Demux(pftest::MakePupFrame(8, 0));  // divide by zero -> filter-error
+  EXPECT_EQ(filter.global_stats().drops_by_reason[static_cast<size_t>(R::kFilterError)], 1u);
+  // Errors outrank short reads in classification only when one occurred;
+  // the error run is also counted per port.
+  EXPECT_EQ(filter.Stats(port)->filter_errors, 1u);
+}
+
+// Property test (the PR's accounting bar): over a randomized mixed stream,
+// every packet is either enqueued somewhere or accounted to exactly one
+// whole-packet drop reason, and every lost copy to kQueueOverflow:
+//   packets_in == sum(enqueued) + sum(drops_by_reason)       (single-claim)
+//   packets_unclaimed == no_match + no_ports + short + error
+//   sum(per-port dropped) == drops_by_reason[kQueueOverflow]
+// The legacy aggregate counters must agree with the new per-reason ones.
+TEST(DropReasonTest, ReasonsDecomposeAllLosses) {
+  PacketFilter filter;
+  std::vector<PortId> ports;
+  for (uint32_t socket = 1; socket <= 6; ++socket) {
+    const PortId port = filter.OpenPort();
+    ASSERT_TRUE(filter.SetFilter(port, SocketFilter(socket, 10)).ok);
+    filter.SetQueueLimit(port, socket % 2 == 0 ? 1 : 4);
+    ports.push_back(port);
+  }
+
+  uint32_t seed = 12345;
+  const auto next = [&seed]() {
+    seed = seed * 1664525u + 1013904223u;
+    return seed >> 16;
+  };
+  for (int i = 0; i < 400; ++i) {
+    switch (next() % 4) {
+      case 0:
+      case 1:
+        filter.Demux(pftest::MakePupFrame(8, next() % 8 + 1));  // some unbound
+        break;
+      case 2:
+        filter.Demux(pftest::MakePupFrame(8, 999));
+        break;
+      case 3:
+        filter.Demux(TruncatedFrame());
+        break;
+    }
+    if (next() % 8 == 0) {  // occasional reader keeps queues churning
+      filter.Pop(ports[next() % ports.size()]);
+    }
+  }
+
+  const pf::FilterGlobalStats& global = filter.global_stats();
+  using R = pf::DropReason;
+  const auto reason = [&global](R r) {
+    return global.drops_by_reason[static_cast<size_t>(r)];
+  };
+
+  uint64_t enqueued = 0;
+  uint64_t dropped = 0;
+  uint64_t accepts = 0;
+  for (const PortId port : ports) {
+    const pf::PortStats* stats = filter.Stats(port);
+    enqueued += stats->enqueued;
+    dropped += stats->dropped;
+    accepts += stats->accepts;
+    EXPECT_EQ(stats->accepts, stats->enqueued + stats->dropped);
+    EXPECT_EQ(stats->dropped, pf::TotalDrops(stats->drops_by_reason));
+  }
+  EXPECT_EQ(global.packets_in, global.packets_accepted + global.packets_unclaimed);
+  EXPECT_EQ(global.packets_unclaimed, reason(R::kNoMatch) + reason(R::kNoPorts) +
+                                          reason(R::kShortPacket) + reason(R::kFilterError));
+  EXPECT_EQ(dropped, reason(R::kQueueOverflow));
+  // Single-claim filters: accepted packets == accepted copies, so the
+  // machine-wide identity holds packet-for-packet.
+  EXPECT_EQ(global.packets_accepted, accepts);
+  EXPECT_EQ(global.packets_in, enqueued + pf::TotalDrops(global.drops_by_reason));
+  EXPECT_GT(reason(R::kQueueOverflow), 0u);
+  EXPECT_GT(reason(R::kNoMatch), 0u);
+  EXPECT_GT(reason(R::kShortPacket), 0u);
+}
+
+// ---------------------------------------------------- flight recorder
+
+TEST(FlightRecorderTest, BoundedWithCorrectReasons) {
+  PacketFilter filter;
+  filter.SetFlightRecorder(4);
+  const PortId port = filter.OpenPort();
+  ASSERT_TRUE(filter.SetFilter(port, SocketFilter(35, 10)).ok);
+  filter.SetQueueLimit(port, 1);
+
+  for (int i = 0; i < 10; ++i) {
+    filter.Demux(pftest::MakePupFrame(8, 99), /*timestamp_ns=*/100 + i, /*flow_id=*/i);
+  }
+  filter.Demux(pftest::MakePupFrame(8, 35), 200, 50);  // delivered, not recorded
+  filter.Demux(pftest::MakePupFrame(8, 35), 201, 51);  // overflow
+  filter.Demux(TruncatedFrame(), 202, 52);             // short packet
+
+  const pf::DropRecorder* recorder = filter.flight_recorder();
+  ASSERT_NE(recorder, nullptr);
+  EXPECT_EQ(recorder->capacity(), 4u);
+  EXPECT_EQ(recorder->size(), 4u);  // bounded: only the newest 4 retained
+  EXPECT_EQ(recorder->total_recorded(), 12u);
+
+  const auto tail = recorder->Tail();
+  ASSERT_EQ(tail.size(), 4u);
+  // Oldest-to-newest: the two newest no-match drops, then overflow, short.
+  EXPECT_EQ(tail[0].reason, pf::DropReason::kNoMatch);
+  EXPECT_EQ(tail[1].reason, pf::DropReason::kNoMatch);
+  EXPECT_EQ(tail[2].reason, pf::DropReason::kQueueOverflow);
+  EXPECT_EQ(tail[2].port, port);
+  EXPECT_EQ(tail[2].flow_id, 51u);
+  EXPECT_EQ(tail[2].timestamp_ns, 201u);
+  EXPECT_EQ(tail[2].pc, -1);  // no filter erred
+  EXPECT_EQ(tail[3].reason, pf::DropReason::kShortPacket);
+  EXPECT_GE(tail[3].pc, 0);  // where the faulting filter stopped
+  EXPECT_EQ(tail[3].packet_bytes, 8u);
+  EXPECT_EQ(tail[3].head_word_count, 4);
+
+  const std::string text = recorder->ToText();
+  EXPECT_NE(text.find("short-packet"), std::string::npos);
+  EXPECT_NE(text.find("queue-overflow"), std::string::npos);
+  const std::string json = recorder->ToJson();
+  EXPECT_NE(json.find("\"total_recorded\":12"), std::string::npos);
+  EXPECT_NE(json.find("\"reason\":\"queue-overflow\""), std::string::npos);
+}
+
+TEST(FlightRecorderTest, DisabledByDefaultAndClearable) {
+  PacketFilter filter;
+  EXPECT_EQ(filter.flight_recorder(), nullptr);  // off: drop path is a null check
+  filter.Demux(pftest::MakePupFrame(8, 35));     // drops, nothing recorded
+
+  filter.SetFlightRecorder(2);
+  filter.Demux(pftest::MakePupFrame(8, 35));
+  ASSERT_NE(filter.flight_recorder(), nullptr);
+  EXPECT_EQ(filter.flight_recorder()->size(), 1u);
+
+  filter.SetFlightRecorder(8);  // re-enabling clears previous records
+  EXPECT_EQ(filter.flight_recorder()->size(), 0u);
+  filter.SetFlightRecorder(0);
+  EXPECT_EQ(filter.flight_recorder(), nullptr);
+}
+
 }  // namespace

@@ -13,6 +13,7 @@
 #include "src/kernel/pf_device.h"
 #include "src/net/vmtp.h"
 #include "src/obs/metrics.h"
+#include "src/obs/sampler.h"
 #include "src/obs/trace.h"
 #include "src/pf/builder.h"
 
@@ -106,6 +107,101 @@ TEST(MetricsTest, DumpFormats) {
   EXPECT_NE(json.find("\"pf.demux.packets_in\":3"), std::string::npos);
   EXPECT_NE(json.find("\"queue.depth\":-2"), std::string::npos);
   EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+}
+
+// Percentile edge cases (documented in metrics.h): an empty histogram
+// reports 0 for every quantile; with data the result is clamped to the
+// observed [min, max], so a single sample answers *itself* for every
+// quantile and an all-overflow histogram answers its exact max rather
+// than a bucket bound.
+TEST(MetricsTest, PercentileEdgeCases) {
+  pfobs::Histogram empty({10, 100});
+  EXPECT_EQ(empty.Percentile(0.0), 0);
+  EXPECT_EQ(empty.Percentile(0.99), 0);
+  EXPECT_EQ(empty.Percentile(1.0), 0);
+
+  pfobs::Histogram one({10, 100});
+  one.Record(7);
+  EXPECT_EQ(one.Percentile(0.0), 7);
+  EXPECT_EQ(one.Percentile(0.5), 7);  // bucket bound 10 clamped down to max=7
+  EXPECT_EQ(one.Percentile(0.99), 7);
+  EXPECT_EQ(one.Percentile(1.0), 7);
+
+  pfobs::Histogram overflow({10});
+  overflow.Record(5000);
+  overflow.Record(9000);
+  EXPECT_EQ(overflow.Percentile(0.5), 9000);  // overflow bucket: exact max
+  EXPECT_EQ(overflow.Percentile(1.0), 9000);
+
+  // Low quantiles never report below the observed minimum.
+  pfobs::Histogram spread({10, 100, 1000});
+  spread.Record(50);
+  spread.Record(500);
+  EXPECT_GE(spread.Percentile(0.0), 50);
+  EXPECT_LE(spread.Percentile(1.0), 500);
+}
+
+// ----------------------------------------------------------------- sampler
+
+TEST(SamplerTest, SelectorsColumnsAndCsv) {
+  pfobs::MetricsRegistry registry;
+  registry.counter("pf.drop.no_match")->Add(3);
+  registry.counter("pf.demux.packets_in")->Add(10);
+  registry.counter("nic.frames_out")->Add(99);  // not selected
+  registry.histogram("pf.demux.latency")->Record(2000);
+
+  pfobs::MetricsSampler sampler(&registry, {"pf.*"});
+  sampler.Sample(1000);
+  registry.counter("pf.drop.no_match")->Add(2);
+  sampler.Sample(2000);
+
+  EXPECT_EQ(sampler.row_count(), 2u);
+  const auto& columns = sampler.columns();
+  const auto has = [&columns](const std::string& name) {
+    return std::find(columns.begin(), columns.end(), name) != columns.end();
+  };
+  EXPECT_TRUE(has("pf.drop.no_match"));
+  EXPECT_TRUE(has("pf.demux.packets_in"));
+  EXPECT_FALSE(has("nic.frames_out"));
+  // A histogram expands to three derived columns.
+  EXPECT_TRUE(has("pf.demux.latency.count"));
+  EXPECT_TRUE(has("pf.demux.latency.p50"));
+  EXPECT_TRUE(has("pf.demux.latency.p99"));
+
+  const std::string csv = sampler.ToCsv();
+  EXPECT_EQ(csv.rfind("time_ns,", 0), 0u);  // header leads with the timestamp
+  EXPECT_NE(csv.find("pf.drop.no_match"), std::string::npos);
+  EXPECT_NE(csv.find("\n1000,"), std::string::npos);
+  EXPECT_NE(csv.find("\n2000,"), std::string::npos);
+}
+
+TEST(SamplerTest, LateRegisteredColumnsBackfillAsZero) {
+  pfobs::MetricsRegistry registry;
+  registry.counter("pf.a")->Add(1);
+  pfobs::MetricsSampler sampler(&registry, {"pf.*"});
+  sampler.Sample(10);
+  registry.counter("pf.b")->Add(5);  // appears after the first row
+  sampler.Sample(20);
+
+  ASSERT_EQ(sampler.columns().size(), 2u);  // pf.a, pf.b (time_ns is implicit)
+  const std::string csv = sampler.ToCsv();
+  // Row 1 exports 0 for the column that didn't exist yet; row 2 has it.
+  EXPECT_NE(csv.find("10,1,0"), std::string::npos);
+  EXPECT_NE(csv.find("20,1,5"), std::string::npos);
+}
+
+TEST(SamplerTest, JsonExportIsWellFormed) {
+  pfobs::MetricsRegistry registry;
+  registry.counter("pf.x")->Add(2);
+  registry.gauge("pf.depth")->Set(-4);
+  pfobs::MetricsSampler sampler(&registry, {});  // empty selector: everything
+  sampler.Sample(100);
+  sampler.Sample(200);
+
+  const std::string json = sampler.ToJson();
+  EXPECT_NE(json.find("\"columns\""), std::string::npos);
+  EXPECT_NE(json.find("\"rows\""), std::string::npos);
+  EXPECT_NE(json.find("\"pf.depth\""), std::string::npos);
 }
 
 // ---------------------------------------------------- minimal JSON checker
@@ -263,6 +359,17 @@ TEST(JsonCheckerTest, SanityOnKnownInputs) {
   EXPECT_TRUE(JsonChecker(R"({"a":[1,2.5,-3],"b":"x\"y","c":null})").Valid());
   EXPECT_FALSE(JsonChecker(R"({"a":1,})").Valid());
   EXPECT_FALSE(JsonChecker(R"([1,2)").Valid());
+}
+
+TEST(SamplerTest, JsonExportValidates) {
+  pfobs::MetricsRegistry registry;
+  registry.counter("pf.x")->Add(2);
+  registry.histogram("pf.lat")->Record(1500);
+  pfobs::MetricsSampler sampler(&registry, {"pf.*"});
+  sampler.Sample(100);
+  sampler.Sample(200);
+  const std::string json = sampler.ToJson();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
 }
 
 // -------------------------------------------------------------------- trace

@@ -121,22 +121,21 @@ TEST(MonitorTest, CapturesCoexistingTrafficWithoutStealing) {
   bob.AddNeighbor(alice_ip, alice.link_addr());
   bob_stack.BindUdp(7);
 
-  pfnet::NetworkMonitor* monitor_raw = nullptr;
+  // Owned outside the coroutine: the monitor must outlive sim.Run() so the
+  // test can inspect its summary after the coroutine frame is destroyed.
+  std::unique_ptr<pfnet::NetworkMonitor> monitor;
   int udp_received = 0;
   size_t pf_received = 0;
 
   auto monitor_task = [&]() -> Task {
     const int pid = watcher.NewPid();
-    auto monitor = co_await pfnet::NetworkMonitor::Create(&watcher, pid);
-    monitor_raw = monitor.get();
+    monitor = co_await pfnet::NetworkMonitor::Create(&watcher, pid);
     for (int i = 0; i < 50; ++i) {
       const size_t n = co_await monitor->Poll(pid, Milliseconds(200));
       if (n == 0 && i > 3) {
         break;  // traffic has stopped
       }
     }
-    (void)monitor;
-    co_await sim.Delay(Seconds(5));  // keep alive for summary inspection
   };
 
   auto udp_receiver = [&]() -> Task {
@@ -188,12 +187,12 @@ TEST(MonitorTest, CapturesCoexistingTrafficWithoutStealing) {
 
   EXPECT_EQ(udp_received, 3);   // kernel protocol undisturbed
   EXPECT_EQ(pf_received, 2u);   // user-level protocol undisturbed
-  ASSERT_NE(monitor_raw, nullptr);
-  const pfnet::NetworkMonitor::Counters counters = monitor_raw->Snapshot();
+  ASSERT_NE(monitor, nullptr);
+  const pfnet::NetworkMonitor::Counters counters = monitor->Snapshot();
   EXPECT_EQ(counters.udp, 3u);
   EXPECT_EQ(counters.frames, 5u);
-  EXPECT_EQ(monitor_raw->pcap().record_count(), 5u);
-  EXPECT_NE(monitor_raw->Summary().find("ip=3"), std::string::npos);
+  EXPECT_EQ(monitor->pcap().record_count(), 5u);
+  EXPECT_NE(monitor->Summary().find("ip=3"), std::string::npos);
 
   // The monitor's counters are not private state: they live in the watcher
   // machine's metrics registry, so external tooling sees the same numbers.
