@@ -15,6 +15,7 @@
 //   --interval-ms N    sampling/render period in simulated ms (default 10)
 //   --duration-ms N    traffic duration in simulated ms (default 100)
 //   --strategy S       checked|fast|tree|predecoded|indexed (default indexed)
+//   --loss P           drop each frame with probability P at the medium
 //   --csv PATH         write the sampled time series as CSV
 //   --json PATH        write the sampled time series as JSON
 //   --flight-json PATH write the flight recorder as JSON
@@ -38,6 +39,7 @@ struct Options {
   int interval_ms = 10;
   int duration_ms = 100;
   pf::Strategy strategy = pf::Strategy::kIndexed;
+  double loss = 0.0;
   const char* csv_path = nullptr;
   const char* json_path = nullptr;
   const char* flight_json_path = nullptr;
@@ -71,6 +73,11 @@ bool ParseOptions(int argc, char** argv, Options* options) {
     } else if (std::strcmp(argv[i], "--strategy") == 0) {
       const char* v = value();
       if (v == nullptr || !ParseStrategy(v, &options->strategy)) return false;
+    } else if (std::strcmp(argv[i], "--loss") == 0) {
+      const char* v = value();
+      if (v == nullptr) return false;
+      options->loss = std::atof(v);
+      if (options->loss < 0.0 || options->loss > 1.0) return false;
     } else if (std::strcmp(argv[i], "--csv") == 0) {
       if ((options->csv_path = value()) == nullptr) return false;
     } else if (std::strcmp(argv[i], "--json") == 0) {
@@ -129,6 +136,16 @@ void RenderTable(pfkern::Machine& machine, double now_ms) {
                 (unsigned long long)global.drops_by_reason[i]);
   }
   std::printf("\n");
+  // Losses underneath the filter: the wire's own accounting and the NIC's
+  // pre-demux rejects (FCS, truncation, receive-ring overflow).
+  const pflink::EthernetSegment::Stats& link = machine.segment()->stats();
+  const pfkern::Machine::NicStats& nic = machine.nic_stats();
+  std::printf(" link: carried=%llu lost=%llu dup=%llu | nic: in=%llu bad-crc=%llu"
+              " truncated=%llu ring-overflow=%llu\n",
+              (unsigned long long)link.frames_carried, (unsigned long long)link.frames_lost,
+              (unsigned long long)link.frames_duplicated, (unsigned long long)nic.frames_in,
+              (unsigned long long)nic.crc_errors, (unsigned long long)nic.truncated,
+              (unsigned long long)nic.ring_overflow);
   const pfobs::Histogram* latency = machine.metrics().FindHistogram("pf.demux.latency");
   if (latency != nullptr && latency->count() > 0) {
     std::printf(" demux latency: n=%llu p50=%.1f us p99=%.1f us max=%.1f us\n",
@@ -157,12 +174,15 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: pfstat [--once] [--interval-ms N] [--duration-ms N]\n"
                  "              [--strategy checked|fast|tree|predecoded|indexed]\n"
-                 "              [--csv PATH] [--json PATH] [--flight-json PATH]\n");
+                 "              [--loss P] [--csv PATH] [--json PATH] [--flight-json PATH]\n");
     return 2;
   }
 
   pfsim::Simulator sim;
   pflink::EthernetSegment wire(&sim, pflink::LinkType::kExperimental3Mb);
+  if (options.loss > 0.0) {
+    wire.SetLossRate(options.loss);
+  }
   pfkern::Machine sender(&sim, &wire, pflink::MacAddr::Experimental(1),
                          pfkern::MicroVaxUltrixCosts(), "sender");
   pfkern::Machine receiver(&sim, &wire, pflink::MacAddr::Experimental(2),

@@ -16,6 +16,9 @@ Machine::Machine(pfsim::Simulator* sim, pflink::EthernetSegment* segment, pflink
   nic_out_counter_ = metrics_.counter("nic.frames_out");
   nic_to_kernel_counter_ = metrics_.counter("nic.frames_to_kernel");
   nic_to_pf_counter_ = metrics_.counter("nic.frames_to_pf");
+  nic_ring_overflow_counter_ = metrics_.counter("nic.rx.ring_overflow");
+  nic_crc_error_counter_ = metrics_.counter("nic.rx.crc_errors");
+  nic_truncated_counter_ = metrics_.counter("nic.rx.truncated");
   pf_device_ = std::make_unique<PacketFilterDevice>(this);
   pf_device_->core().AttachMetrics(&metrics_);
   segment_->Attach(this);
@@ -126,23 +129,72 @@ void Machine::RegisterKernelProtocol(uint16_t ether_type, FrameHandler handler) 
   kernel_handlers_[ether_type] = std::move(handler);
 }
 
+void Machine::RecordNicDrop(pf::DropReason reason, const pflink::Frame& frame) {
+  switch (reason) {
+    case pf::DropReason::kRingOverflow:
+      ++nic_stats_.ring_overflow;
+      nic_ring_overflow_counter_->Add();
+      break;
+    case pf::DropReason::kBadCrc:
+      ++nic_stats_.crc_errors;
+      nic_crc_error_counter_->Add();
+      break;
+    case pf::DropReason::kTruncated:
+      ++nic_stats_.truncated;
+      nic_truncated_counter_->Add();
+      break;
+    default:
+      break;
+  }
+  pf::DropRecorder* recorder = pf_device_->core().flight_recorder();
+  if (recorder != nullptr) {
+    pf::DropRecord record;
+    record.timestamp_ns = static_cast<uint64_t>(sim_->Now().time_since_epoch().count());
+    record.flow_id = frame.flow_id;
+    record.reason = reason;
+    recorder->RecordPacket(record, frame.AsSpan());
+  }
+}
+
 void Machine::OnFrameDelivered(const pflink::Frame& frame, pfsim::TimePoint at) {
   (void)at;
+  ++nic_stats_.frames_in;
+  nic_in_counter_->Add();
+  if (rx_ring_capacity_ > 0 && rx_pending_ >= rx_ring_capacity_) {
+    // Ring full: the frame is dropped before DMA completes. No CPU is
+    // charged — the loss is invisible until a higher layer times out.
+    RecordNicDrop(pf::DropReason::kRingOverflow, frame);
+    return;
+  }
+  ++rx_pending_;
   sim_->Spawn(ReceiveTask(frame));
 }
 
 pfsim::Task Machine::ReceiveTask(pflink::Frame frame) {
-  ++nic_stats_.frames_in;
-  nic_in_counter_->Add();
   const int64_t arrive_ns = trace_ != nullptr ? sim_->NowNanos() : 0;
   if (trace_ != nullptr && frame.flow_id != 0) {
     trace_->Flow(pfobs::Phase::kFlowStep, trace_track_, arrive_ns, frame.flow_id);
   }
   co_await Run(kInterruptContext, Cost::kInterrupt, costs_.recv_interrupt);
+  // The interrupt handler has copied the frame out; its ring slot is free.
+  if (rx_pending_ > 0) {
+    --rx_pending_;
+  }
   if (trace_ != nullptr) {
     trace_->Complete(trace_track_, "kernel", "interrupt", arrive_ns, sim_->NowNanos(),
                      {{"bytes", static_cast<int64_t>(frame.size())},
                       {"flow", static_cast<int64_t>(frame.flow_id)}});
+  }
+  // Hardware FCS check: frames damaged in flight (impair.h) never reach the
+  // protocol stacks. Truncation is distinguishable (length mismatch) from
+  // payload corruption (CRC mismatch at full length).
+  if (frame.Truncated()) {
+    RecordNicDrop(pf::DropReason::kTruncated, frame);
+    co_return;
+  }
+  if (!frame.FcsIntact()) {
+    RecordNicDrop(pf::DropReason::kBadCrc, frame);
+    co_return;
   }
 
   bool claimed = false;

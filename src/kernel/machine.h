@@ -33,6 +33,7 @@
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/link/segment.h"
+#include "src/pf/drop.h"
 #include "src/sim/sim_time.h"
 #include "src/sim/simulator.h"
 #include "src/sim/sync.h"
@@ -89,6 +90,13 @@ class Machine : public pflink::Station {
 
   // NIC hears every frame on the segment (monitor use, §5.4).
   void SetPromiscuous(bool enabled) { promiscuous_ = enabled; }
+  // Bounds the NIC receive ring: at most `capacity` frames may be awaiting
+  // interrupt service; further arrivals are dropped at the ring (counted as
+  // ring_overflow, charged nothing — the DMA engine had nowhere to put
+  // them). 0 (the default) models an unbounded ring, preserving the ideal
+  // clean-path behavior.
+  void SetRxRing(size_t capacity) { rx_ring_capacity_ = capacity; }
+  size_t rx_pending() const { return rx_pending_; }
   // Frames claimed by kernel stacks are *also* offered to the packet filter
   // (the coexistence of fig. 3-3, needed to monitor kernel protocols).
   void SetTapAllToPf(bool enabled) { tap_all_to_pf_ = enabled; }
@@ -132,15 +140,25 @@ class Machine : public pflink::Station {
   void RegisterKernelProtocol(uint16_t ether_type, FrameHandler handler);
 
   struct NicStats {
-    uint64_t frames_in = 0;
+    // Conservation: frames_in == ring_overflow + crc_errors + truncated +
+    // frames delivered up the stack (to_kernel and/or to_pf, or neither if
+    // no kernel handler claimed the frame and the tap is off). Asserted in
+    // the chaos harness.
+    uint64_t frames_in = 0;       // every frame the NIC heard
     uint64_t frames_out = 0;
     uint64_t frames_to_kernel = 0;
     uint64_t frames_to_pf = 0;
+    uint64_t ring_overflow = 0;   // dropped: receive ring full
+    uint64_t crc_errors = 0;      // dropped: FCS mismatch (corruption)
+    uint64_t truncated = 0;       // dropped: shorter than transmitted
   };
   const NicStats& nic_stats() const { return nic_stats_; }
 
  private:
   pfsim::Task ReceiveTask(pflink::Frame frame);
+  // Counts + flight-records a frame the NIC driver rejected before any
+  // demultiplexing (ring overflow, bad CRC, truncation).
+  void RecordNicDrop(pf::DropReason reason, const pflink::Frame& frame);
 
   pfsim::Simulator* sim_;
   pflink::EthernetSegment* segment_;
@@ -155,6 +173,9 @@ class Machine : public pflink::Station {
   pfobs::Counter* nic_out_counter_ = nullptr;
   pfobs::Counter* nic_to_kernel_counter_ = nullptr;
   pfobs::Counter* nic_to_pf_counter_ = nullptr;
+  pfobs::Counter* nic_ring_overflow_counter_ = nullptr;
+  pfobs::Counter* nic_crc_error_counter_ = nullptr;
+  pfobs::Counter* nic_truncated_counter_ = nullptr;
 
   pfsim::AsyncMutex cpu_;
   int cpu_owner_ = kIdleContext;
@@ -166,6 +187,8 @@ class Machine : public pflink::Station {
   std::unordered_map<uint32_t, pflink::MacAddr> neighbors_;
   std::unique_ptr<PacketFilterDevice> pf_device_;
   NicStats nic_stats_;
+  size_t rx_ring_capacity_ = 0;  // 0 = unbounded
+  size_t rx_pending_ = 0;        // frames awaiting interrupt service
 };
 
 }  // namespace pfkern

@@ -105,8 +105,7 @@ pfsim::ValueTask<std::vector<pf::ReceivedPacket>> PacketFilterDevice::Read(
   }
 
   const bool forever = timeout == pfsim::kForever;
-  const pfsim::TimePoint deadline = forever ? pfsim::TimePoint::max()
-                                            : machine_->sim()->Now() + timeout;
+  const pfsim::TimePoint deadline = pfsim::DeadlineAfter(machine_->sim(), timeout);
   bool woken_by_signal = false;
   for (;;) {
     if (extra->batching) {
@@ -211,8 +210,7 @@ pfsim::ValueTask<pf::PortId> PacketFilterDevice::Select(int pid, std::vector<pf:
                                                         pfsim::Duration timeout) {
   co_await machine_->Run(pid, Cost::kSyscall, machine_->costs().syscall);
   const bool forever = timeout == pfsim::kForever;
-  const pfsim::TimePoint deadline =
-      forever ? pfsim::TimePoint::max() : machine_->sim()->Now() + timeout;
+  const pfsim::TimePoint deadline = pfsim::DeadlineAfter(machine_->sim(), timeout);
   // Each select call registers a doorbell rung by every delivery; the
   // readiness set is re-scanned after each ring (4.3BSD's selwakeup scheme).
   pfsim::MsgQueue<char> doorbell(machine_->sim());

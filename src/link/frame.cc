@@ -3,8 +3,18 @@
 #include <cstdio>
 
 #include "src/util/byte_order.h"
+#include "src/util/checksum.h"
 
 namespace pflink {
+
+void Frame::StampFcs() {
+  wire_len = static_cast<uint32_t>(bytes.size());
+  fcs = pfutil::Crc32(bytes);
+}
+
+bool Frame::FcsIntact() const {
+  return wire_len == 0 || pfutil::Crc32(bytes) == fcs;
+}
 
 std::string MacAddr::ToString() const {
   char buf[24];

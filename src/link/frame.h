@@ -41,6 +41,24 @@ struct Frame {
   // segment's sequence, carried to every receiver so one packet can be
   // followed across machines. 0 = untracked. Not part of the wire format.
   uint64_t flow_id = 0;
+  // Transmit-time frame check sequence: the segment stamps `fcs` (CRC-32 of
+  // the bytes as they left the transmitter) and `wire_len` (the transmitted
+  // length) when the frame enters the medium. The receiving NIC re-computes
+  // the CRC and compares lengths, so in-flight corruption and truncation
+  // (impair.h) are detected, never silently delivered. Modeled as metadata
+  // rather than trailing wire bytes (like flow_id) so frame layouts — and
+  // every filter-word offset in the paper — are unchanged; a real interface
+  // likewise strips the FCS and reports CRC/runt status out of band.
+  // wire_len == 0 means "never stamped" (frames handed directly to a driver
+  // in tests), in which case the NIC skips verification.
+  uint32_t fcs = 0;
+  uint32_t wire_len = 0;
+
+  void StampFcs();
+  // True if the frame was never stamped or still matches its stamp.
+  bool FcsIntact() const;
+  // True if the frame was stamped and has lost bytes since.
+  bool Truncated() const { return wire_len != 0 && bytes.size() != wire_len; }
 
   std::span<const uint8_t> AsSpan() const { return bytes; }
   size_t size() const { return bytes.size(); }

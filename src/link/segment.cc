@@ -1,6 +1,7 @@
 #include "src/link/segment.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace pflink {
 
@@ -18,8 +19,38 @@ void EthernetSegment::Attach(Station* station) { stations_.push_back(station); }
 void EthernetSegment::Detach(Station* station) { std::erase(stations_, station); }
 
 void EthernetSegment::SetLossRate(double p, uint64_t seed) {
-  loss_rate_ = p;
-  loss_rng_.emplace(seed);
+  ImpairmentConfig config;
+  config.seed = seed;
+  config.loss = p;
+  SetImpairments(config);
+}
+
+void EthernetSegment::SetImpairments(const ImpairmentConfig& config) {
+  impairer_ = std::make_unique<Impairer>(config);
+  impairer_->AttachMetrics(registry_);
+}
+
+const ImpairmentStats& EthernetSegment::impairment_stats() const {
+  static const ImpairmentStats kEmpty{};
+  return impairer_ != nullptr ? impairer_->stats() : kEmpty;
+}
+
+const ImpairmentConfig* EthernetSegment::impairment_config() const {
+  return impairer_ != nullptr ? &impairer_->config() : nullptr;
+}
+
+void EthernetSegment::AttachMetrics(pfobs::MetricsRegistry* registry) {
+  registry_ = registry;
+  if (registry_ != nullptr) {
+    carried_counter_ = registry_->counter("link.frames_carried");
+    lost_counter_ = registry_->counter("link.frames_lost");
+  } else {
+    carried_counter_ = nullptr;
+    lost_counter_ = nullptr;
+  }
+  if (impairer_ != nullptr) {
+    impairer_->AttachMetrics(registry_);
+  }
 }
 
 void EthernetSegment::Transmit(const Station* from, Frame frame) {
@@ -31,14 +62,50 @@ void EthernetSegment::Transmit(const Station* from, Frame frame) {
   const pfsim::TimePoint done = start + pfsim::Duration(tx_ns);
   medium_free_at_ = done;
 
-  if (loss_rate_ > 0.0 && loss_rng_.has_value() && loss_rng_->Chance(loss_rate_)) {
-    ++stats_.frames_lost;
-    return;  // the medium stays busy for the lost frame's duration
+  ++stats_.frames_offered;
+  // The FCS reflects the bytes as the transmitter put them on the wire, so
+  // stamp before any impairment mutates the frame.
+  frame.StampFcs();
+
+  if (impairer_ == nullptr || !impairer_->config().Any()) {
+    Carry(std::move(frame), done, pfsim::Duration::zero());
+    return;
   }
 
+  // A duplicate is a pristine second copy: snapshot before Apply() corrupts
+  // or truncates the original in place. The stamp taken above stays valid
+  // for the copy.
+  Frame pristine;
+  if (impairer_->config().duplicate > 0.0) {
+    pristine = frame;
+  }
+  // `done` is the frame's wire time: a burst window is tested against when
+  // the frame finishes serializing, so backed-off retries can outlive it.
+  const Impairer::Verdict verdict = impairer_->Apply(&frame, props_.header_len, done);
+  if (verdict.dropped) {
+    ++stats_.frames_lost;
+    if (lost_counter_ != nullptr) {
+      lost_counter_->Add();
+    }
+    return;  // the medium stays busy for the lost frame's duration
+  }
+  if (verdict.duplicate) {
+    ++stats_.frames_duplicated;
+    // The copy trails the original by one transmission time (a duplicating
+    // driver re-sends; the medium serializes it behind the original).
+    medium_free_at_ = done + pfsim::Duration(tx_ns);
+    Carry(std::move(pristine), medium_free_at_, pfsim::Duration::zero());
+  }
+  Carry(std::move(frame), done, verdict.extra_delay);
+}
+
+void EthernetSegment::Carry(Frame frame, pfsim::TimePoint at, pfsim::Duration extra_delay) {
   stats_.frames_carried++;
   stats_.bytes_carried += frame.size();
-  sim_->ScheduleAt(done + kPropagationDelay,
+  if (carried_counter_ != nullptr) {
+    carried_counter_->Add();
+  }
+  sim_->ScheduleAt(at + kPropagationDelay + extra_delay,
                    [this, f = std::move(frame)] { Deliver(f); });
 }
 

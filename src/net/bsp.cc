@@ -22,20 +22,30 @@ pfsim::ValueTask<std::unique_ptr<BspStream>> BspStream::Connect(pfkern::Machine*
                                                                 pfsim::Duration timeout) {
   auto endpoint = co_await PupEndpoint::Create(machine, pid, local);
   auto stream = std::unique_ptr<BspStream>(new BspStream(std::move(endpoint), listener));
-  // Retransmit the RFC every ack-timeout until the reply arrives or the
-  // overall deadline passes (the paper's "write; read with timeout; retry").
-  const pfsim::TimePoint deadline = machine->sim()->Now() + timeout;
+  // Retransmit the RFC on the (backed-off) estimator interval until the
+  // reply arrives or the overall deadline passes (the paper's "write; read
+  // with timeout; retry"). The retry interval is capped below the
+  // listener's quiet window so a deeply backed-off client still reaches a
+  // still-answering listener.
+  const pfsim::TimePoint deadline = pfsim::DeadlineAfter(machine->sim(), timeout);
+  int attempt = 0;
   do {
     co_await stream->ChargeUserProc(pid);
     co_await stream->endpoint_->Send(pid, listener, PupType::kRfc, 0, {});
-    const auto reply = co_await stream->endpoint_->Recv(pid, kAckTimeout);
+    const pfsim::TimePoint sent_at = machine->sim()->Now();
+    const pfsim::Duration wait = std::min(stream->rto_.NextTimeout(), kConnectRetryCap);
+    const auto reply = co_await stream->endpoint_->Recv(pid, wait);
     if (!reply.has_value()) {
+      stream->rto_.OnTimeout();
+      ++attempt;
+      ++stream->stats_.retransmits;
       continue;
     }
     co_await stream->ChargeUserProc(pid);
     if (reply->header.type == static_cast<uint8_t>(PupType::kRfc)) {
       // The reply's source port is the server's freshly allocated stream
-      // socket.
+      // socket. The RFC round trip also seeds the RTT estimate for data.
+      stream->rto_.OnSample(machine->sim()->Now() - sent_at, attempt > 0);
       stream->remote_ = reply->header.src;
       co_return stream;
     }
@@ -78,8 +88,10 @@ pfsim::ValueTask<std::unique_ptr<BspStream>> BspListener::Accept(int pid,
     // Quiet window longer than the client's RFC retry interval, so a client
     // whose replies keep getting lost always finds us still answering.
     pfsim::TimePoint quiet_deadline = machine->sim()->Now() + 5 * BspStream::kAckTimeout;
+    bool stream_active = false;
     while (machine->sim()->Now() < quiet_deadline) {
       if (machine->pf().core().QueueLength(stream->endpoint_->port()) > 0) {
+        stream_active = true;
         break;  // the client is already talking on the stream
       }
       // Short poll slices so a prompt first data packet ends the grace
@@ -92,7 +104,40 @@ pfsim::ValueTask<std::unique_ptr<BspStream>> BspListener::Accept(int pid,
         quiet_deadline = machine->sim()->Now() + 5 * BspStream::kAckTimeout;
       }
     }
+    // Quiet expiry is not proof the client got our reply: under loss, the
+    // gap between RFCs we *hear* is k retry intervals when k-1 in a row are
+    // lost in transit, and a run longer than the window would strand a
+    // still-retrying client against a listener that stopped answering. Hand
+    // the listen socket to a detached responder until the handshake is
+    // confirmed; on a clean path the client went quiet because it was
+    // satisfied, no duplicate ever arrives, and the responder costs nothing.
+    if (!stream_active && !stream->confirmed()) {
+      machine->sim()->Spawn(GraceResponder(pid, stream.get(), rfc->header.src));
+    }
     co_return stream;
+  }
+}
+
+pfsim::Task BspListener::GraceResponder(int pid, BspStream* stream, pfproto::PupPort client) {
+  pfkern::Machine* machine = stream->machine();
+  while (!stream->confirmed()) {
+    if (machine->pf().core().QueueLength(endpoint_->port()) == 0) {
+      // Pure simulated wait — no syscall, no CPU charge — so on a clean
+      // path (handshake done, nothing ever arrives here) the responder is
+      // timing-invisible; the read below is only issued when a duplicate
+      // RFC is provably queued.
+      co_await machine->sim()->Delay(pfsim::Milliseconds(100));
+      continue;
+    }
+    const auto dup = co_await endpoint_->Recv(pid, pfsim::Duration::zero());
+    if (stream->confirmed()) {
+      break;
+    }
+    if (dup.has_value() && dup->header.type == static_cast<uint8_t>(PupType::kRfc) &&
+        dup->header.src == client) {
+      co_await stream->ChargeUserProc(pid);
+      co_await stream->endpoint_->Send(pid, client, PupType::kRfc, 0, {});
+    }
   }
 }
 
@@ -113,8 +158,10 @@ pfsim::ValueTask<bool> BspStream::Send(int pid, std::vector<uint8_t> data) {
       co_await ChargeUserProc(pid);
       co_await endpoint_->Send(pid, remote_, PupType::kAData, seq, chunk);
       ++stats_.data_packets_sent;
-      // Await the ack — the paper's "write; read with timeout; retry".
-      const pfsim::TimePoint deadline = machine()->sim()->Now() + kAckTimeout;
+      // Await the ack — the paper's "write; read with timeout; retry" —
+      // on the adaptive, backed-off timer instead of a constant 200 ms.
+      const pfsim::TimePoint sent_at = machine()->sim()->Now();
+      const pfsim::TimePoint deadline = pfsim::DeadlineAfter(sent_at, rto_.NextTimeout());
       for (;;) {
         const pfsim::Duration remaining = deadline - machine()->sim()->Now();
         if (remaining.count() <= 0) {
@@ -128,12 +175,16 @@ pfsim::ValueTask<bool> BspStream::Send(int pid, std::vector<uint8_t> data) {
         if (packet->header.type == static_cast<uint8_t>(PupType::kAck)) {
           ++stats_.acks_received;
           if (packet->header.identifier >= seq + n) {
+            rto_.OnSample(machine()->sim()->Now() - sent_at, attempt > 0);
             acked = true;
             break;
           }
         }
         // Anything else (duplicate ack, stray data on a half-duplex
         // stream) is dropped.
+      }
+      if (!acked) {
+        rto_.OnTimeout();
       }
     }
     if (!acked) {
@@ -173,8 +224,7 @@ pfsim::ValueTask<void> BspStream::HandleData(int pid, const PupEndpoint::Receive
 pfsim::ValueTask<std::vector<uint8_t>> BspStream::Recv(int pid, size_t max_bytes,
                                                        pfsim::Duration timeout) {
   const bool forever = timeout == pfsim::kForever;
-  const pfsim::TimePoint deadline =
-      forever ? pfsim::TimePoint::max() : machine()->sim()->Now() + timeout;
+  const pfsim::TimePoint deadline = pfsim::DeadlineAfter(machine()->sim(), timeout);
   while (recv_buf_.empty() && !peer_closed_) {
     const pfsim::Duration remaining =
         forever ? pfsim::kForever : deadline - machine()->sim()->Now();

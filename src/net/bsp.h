@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "src/net/pup_endpoint.h"
+#include "src/net/rto.h"
 
 namespace pfnet {
 
@@ -46,8 +47,21 @@ struct BspStats {
 class BspStream {
  public:
   static constexpr size_t kMaxData = pfproto::kMaxPupData;  // 546 bytes
+  // The pre-adaptive retransmission interval; now the estimator's initial
+  // RTO (used until the first RTT sample) and the anchor for the listener's
+  // RFC grace window.
   static constexpr pfsim::Duration kAckTimeout = pfsim::Milliseconds(200);
-  static constexpr int kMaxRetransmits = 8;
+  // Per-chunk persistence before Send() reports failure. An attempt dies
+  // when either the data or the ack is lost, so at 30% loss each retry
+  // fails with p = 0.51; fifteen retries (the classic tcp_retries2 figure)
+  // push a spurious give-up below 1e-4 per chunk while the capped, backed-
+  // off timer keeps the worst-case wait bounded.
+  static constexpr int kMaxRetransmits = 15;
+  // Connect retries never back off past this, so a client whose RFC reply
+  // was lost keeps re-RFC-ing often enough for the listener's grace
+  // machinery (Accept's quiet window, then the detached responder) to
+  // answer it promptly.
+  static constexpr pfsim::Duration kConnectRetryCap = pfsim::Milliseconds(800);
 
   // Active open: allocates a local socket, performs the RFC exchange.
   static pfsim::ValueTask<std::unique_ptr<BspStream>> Connect(pfkern::Machine* machine, int pid,
@@ -67,7 +81,18 @@ class BspStream {
   pfsim::ValueTask<void> Close(int pid);
 
   bool eof() const { return peer_closed_ && recv_buf_.empty(); }
+  // True once any packet has arrived on the stream socket: proof the peer
+  // learned it from our RFC reply, i.e. the handshake completed. Ends the
+  // listener's grace responder.
+  bool confirmed() const {
+    return stats_.data_packets_received > 0 || stats_.acks_received > 0 || peer_closed_;
+  }
   const BspStats& stats() const { return stats_; }
+  // Adaptive ack-timeout state: Jacobson SRTT/RTTVAR over data-ack round
+  // trips (Karn-filtered), exponential backoff on expiry. On a clean path
+  // no ack timer ever expires, so measurements are unchanged; under loss
+  // the timer tracks the real RTT instead of a constant 200 ms.
+  const RtoEstimator& rto() const { return rto_; }
   const pfproto::PupPort& remote() const { return remote_; }
 
  private:
@@ -86,6 +111,21 @@ class BspStream {
   std::deque<uint8_t> recv_buf_;
   bool peer_closed_ = false;
   BspStats stats_;
+  RtoEstimator rto_{MakeRtoConfig()};
+
+  static RtoConfig MakeRtoConfig() {
+    RtoConfig config;
+    config.initial = kAckTimeout;
+    // Floor at the legacy fixed timer: adaptation may only lengthen the
+    // wait, never shorten it. A lower floor looks attractive (the clean
+    // stop-and-wait exchange is ~17 ms) but sits close enough to the real
+    // RTT that occasional scheduling tails fire it, and it also quickens
+    // the *peer's* retransmission of data we dropped while awaiting an ack
+    // — both visibly change clean-path benchmark timing (table 6-6/6-7).
+    config.min_rto = kAckTimeout;
+    config.max_rto = pfsim::Seconds(2);
+    return config;
+  }
 };
 
 class BspListener {
@@ -101,6 +141,14 @@ class BspListener {
  private:
   explicit BspListener(std::unique_ptr<PupEndpoint> endpoint)
       : endpoint_(std::move(endpoint)) {}
+
+  // Detached patience beyond Accept's bounded quiet window: keeps answering
+  // duplicate RFCs on the listen socket until the client's first stream
+  // packet confirms the handshake. Spawned only when the quiet window
+  // expired unconfirmed; `stream` and this listener must outlive the task's
+  // activity (they do in every single-stream scenario; a multi-accept
+  // server would need to arbitrate listen-socket readers).
+  pfsim::Task GraceResponder(int pid, BspStream* stream, pfproto::PupPort client);
 
   std::unique_ptr<PupEndpoint> endpoint_;
   uint32_t next_stream_socket_ = 0x2000;

@@ -146,6 +146,32 @@ std::string NetworkMonitor::Summary() const {
       out += buf;
     }
   }
+  // Losses below the filter: what the wire itself ate (impairments) and
+  // what this NIC rejected (FCS/ring) never reach the monitor's port, so
+  // report them from the segment and driver counters.
+  const pflink::EthernetSegment::Stats& link = machine_->segment()->stats();
+  if (link.frames_lost > 0 || link.frames_duplicated > 0) {
+    std::snprintf(buf, sizeof(buf), "; link: carried=%llu lost=%llu duplicated=%llu",
+                  (unsigned long long)link.frames_carried,
+                  (unsigned long long)link.frames_lost,
+                  (unsigned long long)link.frames_duplicated);
+    out += buf;
+    const pflink::ImpairmentStats& impair = machine_->segment()->impairment_stats();
+    if (impair.corrupted > 0 || impair.truncated > 0 || impair.reordered > 0) {
+      std::snprintf(buf, sizeof(buf), " (corrupted=%llu truncated=%llu reordered=%llu)",
+                    (unsigned long long)impair.corrupted,
+                    (unsigned long long)impair.truncated,
+                    (unsigned long long)impair.reordered);
+      out += buf;
+    }
+  }
+  const pfkern::Machine::NicStats& nic = machine_->nic_stats();
+  if (nic.crc_errors > 0 || nic.truncated > 0 || nic.ring_overflow > 0) {
+    std::snprintf(buf, sizeof(buf), "; nic drops: bad-crc=%llu truncated=%llu ring-overflow=%llu",
+                  (unsigned long long)nic.crc_errors, (unsigned long long)nic.truncated,
+                  (unsigned long long)nic.ring_overflow);
+    out += buf;
+  }
   return out;
 }
 

@@ -108,7 +108,13 @@ pfsim::ValueTask<std::optional<uint32_t>> RarpClient::Resolve(pfkern::Machine* m
     if (frame.has_value()) {
       co_await machine->pf().Write(pid, frame->bytes);
     }
-    const pfsim::TimePoint deadline = machine->sim()->Now() + per_try_timeout;
+    // Exponential backoff between broadcasts (RFC 903 advises against
+    // aggressive retry storms from a rack of rebooting diskless clients):
+    // per_try_timeout, 2x, 4x, capped at 8x.
+    const int shift = attempt < 3 ? attempt : 3;
+    const pfsim::Duration try_timeout =
+        per_try_timeout == pfsim::kForever ? pfsim::kForever : per_try_timeout * (1 << shift);
+    const pfsim::TimePoint deadline = pfsim::DeadlineAfter(machine->sim(), try_timeout);
     for (;;) {
       const pfsim::Duration remaining = deadline - machine->sim()->Now();
       if (remaining.count() <= 0) {

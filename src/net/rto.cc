@@ -1,0 +1,67 @@
+#include "src/net/rto.h"
+
+#include <algorithm>
+
+namespace pfnet {
+
+namespace {
+// Caps the left shift so backed-off intervals saturate instead of
+// overflowing; 2^20 * min_rto already exceeds any max_rto in use.
+constexpr uint32_t kMaxExponent = 20;
+}  // namespace
+
+RtoEstimator::RtoEstimator(const RtoConfig& config) : config_(config), rng_(config.seed) {}
+
+void RtoEstimator::OnSample(pfsim::Duration rtt, bool retransmitted) {
+  if (retransmitted) {
+    // Karn's rule: the reply might answer any of the attempts, so the
+    // sample is ambiguous — and the backed-off timer stays backed off.
+    ++stats_.karn_discards;
+    return;
+  }
+  if (stats_.samples == 0) {
+    srtt_ = rtt;
+    rttvar_ = rtt / 2;
+  } else {
+    const pfsim::Duration err = srtt_ > rtt ? srtt_ - rtt : rtt - srtt_;
+    rttvar_ = (rttvar_ * 3) / 4 + err / 4;
+    srtt_ = (srtt_ * 7) / 8 + rtt / 8;
+  }
+  ++stats_.samples;
+  backoff_exponent_ = 0;
+}
+
+void RtoEstimator::OnTimeout() {
+  ++stats_.backoffs;
+  if (backoff_exponent_ < kMaxExponent) {
+    ++backoff_exponent_;
+  }
+  stats_.max_backoff_exponent = std::max(stats_.max_backoff_exponent, backoff_exponent_);
+}
+
+pfsim::Duration RtoEstimator::Rto() const {
+  if (stats_.samples == 0) {
+    return std::clamp(config_.initial, config_.min_rto, config_.max_rto);
+  }
+  return std::clamp(srtt_ + 4 * rttvar_, config_.min_rto, config_.max_rto);
+}
+
+pfsim::Duration RtoEstimator::NextTimeout() {
+  const pfsim::Duration base = Rto();
+  // Saturating shift: base is <= max_rto (fits in ~62 bits of ns), so up to
+  // kMaxExponent doublings cannot overflow int64 before the clamp.
+  const pfsim::Duration backed = base * (int64_t{1} << backoff_exponent_);
+  pfsim::Duration jittered = backed;
+  // Jitter exists to desynchronize retransmitters that have already
+  // collided (= backed off); the first arm stays at the pure estimate so a
+  // path that recovers in one retry behaves exactly like the fixed legacy
+  // timer it replaced.
+  if (backoff_exponent_ > 0 && config_.jitter_frac > 0.0) {
+    const double u = static_cast<double>(rng_.Below(1u << 20)) / static_cast<double>(1u << 20);
+    jittered += pfsim::Duration(
+        static_cast<int64_t>(static_cast<double>(backed.count()) * config_.jitter_frac * u));
+  }
+  return std::min(jittered, config_.max_rto);
+}
+
+}  // namespace pfnet

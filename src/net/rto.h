@@ -1,0 +1,99 @@
+// Adaptive retransmission timeout estimation: Jacobson/Karel smoothed RTT
+// with Karn's rule and capped exponential backoff.
+//
+// The paper's protocols retransmit on fixed timers (BSP every 200 ms, VMTP
+// on a constant per-attempt timeout). That is fine on the clean simulated
+// medium, but under injected loss (src/link/impair.h) fixed timers either
+// thrash (timer < RTT under queueing) or crawl (timer >> RTT). This class
+// is the standard cure, shared by VMTP, BSP, and RARP:
+//
+//   * Jacobson (SIGCOMM '88): srtt/rttvar EWMA over RTT samples,
+//     rto = srtt + 4*rttvar, clamped to [min_rto, max_rto].
+//   * Karn: samples from exchanges that were retransmitted are discarded
+//     (the reply can't be attributed to a specific attempt), and the
+//     backed-off timeout is kept until a clean sample arrives.
+//   * Exponential backoff: each timeout doubles the next interval, up to
+//     max_rto, so a dead peer costs O(log) attempts, not a packet storm.
+//   * Jitter: backed-off intervals (exponent > 0) are stretched by a seeded
+//     multiplicative factor in [1, 1 + jitter_frac] to desynchronize
+//     competing retransmitters; the first arm is left at the pure estimate
+//     so single-retry recovery matches the legacy fixed timer exactly.
+//     Jitter is multiplicative and applied *before* the max_rto clamp, so
+//     successive backed-off intervals are always monotone non-decreasing
+//     (doubling dominates any jitter with jitter_frac <= 1) — asserted by
+//     the chaos harness.
+//
+// Pure arithmetic: no clock, no I/O, no charged cost. On a clean path no
+// timer ever expires, so adopting this estimator leaves every existing
+// benchmark cost-identical.
+#ifndef SRC_NET_RTO_H_
+#define SRC_NET_RTO_H_
+
+#include <cstdint>
+
+#include "src/sim/sim_time.h"
+#include "src/util/rng.h"
+
+namespace pfnet {
+
+struct RtoConfig {
+  // Timeout used until the first RTT sample arrives.
+  pfsim::Duration initial = pfsim::Milliseconds(200);
+  pfsim::Duration min_rto = pfsim::Milliseconds(20);
+  pfsim::Duration max_rto = pfsim::Seconds(4);
+  // Multiplicative jitter bound: each interval is scaled by a uniform
+  // factor in [1, 1 + jitter_frac]. Must be <= 1.0 to preserve backoff
+  // monotonicity.
+  double jitter_frac = 0.1;
+  uint64_t seed = 0x5e77;
+};
+
+struct RtoStats {
+  uint64_t samples = 0;        // clean RTT samples accepted
+  uint64_t karn_discards = 0;  // samples discarded (exchange retransmitted)
+  uint64_t backoffs = 0;       // timeout events (interval doublings)
+  uint32_t max_backoff_exponent = 0;  // deepest backoff reached
+};
+
+class RtoEstimator {
+ public:
+  explicit RtoEstimator(const RtoConfig& config = RtoConfig());
+
+  // Feeds one round-trip measurement. `retransmitted` marks an exchange
+  // whose request was sent more than once: per Karn's rule the sample is
+  // discarded (the reply is ambiguous). A clean sample also resets the
+  // backoff exponent.
+  void OnSample(pfsim::Duration rtt, bool retransmitted);
+
+  // A retransmission timer expired: double the next interval (capped).
+  void OnTimeout();
+
+  // The smoothed estimate, srtt + 4*rttvar clamped to [min, max] — without
+  // backoff or jitter. config.initial until the first sample.
+  pfsim::Duration Rto() const;
+
+  // The interval to arm the next retransmission timer with: Rto() shifted
+  // by the backoff exponent, jittered, clamped to max_rto. Draws from the
+  // seeded RNG, so calls are stateful (and replayable).
+  pfsim::Duration NextTimeout();
+
+  // Current backoff exponent (0 = no outstanding backoff).
+  uint32_t backoff_exponent() const { return backoff_exponent_; }
+  bool has_sample() const { return stats_.samples > 0; }
+  pfsim::Duration srtt() const { return srtt_; }
+  pfsim::Duration rttvar() const { return rttvar_; }
+  const RtoConfig& config() const { return config_; }
+  const RtoStats& stats() const { return stats_; }
+
+ private:
+  RtoConfig config_;
+  RtoStats stats_;
+  pfutil::Rng rng_;
+  pfsim::Duration srtt_{};
+  pfsim::Duration rttvar_{};
+  uint32_t backoff_exponent_ = 0;
+};
+
+}  // namespace pfnet
+
+#endif  // SRC_NET_RTO_H_

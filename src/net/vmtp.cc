@@ -153,7 +153,10 @@ pfsim::ValueTask<std::optional<std::vector<uint8_t>>> UserVmtpClient::Transact(
   std::map<uint16_t, std::vector<uint8_t>> parts;
   uint16_t expected = 0;
   // If packets of this group have arrived but nothing new shows up for a
-  // gap timeout, re-request rather than idling out the full deadline.
+  // gap timeout, re-request rather than idling out the full deadline. The
+  // gap timer handles queue-overflow holes on a healthy network and stays
+  // fixed; the wait for the *first* packet of each attempt is the adaptive
+  // response timer below, which backs off under loss.
   constexpr pfsim::Duration kGapTimeout = pfsim::Milliseconds(60);
 
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
@@ -175,16 +178,26 @@ pfsim::ValueTask<std::optional<std::vector<uint8_t>>> UserVmtpClient::Transact(
       co_await SendGroup(pid, server_mac, base, request);
     }
 
-    const pfsim::TimePoint deadline = machine_->sim()->Now() + timeout;
+    const pfsim::TimePoint sent_at = machine_->sim()->Now();
+    const pfsim::TimePoint deadline = pfsim::DeadlineAfter(sent_at, timeout);
+    // Whether any packet of *this* transaction arrived during this attempt:
+    // distinguishes a lost exchange (back off the response timer) from a
+    // partially-received group (fixed gap timer, no backoff — the network
+    // proved it is delivering).
+    bool got_response = false;
     for (;;) {
       const pfsim::Duration remaining = deadline - machine_->sim()->Now();
       if (remaining.count() <= 0) {
         break;  // retransmit the request
       }
-      const pfsim::Duration slice = remaining < kGapTimeout ? remaining : kGapTimeout;
+      const pfsim::Duration timer = got_response ? kGapTimeout : rto_.NextTimeout();
+      const pfsim::Duration slice = remaining < timer ? remaining : timer;
       std::vector<pf::ReceivedPacket> packets = co_await source_->ReadPackets(pid, slice);
       ++stats_.reads;
       if (packets.empty()) {
+        if (!got_response) {
+          rto_.OnTimeout();  // nothing came back: exponential backoff
+        }
         break;  // gap or timeout: retransmit the request
       }
       bool complete = false;
@@ -205,6 +218,12 @@ pfsim::ValueTask<std::optional<std::vector<uint8_t>>> UserVmtpClient::Transact(
         if (!view.has_value() || view->header.func != pfproto::VmtpFunc::kResponse ||
             view->header.transaction != transaction) {
           continue;  // stale packet from an earlier transaction
+        }
+        if (!got_response) {
+          got_response = true;
+          // Karn's rule: only the un-retransmitted exchange yields an
+          // unambiguous RTT sample.
+          rto_.OnSample(machine_->sim()->Now() - sent_at, attempt > 0);
         }
         expected = view->header.packet_count;
         if (view->header.packet_index + 1 == expected) {
@@ -259,8 +278,7 @@ pfsim::ValueTask<void> UserVmtpServer::SendGroup(int pid, pflink::MacAddr dst,
 pfsim::ValueTask<std::optional<pfkern::VmtpRequest>> UserVmtpServer::ReceiveRequest(
     int pid, pfsim::Duration timeout) {
   const bool forever = timeout == pfsim::kForever;
-  const pfsim::TimePoint deadline =
-      forever ? pfsim::TimePoint::max() : machine_->sim()->Now() + timeout;
+  const pfsim::TimePoint deadline = pfsim::DeadlineAfter(machine_->sim(), timeout);
   for (;;) {
     const pfsim::Duration remaining =
         forever ? pfsim::kForever : deadline - machine_->sim()->Now();

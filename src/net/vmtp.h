@@ -21,6 +21,7 @@
 #include "src/kernel/machine.h"
 #include "src/kernel/pf_device.h"
 #include "src/kernel/pipe.h"
+#include "src/net/rto.h"
 #include "src/proto/vmtp.h"
 #include "src/sim/value_task.h"
 
@@ -86,11 +87,23 @@ class UserVmtpClient {
                                                           uint32_t client_id,
                                                           PacketSource* source);
 
+  // `timeout` bounds one attempt's total wait; the retransmission decision
+  // within it is driven by the adaptive estimator (see rto()). Partial
+  // response groups persist across attempts, so once only one packet is
+  // missing an attempt fails when the re-request or the refill is lost
+  // (p ~ 0.51 at 30% loss) — twenty attempts push a spurious give-up below
+  // 1e-5 per transaction while the capped backoff bounds the total wait.
   pfsim::ValueTask<std::optional<std::vector<uint8_t>>> Transact(
       int pid, pflink::MacAddr server_mac, uint32_t server_id, std::vector<uint8_t> request,
-      pfsim::Duration timeout, int max_attempts = 10);
+      pfsim::Duration timeout, int max_attempts = 20);
 
   const UserVmtpStats& stats() const { return stats_; }
+  // Adaptive retransmission state: the gap timer that used to be a fixed
+  // 60 ms is now Jacobson-estimated from per-exchange RTTs with Karn's rule
+  // and exponential backoff (src/net/rto.h). min_rto keeps the timer no
+  // shorter than the old constant, so a clean path never sees a spurious
+  // retransmission the fixed timer would not have had.
+  const RtoEstimator& rto() const { return rto_; }
 
  private:
   UserVmtpClient(pfkern::Machine* machine, uint32_t client_id)
@@ -106,6 +119,18 @@ class UserVmtpClient {
   PacketSource* source_ = nullptr;
   uint32_t next_transaction_ = 1;
   UserVmtpStats stats_;
+  RtoEstimator rto_{MakeRtoConfig()};
+
+  static RtoConfig MakeRtoConfig() {
+    RtoConfig config;
+    // The legacy gap timer was a constant 60 ms; anchoring initial and
+    // min_rto there means adaptation can only lengthen the timer, never
+    // make a clean path retransmit where the old code would not.
+    config.initial = pfsim::Milliseconds(60);
+    config.min_rto = pfsim::Milliseconds(60);
+    config.max_rto = pfsim::Seconds(2);
+    return config;
+  }
 };
 
 class UserVmtpServer {

@@ -161,8 +161,11 @@ class PacketFilter {
   // the drop path then only pays a null check). Re-enabling with a new
   // capacity clears previous records.
   void SetFlightRecorder(size_t capacity);
-  // The recorder, or nullptr when disabled.
+  // The recorder, or nullptr when disabled. The mutable overload lets the
+  // NIC driver record its pre-filter drops (bad CRC, truncation, ring
+  // overflow) into the same flight ring as the demux drops.
   const DropRecorder* flight_recorder() const { return recorder_.get(); }
+  DropRecorder* flight_recorder() { return recorder_.get(); }
 
   // --- Execution strategy (benchmarked in bench/micro_*) ---
   void SetStrategy(Strategy strategy);

@@ -19,6 +19,12 @@ std::string ToString(DropReason reason) {
       return "filter-error";
     case DropReason::kQueueOverflow:
       return "queue-overflow";
+    case DropReason::kBadCrc:
+      return "bad-crc";
+    case DropReason::kTruncated:
+      return "truncated";
+    case DropReason::kRingOverflow:
+      return "ring-overflow";
     case DropReason::kCount:
       break;
   }

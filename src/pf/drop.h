@@ -8,6 +8,13 @@
 //     kShortPacket / kFilterError — why no filter claimed the frame.
 //   * per copy: kQueueOverflow — a filter accepted, but the port's bounded
 //     input queue was full (§3.3's counted losses).
+//   * at the NIC, before any filter runs: kBadCrc / kTruncated (the frame
+//     check sequence stamped at transmit time failed on receive — see
+//     src/link/frame.h) and kRingOverflow (the bounded receive ring was
+//     full, so the DMA engine had nowhere to put the frame). These are
+//     counted by the Machine's NIC driver, not by PacketFilter, but share
+//     this taxonomy — and the flight recorder — so every loss in the
+//     system lands in one vocabulary.
 //
 // PacketFilter keeps per-port and global per-reason counters (demux.h) and
 // mirrors them into "pf.drop.<reason>" registry counters; the recorder is
@@ -32,6 +39,9 @@ enum class DropReason : uint8_t {
   kShortPacket,     // rejected everywhere; some filter read past the end
   kFilterError,     // rejected everywhere; some filter hit a run-time error
   kQueueOverflow,   // a filter accepted but the port's queue was full
+  kBadCrc,          // NIC: frame check sequence mismatch (in-flight corruption)
+  kTruncated,       // NIC: frame shorter than its transmitted length
+  kRingOverflow,    // NIC: bounded receive ring was full
   kCount,
 };
 inline constexpr size_t kDropReasonCount = static_cast<size_t>(DropReason::kCount);

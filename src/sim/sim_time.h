@@ -35,6 +35,22 @@ constexpr Duration kForever = Duration::max();
 constexpr double ToMilliseconds(Duration d) { return static_cast<double>(d.count()) / 1e6; }
 constexpr double ToSeconds(Duration d) { return static_cast<double>(d.count()) / 1e9; }
 
+// `now + timeout` with the kForever guard: adding kForever to any positive
+// TimePoint overflows the representation and yields a deadline in the past,
+// turning "block indefinitely" into "return immediately". Every deadline
+// computation should go through one of these.
+constexpr TimePoint DeadlineAfter(TimePoint now, Duration timeout) {
+  return timeout == kForever ? TimePoint::max() : now + timeout;
+}
+
+// Convenience for call sites holding a Simulator (or anything with Now()).
+// Template rather than an overload so this header stays independent of
+// simulator.h.
+template <typename Sim>
+TimePoint DeadlineAfter(Sim* sim, Duration timeout) {
+  return DeadlineAfter(sim->Now(), timeout);
+}
+
 }  // namespace pfsim
 
 #endif  // SRC_SIM_SIM_TIME_H_

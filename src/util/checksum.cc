@@ -1,5 +1,7 @@
 #include "src/util/checksum.h"
 
+#include <array>
+
 #include "src/util/byte_order.h"
 
 namespace pfutil {
@@ -40,6 +42,25 @@ uint16_t PupChecksum(std::span<const uint8_t> data) {
     sum = 0;
   }
   return static_cast<uint16_t>(sum);
+}
+
+uint32_t Crc32(std::span<const uint8_t> data) {
+  static const auto kTable = [] {
+    std::array<uint32_t, 256> table{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) != 0 ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      }
+      table[i] = c;
+    }
+    return table;
+  }();
+  uint32_t crc = 0xffffffffu;
+  for (const uint8_t byte : data) {
+    crc = kTable[(crc ^ byte) & 0xff] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
 }
 
 }  // namespace pfutil

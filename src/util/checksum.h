@@ -1,6 +1,7 @@
 // Internet (ones-complement) checksum, used by the kernel-resident IP/UDP/
-// TCP-lite stack, and the Pup software checksum (add-and-left-cycle), used by
-// the Pup family wire formats.
+// TCP-lite stack, the Pup software checksum (add-and-left-cycle), used by
+// the Pup family wire formats, and the IEEE 802.3 CRC-32, used as the
+// Ethernet frame check sequence (src/link).
 #ifndef SRC_UTIL_CHECKSUM_H_
 #define SRC_UTIL_CHECKSUM_H_
 
@@ -19,6 +20,10 @@ uint16_t InternetChecksum(std::span<const uint8_t> data);
 uint16_t PupChecksum(std::span<const uint8_t> data);
 
 inline constexpr uint16_t kPupNoChecksum = 0xffff;
+
+// IEEE 802.3 CRC-32 (reflected, polynomial 0xEDB88320, init/final 0xFFFFFFFF)
+// — the Ethernet frame check sequence.
+uint32_t Crc32(std::span<const uint8_t> data);
 
 }  // namespace pfutil
 

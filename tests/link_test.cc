@@ -1,8 +1,10 @@
 // Link-layer tests: framing for both Ethernets, segment delivery rules,
-// bandwidth serialization, and loss injection.
+// bandwidth serialization, loss injection, the transmit-time FCS, and the
+// seeded impairment engine.
 #include <gtest/gtest.h>
 
 #include "src/link/frame.h"
+#include "src/link/impair.h"
 #include "src/link/segment.h"
 #include "src/sim/simulator.h"
 
@@ -91,12 +93,14 @@ class TestStation : public Station {
       : addr_(addr), promiscuous_(promiscuous) {}
   void OnFrameDelivered(const Frame& frame, pfsim::TimePoint at) override {
     frames.push_back(frame.bytes);
+    raw.push_back(frame);
     times.push_back(at);
   }
   MacAddr link_addr() const override { return addr_; }
   bool promiscuous() const override { return promiscuous_; }
 
   std::vector<std::vector<uint8_t>> frames;
+  std::vector<Frame> raw;  // with FCS metadata
   std::vector<pfsim::TimePoint> times;
 
  private:
@@ -208,6 +212,221 @@ TEST(SegmentTest, LossInjectionDropsApproximately) {
   EXPECT_GT(segment.stats().frames_lost, 230u);
   EXPECT_LT(segment.stats().frames_lost, 370u);
   EXPECT_EQ(b.frames.size() + segment.stats().frames_lost, 1000u);
+}
+
+TEST(FrameTest, FcsDetectsCorruptionAndTruncation) {
+  Frame frame = MakeFrame(2, 1, 32);
+  EXPECT_TRUE(frame.FcsIntact());  // never stamped: verification skipped
+  EXPECT_FALSE(frame.Truncated());
+
+  frame.StampFcs();
+  EXPECT_TRUE(frame.FcsIntact());
+  EXPECT_FALSE(frame.Truncated());
+
+  Frame corrupted = frame;
+  corrupted.bytes[10] ^= 0x40;
+  EXPECT_FALSE(corrupted.FcsIntact());
+  EXPECT_FALSE(corrupted.Truncated());
+
+  Frame cut = frame;
+  cut.bytes.resize(cut.bytes.size() - 7);
+  EXPECT_TRUE(cut.Truncated());
+}
+
+TEST(SegmentTest, ConcurrentTransmittersSerializeOnMedium) {
+  pfsim::Simulator sim;
+  EthernetSegment segment(&sim, LinkType::kExperimental3Mb);
+  TestStation a(MacAddr::Experimental(1));
+  TestStation b(MacAddr::Experimental(2));
+  TestStation c(MacAddr::Experimental(3));
+  segment.Attach(&a);
+  segment.Attach(&b);
+  segment.Attach(&c);
+
+  // Both stations transmit at t=0: the second queues behind medium_free_at_,
+  // so deliveries to c are exactly one transmission time apart.
+  segment.Transmit(&a, MakeFrame(3, 1, 371));  // 1 ms each at 3 Mb/s
+  segment.Transmit(&b, MakeFrame(3, 2, 371));
+  sim.Run();
+  ASSERT_EQ(c.times.size(), 2u);
+  EXPECT_EQ(c.times[1] - c.times[0], pfsim::Milliseconds(1));
+  EXPECT_EQ(segment.stats().frames_offered, 2u);
+  EXPECT_EQ(segment.stats().frames_carried, 2u);
+}
+
+TEST(SegmentTest, LossConservationIdentityUnderSeededLoss) {
+  pfsim::Simulator sim;
+  EthernetSegment segment(&sim, LinkType::kExperimental3Mb);
+  TestStation a(MacAddr::Experimental(1));
+  TestStation b(MacAddr::Experimental(2));
+  segment.Attach(&a);
+  segment.Attach(&b);
+  segment.SetLossRate(0.3, 1234);
+
+  constexpr uint64_t kFrames = 1000;
+  for (uint64_t i = 0; i < kFrames; ++i) {
+    segment.Transmit(&a, MakeFrame(2, 1, 4));
+  }
+  sim.Run();
+  const EthernetSegment::Stats& stats = segment.stats();
+  EXPECT_EQ(stats.frames_offered, kFrames);
+  EXPECT_EQ(stats.frames_offered + stats.frames_duplicated,
+            stats.frames_carried + stats.frames_lost);
+  // Every carried frame reached its (single) addressee.
+  EXPECT_EQ(b.frames.size(), stats.frames_carried);
+  EXPECT_EQ(segment.impairment_stats().dropped(), stats.frames_lost);
+}
+
+TEST(SegmentTest, ImpairmentsAreSeedReplayable) {
+  auto run = [](uint64_t seed) {
+    pfsim::Simulator sim;
+    EthernetSegment segment(&sim, LinkType::kExperimental3Mb);
+    TestStation a(MacAddr::Experimental(1));
+    TestStation b(MacAddr::Experimental(2));
+    segment.Attach(&a);
+    segment.Attach(&b);
+    pflink::ImpairmentConfig config;
+    config.seed = seed;
+    config.loss = 0.1;
+    config.corrupt = 0.1;
+    config.duplicate = 0.05;
+    config.truncate = 0.05;
+    config.reorder = 0.1;
+    segment.SetImpairments(config);
+    for (int i = 0; i < 400; ++i) {
+      segment.Transmit(&a, MakeFrame(2, 1, 64));
+    }
+    sim.Run();
+    return std::make_pair(b.frames, segment.impairment_stats());
+  };
+  const auto [frames1, stats1] = run(42);
+  const auto [frames2, stats2] = run(42);
+  EXPECT_EQ(frames1, frames2);  // byte-identical delivery, fault for fault
+  EXPECT_EQ(stats1.dropped(), stats2.dropped());
+  EXPECT_EQ(stats1.corrupted, stats2.corrupted);
+  EXPECT_EQ(stats1.duplicated, stats2.duplicated);
+  EXPECT_EQ(stats1.truncated, stats2.truncated);
+  EXPECT_EQ(stats1.reordered, stats2.reordered);
+  const auto [frames3, stats3] = run(43);
+  EXPECT_NE(frames1, frames3);  // a different seed is a different run
+}
+
+TEST(SegmentTest, DuplicateDeliversPristineSecondCopy) {
+  pfsim::Simulator sim;
+  EthernetSegment segment(&sim, LinkType::kExperimental3Mb);
+  TestStation a(MacAddr::Experimental(1));
+  TestStation b(MacAddr::Experimental(2));
+  segment.Attach(&a);
+  segment.Attach(&b);
+  pflink::ImpairmentConfig config;
+  config.duplicate = 1.0;
+  segment.SetImpairments(config);
+
+  segment.Transmit(&a, MakeFrame(2, 1, 64));
+  sim.Run();
+  ASSERT_EQ(b.raw.size(), 2u);
+  EXPECT_EQ(b.frames[0], b.frames[1]);
+  EXPECT_TRUE(b.raw[0].FcsIntact());
+  EXPECT_TRUE(b.raw[1].FcsIntact());
+  EXPECT_EQ(segment.stats().frames_duplicated, 1u);
+  EXPECT_EQ(segment.stats().frames_carried, 2u);
+  EXPECT_EQ(segment.stats().frames_offered + segment.stats().frames_duplicated,
+            segment.stats().frames_carried + segment.stats().frames_lost);
+}
+
+TEST(SegmentTest, CorruptionSparesHeaderAndTripsFcs) {
+  pfsim::Simulator sim;
+  EthernetSegment segment(&sim, LinkType::kExperimental3Mb);
+  TestStation a(MacAddr::Experimental(1));
+  TestStation b(MacAddr::Experimental(2));
+  segment.Attach(&a);
+  segment.Attach(&b);
+  pflink::ImpairmentConfig config;
+  config.corrupt = 1.0;
+  segment.SetImpairments(config);
+
+  const Frame sent = MakeFrame(2, 1, 64);
+  segment.Transmit(&a, sent);
+  sim.Run();
+  ASSERT_EQ(b.raw.size(), 1u);  // header intact, so routing still worked
+  const Frame& got = b.raw[0];
+  EXPECT_EQ(std::vector<uint8_t>(got.bytes.begin(), got.bytes.begin() + 4),
+            std::vector<uint8_t>(sent.bytes.begin(), sent.bytes.begin() + 4));
+  EXPECT_NE(got.bytes, sent.bytes);
+  EXPECT_FALSE(got.FcsIntact());
+  EXPECT_FALSE(got.Truncated());
+}
+
+TEST(SegmentTest, TruncationKeepsRoutableHeader) {
+  pfsim::Simulator sim;
+  EthernetSegment segment(&sim, LinkType::kExperimental3Mb);
+  TestStation a(MacAddr::Experimental(1));
+  TestStation b(MacAddr::Experimental(2));
+  segment.Attach(&a);
+  segment.Attach(&b);
+  pflink::ImpairmentConfig config;
+  config.truncate = 1.0;
+  segment.SetImpairments(config);
+
+  const Frame sent = MakeFrame(2, 1, 64);
+  segment.Transmit(&a, sent);
+  sim.Run();
+  ASSERT_EQ(b.raw.size(), 1u);
+  EXPECT_GE(b.raw[0].size(), 4u);  // never below the link header
+  EXPECT_LT(b.raw[0].size(), sent.size());
+  EXPECT_TRUE(b.raw[0].Truncated());
+}
+
+TEST(SegmentTest, BurstLossDropsRunsOfFrames) {
+  pfsim::Simulator sim;
+  EthernetSegment segment(&sim, LinkType::kExperimental3Mb);
+  TestStation a(MacAddr::Experimental(1));
+  TestStation b(MacAddr::Experimental(2));
+  segment.Attach(&a);
+  segment.Attach(&b);
+  pflink::ImpairmentConfig config;
+  config.burst_enter = 0.05;
+  config.burst_exit = 0.25;
+  segment.SetImpairments(config);
+
+  for (int i = 0; i < 1000; ++i) {
+    segment.Transmit(&a, MakeFrame(2, 1, 4));
+  }
+  sim.Run();
+  const pflink::ImpairmentStats& stats = segment.impairment_stats();
+  EXPECT_GT(stats.dropped_burst, 0u);
+  EXPECT_EQ(stats.dropped_independent, 0u);
+  EXPECT_EQ(segment.stats().frames_offered,
+            segment.stats().frames_carried + segment.stats().frames_lost);
+}
+
+TEST(SegmentTest, ReorderJitterLetsLaterFramesOvertake) {
+  pfsim::Simulator sim;
+  EthernetSegment segment(&sim, LinkType::kExperimental3Mb);
+  TestStation a(MacAddr::Experimental(1));
+  TestStation b(MacAddr::Experimental(2));
+  segment.Attach(&a);
+  segment.Attach(&b);
+  pflink::ImpairmentConfig config;
+  config.reorder = 0.5;
+  config.reorder_jitter = pfsim::Milliseconds(5);
+  segment.SetImpairments(config);
+
+  for (uint8_t i = 0; i < 50; ++i) {
+    Frame frame = MakeFrame(2, 1, 8);
+    frame.bytes[4] = i;  // sequence tag in the payload
+    segment.Transmit(&a, frame);
+  }
+  sim.Run();
+  ASSERT_EQ(b.frames.size(), 50u);
+  bool out_of_order = false;
+  for (size_t i = 1; i < b.frames.size(); ++i) {
+    if (b.frames[i][4] < b.frames[i - 1][4]) {
+      out_of_order = true;
+    }
+  }
+  EXPECT_TRUE(out_of_order);
+  EXPECT_GT(segment.impairment_stats().reordered, 0u);
 }
 
 TEST(SegmentTest, DetachStopsDelivery) {
