@@ -92,16 +92,13 @@ void KernelResidentCrossings() {
     }
     const int pid = bob.NewPid();
     bob.ledger().Reset();
-    while (received < 64 * 1024 && !conn->eof()) {
-      const auto chunk = co_await conn->Recv(pid, 16 * 1024, pfsim::Seconds(10));
-      if (chunk.empty() && !conn->eof()) {
-        break;
-      }
-      received += chunk.size();
-      // Application think time lets the kernel buffer several segments, so
-      // crossings per frame shrink (the fig. 2-3 effect).
+    // Application think time lets the kernel buffer several segments, so
+    // crossings per frame shrink (the fig. 2-3 effect).
+    auto think = [&](size_t) -> pfsim::ValueTask<void> {
       co_await sim.Delay(pfsim::Milliseconds(25));
-    }
+    };
+    received = co_await pfbench::DrainStream(conn, pid, 64 * 1024, 16 * 1024,
+                                             pfsim::Seconds(10), think);
     receiver_syscalls = bob.ledger().count(pfkern::Cost::kSyscall);
   };
   auto client = [&]() -> pfsim::Task {

@@ -1,6 +1,9 @@
 // Figures 3-4 / 3-5: per-packet overheads without and with received-packet
 // batching — counted events (wakeup switches + read syscalls) for a burst
 // of N packets delivered to one port.
+// With `--zerocopy`, two extra rows count the same burst delivered over the
+// DESIGN.md §13 modes: shared-memory ring (copies collapse to zero) and
+// ring + NIC poll mode; the default output is unchanged.
 #include <cstdio>
 
 #include "bench/recv_common.h"
@@ -14,11 +17,17 @@ struct Events {
   int packets = 0;
 };
 
-Events CountBurst(bool batching, int burst) {
+Events CountBurst(bool batching, int burst, size_t ring_slots = 0, bool poll = false) {
   pfsim::Simulator sim;
   pflink::EthernetSegment segment(&sim, pflink::LinkType::kEthernet10Mb);
   pfkern::Machine receiver(&sim, &segment, pflink::MacAddr::Dix(8, 0, 0, 0, 0, 2),
                            pfkern::MicroVaxUltrixCosts(), "receiver");
+  if (ring_slots > 0) {
+    receiver.pf().SetRingDelivery(ring_slots);
+  }
+  if (poll) {
+    receiver.SetPollMode(true);
+  }
   pflink::LinkHeader link;
   link.dst = receiver.link_addr();
   link.src = pflink::MacAddr::Dix(8, 0, 0, 0, 0, 1);
@@ -32,7 +41,9 @@ Events CountBurst(bool batching, int burst) {
     co_await receiver.pf().SetFilter(pid, port, pf::Program{});
     pfkern::PacketFilterDevice::PortOptions options;
     options.batching = batching;
-    options.queue_limit = 256;
+    if (ring_slots == 0) {
+      options.queue_limit = 256;  // ring mode sizes the queue to its slots
+    }
     co_await receiver.pf().Configure(pid, port, options);
     receiver.ledger().Reset();
     while (events.packets < burst) {
@@ -58,7 +69,7 @@ Events CountBurst(bool batching, int burst) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   constexpr int kBurst = 16;
   const Events without = CountBurst(false, kBurst);
   const Events with = CountBurst(true, kBurst);
@@ -72,6 +83,16 @@ int main() {
   std::printf("    %-28s %10llu %10llu %8llu   (fig. 3-5)\n", "with batching",
               (unsigned long long)with.switches, (unsigned long long)with.syscalls,
               (unsigned long long)with.copies);
+  if (pfbench::HasFlag(argc, argv, "--zerocopy")) {
+    const Events ring = CountBurst(true, kBurst, /*ring_slots=*/64);
+    const Events ring_poll = CountBurst(true, kBurst, /*ring_slots=*/64, /*poll=*/true);
+    std::printf("    %-28s %10llu %10llu %8llu   (ring delivery)\n", "batching + ring",
+                (unsigned long long)ring.switches, (unsigned long long)ring.syscalls,
+                (unsigned long long)ring.copies);
+    std::printf("    %-28s %10llu %10llu %8llu   (ring + poll)\n", "batching + ring + poll",
+                (unsigned long long)ring_poll.switches, (unsigned long long)ring_poll.syscalls,
+                (unsigned long long)ring_poll.copies);
+  }
   std::printf(
       "\n    batching \"can amortize the overhead of performing a system call over several\n"
       "    packets\" (§3) — crossings collapse to ~1 per burst; copies remain per-packet.\n");

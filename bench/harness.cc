@@ -136,4 +136,13 @@ double RateKBps(size_t bytes, pfsim::TimePoint start, pfsim::TimePoint end) {
   return seconds > 0 ? static_cast<double>(bytes) / 1024.0 / seconds : 0.0;
 }
 
+bool HasFlag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
 }  // namespace pfbench

@@ -7,6 +7,7 @@
 #ifndef BENCH_HARNESS_H_
 #define BENCH_HARNESS_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -79,6 +80,74 @@ double ElapsedMs(pfsim::TimePoint start, pfsim::TimePoint end);
 
 // KBytes/sec for `bytes` transferred over [start, end].
 double RateKBps(size_t bytes, pfsim::TimePoint start, pfsim::TimePoint end);
+
+// True if `flag` (e.g. "--zerocopy") appears among the arguments.
+bool HasFlag(int argc, char** argv, const char* flag);
+
+// --- Shared receive loops ---
+//
+// Hoisted from the per-table measurement headers (recv_common.h,
+// stream_common.h, vmtp_common.h), which each grew their own copy of the
+// same drain-until-done logic.
+
+// Drains `total` packets by repeatedly awaiting `read_once` (a callable
+// returning ValueTask<size_t>: packets obtained by one read). Stops early
+// when a read times out empty. Returns the count actually consumed.
+template <typename ReadOnce>
+pfsim::ValueTask<int> DrainPackets(int total, ReadOnce read_once) {
+  int consumed = 0;
+  while (consumed < total) {
+    const size_t got = co_await read_once();
+    if (got == 0) {
+      break;  // stalled; report what we have
+    }
+    consumed += static_cast<int>(got);
+  }
+  co_return consumed;
+}
+
+// Receives until `total` bytes or EOF from anything with
+// `Recv(pid, max, timeout) -> vector<uint8_t>` and `eof()` (TcpConnection,
+// BspStream). `on_chunk`, when set, is awaited after every nonempty chunk —
+// display-rate charging (table 6-7) or application think time (fig. 2-3).
+// Returns the bytes received.
+template <typename Stream>
+pfsim::ValueTask<size_t> DrainStream(
+    Stream* stream, int pid, size_t total, size_t recv_chunk, pfsim::Duration timeout,
+    std::function<pfsim::ValueTask<void>(size_t)> on_chunk = nullptr) {
+  size_t received = 0;
+  while (received < total && !stream->eof()) {
+    const auto chunk = co_await stream->Recv(pid, recv_chunk, timeout);
+    if (chunk.empty() && !stream->eof()) {
+      break;
+    }
+    received += chunk.size();
+    if (on_chunk && !chunk.empty()) {
+      co_await on_chunk(chunk.size());
+    }
+  }
+  co_return received;
+}
+
+// The §6.3 file-server loop: 'R' requests are answered with a cached
+// `segment_bytes` segment, everything else with zero bytes. `receive` and
+// `respond` adapt the transport (user-level or kernel VMTP): receive() ->
+// ValueTask<optional<Request>>, respond(Request&, vector<uint8_t>).
+template <typename ReceiveFn, typename RespondFn>
+pfsim::Task FileServerLoop(size_t segment_bytes, ReceiveFn receive, RespondFn respond) {
+  const std::vector<uint8_t> segment(segment_bytes, 0x6f);
+  for (;;) {
+    auto request = co_await receive();
+    if (!request.has_value()) {
+      co_return;  // measurement over
+    }
+    std::vector<uint8_t> response;
+    if (!request->data.empty() && request->data[0] == 'R') {
+      response = segment;
+    }
+    co_await respond(*request, std::move(response));
+  }
+}
 
 }  // namespace pfbench
 

@@ -49,6 +49,12 @@ struct RecvConfig {
   // Called after the run with the receiver machine still alive — snapshot
   // its metrics registry / ledger here (tables 6-10's reconciliation dump).
   std::function<void(pfkern::Machine&)> inspect;
+  // Zero-copy delivery knobs (DESIGN.md §13). ring_slots > 0 switches the
+  // receiver's pf device to shared-memory ring delivery; poll switches the
+  // NIC from per-frame interrupts to budgeted poll rounds.
+  size_t ring_slots = 0;
+  bool poll = false;
+  size_t poll_budget = 16;
 };
 
 // Returns the mean per-packet receive cost in milliseconds, measured as
@@ -62,6 +68,12 @@ inline double MeasureReceivePerPacketMs(const RecvConfig& config) {
   pfkern::Machine receiver(&sim, &segment, pflink::MacAddr::Dix(8, 0, 0, 0, 0, 2),
                            pfkern::MicroVaxUltrixCosts(), "receiver");
   receiver.pf().core().SetStrategy(config.strategy);
+  if (config.ring_slots > 0) {
+    receiver.pf().SetRingDelivery(config.ring_slots);
+  }
+  if (config.poll) {
+    receiver.SetPollMode(true, config.poll_budget);
+  }
   if (config.profile) {
     receiver.pf().core().SetProfiling(true);
     receiver.pf().core().SetFlowCacheCapacity(0);
@@ -99,24 +111,22 @@ inline double MeasureReceivePerPacketMs(const RecvConfig& config) {
       co_await receiver.pf().SetFilter(pid, port, config.filter);
       pfkern::PacketFilterDevice::PortOptions options;
       options.batching = config.batching;
-      options.queue_limit = 512;
+      if (config.ring_slots == 0) {
+        options.queue_limit = 512;  // ring mode sizes the queue to its slots
+      }
       co_await receiver.pf().Configure(pid, port, options);
     }
-    while (consumed < total_packets) {
-      size_t got = 0;
+    auto read_once = [&]() -> pfsim::ValueTask<size_t> {
       if (config.user_demux && config.batching) {
-        got = (co_await pipe->ReadBatch(pid, pfsim::Seconds(30))).size();
-      } else if (config.user_demux) {
+        co_return (co_await pipe->ReadBatch(pid, pfsim::Seconds(30))).size();
+      }
+      if (config.user_demux) {
         const auto message = co_await pipe->Read(pid, pfsim::Seconds(30));
-        got = message.has_value() ? 1 : 0;
-      } else {
-        got = (co_await receiver.pf().Read(pid, port, pfsim::Seconds(30))).size();
+        co_return message.has_value() ? 1 : 0;
       }
-      if (got == 0) {
-        break;  // stalled; report what we have
-      }
-      consumed += static_cast<int>(got);
-    }
+      co_return (co_await receiver.pf().Read(pid, port, pfsim::Seconds(30))).size();
+    };
+    consumed = co_await DrainPackets(total_packets, read_once);
   };
 
   // Load generator: a sim event injects each burst directly at the NIC.

@@ -35,16 +35,27 @@ struct ProfileResult {
   double predicates_per_packet = 0;
   double ip_full_ms = 0;
   double ip_layer_ms = 0;
+  // Mean kernel CPU over *all* received packets (ledger grand total), the
+  // figure the --zerocopy delivery-mode comparison reports.
+  double kernel_ms_per_packet = 0;
 };
 
 // Runs `packets` frames against the receiver; fraction by type per the
 // paper's profile. If `fixed_socket` > 0, all traffic is Pup to that socket
-// (for the linear-model sweep).
-ProfileResult RunProfile(int packets, int fixed_socket = 0) {
+// (for the linear-model sweep). `ring`/`poll` select the DESIGN.md §13
+// delivery modes for the --zerocopy comparison.
+ProfileResult RunProfile(int packets, int fixed_socket = 0, bool ring = false,
+                         bool poll = false) {
   pfsim::Simulator sim;
   pflink::EthernetSegment segment(&sim, pflink::LinkType::kEthernet10Mb);
   Machine receiver(&sim, &segment, pflink::MacAddr::Dix(8, 0, 0, 0, 0, 2),
                    pfkern::MicroVaxUltrixCosts(), "timesharing-vax");
+  if (ring) {
+    receiver.pf().SetRingDelivery(128);
+  }
+  if (poll) {
+    receiver.SetPollMode(true);
+  }
   pfkern::KernelIpStack ip_stack(&receiver, pfproto::MakeIpv4(10, 0, 0, 2));
   ip_stack.BindUdp(9);
   // ARP is a kernel-resident protocol here (the 10% of §6.1's profile).
@@ -153,6 +164,7 @@ ProfileResult RunProfile(int packets, int fixed_socket = 0) {
 
   ProfileResult result;
   const auto& ledger = receiver.ledger();
+  result.kernel_ms_per_packet = pfsim::ToMilliseconds(ledger.grand_total()) / packets;
   if (pf_packets > 0) {
     // Kernel CPU attributable to the packet filter per PF packet: interrupt
     // + filter evaluation + bookkeeping (the paper's enf_* routines plus
@@ -179,7 +191,7 @@ ProfileResult RunProfile(int packets, int fixed_socket = 0) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const ProfileResult mixed = RunProfile(2000);
 
   pfbench::PrintTable(
@@ -206,5 +218,17 @@ int main() {
   std::printf(
       "    (a mismatching fig. 3-9-style predicate costs 2 instructions thanks to the\n"
       "    short-circuit CAND; the paper's 0.122 ms average reflects longer filters.)\n");
+
+  if (pfbench::HasFlag(argc, argv, "--zerocopy")) {
+    // DESIGN.md §13 delivery modes over the same mixed profile: the ring
+    // removes the read-time copy, poll mode batches interrupt work.
+    const ProfileResult ring = RunProfile(2000, 0, /*ring=*/true);
+    const ProfileResult ring_poll = RunProfile(2000, 0, /*ring=*/true, /*poll=*/true);
+    std::printf(
+        "    zero-copy delivery, mean kernel CPU per received packet (all traffic):\n"
+        "      legacy read(): %.3f ms   ring: %.3f ms   ring + poll: %.3f ms\n",
+        mixed.kernel_ms_per_packet, ring.kernel_ms_per_packet,
+        ring_poll.kernel_ms_per_packet);
+  }
   return 0;
 }

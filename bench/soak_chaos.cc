@@ -20,6 +20,14 @@
 // non-zero on any violation — the CI gate (ctest label: chaos). With
 // PF_BENCH_JSON set, per-cell completion times are exported like every
 // other bench.
+//
+// `--delivery=ring` (optionally with `--poll`) reruns the whole grid with
+// shared-memory ring delivery / poll-mode receive on every machine
+// (DESIGN.md §13). Under impairments this is the copy-on-write stress: the
+// wire duplicates a frame sharing one PacketBuf block, corruption then
+// mutates one instance via MutableSpan(), and the byte-exactness bar proves
+// the COW clone isolated the pristine copy. Wired into ctest as
+// soak_chaos_ring_check / soak_chaos_ring_poll_check (label: chaos).
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -29,6 +37,7 @@
 
 #include "bench/harness.h"
 #include "src/link/impair.h"
+#include "src/pf/packet_buf.h"
 #include "src/net/bsp.h"
 #include "src/net/rarp.h"
 #include "src/net/vmtp.h"
@@ -45,6 +54,21 @@ using pfsim::Seconds;
 using pfsim::Task;
 
 constexpr uint64_t kDefaultBaseSeed = 0xc4a05;
+
+// How packets cross the kernel/user boundary for the whole grid run
+// (DESIGN.md §13). Legacy = per-packet read() copies; ring maps every pf
+// port onto a shared-memory descriptor ring; poll swaps per-frame NIC
+// interrupts for budgeted poll rounds.
+struct Delivery {
+  size_t ring_slots = 0;
+  bool poll = false;
+  const char* label() const {
+    if (ring_slots == 0) {
+      return "legacy read()";
+    }
+    return poll ? "ring + poll" : "ring";
+  }
+};
 
 struct Cell {
   std::string name;
@@ -146,13 +170,22 @@ void Fail(Outcome* out, const std::string& what) {
 
 // One simulated network per (cell, protocol) run.
 struct Net {
-  explicit Net(const Cell& cell) : duo(pflink::LinkType::kEthernet10Mb) {
+  Net(const Cell& cell, const Delivery& delivery)
+      : duo(pflink::LinkType::kEthernet10Mb) {
     duo.segment().AttachMetrics(&wire_metrics);
     if (cell.config.Any()) {
       duo.segment().SetImpairments(cell.config);
     }
     if (cell.rx_ring > 0) {
       duo.client().SetRxRing(cell.rx_ring);
+    }
+    if (delivery.ring_slots > 0) {
+      duo.client().pf().SetRingDelivery(delivery.ring_slots);
+      duo.server().pf().SetRingDelivery(delivery.ring_slots);
+    }
+    if (delivery.poll) {
+      duo.client().SetPollMode(true);
+      duo.server().SetPollMode(true);
     }
   }
 
@@ -233,8 +266,9 @@ struct Net {
   pfobs::MetricsRegistry wire_metrics;
 };
 
-Outcome RunVmtp(const Cell& cell, int transactions, size_t bulk_bytes) {
-  Net net(cell);
+Outcome RunVmtp(const Cell& cell, const Delivery& delivery, int transactions,
+                size_t bulk_bytes) {
+  Net net(cell, delivery);
   Outcome out;
   int intact = 0;
   bool done = false;
@@ -293,8 +327,8 @@ Outcome RunVmtp(const Cell& cell, int transactions, size_t bulk_bytes) {
   return out;
 }
 
-Outcome RunBsp(const Cell& cell, size_t payload_bytes) {
-  Net net(cell);
+Outcome RunBsp(const Cell& cell, const Delivery& delivery, size_t payload_bytes) {
+  Net net(cell, delivery);
   Outcome out;
   std::vector<uint8_t> received;
   bool sent_ok = false;
@@ -357,8 +391,8 @@ Outcome RunBsp(const Cell& cell, size_t payload_bytes) {
   return out;
 }
 
-Outcome RunRarp(const Cell& cell, int resolves) {
-  Net net(cell);
+Outcome RunRarp(const Cell& cell, const Delivery& delivery, int resolves) {
+  Net net(cell, delivery);
   Outcome out;
   const uint32_t assigned = pfproto::MakeIpv4(10, 9, 8, 7);
   int good = 0;
@@ -403,6 +437,7 @@ int main(int argc, char** argv) {
   bool check = false;
   uint64_t base_seed = kDefaultBaseSeed;
   std::string only_cell;
+  Delivery delivery;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--check") == 0) {
       check = true;
@@ -410,16 +445,23 @@ int main(int argc, char** argv) {
       base_seed = std::strtoull(argv[++i], nullptr, 0);
     } else if (std::strcmp(argv[i], "--cell") == 0 && i + 1 < argc) {
       only_cell = argv[++i];
+    } else if (std::strcmp(argv[i], "--delivery=ring") == 0) {
+      delivery.ring_slots = 128;
+    } else if (std::strcmp(argv[i], "--poll") == 0) {
+      delivery.poll = true;
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--check] [--seed N] [--cell NAME]\n"
+                   "usage: %s [--check] [--seed N] [--cell NAME] [--delivery=ring] [--poll]\n"
                    "  --check  reduced iterations, exit non-zero on any violation\n"
                    "  --seed   base seed for the impairment grid (replay a failure)\n"
-                   "  --cell   run a single grid cell by name\n",
+                   "  --cell   run a single grid cell by name\n"
+                   "  --delivery=ring  shared-memory ring delivery on every pf port\n"
+                   "  --poll   poll-mode NIC receive instead of per-frame interrupts\n",
                    argv[0]);
       return 2;
     }
   }
+  pf::PacketBuf::ResetStats();
 
   // Soak scale vs CI gate scale.
   const int vmtp_transactions = check ? 4 : 40;
@@ -437,36 +479,60 @@ int main(int argc, char** argv) {
       const char* name;
       Outcome outcome;
     } protos[] = {
-        {"vmtp", RunVmtp(cell, vmtp_transactions, vmtp_bulk)},
-        {"bsp", RunBsp(cell, bsp_bytes)},
-        {"rarp", RunRarp(cell, rarp_resolves)},
+        {"vmtp", RunVmtp(cell, delivery, vmtp_transactions, vmtp_bulk)},
+        {"bsp", RunBsp(cell, delivery, bsp_bytes)},
+        {"rarp", RunRarp(cell, delivery, rarp_resolves)},
     };
     for (const Proto& proto : protos) {
       rows.push_back({cell.name + "/" + proto.name, NAN, proto.outcome.sim_ms});
       if (!proto.outcome.error.empty()) {
         ++failures;
         std::fprintf(stderr,
-                     "FAILED cell=%s proto=%s seed=0x%llx: %s\n"
+                     "FAILED cell=%s proto=%s delivery=\"%s\" seed=0x%llx: %s\n"
                      "  (retransmits=%llu backoffs=%llu)\n"
                      "  %s\n"
-                     "  replay: soak_chaos --cell %s --seed 0x%llx\n",
-                     cell.name.c_str(), proto.name,
+                     "  replay: soak_chaos --cell %s --seed 0x%llx%s%s\n",
+                     cell.name.c_str(), proto.name, delivery.label(),
                      (unsigned long long)base_seed, proto.outcome.error.c_str(),
                      (unsigned long long)proto.outcome.retransmits,
                      (unsigned long long)proto.outcome.backoffs,
                      proto.outcome.stats_line.c_str(),
-                     cell.name.c_str(), (unsigned long long)base_seed);
+                     cell.name.c_str(), (unsigned long long)base_seed,
+                     delivery.ring_slots > 0 ? " --delivery=ring" : "",
+                     delivery.poll ? " --poll" : "");
       }
     }
   }
 
+  std::string title = "Chaos soak: impairment grid x {VMTP bulk, BSP stream, RARP}";
+  if (delivery.ring_slots > 0 || delivery.poll) {
+    title += std::string(" [") + delivery.label() + "]";
+  }
   pfbench::PrintTable(
-      "Chaos soak: impairment grid x {VMTP bulk, BSP stream, RARP}",
+      title,
       "fault-injection subsystem (src/link/impair.h); no paper counterpart",
       "ms simulated to byte-exact completion", rows);
   pfbench::PrintNote(
       "Every cell asserts payload integrity, bounded completion, wire/NIC "
       "conservation identities, and adaptive-retransmission behaviour.");
+  const pf::PacketBufStats& buf_stats = pf::PacketBuf::stats();
+  if (delivery.ring_slots > 0 || delivery.poll) {
+    // The COW evidence: corruption of a duplicated (block-sharing) frame
+    // cloned before mutating, and every cell above still came out
+    // byte-exact. A zero here on the full default-seed grid would mean the
+    // duplicate+corrupt overlap never happened and the grid stopped
+    // stressing copy-on-write — fail loudly rather than let coverage rot.
+    std::printf("    packet-buf: %llu COW clone(s) (%llu bytes) isolated impairment "
+                "mutations from shared blocks\n",
+                (unsigned long long)buf_stats.cow_copies,
+                (unsigned long long)buf_stats.cow_bytes);
+    if (check && only_cell.empty() && base_seed == kDefaultBaseSeed &&
+        buf_stats.cow_copies == 0) {
+      std::fprintf(stderr,
+                   "FAILED: default-seed grid exercised no copy-on-write clones\n");
+      ++failures;
+    }
+  }
   if (failures > 0) {
     std::fprintf(stderr, "%d chaos cell(s) failed\n", failures);
     return 1;

@@ -50,13 +50,7 @@ inline double MeasureTcpBulkKBps(size_t total, size_t mss,
     }
     const int pid = duo.client().NewPid();
     const pfsim::TimePoint start = duo.sim().Now();
-    while (received < total && !conn->eof()) {
-      const auto chunk = co_await conn->Recv(pid, 8192, pfsim::Seconds(30));
-      if (chunk.empty() && !conn->eof()) {
-        break;
-      }
-      received += chunk.size();
-    }
+    received = co_await DrainStream(conn, pid, total, 8192, pfsim::Seconds(30));
     kbps = RateKBps(received, start, duo.sim().Now());
   };
 
@@ -102,13 +96,7 @@ inline double MeasureBspBulkKBps(size_t total,
       co_return;
     }
     const pfsim::TimePoint start = duo.sim().Now();
-    while (received < total && !client_stream->eof()) {
-      const auto chunk = co_await client_stream->Recv(pid, 8192, pfsim::Seconds(30));
-      if (chunk.empty() && !client_stream->eof()) {
-        break;
-      }
-      received += chunk.size();
-    }
+    received = co_await DrainStream(client_stream.get(), pid, total, 8192, pfsim::Seconds(30));
     kbps = RateKBps(received, start, duo.sim().Now());
   };
 
@@ -174,6 +162,12 @@ inline double MeasureTelnetCps(bool use_tcp, pflink::LinkType link, double displ
   auto client = [&]() -> pfsim::Task {
     const int pid = duo.client().NewPid();
     pfsim::TimePoint start{};
+    // The display device limits consumption: every chunk is charged per
+    // character before the next read.
+    auto display = [&](size_t chars) -> pfsim::ValueTask<void> {
+      co_await duo.client().Run(pid, pfkern::Cost::kDisplay,
+                                per_char * static_cast<int64_t>(chars));
+    };
     if (use_tcp) {
       pfkern::TcpConnection* conn = co_await client_tcp->Connect(
           pid, duo.server_ip_addr(), 23, 4000, pfsim::Seconds(30));
@@ -181,15 +175,8 @@ inline double MeasureTelnetCps(bool use_tcp, pflink::LinkType link, double displ
         co_return;
       }
       start = duo.sim().Now();
-      while (displayed < total_chars && !conn->eof()) {
-        const auto chars = co_await conn->Recv(pid, recv_chunk, pfsim::Seconds(30));
-        if (chars.empty() && !conn->eof()) {
-          break;
-        }
-        co_await duo.client().Run(pid, pfkern::Cost::kDisplay,
-                                  per_char * static_cast<int64_t>(chars.size()));
-        displayed += chars.size();
-      }
+      displayed = co_await DrainStream(conn, pid, total_chars, recv_chunk,
+                                       pfsim::Seconds(30), display);
     } else {
       co_await duo.sim().Delay(pfsim::Milliseconds(50));
       client_stream = co_await pfnet::BspStream::Connect(&duo.client(), pid,
@@ -200,15 +187,8 @@ inline double MeasureTelnetCps(bool use_tcp, pflink::LinkType link, double displ
         co_return;
       }
       start = duo.sim().Now();
-      while (displayed < total_chars && !client_stream->eof()) {
-        const auto chars = co_await client_stream->Recv(pid, recv_chunk, pfsim::Seconds(30));
-        if (chars.empty() && !client_stream->eof()) {
-          break;
-        }
-        co_await duo.client().Run(pid, pfkern::Cost::kDisplay,
-                                  per_char * static_cast<int64_t>(chars.size()));
-        displayed += chars.size();
-      }
+      displayed = co_await DrainStream(client_stream.get(), pid, total_chars, recv_chunk,
+                                       pfsim::Seconds(30), display);
     }
     cps = static_cast<double>(displayed) / pfsim::ToSeconds(duo.sim().Now() - start);
   };

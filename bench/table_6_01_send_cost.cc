@@ -22,7 +22,7 @@ std::vector<uint8_t> FrameOfTotalSize(const Machine& client, const Machine& serv
   link.src = client.link_addr();
   link.ether_type = 0x3333;  // private experiment type
   const std::vector<uint8_t> payload(total - 14, 0x5a);
-  return pflink::BuildFrame(pflink::LinkType::kEthernet10Mb, link, payload)->bytes;
+  return pflink::BuildFrame(pflink::LinkType::kEthernet10Mb, link, payload)->bytes.ToVector();
 }
 
 double MeasurePfSend(size_t total_bytes, int packets) {

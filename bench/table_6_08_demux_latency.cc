@@ -6,6 +6,7 @@
 // With `--trace=<file.json>` the kernel-demux 128-byte run is repeated with
 // a TraceSession attached and the resulting Chrome trace_event JSON written
 // to <file.json> (load it in Perfetto / chrome://tracing).
+#include <cmath>
 #include <cstring>
 #include <string>
 
@@ -17,11 +18,14 @@ int main(int argc, char** argv) {
   using pfbench::RecvConfig;
 
   std::string trace_path;
+  bool zerocopy = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--trace=", 8) == 0) {
       trace_path = argv[i] + 8;
+    } else if (std::strcmp(argv[i], "--zerocopy") == 0) {
+      zerocopy = true;  // extra DESIGN.md §13 delivery-mode rows
     } else {
-      std::fprintf(stderr, "usage: %s [--trace=<file.json>]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--trace=<file.json>] [--zerocopy]\n", argv[0]);
       return 2;
     }
   }
@@ -35,15 +39,32 @@ int main(int argc, char** argv) {
   RecvConfig user1500 = kernel1500;
   user1500.user_demux = true;
 
+  std::vector<pfbench::Row> rows = {
+      {"128 bytes, demux in kernel", 2.3, MeasureReceivePerPacketMs(kernel128)},
+      {"128 bytes, demux in user process", 5.0, MeasureReceivePerPacketMs(user128)},
+      {"1500 bytes, demux in kernel", 4.0, MeasureReceivePerPacketMs(kernel1500)},
+      {"1500 bytes, demux in user process", 9.0, MeasureReceivePerPacketMs(user1500)},
+  };
+  if (zerocopy) {
+    RecvConfig ring128 = kernel128;
+    ring128.ring_slots = 128;
+    RecvConfig ring1500 = kernel1500;
+    ring1500.ring_slots = 128;
+    RecvConfig ring_poll128 = ring128;
+    ring_poll128.poll = true;
+    RecvConfig ring_poll1500 = ring1500;
+    ring_poll1500.poll = true;
+    const double nan = std::nan("");
+    rows.push_back({"128 bytes, kernel + ring", nan, MeasureReceivePerPacketMs(ring128)});
+    rows.push_back(
+        {"128 bytes, kernel + ring + poll", nan, MeasureReceivePerPacketMs(ring_poll128)});
+    rows.push_back({"1500 bytes, kernel + ring", nan, MeasureReceivePerPacketMs(ring1500)});
+    rows.push_back(
+        {"1500 bytes, kernel + ring + poll", nan, MeasureReceivePerPacketMs(ring_poll1500)});
+  }
   pfbench::PrintTable(
       "Table 6-8: Per-packet cost of user-level demultiplexing",
-      "elapsed receive time, no batching, §6.5.3", "(ms)",
-      {
-          {"128 bytes, demux in kernel", 2.3, MeasureReceivePerPacketMs(kernel128)},
-          {"128 bytes, demux in user process", 5.0, MeasureReceivePerPacketMs(user128)},
-          {"1500 bytes, demux in kernel", 4.0, MeasureReceivePerPacketMs(kernel1500)},
-          {"1500 bytes, demux in user process", 9.0, MeasureReceivePerPacketMs(user1500)},
-      });
+      "elapsed receive time, no batching, §6.5.3", "(ms)", rows);
   pfbench::PrintNote(
       "the user-process path adds 2 context switches, 2 syscalls, and 2 copies per packet "
       "(the paper's analytical model, §6.5.1).");

@@ -4,9 +4,14 @@
 // OCR caveat: the reprint's table rows are garbled; we follow the only
 // consistent reading (kernel 1.9/3.5 ms, user process 2.4/5.9 ms at
 // 128/1500 bytes) — batching narrows the gap but the kernel still wins.
+// With `--zerocopy`, extra rows measure kernel demultiplexing over
+// shared-memory ring delivery and ring + poll mode (DESIGN.md §13); the
+// default output is unchanged.
+#include <cmath>
+
 #include "bench/recv_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using pfbench::MeasureReceivePerPacketMs;
   using pfbench::RecvConfig;
 
@@ -23,15 +28,32 @@ int main() {
   RecvConfig user1500 = kernel1500;
   user1500.user_demux = true;
 
+  std::vector<pfbench::Row> rows = {
+      {"128 bytes, demux in kernel", 1.9, MeasureReceivePerPacketMs(kernel128)},
+      {"128 bytes, demux in user process", 2.4, MeasureReceivePerPacketMs(user128)},
+      {"1500 bytes, demux in kernel", 3.5, MeasureReceivePerPacketMs(kernel1500)},
+      {"1500 bytes, demux in user process", 5.9, MeasureReceivePerPacketMs(user1500)},
+  };
+  if (pfbench::HasFlag(argc, argv, "--zerocopy")) {
+    RecvConfig ring128 = kernel128;
+    ring128.ring_slots = 128;
+    RecvConfig ring1500 = kernel1500;
+    ring1500.ring_slots = 128;
+    RecvConfig ring_poll128 = ring128;
+    ring_poll128.poll = true;
+    RecvConfig ring_poll1500 = ring1500;
+    ring_poll1500.poll = true;
+    const double nan = std::nan("");
+    rows.push_back({"128 bytes, kernel + ring", nan, MeasureReceivePerPacketMs(ring128)});
+    rows.push_back(
+        {"128 bytes, kernel + ring + poll", nan, MeasureReceivePerPacketMs(ring_poll128)});
+    rows.push_back({"1500 bytes, kernel + ring", nan, MeasureReceivePerPacketMs(ring1500)});
+    rows.push_back(
+        {"1500 bytes, kernel + ring + poll", nan, MeasureReceivePerPacketMs(ring_poll1500)});
+  }
   pfbench::PrintTable(
       "Table 6-9: User-level demultiplexing with received-packet batching",
-      "elapsed receive time, batches of 4, §6.5.3", "(ms)",
-      {
-          {"128 bytes, demux in kernel", 1.9, MeasureReceivePerPacketMs(kernel128)},
-          {"128 bytes, demux in user process", 2.4, MeasureReceivePerPacketMs(user128)},
-          {"1500 bytes, demux in kernel", 3.5, MeasureReceivePerPacketMs(kernel1500)},
-          {"1500 bytes, demux in user process", 5.9, MeasureReceivePerPacketMs(user1500)},
-      });
+      "elapsed receive time, batches of 4, §6.5.3", "(ms)", rows);
   pfbench::PrintNote(
       "batching amortizes the wakeup switch + read syscall over the burst; copies remain "
       "per-packet.");

@@ -24,6 +24,14 @@ struct VmtpConfig {
   bool batching = true;           // read batching (user-level only)
   bool demux_process = false;     // client receives via demux process + pipe (§6.5)
   pfkern::CostModel costs = pfkern::MicroVaxUltrixCosts();
+  // Zero-copy delivery knobs (DESIGN.md §13), applied to both machines:
+  // ring_slots > 0 maps every pf port onto a shared-memory descriptor ring;
+  // poll trades per-frame NIC interrupts for budgeted poll rounds.
+  size_t ring_slots = 0;
+  bool poll = false;
+  // Called after the run with both machines still alive — snapshot ledgers
+  // and metrics here (micro_zerocopy's reconciliation gate).
+  std::function<void(Duo&)> inspect;
 };
 
 struct VmtpResult {
@@ -32,42 +40,39 @@ struct VmtpResult {
 };
 
 // The user-level file server: answers "read" requests with a cached
-// segment; zero-length requests get zero-length responses.
+// segment; zero-length requests get zero-length responses. Both variants
+// share FileServerLoop (bench/harness.h); only the transport differs.
 inline pfsim::Task UserFileServer(pfkern::Machine* machine, pfnet::UserVmtpServer* server) {
   const int pid = machine->NewPid();
-  const std::vector<uint8_t> segment(kSegmentBytes, 0x6f);
-  for (;;) {
-    auto request = co_await server->ReceiveRequest(pid, pfsim::Seconds(10));
-    if (!request.has_value()) {
-      co_return;  // measurement over
-    }
-    std::vector<uint8_t> response;
-    if (!request->data.empty() && request->data[0] == 'R') {
-      response = segment;
-    }
-    co_await server->SendResponse(pid, *request, std::move(response));
-  }
+  return FileServerLoop(
+      kSegmentBytes,
+      [server, pid]() { return server->ReceiveRequest(pid, pfsim::Seconds(10)); },
+      [server, pid](auto& request, std::vector<uint8_t> response) {
+        return server->SendResponse(pid, request, std::move(response));
+      });
 }
 
 inline pfsim::Task KernelFileServer(pfkern::Machine* machine, pfkern::KernelVmtp* vmtp) {
   const int pid = machine->NewPid();
-  const std::vector<uint8_t> segment(kSegmentBytes, 0x6f);
-  for (;;) {
-    auto request = co_await vmtp->ReceiveRequest(pid, kFileServerId, pfsim::Seconds(10));
-    if (!request.has_value()) {
-      co_return;
-    }
-    std::vector<uint8_t> response;
-    if (!request->data.empty() && request->data[0] == 'R') {
-      response = segment;
-    }
-    co_await vmtp->SendResponse(pid, *request, std::move(response));
-  }
+  return FileServerLoop(
+      kSegmentBytes,
+      [vmtp, pid]() { return vmtp->ReceiveRequest(pid, kFileServerId, pfsim::Seconds(10)); },
+      [vmtp, pid](auto& request, std::vector<uint8_t> response) {
+        return vmtp->SendResponse(pid, request, std::move(response));
+      });
 }
 
 inline VmtpResult MeasureVmtp(const VmtpConfig& config, int rtt_transactions = 20,
                               int bulk_segments = 64) {
   Duo duo(pflink::LinkType::kEthernet10Mb, config.costs);
+  if (config.ring_slots > 0) {
+    duo.client().pf().SetRingDelivery(config.ring_slots);
+    duo.server().pf().SetRingDelivery(config.ring_slots);
+  }
+  if (config.poll) {
+    duo.client().SetPollMode(true);
+    duo.server().SetPollMode(true);
+  }
   VmtpResult result;
 
   std::unique_ptr<pfkern::KernelVmtp> kernel_client;
@@ -145,6 +150,9 @@ inline VmtpResult MeasureVmtp(const VmtpConfig& config, int rtt_transactions = 2
 
   duo.sim().Spawn(client_task());
   duo.sim().RunUntil(pfsim::TimePoint{} + pfsim::Seconds(3600));
+  if (config.inspect) {
+    config.inspect(duo);
+  }
   return result;
 }
 

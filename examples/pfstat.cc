@@ -16,6 +16,7 @@
 //   --duration-ms N    traffic duration in simulated ms (default 100)
 //   --strategy S       checked|fast|tree|predecoded|indexed (default indexed)
 //   --loss P           drop each frame with probability P at the medium
+//   --ring N           shared-memory ring delivery, N slots (DESIGN.md §13)
 //   --csv PATH         write the sampled time series as CSV
 //   --json PATH        write the sampled time series as JSON
 //   --flight-json PATH write the flight recorder as JSON
@@ -40,6 +41,7 @@ struct Options {
   int duration_ms = 100;
   pf::Strategy strategy = pf::Strategy::kIndexed;
   double loss = 0.0;
+  int ring_slots = 0;
   const char* csv_path = nullptr;
   const char* json_path = nullptr;
   const char* flight_json_path = nullptr;
@@ -78,6 +80,10 @@ bool ParseOptions(int argc, char** argv, Options* options) {
       if (v == nullptr) return false;
       options->loss = std::atof(v);
       if (options->loss < 0.0 || options->loss > 1.0) return false;
+    } else if (std::strcmp(argv[i], "--ring") == 0) {
+      const char* v = value();
+      if (v == nullptr || std::atoi(v) <= 0) return false;
+      options->ring_slots = std::atoi(v);
     } else if (std::strcmp(argv[i], "--csv") == 0) {
       if ((options->csv_path = value()) == nullptr) return false;
     } else if (std::strcmp(argv[i], "--json") == 0) {
@@ -146,6 +152,20 @@ void RenderTable(pfkern::Machine& machine, double now_ms) {
               (unsigned long long)link.frames_duplicated, (unsigned long long)nic.frames_in,
               (unsigned long long)nic.crc_errors, (unsigned long long)nic.truncated,
               (unsigned long long)nic.ring_overflow);
+  // Boundary-crossing copies (pf.copy.*, DESIGN.md §13) and, when ring
+  // delivery is on, the descriptor traffic that replaced them.
+  std::printf(" copies: n=%llu bytes=%llu", (unsigned long long)machine.copies(),
+              (unsigned long long)machine.copy_bytes());
+  const pfobs::Counter* rx_posts = machine.metrics().FindCounter("pfdev.ring.posts");
+  const pfobs::Counter* rx_reaped = machine.metrics().FindCounter("pfdev.ring.reaped");
+  const pfobs::Counter* tx_posts = machine.metrics().FindCounter("pfdev.ring.tx_posts");
+  if (machine.pf().ring_slots() > 0) {
+    std::printf(" | ring: posted=%llu reaped=%llu tx-posted=%llu",
+                rx_posts == nullptr ? 0ull : (unsigned long long)rx_posts->value(),
+                rx_reaped == nullptr ? 0ull : (unsigned long long)rx_reaped->value(),
+                tx_posts == nullptr ? 0ull : (unsigned long long)tx_posts->value());
+  }
+  std::printf("\n");
   const pfobs::Histogram* latency = machine.metrics().FindHistogram("pf.demux.latency");
   if (latency != nullptr && latency->count() > 0) {
     std::printf(" demux latency: n=%llu p50=%.1f us p99=%.1f us max=%.1f us\n",
@@ -174,7 +194,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: pfstat [--once] [--interval-ms N] [--duration-ms N]\n"
                  "              [--strategy checked|fast|tree|predecoded|indexed]\n"
-                 "              [--loss P] [--csv PATH] [--json PATH] [--flight-json PATH]\n");
+                 "              [--loss P] [--ring N] [--csv PATH] [--json PATH]\n"
+                 "              [--flight-json PATH]\n");
     return 2;
   }
 
@@ -189,6 +210,9 @@ int main(int argc, char** argv) {
                            pfkern::MicroVaxUltrixCosts(), "receiver");
   receiver.pf().core().SetStrategy(options.strategy);
   receiver.pf().core().SetProfiling(true);
+  if (options.ring_slots > 0) {
+    receiver.pf().SetRingDelivery(static_cast<size_t>(options.ring_slots));
+  }
 
   const pfsim::Duration duration = pfsim::Milliseconds(options.duration_ms);
   const pfsim::Duration interval = pfsim::Milliseconds(options.interval_ms);

@@ -78,6 +78,21 @@ struct CostModel {
   // §6.3 notes "the poor IPC facilities in 4.3BSD").
   pfsim::Duration pipe_overhead = pfsim::Microseconds(200);
 
+  // Shared-memory ring delivery (DESIGN.md §13). Posting a descriptor at
+  // demux time is a couple of stores plus a producer-index update; reaping
+  // one on the user side is a load + consumer-index update. Both are far
+  // below a copy or a domain crossing — that gap *is* the zero-copy claim.
+  pfsim::Duration ring_post = pfsim::Microseconds(40);
+  pfsim::Duration ring_reap = pfsim::Microseconds(40);
+
+  // Poll-mode NIC receive (DESIGN.md §13): per-round fixed cost (ring scan
+  // + rearm check) and per-frame driver work *without* the interrupt
+  // entry/exit that recv_interrupt folds in. One frame polled costs more
+  // than one interrupt taken; a budget-full round costs far less than a
+  // budget's worth of interrupts — poll mode pays off exactly under load.
+  pfsim::Duration poll_round = pfsim::Microseconds(100);
+  pfsim::Duration poll_per_frame = pfsim::Microseconds(150);
+
   // Per-packet protocol processing done by *user-level* protocol code
   // (VMTP/BSP state machines on a ~1 MIPS machine) and by the kernel
   // VMTP implementation. Receive-side processing (reassembly, dispatch,

@@ -117,7 +117,7 @@ pfsim::ValueTask<bool> KernelIpStack::SendUdp(int pid, uint32_t dst_ip, uint16_t
   // write(): crossing + copy of the user buffer into kernel mbufs.
   std::vector<Machine::Charge> charges;
   charges.emplace_back(Cost::kSyscall, machine_->costs().syscall);
-  charges.emplace_back(Cost::kCopy, machine_->costs().CopyCost(data.size()));
+  charges.emplace_back(machine_->CopyCharge(data.size()));
   charges.emplace_back(Cost::kTransportOutput, machine_->costs().transport_output);
   if (checksummed) {
     charges.emplace_back(Cost::kChecksum, machine_->costs().ChecksumCost(data.size()));
@@ -142,7 +142,8 @@ pfsim::ValueTask<std::optional<UdpDatagram>> KernelIpStack::RecvUdp(int pid, uin
   }
   std::optional<UdpDatagram> datagram = co_await it->second->PopWithTimeout(timeout);
   if (datagram.has_value()) {
-    co_await machine_->Run(pid, Cost::kCopy, machine_->costs().CopyCost(datagram->data.size()));
+    const Machine::Charge copy = machine_->CopyCharge(datagram->data.size());
+    co_await machine_->Run(pid, copy.first, copy.second);
   }
   co_return datagram;
 }

@@ -225,7 +225,7 @@ pfsim::ValueTask<bool> TcpConnection::Send(int pid, std::vector<uint8_t> data) {
   }
   std::vector<Machine::Charge> charges;
   charges.emplace_back(Cost::kSyscall, machine_->costs().syscall);
-  charges.emplace_back(Cost::kCopy, machine_->costs().CopyCost(data.size()));
+  charges.emplace_back(machine_->CopyCharge(data.size()));
   co_await machine_->RunMulti(pid, std::move(charges));
   send_buf_.insert(send_buf_.end(), data.begin(), data.end());
   co_await TrySendMore(pid);
@@ -260,7 +260,8 @@ pfsim::ValueTask<std::vector<uint8_t>> TcpConnection::Recv(int pid, size_t max_b
   std::vector<uint8_t> out(recv_buf_.begin(), recv_buf_.begin() + static_cast<long>(n));
   recv_buf_.erase(recv_buf_.begin(), recv_buf_.begin() + static_cast<long>(n));
   if (n > 0) {
-    co_await machine_->Run(pid, Cost::kCopy, machine_->costs().CopyCost(n));
+    const Machine::Charge copy = machine_->CopyCharge(n);
+    co_await machine_->Run(pid, copy.first, copy.second);
   }
   co_return out;
 }

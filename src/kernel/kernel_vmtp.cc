@@ -184,7 +184,8 @@ pfsim::ValueTask<std::optional<VmtpRequest>> KernelVmtp::ReceiveRequest(
   std::optional<VmtpRequest> request = co_await it->second->requests.PopWithTimeout(timeout);
   if (request.has_value()) {
     // One copy for the whole message, however many packets carried it.
-    co_await machine_->Run(pid, Cost::kCopy, machine_->costs().CopyCost(request->data.size()));
+    const Machine::Charge copy = machine_->CopyCharge(request->data.size());
+    co_await machine_->Run(pid, copy.first, copy.second);
   }
   co_return request;
 }
@@ -197,7 +198,7 @@ pfsim::ValueTask<bool> KernelVmtp::SendResponse(int pid, const VmtpRequest& requ
   }
   std::vector<Machine::Charge> charges;
   charges.emplace_back(Cost::kSyscall, machine_->costs().syscall);
-  charges.emplace_back(Cost::kCopy, machine_->costs().CopyCost(data.size()));
+  charges.emplace_back(machine_->CopyCharge(data.size()));
   co_await machine_->RunMulti(pid, std::move(charges));
   auto& record = it->second->clients.try_emplace(request.client).first->second;
   record.responded = true;
@@ -225,7 +226,7 @@ pfsim::ValueTask<std::optional<std::vector<uint8_t>>> KernelVmtp::Transact(
 
   std::vector<Machine::Charge> charges;
   charges.emplace_back(Cost::kSyscall, machine_->costs().syscall);
-  charges.emplace_back(Cost::kCopy, machine_->costs().CopyCost(request.size()));
+  charges.emplace_back(machine_->CopyCharge(request.size()));
   co_await machine_->RunMulti(pid, std::move(charges));
 
   pfproto::VmtpHeader base;
@@ -243,7 +244,8 @@ pfsim::ValueTask<std::optional<std::vector<uint8_t>>> KernelVmtp::Transact(
     std::optional<std::vector<uint8_t>> response =
         co_await client.responses.PopWithTimeout(timeout);
     if (response.has_value()) {
-      co_await machine_->Run(pid, Cost::kCopy, machine_->costs().CopyCost(response->size()));
+      const Machine::Charge copy = machine_->CopyCharge(response->size());
+      co_await machine_->Run(pid, copy.first, copy.second);
       co_return response;
     }
   }

@@ -44,6 +44,12 @@ std::string ToString(Cost category) {
       return "index probe";
     case Cost::kFlowCache:
       return "flow-cache lookup";
+    case Cost::kRingPost:
+      return "ring post";
+    case Cost::kRingReap:
+      return "ring reap";
+    case Cost::kPollLoop:
+      return "poll loop";
     case Cost::kCount:
       break;
   }
@@ -90,6 +96,12 @@ std::string ToSlug(Cost category) {
       return "index_probe";
     case Cost::kFlowCache:
       return "flow_cache";
+    case Cost::kRingPost:
+      return "ring_post";
+    case Cost::kRingReap:
+      return "ring_reap";
+    case Cost::kPollLoop:
+      return "poll_loop";
     case Cost::kCount:
       break;
   }

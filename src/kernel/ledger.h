@@ -33,6 +33,9 @@ enum class Cost : uint8_t {
   kDisplay,         // character display (Telnet experiment, table 6-7)
   kIndexProbe,      // hash-dispatch discriminating-word probes (kIndexed)
   kFlowCache,       // per-flow verdict-cache lookups in Demux
+  kRingPost,        // shared-memory ring: descriptor posted at demux time
+  kRingReap,        // shared-memory ring: descriptor reaped by the user
+  kPollLoop,        // poll-mode NIC receive: per-round + per-frame polling
   kCount,
 };
 

@@ -19,6 +19,11 @@ Machine::Machine(pfsim::Simulator* sim, pflink::EthernetSegment* segment, pflink
   nic_ring_overflow_counter_ = metrics_.counter("nic.rx.ring_overflow");
   nic_crc_error_counter_ = metrics_.counter("nic.rx.crc_errors");
   nic_truncated_counter_ = metrics_.counter("nic.rx.truncated");
+  nic_poll_kicks_counter_ = metrics_.counter("nic.poll.kicks");
+  nic_poll_rounds_counter_ = metrics_.counter("nic.poll.rounds");
+  nic_poll_frames_counter_ = metrics_.counter("nic.poll.frames");
+  copy_count_counter_ = metrics_.counter("pf.copy.count");
+  copy_bytes_counter_ = metrics_.counter("pf.copy.bytes");
   pf_device_ = std::make_unique<PacketFilterDevice>(this);
   pf_device_->core().AttachMetrics(&metrics_);
   segment_->Attach(this);
@@ -80,6 +85,19 @@ void Machine::MarkBlocked(int ctx) {
   }
 }
 
+Machine::Charge Machine::CopyCharge(size_t bytes) {
+  ++copies_;
+  copy_bytes_ += bytes;
+  copy_count_counter_->Add();
+  copy_bytes_counter_->Add(static_cast<int64_t>(bytes));
+  return {Cost::kCopy, costs_.CopyCost(bytes)};
+}
+
+void Machine::SetPollMode(bool enabled, size_t budget) {
+  poll_mode_ = enabled;
+  poll_budget_ = budget == 0 ? 1 : budget;
+}
+
 std::optional<pflink::MacAddr> Machine::Resolve(uint32_t ip) const {
   const auto it = neighbors_.find(ip);
   if (it == neighbors_.end()) {
@@ -89,12 +107,16 @@ std::optional<pflink::MacAddr> Machine::Resolve(uint32_t ip) const {
 }
 
 pfsim::ValueTask<bool> Machine::TransmitRaw(int ctx, std::vector<uint8_t> frame_bytes) {
+  return TransmitBuf(ctx, pf::PacketBuf(std::move(frame_bytes)));
+}
+
+pfsim::ValueTask<bool> Machine::TransmitBuf(int ctx, pf::PacketBuf buf) {
   const pflink::LinkProperties& props = link_properties();
-  if (frame_bytes.size() < props.header_len ||
-      frame_bytes.size() > props.header_len + props.mtu) {
+  if (buf.size() < props.header_len || buf.size() > props.header_len + props.mtu) {
     co_return false;
   }
-  pflink::Frame frame{std::move(frame_bytes)};
+  pflink::Frame frame;
+  frame.bytes = std::move(buf);
   frame.flow_id = segment_->NextFlowId();
   const int64_t start_ns = trace_ != nullptr ? sim_->NowNanos() : 0;
   co_await Run(ctx, Cost::kDriverSend, costs_.driver_send);
@@ -122,7 +144,7 @@ pfsim::ValueTask<bool> Machine::TransmitFrame(int ctx, pflink::MacAddr dst, uint
   if (!frame.has_value()) {
     co_return false;
   }
-  co_return co_await TransmitRaw(ctx, std::move(frame->bytes));
+  co_return co_await TransmitBuf(ctx, std::move(frame->bytes));
 }
 
 void Machine::RegisterKernelProtocol(uint16_t ether_type, FrameHandler handler) {
@@ -167,6 +189,16 @@ void Machine::OnFrameDelivered(const pflink::Frame& frame, pfsim::TimePoint at) 
     return;
   }
   ++rx_pending_;
+  if (poll_mode_) {
+    // Arrivals land in the ring; the poller (kicked by one interrupt when
+    // idle) drains them in budget-sized rounds.
+    poll_queue_.push_back(frame);
+    if (!poll_active_) {
+      poll_active_ = true;
+      sim_->Spawn(PollTask());
+    }
+    return;
+  }
   sim_->Spawn(ReceiveTask(frame));
 }
 
@@ -185,6 +217,43 @@ pfsim::Task Machine::ReceiveTask(pflink::Frame frame) {
                      {{"bytes", static_cast<int64_t>(frame.size())},
                       {"flow", static_cast<int64_t>(frame.flow_id)}});
   }
+  co_await ProcessFrame(std::move(frame));
+}
+
+pfsim::Task Machine::PollTask() {
+  // The rearm interrupt: one per idle->busy transition, not one per frame.
+  ++nic_stats_.poll_kicks;
+  nic_poll_kicks_counter_->Add();
+  co_await Run(kInterruptContext, Cost::kInterrupt, costs_.recv_interrupt);
+  while (!poll_queue_.empty()) {
+    const size_t n = std::min(poll_budget_, poll_queue_.size());
+    const int64_t round_start_ns = trace_ != nullptr ? sim_->NowNanos() : 0;
+    co_await Run(kInterruptContext, Cost::kPollLoop,
+                 costs_.poll_round + costs_.poll_per_frame * static_cast<int64_t>(n));
+    ++nic_stats_.poll_rounds;
+    nic_stats_.poll_frames += n;
+    nic_poll_rounds_counter_->Add();
+    nic_poll_frames_counter_->Add(static_cast<int64_t>(n));
+    if (trace_ != nullptr) {
+      trace_->Complete(trace_track_, "kernel", "poll.round", round_start_ns, sim_->NowNanos(),
+                       {{"frames", static_cast<int64_t>(n)}});
+    }
+    for (size_t i = 0; i < n; ++i) {
+      pflink::Frame frame = std::move(poll_queue_.front());
+      poll_queue_.pop_front();
+      if (rx_pending_ > 0) {
+        --rx_pending_;  // the poll round pulled it off the ring
+      }
+      if (trace_ != nullptr && frame.flow_id != 0) {
+        trace_->Flow(pfobs::Phase::kFlowStep, trace_track_, sim_->NowNanos(), frame.flow_id);
+      }
+      co_await ProcessFrame(std::move(frame));
+    }
+  }
+  poll_active_ = false;  // ring empty: re-arm the kick interrupt
+}
+
+pfsim::ValueTask<void> Machine::ProcessFrame(pflink::Frame frame) {
   // Hardware FCS check: frames damaged in flight (impair.h) never reach the
   // protocol stacks. Truncation is distinguishable (length mismatch) from
   // payload corruption (CRC mismatch at full length).

@@ -18,6 +18,7 @@
 #define SRC_KERNEL_MACHINE_H_
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -101,6 +102,16 @@ class Machine : public pflink::Station {
   // (the coexistence of fig. 3-3, needed to monitor kernel protocols).
   void SetTapAllToPf(bool enabled) { tap_all_to_pf_ = enabled; }
 
+  // --- Poll-mode receive (DESIGN.md §13) ---
+  // Off (the default): every frame takes a receive interrupt — the 1987
+  // path. On: the first frame of an idle period takes one interrupt to kick
+  // the poller; the poller then drains the rx ring in rounds of up to
+  // `budget` frames, charging kPollLoop (poll_round + poll_per_frame × n)
+  // per round with interrupts left masked, and re-arms when the ring goes
+  // empty. Per-frame interrupt cost disappears exactly under load.
+  void SetPollMode(bool enabled, size_t budget = 16);
+  bool poll_mode() const { return poll_mode_; }
+
   // --- Processes ---
   int NewPid() { return next_pid_++; }
   void Spawn(pfsim::Task task) { sim_->Spawn(std::move(task)); }
@@ -118,6 +129,15 @@ class Machine : public pflink::Station {
   void MarkBlocked(int ctx);
   int cpu_owner() const { return cpu_owner_; }
 
+  // The ledger charge for one kernel<->user copy of `bytes` bytes, counted
+  // in the "pf.copy.*" metric family as it is built. Every kCopy charge in
+  // the kernel goes through here, so `pf.copy.count == ledger(kCopy).charges`
+  // and the before/after copy elimination is directly observable
+  // (NetworkMonitor::Summary, pfstat).
+  Charge CopyCharge(size_t bytes);
+  uint64_t copies() const { return copies_; }
+  uint64_t copy_bytes() const { return copy_bytes_; }
+
   // --- Static neighbor table (IP -> link address) ---
   // The kernel stack resolves next hops here; examples/rarp_daemon shows the
   // dynamic path via RARP.
@@ -131,6 +151,9 @@ class Machine : public pflink::Station {
   // Kernel-stack convenience: builds the link header around `payload`.
   pfsim::ValueTask<bool> TransmitFrame(int ctx, pflink::MacAddr dst, uint16_t ether_type,
                                        std::vector<uint8_t> payload);
+  // Zero-copy form: the frame adopts `buf`'s block (BuildFrame output, or a
+  // buffer already owned by protocol code).
+  pfsim::ValueTask<bool> TransmitBuf(int ctx, pf::PacketBuf buf);
 
   // --- Kernel protocol dispatch ---
   // Handler runs in interrupt context; it must charge its own costs via
@@ -151,11 +174,23 @@ class Machine : public pflink::Station {
     uint64_t ring_overflow = 0;   // dropped: receive ring full
     uint64_t crc_errors = 0;      // dropped: FCS mismatch (corruption)
     uint64_t truncated = 0;       // dropped: shorter than transmitted
+    // Poll mode only (SetPollMode). poll_kicks counts the rearm interrupts;
+    // poll_frames counts frames drained by the poller, so in poll mode
+    // poll_frames == frames_in - ring_overflow.
+    uint64_t poll_kicks = 0;
+    uint64_t poll_rounds = 0;
+    uint64_t poll_frames = 0;
   };
   const NicStats& nic_stats() const { return nic_stats_; }
 
  private:
   pfsim::Task ReceiveTask(pflink::Frame frame);
+  // NAPI-style poller: drains poll_queue_ in budget-sized rounds, then
+  // re-arms (poll_active_ = false). Exactly one instance runs at a time.
+  pfsim::Task PollTask();
+  // The post-driver receive path shared by both modes: FCS/truncation
+  // verification, kernel-protocol dispatch, packet-filter tap.
+  pfsim::ValueTask<void> ProcessFrame(pflink::Frame frame);
   // Counts + flight-records a frame the NIC driver rejected before any
   // demultiplexing (ring overflow, bad CRC, truncation).
   void RecordNicDrop(pf::DropReason reason, const pflink::Frame& frame);
@@ -189,6 +224,21 @@ class Machine : public pflink::Station {
   NicStats nic_stats_;
   size_t rx_ring_capacity_ = 0;  // 0 = unbounded
   size_t rx_pending_ = 0;        // frames awaiting interrupt service
+
+  // Poll-mode receive state (SetPollMode).
+  bool poll_mode_ = false;
+  size_t poll_budget_ = 16;
+  bool poll_active_ = false;              // a PollTask is draining
+  std::deque<pflink::Frame> poll_queue_;  // the rx ring, poller's view
+  pfobs::Counter* nic_poll_kicks_counter_ = nullptr;
+  pfobs::Counter* nic_poll_rounds_counter_ = nullptr;
+  pfobs::Counter* nic_poll_frames_counter_ = nullptr;
+
+  // pf.copy.* (see CopyCharge).
+  uint64_t copies_ = 0;
+  uint64_t copy_bytes_ = 0;
+  pfobs::Counter* copy_count_counter_ = nullptr;
+  pfobs::Counter* copy_bytes_counter_ = nullptr;
 };
 
 }  // namespace pfkern

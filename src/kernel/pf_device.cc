@@ -23,11 +23,16 @@ PacketFilterDevice::PacketFilterDevice(Machine* machine) : machine_(machine) {
   read_packets_counter_ = registry.counter("pfdev.read_packets");
   writes_counter_ = registry.counter("pfdev.writes");
   wakeups_counter_ = registry.counter("pfdev.wakeups");
+  ring_posts_counter_ = registry.counter("pfdev.ring.posts");
+  ring_reaped_counter_ = registry.counter("pfdev.ring.reaped");
+  ring_tx_posts_counter_ = registry.counter("pfdev.ring.tx_posts");
   for (const pf::Strategy strategy : pf::kAllStrategies) {
     filter_eval_hist_[static_cast<size_t>(strategy)] =
         registry.histogram("pf.filter_eval." + pf::ToString(strategy));
   }
   flow_cache_hist_ = registry.histogram("pf.demux.cache.lookup");
+  ring_post_hist_ = registry.histogram("pf.ring.post");
+  ring_reap_hist_ = registry.histogram("pf.ring.reap");
   demux_latency_hist_ = registry.histogram("pf.demux.latency");
 
   // The kernel device always flies with its recorder on: losses are rare
@@ -41,10 +46,25 @@ PacketFilterDevice::PortExtra* PacketFilterDevice::Extra(pf::PortId port) {
   return it == extras_.end() ? nullptr : it->second.get();
 }
 
+void PacketFilterDevice::SetRingDelivery(size_t slots) {
+  ring_slots_ = slots;
+  for (auto& [port, extra] : extras_) {
+    extra->ring = slots > 0;
+    if (slots > 0) {
+      filter_.SetQueueLimit(port, slots);  // the descriptor ring's depth
+    }
+  }
+}
+
 pfsim::ValueTask<pf::PortId> PacketFilterDevice::Open(int pid) {
   co_await machine_->Run(pid, Cost::kSyscall, machine_->costs().syscall);
   const pf::PortId port = filter_.OpenPort();
-  extras_.emplace(port, std::make_unique<PortExtra>(machine_->sim()));
+  auto extra = std::make_unique<PortExtra>(machine_->sim());
+  extra->ring = ring_slots_ > 0;
+  if (ring_slots_ > 0) {
+    filter_.SetQueueLimit(port, ring_slots_);
+  }
+  extras_.emplace(port, std::move(extra));
   // Defer wakeups: HandlePacket signals after its costs are charged, so a
   // woken reader never runs "before" the interrupt work that produced its
   // packet.
@@ -65,7 +85,7 @@ pfsim::ValueTask<pf::ValidationResult> PacketFilterDevice::SetFilter(int pid, pf
   const size_t program_bytes = program.words.size() * 2;
   std::vector<Machine::Charge> charges;
   charges.emplace_back(Cost::kSyscall, machine_->costs().syscall);
-  charges.emplace_back(Cost::kCopy, machine_->costs().CopyCost(program_bytes));
+  charges.emplace_back(machine_->CopyCharge(program_bytes));
   co_await machine_->RunMulti(pid, std::move(charges));
   co_return filter_.SetFilter(port, std::move(program));
 }
@@ -87,8 +107,19 @@ pfsim::ValueTask<void> PacketFilterDevice::Configure(int pid, pf::PortId port,
   if (options.batching.has_value()) {
     extra->batching = *options.batching;
   }
-  if (options.queue_limit.has_value()) {
+  if (options.queue_limit.has_value() && !extra->ring) {
+    // On a ring port the descriptor ring *is* the input queue: its depth
+    // (SetRingDelivery slots) governs, and the legacy mbuf-queue limit does
+    // not apply.
     filter_.SetQueueLimit(port, *options.queue_limit);
+  }
+  if (options.ring.has_value()) {
+    extra->ring = *options.ring;
+    if (*options.ring && ring_slots_ > 0) {
+      filter_.SetQueueLimit(port, ring_slots_);
+    } else if (!*options.ring && options.queue_limit.has_value()) {
+      filter_.SetQueueLimit(port, *options.queue_limit);
+    }
   }
 }
 
@@ -97,6 +128,10 @@ pfsim::ValueTask<std::vector<pf::ReceivedPacket>> PacketFilterDevice::Read(
   pfobs::TraceSession* trace = machine_->trace();
   const int64_t read_start_ns = trace != nullptr ? machine_->sim()->NowNanos() : 0;
   reads_counter_->Add();
+  PortExtra* ring_extra = Extra(port);
+  if (ring_extra != nullptr && ring_extra->ring) {
+    co_return co_await ReapRing(pid, port, ring_extra, timeout);
+  }
   co_await machine_->Run(pid, Cost::kSyscall, machine_->costs().syscall);
   std::vector<pf::ReceivedPacket> out;
   PortExtra* extra = Extra(port);
@@ -145,7 +180,7 @@ pfsim::ValueTask<std::vector<pf::ReceivedPacket>> PacketFilterDevice::Read(
   std::vector<Machine::Charge> charges;
   charges.reserve(out.size());
   for (const pf::ReceivedPacket& packet : out) {
-    charges.emplace_back(Cost::kCopy, machine_->costs().CopyCost(packet.bytes.size()));
+    charges.emplace_back(machine_->CopyCharge(packet.bytes.size()));
   }
   co_await machine_->RunMulti(pid, std::move(charges));
   read_packets_counter_->Add(out.size());
@@ -165,16 +200,101 @@ pfsim::ValueTask<std::vector<pf::ReceivedPacket>> PacketFilterDevice::Read(
   co_return out;
 }
 
+pfsim::ValueTask<std::vector<pf::ReceivedPacket>> PacketFilterDevice::ReapRing(
+    int pid, pf::PortId port, PortExtra* extra, pfsim::Duration timeout) {
+  pfobs::TraceSession* trace = machine_->trace();
+  const int64_t reap_start_ns = trace != nullptr ? machine_->sim()->NowNanos() : 0;
+  std::vector<pf::ReceivedPacket> out;
+  const bool forever = timeout == pfsim::kForever;
+  const pfsim::TimePoint deadline = pfsim::DeadlineAfter(machine_->sim(), timeout);
+  bool woken_by_signal = false;
+  bool charged_sleep = false;
+  for (;;) {
+    if (extra->batching) {
+      out = filter_.PopBatch(port, kMaxBatch);
+    } else if (auto packet = filter_.Pop(port)) {
+      out.push_back(std::move(*packet));
+    }
+    if (!out.empty()) {
+      size_t tokens = out.size() - (woken_by_signal ? 1 : 0);
+      while (tokens-- > 0) {
+        extra->signal.TryPop();
+      }
+      break;
+    }
+    if (timeout.count() == 0) {
+      co_return out;  // an empty ring polls for free: no crossing, no copy
+    }
+    const pfsim::Duration remaining =
+        forever ? pfsim::kForever : deadline - machine_->sim()->Now();
+    if (!forever && remaining.count() <= 0) {
+      co_return out;
+    }
+    if (!charged_sleep) {
+      // The one crossing ring mode cannot avoid: going to sleep on an empty
+      // ring is a syscall. A reaper that keeps up never pays it.
+      charged_sleep = true;
+      co_await machine_->Run(pid, Cost::kSyscall, machine_->costs().syscall);
+    }
+    machine_->MarkBlocked(pid);
+    const std::optional<char> token = co_await extra->signal.PopWithTimeout(remaining);
+    if (!token.has_value()) {
+      co_return out;  // timed out
+    }
+    woken_by_signal = true;
+  }
+
+  extra->had_queued = filter_.QueueLength(port) > 0;  // SIGIO edge re-arm
+
+  // Reap the descriptors: consumer-index updates, no copies. The bytes stay
+  // where demux posted them; the ReceivedPacket's PacketBuf view is the
+  // mapped descriptor.
+  std::vector<Machine::Charge> charges;
+  charges.reserve(out.size());
+  for (size_t i = 0; i < out.size(); ++i) {
+    charges.emplace_back(Cost::kRingReap, machine_->costs().ring_reap);
+    ring_reap_hist_->Record(machine_->costs().ring_reap.count());
+  }
+  co_await machine_->RunMulti(pid, std::move(charges));
+  ring_reaped_counter_->Add(out.size());
+  read_packets_counter_->Add(out.size());
+  if (trace != nullptr) {
+    const int64_t now_ns = machine_->sim()->NowNanos();
+    const int track = machine_->trace_track();
+    trace->Complete(track, "pf", "pf.reap", reap_start_ns, now_ns,
+                    {{"packets", static_cast<int64_t>(out.size())},
+                     {"port", static_cast<int64_t>(port)}});
+    for (const pf::ReceivedPacket& packet : out) {
+      if (packet.flow_id != 0) {
+        trace->Flow(pfobs::Phase::kFlowEnd, track, now_ns, packet.flow_id);
+      }
+    }
+  }
+  co_return out;
+}
+
 pfsim::ValueTask<bool> PacketFilterDevice::Write(int pid, std::vector<uint8_t> frame_bytes) {
+  return Write(pid, pf::PacketBuf(std::move(frame_bytes)));
+}
+
+pfsim::ValueTask<bool> PacketFilterDevice::Write(int pid, pf::PacketBuf frame) {
   pfobs::TraceSession* trace = machine_->trace();
   const int64_t start_ns = trace != nullptr ? machine_->sim()->NowNanos() : 0;
-  const int64_t bytes = static_cast<int64_t>(frame_bytes.size());
+  const int64_t bytes = static_cast<int64_t>(frame.size());
   writes_counter_->Add();
   std::vector<Machine::Charge> charges;
   charges.emplace_back(Cost::kSyscall, machine_->costs().syscall);
-  charges.emplace_back(Cost::kCopy, machine_->costs().CopyCost(frame_bytes.size()));
+  if (ring_slots_ > 0) {
+    // TX ring: the frame's block is already mapped into both domains, so
+    // write() posts a descriptor instead of copying into a kernel buffer.
+    charges.emplace_back(Cost::kRingPost, machine_->costs().ring_post);
+    ring_tx_posts_counter_->Add();
+    ring_post_hist_->Record(machine_->costs().ring_post.count());
+  } else {
+    charges.emplace_back(machine_->CopyCharge(frame.size()));
+  }
   co_await machine_->RunMulti(pid, std::move(charges));
-  const bool sent = co_await machine_->TransmitRaw(pid, std::move(frame_bytes));
+  const bool sent = co_await machine_->TransmitBuf(pid, std::move(frame));
   if (trace != nullptr) {
     trace->Complete(machine_->trace_track(), "pf", "pf.write", start_ns,
                     machine_->sim()->NowNanos(),
@@ -188,7 +308,13 @@ pfsim::ValueTask<size_t> PacketFilterDevice::WriteMany(int pid,
   std::vector<Machine::Charge> charges;
   charges.emplace_back(Cost::kSyscall, machine_->costs().syscall);
   for (const auto& frame : frames) {
-    charges.emplace_back(Cost::kCopy, machine_->costs().CopyCost(frame.size()));
+    if (ring_slots_ > 0) {
+      charges.emplace_back(Cost::kRingPost, machine_->costs().ring_post);
+      ring_tx_posts_counter_->Add();
+      ring_post_hist_->Record(machine_->costs().ring_post.count());
+    } else {
+      charges.emplace_back(machine_->CopyCharge(frame.size()));
+    }
   }
   co_await machine_->RunMulti(pid, std::move(charges));
   size_t accepted = 0;
@@ -261,12 +387,14 @@ std::string PacketFilterDevice::ProfileDump(pf::PortId port) const {
   return pf::DisassembleAnnotated(*program, *profile, machine_->costs().filter_insn.count());
 }
 
-pfsim::ValueTask<void> PacketFilterDevice::HandlePacket(const std::vector<uint8_t>& frame_bytes,
+pfsim::ValueTask<void> PacketFilterDevice::HandlePacket(const pf::PacketBuf& packet,
                                                         uint64_t timestamp_ns, uint64_t flow_id) {
   pfobs::TraceSession* trace = machine_->trace();
   const int64_t demux_start_ns = machine_->sim()->NowNanos();
   pending_signals_.clear();
-  const pf::DemuxResult result = filter_.Demux(frame_bytes, timestamp_ns, flow_id);
+  // The PacketBuf overload: every delivered copy is a refcount bump on the
+  // frame's block, not a byte copy.
+  const pf::DemuxResult result = filter_.Demux(packet, timestamp_ns, flow_id);
 
   // Charge the interpretation + bookkeeping before waking any reader.
   std::vector<Machine::Charge> charges;
@@ -294,14 +422,28 @@ pfsim::ValueTask<void> PacketFilterDevice::HandlePacket(const std::vector<uint8_
                          machine_->costs().pf_bookkeeping * result.deliveries);
     // §7: each timestamp costs a microtime() call.
     uint32_t stamped = 0;
+    uint32_t ring_posts = 0;
     for (const pf::PortId port : pending_signals_) {
       const PortExtra* extra = Extra(port);
       if (extra != nullptr && extra->timestamps) {
         ++stamped;
       }
+      if (extra != nullptr && extra->ring) {
+        ++ring_posts;
+      }
     }
     if (stamped > 0) {
       charges.emplace_back(Cost::kTimestamp, machine_->costs().timestamp * stamped);
+    }
+    if (ring_posts > 0) {
+      // Ring delivery: publish one mapped descriptor per copy (producer
+      // index update) — the bytes themselves never move again.
+      charges.emplace_back(Cost::kRingPost,
+                           machine_->costs().ring_post * static_cast<int64_t>(ring_posts));
+      ring_posts_counter_->Add(ring_posts);
+      for (uint32_t i = 0; i < ring_posts; ++i) {
+        ring_post_hist_->Record(machine_->costs().ring_post.count());
+      }
     }
   }
   if (!charges.empty()) {

@@ -49,19 +49,41 @@ class PacketFilterDevice {
     std::optional<bool> timestamps;
     std::optional<bool> batching;  // §3: return all pending packets per read
     std::optional<size_t> queue_limit;
+    // Shared-memory ring delivery for this port (overrides the device-wide
+    // SetRingDelivery default). See DESIGN.md §13.
+    std::optional<bool> ring;
   };
   pfsim::ValueTask<void> Configure(int pid, pf::PortId port, PortOptions options);
+
+  // --- Shared-memory ring delivery (DESIGN.md §13) ---
+  // 0 (the default) keeps the legacy read() path: every Read charges a
+  // syscall crossing plus one kCopy per packet. `slots` > 0 switches every
+  // port (current and future) to a mapped descriptor ring of that depth:
+  // demux posts a descriptor (kRingPost) instead of queueing bytes for a
+  // read-time copy, and Read becomes a reap (kRingReap per descriptor, a
+  // syscall only when it must block on an empty ring). The refcounted
+  // PacketBuf keeps a reaped descriptor's bytes alive past port close.
+  void SetRingDelivery(size_t slots);
+  size_t ring_slots() const { return ring_slots_; }
 
   // Blocking read. Returns one packet (or, with batching, all pending
   // packets, up to kMaxBatch). Empty result = timeout, the paper's "read
   // call terminates and reports an error". A zero timeout polls; kForever
-  // blocks indefinitely (§3.3).
+  // blocks indefinitely (§3.3). On a ring port this is a reap (see
+  // SetRingDelivery); the call surface is identical.
   pfsim::ValueTask<std::vector<pf::ReceivedPacket>> Read(int pid, pf::PortId port,
                                                          pfsim::Duration timeout);
 
   // write(): the buffer is a complete frame including the data-link header;
   // control returns once the packet is queued for transmission (§3).
   pfsim::ValueTask<bool> Write(int pid, std::vector<uint8_t> frame_bytes);
+  // PacketBuf form: the user->kernel copy is still *charged* (a 1987 write
+  // really copies), but the frame adopts the caller's block — re-sending a
+  // built frame (RARP retries, VMTP runs) shares one buffer. On a
+  // ring-enabled device (SetRingDelivery) the copy charge is replaced by a
+  // TX descriptor post (kRingPost): the block is already mapped into both
+  // domains, so nothing needs copying in either direction.
+  pfsim::ValueTask<bool> Write(int pid, pf::PacketBuf frame);
 
   // §7's "write-batching option (to send several packets in one system
   // call)": one crossing, one copy per frame. Returns frames accepted.
@@ -100,8 +122,8 @@ class PacketFilterDevice {
   // --- Kernel-side entry, interrupt context ---
   // `flow_id` (0 = untracked) is the frame's tracing flow id; it is stamped
   // onto delivered copies so Read() can close the flow (src/obs).
-  pfsim::ValueTask<void> HandlePacket(const std::vector<uint8_t>& frame_bytes,
-                                      uint64_t timestamp_ns, uint64_t flow_id = 0);
+  pfsim::ValueTask<void> HandlePacket(const pf::PacketBuf& packet, uint64_t timestamp_ns,
+                                      uint64_t flow_id = 0);
 
   static constexpr size_t kMaxBatch = 32;
 
@@ -111,17 +133,23 @@ class PacketFilterDevice {
     pfsim::MsgQueue<char> signal;  // one token per enqueued packet
     bool batching = false;
     bool timestamps = false;
+    bool ring = false;                     // shared-memory ring delivery
     std::function<void()> signal_handler;  // SIGIO-style notification
     bool had_queued = false;               // edge detection for the signal
   };
 
   PortExtra* Extra(pf::PortId port);
+  // The reap half of ring delivery (Read dispatches here for ring ports).
+  pfsim::ValueTask<std::vector<pf::ReceivedPacket>> ReapRing(int pid, pf::PortId port,
+                                                             PortExtra* extra,
+                                                             pfsim::Duration timeout);
 
   Machine* machine_;
   pf::PacketFilter filter_;
   std::unordered_map<pf::PortId, std::unique_ptr<PortExtra>> extras_;
   std::vector<pf::PortId> pending_signals_;
   std::vector<pfsim::MsgQueue<char>*> select_doorbells_;  // one per active Select
+  size_t ring_slots_ = 0;  // device-wide ring default (0 = legacy reads)
 
   // Observability (src/obs): registered into the machine's registry once at
   // construction, recorded by pointer on the hot paths. The per-strategy
@@ -131,10 +159,18 @@ class PacketFilterDevice {
   pfobs::Counter* read_packets_counter_ = nullptr;
   pfobs::Counter* writes_counter_ = nullptr;
   pfobs::Counter* wakeups_counter_ = nullptr;
+  pfobs::Counter* ring_posts_counter_ = nullptr;     // RX descriptors posted
+  pfobs::Counter* ring_reaped_counter_ = nullptr;    // RX descriptors reaped
+  pfobs::Counter* ring_tx_posts_counter_ = nullptr;  // TX descriptors posted
   pfobs::Histogram* filter_eval_hist_[pf::kStrategyCount] = {};
   // Samples the simulated flow-cache lookup cost per consulting packet;
   // reconciles exactly with the Ledger's kFlowCache charges.
   pfobs::Histogram* flow_cache_hist_ = nullptr;
+  // One sample per descriptor posted/reaped; sums reconcile exactly with
+  // ledger.ring_post.* / ledger.ring_reap.* (asserted in obs_test and the
+  // micro_zerocopy --check gate).
+  pfobs::Histogram* ring_post_hist_ = nullptr;
+  pfobs::Histogram* ring_reap_hist_ = nullptr;
   // End-to-end simulated latency of HandlePacket (demux + charges) per
   // frame — the "p99 demux latency" pfstat renders.
   pfobs::Histogram* demux_latency_hist_ = nullptr;

@@ -2,11 +2,11 @@
 
 namespace pfkern {
 
-pfsim::ValueTask<void> MessagePipe::Write(int pid, std::vector<uint8_t> message) {
+pfsim::ValueTask<void> MessagePipe::Write(int pid, pf::PacketBuf message) {
   const size_t bytes = message.size();
   std::vector<Machine::Charge> charges;
   charges.emplace_back(Cost::kSyscall, machine_->costs().syscall);
-  charges.emplace_back(Cost::kCopy, machine_->costs().CopyCost(bytes));
+  charges.emplace_back(machine_->CopyCharge(bytes));
   charges.emplace_back(Cost::kPipe, machine_->costs().pipe_overhead);
   co_await machine_->RunMulti(pid, std::move(charges));
   while (queue_.size() >= queue_.capacity() && queue_.waiter_count() == 0) {
@@ -16,12 +16,11 @@ pfsim::ValueTask<void> MessagePipe::Write(int pid, std::vector<uint8_t> message)
   queue_.ForcePush(std::move(message));
 }
 
-pfsim::ValueTask<void> MessagePipe::WriteBatch(int pid,
-                                               std::vector<std::vector<uint8_t>> messages) {
+pfsim::ValueTask<void> MessagePipe::WriteBatch(int pid, std::vector<pf::PacketBuf> messages) {
   std::vector<Machine::Charge> charges;
   charges.emplace_back(Cost::kSyscall, machine_->costs().syscall);
   for (const auto& message : messages) {
-    charges.emplace_back(Cost::kCopy, machine_->costs().CopyCost(message.size()));
+    charges.emplace_back(machine_->CopyCharge(message.size()));
   }
   charges.emplace_back(Cost::kPipe, machine_->costs().pipe_overhead);
   co_await machine_->RunMulti(pid, std::move(charges));
@@ -34,13 +33,13 @@ pfsim::ValueTask<void> MessagePipe::WriteBatch(int pid,
   }
 }
 
-pfsim::ValueTask<std::vector<std::vector<uint8_t>>> MessagePipe::ReadBatch(
+pfsim::ValueTask<std::vector<pf::PacketBuf>> MessagePipe::ReadBatch(
     int pid, pfsim::Duration timeout) {
   co_await machine_->Run(pid, Cost::kSyscall, machine_->costs().syscall);
-  std::vector<std::vector<uint8_t>> out;
+  std::vector<pf::PacketBuf> out;
   if (queue_.empty()) {
     machine_->MarkBlocked(pid);
-    std::optional<std::vector<uint8_t>> first = co_await queue_.PopWithTimeout(timeout);
+    std::optional<pf::PacketBuf> first = co_await queue_.PopWithTimeout(timeout);
     if (!first.has_value()) {
       co_return out;
     }
@@ -51,7 +50,7 @@ pfsim::ValueTask<std::vector<std::vector<uint8_t>>> MessagePipe::ReadBatch(
   }
   std::vector<Machine::Charge> charges;
   for (const auto& message : out) {
-    charges.emplace_back(Cost::kCopy, machine_->costs().CopyCost(message.size()));
+    charges.emplace_back(machine_->CopyCharge(message.size()));
   }
   co_await machine_->RunMulti(pid, std::move(charges));
   for (size_t i = 0; i < out.size(); ++i) {
@@ -60,15 +59,16 @@ pfsim::ValueTask<std::vector<std::vector<uint8_t>>> MessagePipe::ReadBatch(
   co_return out;
 }
 
-pfsim::ValueTask<std::optional<std::vector<uint8_t>>> MessagePipe::Read(
+pfsim::ValueTask<std::optional<pf::PacketBuf>> MessagePipe::Read(
     int pid, pfsim::Duration timeout) {
   co_await machine_->Run(pid, Cost::kSyscall, machine_->costs().syscall);
   if (queue_.empty()) {
     machine_->MarkBlocked(pid);
   }
-  std::optional<std::vector<uint8_t>> message = co_await queue_.PopWithTimeout(timeout);
+  std::optional<pf::PacketBuf> message = co_await queue_.PopWithTimeout(timeout);
   if (message.has_value()) {
-    co_await machine_->Run(pid, Cost::kCopy, machine_->costs().CopyCost(message->size()));
+    const Machine::Charge copy = machine_->CopyCharge(message->size());
+    co_await machine_->Run(pid, copy.first, copy.second);
     space_.NotifyOne();
   }
   co_return message;

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "src/kernel/machine.h"
+#include "src/pf/packet_buf.h"
 #include "src/sim/sync.h"
 #include "src/sim/value_task.h"
 
@@ -28,26 +29,28 @@ class MessagePipe {
         space_(machine->sim()) {}
 
   // Blocks while the pipe is full. Charges syscall + copy-in + overhead.
-  pfsim::ValueTask<void> Write(int pid, std::vector<uint8_t> message);
+  // The message rides as a PacketBuf view, so the pipe's modeled copies no
+  // longer move real bytes — the charge structure is unchanged (a 4.3BSD
+  // pipe really copies twice), the mechanism is free.
+  pfsim::ValueTask<void> Write(int pid, pf::PacketBuf message);
 
   // Several messages under one write(): one crossing + pipe overhead,
   // copies per message (how a demultiplexer exploits batching end to end,
   // §6.5.3's batched measurement).
-  pfsim::ValueTask<void> WriteBatch(int pid, std::vector<std::vector<uint8_t>> messages);
+  pfsim::ValueTask<void> WriteBatch(int pid, std::vector<pf::PacketBuf> messages);
 
   // Blocks until a message or timeout (nullopt). Charges syscall + copy-out.
-  pfsim::ValueTask<std::optional<std::vector<uint8_t>>> Read(int pid, pfsim::Duration timeout);
+  pfsim::ValueTask<std::optional<pf::PacketBuf>> Read(int pid, pfsim::Duration timeout);
 
   // All currently buffered messages (at least one — blocks until then) under
   // one read(): one crossing, copies per message.
-  pfsim::ValueTask<std::vector<std::vector<uint8_t>>> ReadBatch(int pid,
-                                                                pfsim::Duration timeout);
+  pfsim::ValueTask<std::vector<pf::PacketBuf>> ReadBatch(int pid, pfsim::Duration timeout);
 
   size_t depth() const { return queue_.size(); }
 
  private:
   Machine* machine_;
-  pfsim::MsgQueue<std::vector<uint8_t>> queue_;
+  pfsim::MsgQueue<pf::PacketBuf> queue_;
   pfsim::WaitQueue space_;
 };
 

@@ -48,20 +48,22 @@ std::optional<Frame> BuildFrame(LinkType type, const LinkHeader& header,
   if (payload.size() > props.mtu) {
     return std::nullopt;
   }
-  Frame frame;
-  frame.bytes.reserve(props.header_len + payload.size());
+  std::vector<uint8_t> bytes;
+  bytes.reserve(props.header_len + payload.size());
   if (type == LinkType::kEthernet10Mb) {
-    frame.bytes.insert(frame.bytes.end(), header.dst.bytes.begin(), header.dst.bytes.begin() + 6);
-    frame.bytes.insert(frame.bytes.end(), header.src.bytes.begin(), header.src.bytes.begin() + 6);
-    frame.bytes.push_back(static_cast<uint8_t>(header.ether_type >> 8));
-    frame.bytes.push_back(static_cast<uint8_t>(header.ether_type & 0xff));
+    bytes.insert(bytes.end(), header.dst.bytes.begin(), header.dst.bytes.begin() + 6);
+    bytes.insert(bytes.end(), header.src.bytes.begin(), header.src.bytes.begin() + 6);
+    bytes.push_back(static_cast<uint8_t>(header.ether_type >> 8));
+    bytes.push_back(static_cast<uint8_t>(header.ether_type & 0xff));
   } else {
-    frame.bytes.push_back(header.dst.bytes[0]);
-    frame.bytes.push_back(header.src.bytes[0]);
-    frame.bytes.push_back(static_cast<uint8_t>(header.ether_type >> 8));
-    frame.bytes.push_back(static_cast<uint8_t>(header.ether_type & 0xff));
+    bytes.push_back(header.dst.bytes[0]);
+    bytes.push_back(header.src.bytes[0]);
+    bytes.push_back(static_cast<uint8_t>(header.ether_type >> 8));
+    bytes.push_back(static_cast<uint8_t>(header.ether_type & 0xff));
   }
-  frame.bytes.insert(frame.bytes.end(), payload.begin(), payload.end());
+  bytes.insert(bytes.end(), payload.begin(), payload.end());
+  Frame frame;
+  frame.bytes = pf::PacketBuf(std::move(bytes));
   return frame;
 }
 

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "src/link/mac_addr.h"
+#include "src/pf/packet_buf.h"
 
 namespace pflink {
 
@@ -36,7 +37,13 @@ struct LinkProperties {
 LinkProperties PropertiesFor(LinkType type);
 
 struct Frame {
-  std::vector<uint8_t> bytes;
+  // The wire bytes, refcounted (DESIGN.md §13): copying a Frame — a
+  // duplicate in flight, a broadcast fanning out to every station, a tagged
+  // re-injection in the benches — shares the block instead of copying it.
+  // Impairments that rewrite bytes go through MutableSpan(), so a shared
+  // block is copy-on-written and every other holder keeps the pristine
+  // frame; truncation shrinks the view for free.
+  pf::PacketBuf bytes;
   // Tracing flow id (src/obs): assigned by the sending driver from its
   // segment's sequence, carried to every receiver so one packet can be
   // followed across machines. 0 = untracked. Not part of the wire format.
@@ -60,7 +67,7 @@ struct Frame {
   // True if the frame was stamped and has lost bytes since.
   bool Truncated() const { return wire_len != 0 && bytes.size() != wire_len; }
 
-  std::span<const uint8_t> AsSpan() const { return bytes; }
+  std::span<const uint8_t> AsSpan() const { return bytes.span(); }
   size_t size() const { return bytes.size(); }
 };
 

@@ -92,9 +92,13 @@ Impairer::Verdict Impairer::Apply(Frame* frame, uint32_t header_len, pfsim::Time
     const uint64_t payload_bits = (frame->bytes.size() - header_len) * 8;
     const int max_flips = config_.corrupt_max_bits > 0 ? config_.corrupt_max_bits : 1;
     const uint64_t flips = rng_.Range(1, static_cast<uint64_t>(max_flips));
+    // The one true copy on the wire path: if a pristine duplicate (or any
+    // other view) still shares this block, MutableSpan() clones it before
+    // the bit flips land, so the other holders keep the original bytes.
+    const std::span<uint8_t> bytes = frame->bytes.MutableSpan();
     for (uint64_t i = 0; i < flips; ++i) {
       const uint64_t bit = rng_.Below(payload_bits);
-      frame->bytes[header_len + bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+      bytes[header_len + bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
     }
   }
 
@@ -106,7 +110,9 @@ Impairer::Verdict Impairer::Apply(Frame* frame, uint32_t header_len, pfsim::Time
     if (metrics_.truncated != nullptr) {
       metrics_.truncated->Add();
     }
-    frame->bytes.resize(rng_.Range(header_len, frame->bytes.size() - 1));
+    // A view shrink, not a copy: a shared block (e.g. a pristine duplicate)
+    // keeps its full-length view.
+    frame->bytes.Truncate(rng_.Range(header_len, frame->bytes.size() - 1));
   }
 
   // 6. Reorder jitter.

@@ -72,9 +72,10 @@ void EthernetSegment::Transmit(const Station* from, Frame frame) {
     return;
   }
 
-  // A duplicate is a pristine second copy: snapshot before Apply() corrupts
-  // or truncates the original in place. The stamp taken above stays valid
-  // for the copy.
+  // A duplicate is a pristine second copy — but with refcounted frames the
+  // snapshot is free: both Frames share the block, and if Apply() corrupts
+  // the original, copy-on-write peels it off while this view keeps the
+  // bytes as stamped (truncation only shrinks the original's view).
   Frame pristine;
   if (impairer_->config().duplicate > 0.0) {
     pristine = frame;

@@ -23,7 +23,7 @@ pfsim::Task UserDemuxProcess::ForwardLoop() {
     if (packets.size() > 1) {
       // Forward the whole batch under one pipe write (batched reads only
       // pay off end-to-end if the pipe hop is batched too, §6.5.3).
-      std::vector<std::vector<uint8_t>> messages;
+      std::vector<pf::PacketBuf> messages;
       messages.reserve(packets.size());
       for (pf::ReceivedPacket& packet : packets) {
         messages.push_back(std::move(packet.bytes));

@@ -172,6 +172,13 @@ std::string NetworkMonitor::Summary() const {
                   (unsigned long long)nic.ring_overflow);
     out += buf;
   }
+  // What crossing the kernel/user boundary cost this machine: every charged
+  // copy (pf.copy.*, DESIGN.md §13). Ring delivery shows up here as a copy
+  // count that stops tracking the frame count.
+  std::snprintf(buf, sizeof(buf), "; copies: n=%llu bytes=%llu",
+                (unsigned long long)machine_->copies(),
+                (unsigned long long)machine_->copy_bytes());
+  out += buf;
   return out;
 }
 

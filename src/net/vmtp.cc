@@ -96,7 +96,7 @@ pfsim::ValueTask<std::vector<pf::ReceivedPacket>> PortPacketSource::ReadPackets(
 pfsim::ValueTask<std::vector<pf::ReceivedPacket>> PipePacketSource::ReadPackets(
     int pid, pfsim::Duration timeout) {
   std::vector<pf::ReceivedPacket> out;
-  std::optional<std::vector<uint8_t>> message = co_await pipe_->Read(pid, timeout);
+  std::optional<pf::PacketBuf> message = co_await pipe_->Read(pid, timeout);
   if (message.has_value()) {
     pf::ReceivedPacket packet;
     packet.bytes = std::move(*message);

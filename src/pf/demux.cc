@@ -208,7 +208,8 @@ void PacketFilter::CountDrop(PortState* port, DropReason reason, std::span<const
 }
 
 void PacketFilter::DeliverTo(PortState& port, std::span<const uint8_t> packet,
-                             uint64_t timestamp_ns, uint64_t flow_id, DemuxResult* result) {
+                             const PacketBuf* buf, uint64_t timestamp_ns, uint64_t flow_id,
+                             DemuxResult* result) {
   ++port.stats.accepts;
   if (port.queue.size() >= port.queue_limit) {
     ++port.stats.dropped;
@@ -220,7 +221,10 @@ void PacketFilter::DeliverTo(PortState& port, std::span<const uint8_t> packet,
     return;
   }
   ReceivedPacket rp;
-  rp.bytes.assign(packet.begin(), packet.end());
+  // The heart of zero-copy delivery: a PacketBuf caller's copy is a
+  // refcount bump; only span callers (whose storage is transient) pay a
+  // real copy into a fresh block.
+  rp.bytes = buf != nullptr ? *buf : PacketBuf::CopyOf(packet);
   rp.timestamp_ns = port.timestamps ? timestamp_ns : 0;
   rp.dropped_before = port.lost_since_enqueue;
   rp.flow_id = flow_id;
@@ -236,6 +240,16 @@ void PacketFilter::DeliverTo(PortState& port, std::span<const uint8_t> packet,
 
 DemuxResult PacketFilter::Demux(std::span<const uint8_t> packet, uint64_t timestamp_ns,
                                 uint64_t flow_id) {
+  return DemuxImpl(packet, nullptr, timestamp_ns, flow_id);
+}
+
+DemuxResult PacketFilter::Demux(const PacketBuf& packet, uint64_t timestamp_ns,
+                                uint64_t flow_id) {
+  return DemuxImpl(packet.span(), &packet, timestamp_ns, flow_id);
+}
+
+DemuxResult PacketFilter::DemuxImpl(std::span<const uint8_t> packet, const PacketBuf* buf,
+                                    uint64_t timestamp_ns, uint64_t flow_id) {
   DemuxResult result;
   ++global_stats_.packets_in;
   ++demux_count_;
@@ -292,7 +306,7 @@ DemuxResult PacketFilter::Demux(std::span<const uint8_t> packet, uint64_t timest
           }
         }
         if (verdict.accept) {
-          DeliverTo(*port, packet, timestamp_ns, flow_id, &result);
+          DeliverTo(*port, packet, buf, timestamp_ns, flow_id, &result);
           result.accepted = true;
           result.cache_hit = true;
           ++flow_cache_stats_.hits;
@@ -329,7 +343,7 @@ DemuxResult PacketFilter::Demux(std::span<const uint8_t> packet, uint64_t timest
       if (!verdict.accept) {
         continue;
       }
-      DeliverTo(*port, packet, timestamp_ns, flow_id, &result);
+      DeliverTo(*port, packet, buf, timestamp_ns, flow_id, &result);
       result.accepted = true;
       ++accepts;
       claimer = port;

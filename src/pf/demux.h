@@ -31,6 +31,7 @@
 
 #include "src/pf/drop.h"
 #include "src/pf/engine.h"
+#include "src/pf/packet_buf.h"
 #include "src/pf/program.h"
 #include "src/pf/validate.h"
 
@@ -50,7 +51,12 @@ struct DeviceInfo {
 };
 
 struct ReceivedPacket {
-  std::vector<uint8_t> bytes;
+  // Refcounted view of the frame (DESIGN.md §13): every copy enqueued by a
+  // copy-all demux, every ring descriptor, and every pipe hop shares one
+  // block. The payload is immutable from here on, so sharing is safe; the
+  // bytes stay alive as long as any holder keeps the view (in particular, a
+  // reaped ring descriptor outliving its port).
+  PacketBuf bytes;
   uint64_t timestamp_ns = 0;      // 0 unless timestamps are enabled
   uint32_t dropped_before = 0;    // queue-overflow losses since the previous
                                   // packet enqueued on this port
@@ -131,6 +137,10 @@ class PacketFilter {
   // packet can be followed through the read path (src/obs tracing).
   DemuxResult Demux(std::span<const uint8_t> packet, uint64_t timestamp_ns = 0,
                     uint64_t flow_id = 0);
+  // Zero-copy overload: delivered copies share `packet`'s block instead of
+  // duplicating the bytes (the span overload must copy — its storage is the
+  // caller's). This is the path the simulated kernel takes.
+  DemuxResult Demux(const PacketBuf& packet, uint64_t timestamp_ns = 0, uint64_t flow_id = 0);
 
   // --- Port-side dequeue (the read() surface) ---
   std::optional<ReceivedPacket> Pop(PortId id);
@@ -225,8 +235,11 @@ class PacketFilter {
   const PortState* Find(PortId id) const;
   void RebuildOrder();
   void InvalidateFlowCache();
-  void DeliverTo(PortState& port, std::span<const uint8_t> packet, uint64_t timestamp_ns,
-                 uint64_t flow_id, DemuxResult* result);
+  DemuxResult DemuxImpl(std::span<const uint8_t> packet, const PacketBuf* buf,
+                        uint64_t timestamp_ns, uint64_t flow_id);
+  // `buf` non-null = share its block; null = copy `packet` (span callers).
+  void DeliverTo(PortState& port, std::span<const uint8_t> packet, const PacketBuf* buf,
+                 uint64_t timestamp_ns, uint64_t flow_id, DemuxResult* result);
   void CountDrop(PortState* port, DropReason reason, std::span<const uint8_t> packet,
                  uint64_t timestamp_ns, uint64_t flow_id, int32_t pc);
 

@@ -92,7 +92,7 @@ class TestStation : public Station {
   TestStation(MacAddr addr, bool promiscuous = false)
       : addr_(addr), promiscuous_(promiscuous) {}
   void OnFrameDelivered(const Frame& frame, pfsim::TimePoint at) override {
-    frames.push_back(frame.bytes);
+    frames.push_back(frame.bytes.ToVector());
     raw.push_back(frame);
     times.push_back(at);
   }
@@ -224,12 +224,12 @@ TEST(FrameTest, FcsDetectsCorruptionAndTruncation) {
   EXPECT_FALSE(frame.Truncated());
 
   Frame corrupted = frame;
-  corrupted.bytes[10] ^= 0x40;
+  corrupted.bytes.MutableSpan()[10] ^= 0x40;
   EXPECT_FALSE(corrupted.FcsIntact());
   EXPECT_FALSE(corrupted.Truncated());
 
   Frame cut = frame;
-  cut.bytes.resize(cut.bytes.size() - 7);
+  cut.bytes.Truncate(cut.bytes.size() - 7);
   EXPECT_TRUE(cut.Truncated());
 }
 
@@ -414,7 +414,7 @@ TEST(SegmentTest, ReorderJitterLetsLaterFramesOvertake) {
 
   for (uint8_t i = 0; i < 50; ++i) {
     Frame frame = MakeFrame(2, 1, 8);
-    frame.bytes[4] = i;  // sequence tag in the payload
+    frame.bytes.MutableSpan()[4] = i;  // sequence tag in the payload
     segment.Transmit(&a, frame);
   }
   sim.Run();

@@ -262,12 +262,12 @@ TEST_F(MachineTest, PipeTransfersMessagesWithCosts) {
   std::vector<uint8_t> got;
   auto writer = [&]() -> Task {
     std::vector<uint8_t> message = {1, 2, 3};
-    co_await pipe.Write(writer_pid, std::move(message));
+    co_await pipe.Write(writer_pid, pf::PacketBuf(std::move(message)));
   };
   auto reader = [&]() -> Task {
     auto message = co_await pipe.Read(reader_pid, pfsim::Seconds(1));
     if (message.has_value()) {
-      got = std::move(*message);
+      got = message->ToVector();
     }
   };
   sim_.Spawn(reader());
@@ -287,7 +287,8 @@ TEST_F(MachineTest, PipeBlocksWhenFull) {
   int read_count = 0;
   auto writer = [&]() -> Task {
     for (int i = 0; i < 6; ++i) {
-      co_await pipe.Write(writer_pid, std::vector<uint8_t>(8, static_cast<uint8_t>(i)));
+      co_await pipe.Write(writer_pid,
+                          pf::PacketBuf(std::vector<uint8_t>(8, static_cast<uint8_t>(i))));
       ++written;
     }
   };

@@ -1,0 +1,210 @@
+// Tests for the refcounted packet buffer (DESIGN.md §13): view lifecycle,
+// free slicing, copy-on-write isolation, the arena freelist, and — built as
+// part of the ASan CI job — the lifetime claim that matters most for ring
+// delivery: a reaped descriptor's bytes stay valid after its port closes.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "src/kernel/machine.h"
+#include "src/kernel/pf_device.h"
+#include "src/net/pup_endpoint.h"
+#include "src/pf/packet_buf.h"
+#include "tests/test_packets.h"
+
+namespace {
+
+using pf::PacketBuf;
+using pfkern::Machine;
+using pfsim::Milliseconds;
+using pfsim::Seconds;
+using pfsim::Task;
+
+std::vector<uint8_t> Ramp(size_t n) {
+  std::vector<uint8_t> bytes(n);
+  std::iota(bytes.begin(), bytes.end(), uint8_t{0});
+  return bytes;
+}
+
+class PacketBufTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    PacketBuf::SetPoolCapacity(0);  // drain any pooled blocks from other tests
+    PacketBuf::SetPoolCapacity(256);
+    PacketBuf::ResetStats();
+  }
+  void TearDown() override { PacketBuf::SetPoolCapacity(256); }
+};
+
+TEST_F(PacketBufTest, AdoptsVectorWithoutCopying) {
+  std::vector<uint8_t> bytes = Ramp(64);
+  const uint8_t* storage = bytes.data();
+  PacketBuf buf(std::move(bytes));
+  EXPECT_EQ(buf.size(), 64u);
+  EXPECT_EQ(buf.data(), storage);  // same heap block, no copy
+  EXPECT_TRUE(buf.unique());
+  EXPECT_EQ(PacketBuf::stats().cow_copies, 0u);
+}
+
+TEST_F(PacketBufTest, CopyBumpsRefcountMoveDoesNot) {
+  PacketBuf a(Ramp(16));
+  EXPECT_EQ(a.refcount(), 1u);
+  PacketBuf b = a;
+  EXPECT_EQ(a.refcount(), 2u);
+  EXPECT_TRUE(a.SharesBlockWith(b));
+  PacketBuf c = std::move(b);
+  EXPECT_EQ(a.refcount(), 2u);  // move transfers the reference
+  EXPECT_TRUE(a.SharesBlockWith(c));
+  c = PacketBuf();
+  EXPECT_EQ(a.refcount(), 1u);
+  EXPECT_TRUE(a.unique());
+}
+
+TEST_F(PacketBufTest, SliceAliasesTheBlock) {
+  PacketBuf frame(Ramp(100));
+  PacketBuf payload = frame.Slice(14);
+  PacketBuf header = frame.Slice(0, 14);
+  EXPECT_TRUE(payload.SharesBlockWith(frame));
+  EXPECT_TRUE(header.SharesBlockWith(frame));
+  EXPECT_EQ(payload.size(), 86u);
+  EXPECT_EQ(payload[0], 14);
+  EXPECT_EQ(header.size(), 14u);
+  EXPECT_EQ(frame.refcount(), 3u);
+  // Slicing costs nothing: no allocation, no copy.
+  EXPECT_EQ(PacketBuf::stats().blocks_allocated, 1u);
+  EXPECT_EQ(PacketBuf::stats().cow_copies, 0u);
+}
+
+TEST_F(PacketBufTest, MutableSpanOnUniqueBlockIsInPlace) {
+  PacketBuf buf(Ramp(32));
+  const uint8_t* before = buf.data();
+  buf.MutableSpan()[0] = 0xff;
+  EXPECT_EQ(buf.data(), before);  // no clone
+  EXPECT_EQ(buf[0], 0xff);
+  EXPECT_EQ(PacketBuf::stats().cow_copies, 0u);
+}
+
+TEST_F(PacketBufTest, MutableSpanOnSharedBlockClonesAndIsolates) {
+  // The impairment scenario: the wire duplicates a frame (shared block),
+  // then flips bits in one instance. The pristine duplicate must keep the
+  // original bytes — this is the one true copy on the receive path.
+  PacketBuf corrupted(Ramp(48));
+  PacketBuf pristine = corrupted;
+  ASSERT_TRUE(pristine.SharesBlockWith(corrupted));
+  corrupted.MutableSpan()[10] ^= 0x40;
+  EXPECT_FALSE(pristine.SharesBlockWith(corrupted));
+  EXPECT_EQ(pristine[10], 10);
+  EXPECT_EQ(corrupted[10], 10 ^ 0x40);
+  EXPECT_EQ(PacketBuf::stats().cow_copies, 1u);
+  EXPECT_EQ(PacketBuf::stats().cow_bytes, 48u);
+}
+
+TEST_F(PacketBufTest, TruncateShrinksTheViewNotTheBlock) {
+  PacketBuf full(Ramp(40));
+  PacketBuf cut = full;
+  cut.Truncate(10);
+  EXPECT_EQ(cut.size(), 10u);
+  EXPECT_EQ(full.size(), 40u);            // other view untouched
+  EXPECT_TRUE(cut.SharesBlockWith(full));  // no clone either
+  EXPECT_EQ(PacketBuf::stats().cow_copies, 0u);
+}
+
+TEST_F(PacketBufTest, ContentEqualityComparesBytesNotIdentity) {
+  PacketBuf a(Ramp(20));
+  PacketBuf b = PacketBuf::CopyOf(a.span());
+  EXPECT_FALSE(a.SharesBlockWith(b));
+  EXPECT_EQ(a, b);
+  b.MutableSpan()[3] = 0;
+  EXPECT_FALSE(a == b);
+}
+
+TEST_F(PacketBufTest, ToVectorIsACountedMaterialization) {
+  PacketBuf buf(Ramp(25));
+  std::vector<uint8_t> copy = buf.ToVector();
+  EXPECT_EQ(copy, Ramp(25));
+  EXPECT_EQ(PacketBuf::stats().materializations, 1u);
+  EXPECT_EQ(PacketBuf::stats().materialized_bytes, 25u);
+}
+
+TEST_F(PacketBufTest, ArenaRecyclesRetiredBlocks) {
+  { PacketBuf retired(Ramp(64)); }
+  EXPECT_EQ(PacketBuf::pool_size(), 1u);
+  PacketBuf reused(Ramp(8));
+  EXPECT_EQ(PacketBuf::pool_size(), 0u);
+  EXPECT_EQ(PacketBuf::stats().blocks_allocated, 1u);
+  EXPECT_EQ(PacketBuf::stats().blocks_recycled, 1u);
+  EXPECT_EQ(reused.ToVector(), Ramp(8));  // recycled block, fresh contents
+}
+
+TEST_F(PacketBufTest, ZeroPoolCapacityFreesEveryBlock) {
+  PacketBuf::SetPoolCapacity(0);
+  { PacketBuf gone(Ramp(64)); }
+  EXPECT_EQ(PacketBuf::pool_size(), 0u);
+  { PacketBuf also_gone(Ramp(64)); }
+  EXPECT_EQ(PacketBuf::stats().blocks_allocated, 2u);
+  EXPECT_EQ(PacketBuf::stats().blocks_recycled, 0u);
+}
+
+TEST_F(PacketBufTest, ShrinkingPoolCapacityFreesTheExcess) {
+  {
+    // Alive together so none recycles another's retired block.
+    PacketBuf a(Ramp(8));
+    PacketBuf b(Ramp(8));
+    PacketBuf c(Ramp(8));
+  }
+  EXPECT_EQ(PacketBuf::pool_size(), 3u);
+  PacketBuf::SetPoolCapacity(1);
+  EXPECT_EQ(PacketBuf::pool_size(), 1u);
+}
+
+// The ring-delivery lifetime claim, run with the arena disabled so that
+// under ASan a dangling view would touch genuinely freed memory: a reaped
+// descriptor (and a slice of it) must stay byte-valid after its port — and
+// every kernel-side reference to the frame — is gone.
+TEST(PacketBufLifetimeTest, ReapedRingDescriptorOutlivesPortClose) {
+  pf::PacketBuf::SetPoolCapacity(0);
+  pfsim::Simulator sim;
+  pflink::EthernetSegment segment(&sim, pflink::LinkType::kExperimental3Mb);
+  Machine alice(&sim, &segment, pflink::MacAddr::Experimental(1),
+                pfkern::MicroVaxUltrixCosts(), "alice");
+  Machine bob(&sim, &segment, pflink::MacAddr::Experimental(2),
+              pfkern::MicroVaxUltrixCosts(), "bob");
+  bob.pf().SetRingDelivery(8);
+
+  pf::ReceivedPacket survivor;
+  pf::PacketBuf tail;
+  auto receiver = [&]() -> Task {
+    const int pid = bob.NewPid();
+    const pf::PortId port = co_await bob.pf().Open(pid);
+    co_await bob.pf().SetFilter(pid, port, pfnet::MakePupSocketFilter(35, 10));
+    auto packets = co_await bob.pf().Read(pid, port, Seconds(5));
+    EXPECT_EQ(packets.size(), 1u);
+    if (packets.empty()) {
+      co_return;
+    }
+    survivor = std::move(packets[0]);
+    tail = survivor.bytes.Slice(survivor.bytes.size() - 4);
+    co_await bob.pf().Close(pid, port);
+  };
+  auto sender = [&]() -> Task {
+    const int pid = alice.NewPid();
+    co_await sim.Delay(Milliseconds(5));
+    co_await alice.pf().Write(pid, pftest::MakePupFrame(8, 35, 2));
+  };
+  sim.Spawn(receiver());
+  sim.Spawn(sender());
+  sim.Run();
+
+  // Port closed, queues gone, simulation drained — the descriptor's bytes
+  // must still be the frame alice sent.
+  const std::vector<uint8_t> expected = pftest::MakePupFrame(8, 35, 2);
+  EXPECT_EQ(survivor.bytes, expected);
+  ASSERT_EQ(tail.size(), 4u);
+  EXPECT_TRUE(tail.SharesBlockWith(survivor.bytes));
+  EXPECT_EQ(tail.ToVector(),
+            std::vector<uint8_t>(expected.end() - 4, expected.end()));
+  pf::PacketBuf::SetPoolCapacity(256);
+}
+
+}  // namespace

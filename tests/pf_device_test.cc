@@ -145,12 +145,12 @@ TEST_F(PfDeviceTest, PipeBatchOperationsPreserveOrderAndAmortize) {
   pfkern::MessagePipe pipe(&alice_, 16);
   const int writer = alice_.NewPid();
   const int reader = alice_.NewPid();
-  std::vector<std::vector<uint8_t>> got;
+  std::vector<pf::PacketBuf> got;
   uint64_t reader_syscalls = 0;
   auto producer = [&]() -> Task {
-    std::vector<std::vector<uint8_t>> batch;
+    std::vector<pf::PacketBuf> batch;
     for (uint8_t i = 0; i < 5; ++i) {
-      batch.push_back(std::vector<uint8_t>{i});
+      batch.push_back(pf::PacketBuf(std::vector<uint8_t>{i}));
     }
     co_await pipe.WriteBatch(writer, std::move(batch));
   };
@@ -172,7 +172,7 @@ TEST_F(PfDeviceTest, PipeBatchOperationsPreserveOrderAndAmortize) {
 
 TEST_F(PfDeviceTest, PipeReadBatchTimesOutEmpty) {
   pfkern::MessagePipe pipe(&alice_, 4);
-  std::vector<std::vector<uint8_t>> got = {{1}};
+  std::vector<pf::PacketBuf> got = {pf::PacketBuf(std::vector<uint8_t>{1})};
   auto consumer = [&]() -> Task {
     got = co_await pipe.ReadBatch(alice_.NewPid(), Milliseconds(20));
   };

@@ -31,7 +31,7 @@ inline std::vector<uint8_t> MakePupFrame(uint8_t pup_type, uint32_t dst_socket,
   link.ether_type = ether_type;
   const auto frame =
       pflink::BuildFrame(pflink::LinkType::kExperimental3Mb, link, *pup);
-  return frame->bytes;
+  return frame->bytes.ToVector();
 }
 
 }  // namespace pftest
