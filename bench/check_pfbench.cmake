@@ -1,0 +1,29 @@
+# ctest driver for the pfbench observatory gate: one full sweep into
+# ${FRESH}, then diff against the committed baseline (pfbench --compare auto-
+# detects whether host wall/obs gates apply from the build meta). Run with:
+#   cmake -DPFBENCH=<bin> -DBASELINE=<json> -DFRESH=<out> -P check_pfbench.cmake
+if(NOT DEFINED PFBENCH OR NOT DEFINED BASELINE OR NOT DEFINED FRESH)
+  message(FATAL_ERROR "usage: cmake -DPFBENCH=... -DBASELINE=... -DFRESH=... -P check_pfbench.cmake")
+endif()
+if(NOT EXISTS "${BASELINE}")
+  message(FATAL_ERROR "committed baseline missing: ${BASELINE} "
+                      "(generate with: pfbench --out ${BASELINE}, see EXPERIMENTS.md)")
+endif()
+
+execute_process(COMMAND "${PFBENCH}" --out "${FRESH}" --compare "${BASELINE}"
+                RESULT_VARIABLE sweep_result)
+if(NOT sweep_result EQUAL 0)
+  message(FATAL_ERROR "pfbench sweep/compare failed (exit ${sweep_result})")
+endif()
+
+# Sanity on the artifact itself: parses as JSON, right schema, non-empty.
+file(READ "${FRESH}" fresh_json)
+string(JSON schema GET "${fresh_json}" "schema")
+if(NOT schema STREQUAL "pfbench-run-1")
+  message(FATAL_ERROR "unexpected schema in ${FRESH}: ${schema}")
+endif()
+string(JSON bench_count LENGTH "${fresh_json}" "benches")
+if(bench_count LESS 15)
+  message(FATAL_ERROR "expected >= 15 benches in ${FRESH}, found ${bench_count}")
+endif()
+message(STATUS "pfbench gate: ${bench_count} benches match ${BASELINE}")

@@ -5,6 +5,7 @@
 //   fig. 2-3  kernel-resident protocol: overhead packets (acks) confined to
 //             the kernel — domain crossings per *data* packet stay constant
 //             as protocol overhead packets are added.
+#include <cmath>
 #include <cstdio>
 
 #include "bench/recv_common.h"
@@ -62,13 +63,19 @@ PathCounts CountPath(bool user_demux) {
   if (!got) {
     std::printf("    WARNING: packet was not delivered\n");
   }
+  pfbench::CaptureMachine(receiver);
   return counts;
 }
+
+struct CrossingCounts {
+  uint64_t frames_in = 0;
+  uint64_t read_syscalls = 0;
+};
 
 // Fig. 2-3: total user/kernel domain crossings on the receiver while a
 // kernel-resident protocol (TCP-lite) moves N data segments whose acks stay
 // in the kernel.
-void KernelResidentCrossings() {
+CrossingCounts KernelResidentCrossings() {
   pfsim::Simulator sim;
   pflink::EthernetSegment segment(&sim, pflink::LinkType::kEthernet10Mb);
   pfkern::Machine alice(&sim, &segment, pflink::MacAddr::Dix(8, 0, 0, 0, 0, 1),
@@ -117,33 +124,46 @@ void KernelResidentCrossings() {
   sim.Spawn(client());
   sim.RunUntil(pfsim::TimePoint{} + pfsim::Seconds(600));
 
-  const auto& tcp_stats = bob.nic_stats();
-  std::printf("\n=== Fig. 2-3: kernel-resident protocols reduce domain crossing ===\n");
-  std::printf("    64 KB received over kernel TCP-lite:\n");
-  std::printf("      frames handled in the kernel:  %llu (data + handshake; every ack the\n",
-              (unsigned long long)tcp_stats.frames_in);
-  std::printf("      receiver sent also stayed in the kernel)\n");
-  std::printf("      read() crossings by the user process: %llu (several frames per crossing)\n",
-              (unsigned long long)receiver_syscalls);
+  pfbench::CaptureMachine(bob);
+  CrossingCounts counts;
+  counts.frames_in = bob.nic_stats().frames_in;
+  counts.read_syscalls = receiver_syscalls;
+  return counts;
 }
 
 }  // namespace
 
-int main() {
+static int BenchMain(int /*argc*/, char** /*argv*/) {
   const PathCounts kernel = CountPath(false);
   const PathCounts user = CountPath(true);
+  const CrossingCounts tcp = KernelResidentCrossings();
 
-  std::printf("=== Figs. 2-1 / 2-2: events to deliver ONE packet to its process ===\n");
-  std::printf("    %-34s %10s %10s %8s\n", "", "switches", "syscalls", "copies");
-  std::printf("    %-34s %10llu %10llu %8llu   (fig. 2-2)\n", "demultiplexing in the kernel",
-              (unsigned long long)kernel.switches, (unsigned long long)kernel.syscalls,
-              (unsigned long long)kernel.copies);
-  std::printf("    %-34s %10llu %10llu %8llu   (fig. 2-1)\n", "demultiplexing in a user process",
-              (unsigned long long)user.switches, (unsigned long long)user.syscalls,
-              (unsigned long long)user.copies);
-  std::printf("    paper: user-process demultiplexing needs \"at least two context switches\n");
-  std::printf("    and three system calls per received packet\"; kernel demux one of each.\n");
-
-  KernelResidentCrossings();
+  const double nan = std::nan("");
+  pfbench::PrintTable(
+      "Figs. 2-1/2-2: events to deliver one packet to its process",
+      "kernel vs user-process demultiplexing, counted from the cost ledger",
+      "events/packet",
+      {
+          {"kernel demux (fig. 2-2): context switches", 1, static_cast<double>(kernel.switches)},
+          {"kernel demux (fig. 2-2): system calls", 1, static_cast<double>(kernel.syscalls)},
+          {"kernel demux (fig. 2-2): copies", nan, static_cast<double>(kernel.copies)},
+          {"user demux (fig. 2-1): context switches", 2, static_cast<double>(user.switches)},
+          {"user demux (fig. 2-1): system calls", 3, static_cast<double>(user.syscalls)},
+          {"user demux (fig. 2-1): copies", nan, static_cast<double>(user.copies)},
+      });
+  pfbench::PrintNote(
+      "paper: user-process demultiplexing needs \"at least two context switches "
+      "and three system calls\" per received packet; kernel demux one of each.");
+  pfbench::PrintTable(
+      "Fig. 2-3: kernel-resident protocol, 64 KB over kernel TCP-lite",
+      "acks stay in the kernel; reads batch several frames per crossing", "count",
+      {
+          {"frames handled in the kernel (data + handshake)", nan,
+           static_cast<double>(tcp.frames_in)},
+          {"read() crossings by the user process", nan,
+           static_cast<double>(tcp.read_syscalls)},
+      });
   return 0;
 }
+
+PFBENCH_MAIN("fig_2_demux_paths", BenchMain)

@@ -4,6 +4,7 @@
 // With `--zerocopy`, two extra rows count the same burst delivered over the
 // DESIGN.md §13 modes: shared-memory ring (copies collapse to zero) and
 // ring + NIC poll mode; the default output is unchanged.
+#include <cmath>
 #include <cstdio>
 
 #include "bench/recv_common.h"
@@ -64,37 +65,47 @@ Events CountBurst(bool batching, int burst, size_t ring_slots = 0, bool poll = f
     }
   });
   sim.RunUntil(pfsim::TimePoint{} + pfsim::Seconds(60));
+  pfbench::CaptureMachine(receiver);
   return events;
 }
 
 }  // namespace
 
-int main(int argc, char** argv) {
+static int BenchMain(int argc, char** argv) {
   constexpr int kBurst = 16;
   const Events without = CountBurst(false, kBurst);
   const Events with = CountBurst(true, kBurst);
 
-  std::printf("=== Figs. 3-4 / 3-5: delivery without / with received-packet batching ===\n");
-  std::printf("    burst of %d packets delivered to one port:\n\n", kBurst);
-  std::printf("    %-28s %10s %10s %8s\n", "", "switches", "syscalls", "copies");
-  std::printf("    %-28s %10llu %10llu %8llu   (fig. 3-4)\n", "without batching",
-              (unsigned long long)without.switches, (unsigned long long)without.syscalls,
-              (unsigned long long)without.copies);
-  std::printf("    %-28s %10llu %10llu %8llu   (fig. 3-5)\n", "with batching",
-              (unsigned long long)with.switches, (unsigned long long)with.syscalls,
-              (unsigned long long)with.copies);
-  if (pfbench::HasFlag(argc, argv, "--zerocopy")) {
+  const double nan = std::nan("");
+  std::vector<pfbench::Row> rows = {
+      {"without batching (fig. 3-4): context switches", nan,
+       static_cast<double>(without.switches)},
+      {"without batching (fig. 3-4): system calls", nan, static_cast<double>(without.syscalls)},
+      {"without batching (fig. 3-4): copies", nan, static_cast<double>(without.copies)},
+      {"with batching (fig. 3-5): context switches", nan, static_cast<double>(with.switches)},
+      {"with batching (fig. 3-5): system calls", nan, static_cast<double>(with.syscalls)},
+      {"with batching (fig. 3-5): copies", nan, static_cast<double>(with.copies)},
+  };
+  if (pfbench::HasFlag(argc, argv, "--zerocopy") || pfbench::CaptureActive()) {
     const Events ring = CountBurst(true, kBurst, /*ring_slots=*/64);
     const Events ring_poll = CountBurst(true, kBurst, /*ring_slots=*/64, /*poll=*/true);
-    std::printf("    %-28s %10llu %10llu %8llu   (ring delivery)\n", "batching + ring",
-                (unsigned long long)ring.switches, (unsigned long long)ring.syscalls,
-                (unsigned long long)ring.copies);
-    std::printf("    %-28s %10llu %10llu %8llu   (ring + poll)\n", "batching + ring + poll",
-                (unsigned long long)ring_poll.switches, (unsigned long long)ring_poll.syscalls,
-                (unsigned long long)ring_poll.copies);
+    rows.push_back({"batching + ring: context switches", nan,
+                    static_cast<double>(ring.switches)});
+    rows.push_back({"batching + ring: system calls", nan, static_cast<double>(ring.syscalls)});
+    rows.push_back({"batching + ring: copies", nan, static_cast<double>(ring.copies)});
+    rows.push_back({"batching + ring + poll: context switches", nan,
+                    static_cast<double>(ring_poll.switches)});
+    rows.push_back({"batching + ring + poll: system calls", nan,
+                    static_cast<double>(ring_poll.syscalls)});
+    rows.push_back({"batching + ring + poll: copies", nan,
+                    static_cast<double>(ring_poll.copies)});
   }
-  std::printf(
-      "\n    batching \"can amortize the overhead of performing a system call over several\n"
-      "    packets\" (§3) — crossings collapse to ~1 per burst; copies remain per-packet.\n");
+  pfbench::PrintTable("Figs. 3-4/3-5: burst of 16 packets, without vs with batching",
+                      "counted events on the receiver, one port", "events/burst", rows);
+  pfbench::PrintNote(
+      "batching \"can amortize the overhead of performing a system call over several "
+      "packets\" (§3) — crossings collapse to ~1 per burst; copies remain per-packet.");
   return 0;
 }
+
+PFBENCH_MAIN("fig_3_batching_events", BenchMain)

@@ -2,49 +2,62 @@
 
 #include <errno.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
 #include "src/proto/ip.h"
+#include "src/util/json.h"
+
+// Build identity fallbacks: CMake defines these on pfbench_harness; keep the
+// file compilable without them (e.g. external inclusion).
+#ifndef PF_GIT_SHA
+#define PF_GIT_SHA "unknown"
+#endif
+#ifndef PF_BUILD_TYPE
+#define PF_BUILD_TYPE "unknown"
+#endif
+#ifndef PF_SANITIZERS
+#define PF_SANITIZERS ""
+#endif
 
 namespace pfbench {
 
 namespace {
+
+using pfutil::JsonEscape;
+using pfutil::JsonNumber;
+
+std::vector<BenchEntry>* registered_benches = nullptr;
 
 // Rows accumulated by PrintTable for the PF_BENCH_JSON export, flushed once
 // at process exit so each binary produces one complete file however many
 // tables it prints.
 std::string* json_rows = nullptr;
 
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    if (c == '"' || c == '\\') {
-      out += '\\';
-      out += c;
-    } else if (static_cast<unsigned char>(c) < 0x20) {
-      char buf[8];
-      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-      out += buf;
-    } else {
-      out += c;
-    }
-  }
-  return out;
-}
+// Gate outcomes (ReportCheck), for the export's meta block.
+std::vector<CheckOutcome>* json_checks = nullptr;
 
-std::string JsonNumber(double v) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%.6g", v);
-  return buf;
+// The active pfbench capture, if any.
+BenchCapture* active_capture = nullptr;
+
+std::string ChecksJson(const std::vector<CheckOutcome>& checks) {
+  std::string out = "[";
+  for (size_t i = 0; i < checks.size(); ++i) {
+    if (i > 0) {
+      out += ",";
+    }
+    out += "{\"name\":\"" + JsonEscape(checks[i].name) +
+           "\",\"passed\":" + (checks[i].passed ? "true" : "false") + "}";
+  }
+  return out + "]";
 }
 
 void FlushBenchJson() {
   const char* dir = std::getenv("PF_BENCH_JSON");
-  if (dir == nullptr || json_rows == nullptr) {
+  if (dir == nullptr || (json_rows == nullptr && json_checks == nullptr)) {
     return;
   }
   // program_invocation_short_name is the binary's basename (glibc).
@@ -56,8 +69,27 @@ void FlushBenchJson() {
                  std::strerror(errno));
     return;
   }
-  std::fprintf(f, "[\n%s\n]\n", json_rows->c_str());
+  // Meta block (who produced these rows, under what build, and whether the
+  // binary's --check style gates passed), then the rows themselves.
+  std::fprintf(f,
+               "{\"meta\":{\"schema\":\"pfbench-rows-2\",\"binary\":\"%s\","
+               "\"git_sha\":\"%s\",\"build_type\":\"%s\",\"sanitizers\":\"%s\","
+               "\"checks\":%s},\n\"rows\":[\n%s\n]}\n",
+               JsonEscape(program_invocation_short_name).c_str(),
+               JsonEscape(BuildGitSha()).c_str(), JsonEscape(BuildTypeName()).c_str(),
+               JsonEscape(SanitizerFlags()).c_str(),
+               ChecksJson(json_checks != nullptr ? *json_checks : std::vector<CheckOutcome>{})
+                   .c_str(),
+               json_rows != nullptr ? json_rows->c_str() : "");
   std::fclose(f);
+}
+
+void EnsureFlushRegistered() {
+  static bool registered = false;
+  if (!registered) {
+    registered = true;
+    std::atexit(FlushBenchJson);
+  }
 }
 
 void AppendJsonRows(const std::string& title, const std::string& unit,
@@ -67,7 +99,7 @@ void AppendJsonRows(const std::string& title, const std::string& unit,
   }
   if (json_rows == nullptr) {
     json_rows = new std::string;  // leaked intentionally: read by atexit
-    std::atexit(FlushBenchJson);
+    EnsureFlushRegistered();
   }
   for (const Row& row : rows) {
     if (!json_rows->empty()) {
@@ -87,6 +119,85 @@ void AppendJsonRows(const std::string& title, const std::string& unit,
 
 }  // namespace
 
+int RegisterBench(const char* id, BenchMainFn fn) {
+  if (registered_benches == nullptr) {
+    registered_benches = new std::vector<BenchEntry>;  // static-init order safe
+  }
+  registered_benches->push_back({id, fn});
+  return static_cast<int>(registered_benches->size());
+}
+
+std::vector<BenchEntry> RegisteredBenches() {
+  std::vector<BenchEntry> benches =
+      registered_benches != nullptr ? *registered_benches : std::vector<BenchEntry>{};
+  std::sort(benches.begin(), benches.end(),
+            [](const BenchEntry& a, const BenchEntry& b) { return a.id < b.id; });
+  return benches;
+}
+
+std::string BuildGitSha() {
+  const char* env = std::getenv("PF_GIT_SHA");
+  return env != nullptr && env[0] != '\0' ? env : PF_GIT_SHA;
+}
+
+std::string BuildTypeName() { return PF_BUILD_TYPE; }
+
+std::string SanitizerFlags() { return PF_SANITIZERS; }
+
+void ReportCheck(const std::string& name, bool passed) {
+  std::printf("    gate %-40s [%s]\n", name.c_str(), passed ? "pass" : "FAIL");
+  if (json_checks == nullptr) {
+    json_checks = new std::vector<CheckOutcome>;  // leaked intentionally: read by atexit
+    EnsureFlushRegistered();
+  }
+  json_checks->push_back({name, passed});
+  if (active_capture != nullptr) {
+    active_capture->checks.push_back({name, passed});
+  }
+}
+
+void BeginCapture() {
+  delete active_capture;
+  active_capture = new BenchCapture;
+}
+
+BenchCapture EndCapture() {
+  BenchCapture result;
+  if (active_capture != nullptr) {
+    result = std::move(*active_capture);
+    delete active_capture;
+    active_capture = nullptr;
+  }
+  return result;
+}
+
+bool CaptureActive() { return active_capture != nullptr; }
+
+void CaptureMachine(pfkern::Machine& machine) {
+  if (active_capture == nullptr) {
+    return;
+  }
+  const pfkern::Ledger& ledger = machine.ledger();
+  for (size_t i = 0; i < static_cast<size_t>(pfkern::Cost::kCount); ++i) {
+    const auto category = static_cast<pfkern::Cost>(i);
+    if (ledger.count(category) == 0) {
+      continue;
+    }
+    const std::string slug = pfkern::ToSlug(category);
+    active_capture->ledger[slug + ".total_ns"] +=
+        static_cast<double>(ledger.total(category).count());
+    active_capture->ledger[slug + ".charges"] += static_cast<double>(ledger.count(category));
+  }
+  active_capture->ledger["grand_total_ns"] +=
+      static_cast<double>(ledger.grand_total().count());
+  for (const auto& [name, counter] : machine.metrics().counters()) {
+    if (counter.value() == 0) {
+      continue;
+    }
+    active_capture->metrics[name] += static_cast<double>(counter.value());
+  }
+}
+
 void PrintTable(const std::string& title, const std::string& citation,
                 const std::string& unit, const std::vector<Row>& rows) {
   std::printf("\n=== %s ===\n", title.c_str());
@@ -102,6 +213,9 @@ void PrintTable(const std::string& title, const std::string& citation,
     }
   }
   AppendJsonRows(title, unit, rows);
+  if (active_capture != nullptr) {
+    active_capture->tables.push_back({title, unit, rows});
+  }
 }
 
 void PrintNote(const std::string& note) { std::printf("    note: %s\n", note.c_str()); }
@@ -115,6 +229,13 @@ Duo::Duo(pflink::LinkType link_type, pfkern::CostModel costs)
       experimental ? pflink::MacAddr::Experimental(2) : pflink::MacAddr::Dix(8, 0, 0, 0, 0, 2);
   client_ = std::make_unique<pfkern::Machine>(&sim_, &segment_, client_mac, costs, "client");
   server_ = std::make_unique<pfkern::Machine>(&sim_, &segment_, server_mac, costs, "server");
+}
+
+Duo::~Duo() {
+  if (CaptureActive()) {
+    CaptureMachine(*client_);
+    CaptureMachine(*server_);
+  }
 }
 
 uint32_t Duo::client_ip_addr() const { return pfproto::MakeIpv4(10, 0, 0, 1); }

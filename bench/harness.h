@@ -8,6 +8,7 @@
 #define BENCH_HARNESS_H_
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -21,6 +22,50 @@
 #include "src/sim/simulator.h"
 
 namespace pfbench {
+
+// --- Bench registration (the performance observatory, DESIGN.md §14) ---
+//
+// Every table/figure/micro bench exposes its entry point through
+// PFBENCH_MAIN(id, fn): built standalone (the default) the macro emits a
+// main() shim, built with -DPFBENCH_COMBINED (the bench/pfbench runner,
+// which compiles every bench source into one binary) it only registers the
+// bench so the runner can sweep them all in a single process. `id` is the
+// bench's stable identity in BENCH_<sha>.json and bench/baselines/.
+
+using BenchMainFn = int (*)(int argc, char** argv);
+
+struct BenchEntry {
+  std::string id;
+  BenchMainFn fn;
+};
+
+// Returns an arbitrary int so the macro can run it at static-init time.
+int RegisterBench(const char* id, BenchMainFn fn);
+
+// Every registered bench, sorted by id (static-init order is not stable
+// across link orders; the sort is what makes sweep output deterministic).
+std::vector<BenchEntry> RegisteredBenches();
+
+#ifdef PFBENCH_COMBINED
+#define PFBENCH_MAIN(id, fn)                                                         \
+  namespace {                                                                        \
+  [[maybe_unused]] const int pfbench_registered = ::pfbench::RegisterBench(id, fn);  \
+  }
+#else
+#define PFBENCH_MAIN(id, fn)                                                         \
+  namespace {                                                                        \
+  [[maybe_unused]] const int pfbench_registered = ::pfbench::RegisterBench(id, fn);  \
+  }                                                                                  \
+  int main(int argc, char** argv) { return fn(argc, argv); }
+#endif
+
+// Build identity, for the JSON exports: the values of the PF_GIT_SHA /
+// PF_BUILD_TYPE / PF_SANITIZERS compile definitions (CMake provides them;
+// a PF_GIT_SHA environment variable overrides the baked-in sha so CI can
+// stamp artifacts with the exact commit even on stale configures).
+std::string BuildGitSha();
+std::string BuildTypeName();
+std::string SanitizerFlags();
 
 // --- Output formatting ---
 
@@ -43,6 +88,51 @@ void PrintTable(const std::string& title, const std::string& citation,
 // A free-form note under a table.
 void PrintNote(const std::string& note);
 
+// Records a named pass/fail gate outcome (the `--check` style gates). The
+// outcome is printed, folded into the PF_BENCH_JSON export's meta block,
+// and — inside a pfbench sweep — captured into the bench's entry in
+// BENCH_<sha>.json.
+void ReportCheck(const std::string& name, bool passed);
+
+// --- In-process capture (the pfbench runner) ---
+//
+// While a capture is active, PrintTable also appends its rows to the
+// capture, CaptureMachine folds a machine's cost ledger and metric counters
+// into it, and ReportCheck records gate outcomes. The runner brackets each
+// bench's entry point with Begin/EndCapture; standalone bench binaries
+// never activate it, so the hooks cost one branch.
+
+struct CapturedTable {
+  std::string title;
+  std::string unit;
+  std::vector<Row> rows;
+};
+
+struct CheckOutcome {
+  std::string name;
+  bool passed = false;
+};
+
+struct BenchCapture {
+  std::vector<CapturedTable> tables;
+  std::vector<CheckOutcome> checks;
+  // Cost-ledger totals summed over every captured machine:
+  // "<slug>.total_ns" and "<slug>.charges" per category with any charges,
+  // plus "grand_total_ns".
+  std::map<std::string, double> ledger;
+  // Metric counters summed by name over every captured machine.
+  std::map<std::string, double> metrics;
+};
+
+void BeginCapture();
+BenchCapture EndCapture();
+bool CaptureActive();
+
+// Folds `machine`'s ledger and metric counters into the active capture
+// (no-op when none). Duo's destructor calls this for both machines; benches
+// that build machines directly (bench/recv_common.h) call it explicitly.
+void CaptureMachine(pfkern::Machine& machine);
+
 // --- Canonical two-machine scenario ---
 
 // Two machines ("client" and "server") on one segment, with optional kernel
@@ -52,6 +142,8 @@ class Duo {
  public:
   explicit Duo(pflink::LinkType link_type,
                pfkern::CostModel costs = pfkern::MicroVaxUltrixCosts());
+  // Feeds both machines to CaptureMachine when a pfbench capture is active.
+  ~Duo();
 
   pfsim::Simulator& sim() { return sim_; }
   pflink::EthernetSegment& segment() { return segment_; }

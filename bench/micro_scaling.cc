@@ -170,8 +170,8 @@ bool VerifyDropAccounting() {
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  bool check = false;
+static int BenchMain(int argc, char** argv) {
+  bool check = pfbench::CaptureActive();  // sweeps always evaluate the gates
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--check") == 0) {
       check = true;
@@ -225,11 +225,14 @@ int main(int argc, char** argv) {
     const double ratio = indexed_at_256 > 0 ? fast_at_256 / indexed_at_256 : 0;
     std::printf("check: kFast@256 = %.2f, kIndexed@256 = %.2f, ratio = %.1fx (need >= 5x)\n",
                 fast_at_256, indexed_at_256, ratio);
+    pfbench::ReportCheck("micro_scaling.indexed_5x_cheaper", ratio >= 5.0);
     if (ratio < 5.0) {
       std::printf("check FAILED\n");
       return 1;
     }
-    if (!VerifyDropAccounting()) {
+    const bool drops_ok = VerifyDropAccounting();
+    pfbench::ReportCheck("micro_scaling.drop_accounting", drops_ok);
+    if (!drops_ok) {
       std::printf("check FAILED\n");
       return 1;
     }
@@ -237,3 +240,5 @@ int main(int argc, char** argv) {
   }
   return 0;
 }
+
+PFBENCH_MAIN("micro_scaling", BenchMain)

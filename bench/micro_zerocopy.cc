@@ -85,8 +85,9 @@ ModeSnapshot RunBulk(size_t ring_slots) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  const bool check = pfbench::HasFlag(argc, argv, "--check");
+static int BenchMain(int argc, char** argv) {
+  const bool check =
+      pfbench::HasFlag(argc, argv, "--check") || pfbench::CaptureActive();
 
   pf::PacketBuf::ResetStats();
   const ModeSnapshot legacy = RunBulk(/*ring_slots=*/0);
@@ -144,9 +145,12 @@ int main(int argc, char** argv) {
   for (const std::string& failure : failures) {
     std::fprintf(stderr, "micro_zerocopy --check FAILED: %s\n", failure.c_str());
   }
+  pfbench::ReportCheck("micro_zerocopy.zero_copy_gates", failures.empty());
   if (failures.empty()) {
     std::printf("    --check: all zero-copy and reconciliation gates hold\n");
     return 0;
   }
   return 1;
 }
+
+PFBENCH_MAIN("micro_zerocopy", BenchMain)

@@ -154,6 +154,7 @@ inline double MeasureReceivePerPacketMs(const RecvConfig& config) {
   if (config.inspect) {
     config.inspect(receiver);
   }
+  CaptureMachine(receiver);  // no-op outside a pfbench sweep
   if (consumed == 0) {
     return 0;
   }

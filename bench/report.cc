@@ -1,0 +1,432 @@
+#include "bench/report.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace pfbench {
+
+namespace {
+
+using pfutil::JsonEscape;
+using pfutil::JsonNumber;
+using pfutil::JsonValue;
+
+std::string NumberOrNull(double v) {
+  return std::isnan(v) ? "null" : JsonNumber(v);
+}
+
+void AppendMap(const std::map<std::string, double>& map, std::string* out) {
+  *out += "{";
+  bool first = true;
+  for (const auto& [key, value] : map) {
+    if (!first) {
+      *out += ",";
+    }
+    first = false;
+    *out += "\"" + JsonEscape(key) + "\":" + JsonNumber(value);
+  }
+  *out += "}";
+}
+
+bool ReadMap(const JsonValue* value, std::map<std::string, double>* out) {
+  if (value == nullptr || !value->is_object()) {
+    return false;
+  }
+  for (const auto& [key, member] : value->AsObject()) {
+    if (!member.is_number()) {
+      return false;
+    }
+    (*out)[key] = member.AsNumber();
+  }
+  return true;
+}
+
+}  // namespace
+
+const RunTable* RunBench::FindTable(const std::string& table_id) const {
+  for (const RunTable& table : tables) {
+    if (table.id == table_id) {
+      return &table;
+    }
+  }
+  return nullptr;
+}
+
+const RunBench* RunDoc::FindBench(const std::string& bench_id) const {
+  for (const RunBench& bench : benches) {
+    if (bench.id == bench_id) {
+      return &bench;
+    }
+  }
+  return nullptr;
+}
+
+std::string SlugifyTitle(const std::string& title) {
+  std::string slug;
+  slug.reserve(title.size());
+  bool pending_sep = false;
+  for (const char c : title) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      if (pending_sep && !slug.empty()) {
+        slug += '_';
+      }
+      pending_sep = false;
+      slug += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    } else {
+      pending_sep = true;
+    }
+  }
+  return slug;
+}
+
+std::string ClassifyUnit(const std::string& unit) {
+  if (unit.find("ratio") != std::string::npos) {
+    return kClassObs;
+  }
+  // Host-clock units. Simulated durations are reported in ms/us; only the
+  // host wall-clock tables use nanosecond units ("ns/packet"). "ns" must
+  // start a token — "insns+probes/packet" is a deterministic work count.
+  for (size_t pos = unit.find("ns"); pos != std::string::npos;
+       pos = unit.find("ns", pos + 1)) {
+    if (pos == 0 || !std::isalnum(static_cast<unsigned char>(unit[pos - 1]))) {
+      return kClassWall;
+    }
+  }
+  return kClassExact;
+}
+
+std::string ToJson(const RunDoc& doc) {
+  std::string out = "{\n";
+  out += "\"schema\":\"" + JsonEscape(doc.schema) + "\",\n";
+  out += "\"git_sha\":\"" + JsonEscape(doc.git_sha) + "\",\n";
+  out += "\"build_type\":\"" + JsonEscape(doc.build_type) + "\",\n";
+  out += "\"sanitizers\":\"" + JsonEscape(doc.sanitizers) + "\",\n";
+  out += "\"reps\":" + std::to_string(doc.reps) + ",\n";
+  out += "\"benches\":[\n";
+  for (size_t b = 0; b < doc.benches.size(); ++b) {
+    const RunBench& bench = doc.benches[b];
+    out += "{\"id\":\"" + JsonEscape(bench.id) + "\",";
+    out += "\"exit_code\":" + std::to_string(bench.exit_code) + ",";
+    out += "\"wall_ns\":" + JsonNumber(bench.wall_ns) + ",";
+    out += "\"host\":" + bench.host.ToJson() + ",\n";
+    out += " \"checks\":[";
+    for (size_t c = 0; c < bench.checks.size(); ++c) {
+      if (c > 0) {
+        out += ",";
+      }
+      out += "{\"name\":\"" + JsonEscape(bench.checks[c].name) +
+             "\",\"passed\":" + (bench.checks[c].passed ? "true" : "false") + "}";
+    }
+    out += "],\n";
+    out += " \"ledger\":";
+    AppendMap(bench.ledger, &out);
+    out += ",\n \"metrics\":";
+    AppendMap(bench.metrics, &out);
+    out += ",\n \"tables\":[";
+    for (size_t t = 0; t < bench.tables.size(); ++t) {
+      const RunTable& table = bench.tables[t];
+      if (t > 0) {
+        out += ",";
+      }
+      out += "\n  {\"id\":\"" + JsonEscape(table.id) + "\",\"title\":\"" +
+             JsonEscape(table.title) + "\",\"unit\":\"" + JsonEscape(table.unit) +
+             "\",\"class\":\"" + JsonEscape(table.tol_class) + "\",\"rows\":[";
+      for (size_t r = 0; r < table.rows.size(); ++r) {
+        const RunRow& row = table.rows[r];
+        if (r > 0) {
+          out += ",";
+        }
+        out += "\n   {\"id\":\"" + JsonEscape(row.id) + "\",\"label\":\"" +
+               JsonEscape(row.label) + "\",\"paper\":" + NumberOrNull(row.paper) +
+               ",\"measured\":" + JsonNumber(row.measured) + "}";
+      }
+      out += "]}";
+    }
+    out += "]}";
+    out += b + 1 < doc.benches.size() ? ",\n" : "\n";
+  }
+  out += "]}\n";
+  return out;
+}
+
+bool RunDocFromJson(const JsonValue& value, RunDoc* out, std::string* error) {
+  const auto fail = [error](const std::string& message) {
+    if (error != nullptr) {
+      *error = message;
+    }
+    return false;
+  };
+  if (!value.is_object()) {
+    return fail("run document is not a JSON object");
+  }
+  out->schema = value.GetString("schema");
+  if (out->schema.empty()) {
+    return fail("missing schema field");
+  }
+  if (out->schema != kRunSchema) {
+    return fail("unsupported schema \"" + out->schema + "\" (this build reads " + kRunSchema +
+                "; regenerate the baseline, see EXPERIMENTS.md)");
+  }
+  out->git_sha = value.GetString("git_sha");
+  out->build_type = value.GetString("build_type");
+  out->sanitizers = value.GetString("sanitizers");
+  out->reps = static_cast<int>(value.GetNumber("reps"));
+  const JsonValue* benches = value.Find("benches");
+  if (benches == nullptr || !benches->is_array()) {
+    return fail("missing benches array");
+  }
+  for (const JsonValue& bench_value : benches->AsArray()) {
+    RunBench bench;
+    bench.id = bench_value.GetString("id");
+    if (bench.id.empty()) {
+      return fail("bench entry without id");
+    }
+    bench.exit_code = static_cast<int>(bench_value.GetNumber("exit_code"));
+    bench.wall_ns = bench_value.GetNumber("wall_ns");
+    if (const JsonValue* host = bench_value.Find("host"); host != nullptr) {
+      bench.host.user_us = static_cast<int64_t>(host->GetNumber("user_us"));
+      bench.host.sys_us = static_cast<int64_t>(host->GetNumber("sys_us"));
+      bench.host.max_rss_kb = static_cast<int64_t>(host->GetNumber("max_rss_kb"));
+    }
+    if (const JsonValue* checks = bench_value.Find("checks");
+        checks != nullptr && checks->is_array()) {
+      for (const JsonValue& check : checks->AsArray()) {
+        bench.checks.push_back({check.GetString("name"), check.GetBool("passed")});
+      }
+    }
+    if (const JsonValue* ledger = bench_value.Find("ledger"); ledger != nullptr) {
+      if (!ReadMap(ledger, &bench.ledger)) {
+        return fail("bench " + bench.id + ": malformed ledger map");
+      }
+    }
+    if (const JsonValue* metrics = bench_value.Find("metrics"); metrics != nullptr) {
+      if (!ReadMap(metrics, &bench.metrics)) {
+        return fail("bench " + bench.id + ": malformed metrics map");
+      }
+    }
+    const JsonValue* tables = bench_value.Find("tables");
+    if (tables == nullptr || !tables->is_array()) {
+      return fail("bench " + bench.id + ": missing tables array");
+    }
+    for (const JsonValue& table_value : tables->AsArray()) {
+      RunTable table;
+      table.id = table_value.GetString("id");
+      table.title = table_value.GetString("title");
+      table.unit = table_value.GetString("unit");
+      table.tol_class = table_value.GetString("class", kClassExact);
+      const JsonValue* rows = table_value.Find("rows");
+      if (table.id.empty() || rows == nullptr || !rows->is_array()) {
+        return fail("bench " + bench.id + ": malformed table entry");
+      }
+      for (const JsonValue& row_value : rows->AsArray()) {
+        RunRow row;
+        row.id = row_value.GetString("id");
+        row.label = row_value.GetString("label");
+        const JsonValue* paper = row_value.Find("paper");
+        row.paper = paper != nullptr && paper->is_number() ? paper->AsNumber() : std::nan("");
+        const JsonValue* measured = row_value.Find("measured");
+        if (row.id.empty() || measured == nullptr || !measured->is_number()) {
+          return fail("bench " + bench.id + "/" + table.id + ": malformed row");
+        }
+        row.measured = measured->AsNumber();
+        table.rows.push_back(std::move(row));
+      }
+      bench.tables.push_back(std::move(table));
+    }
+    out->benches.push_back(std::move(bench));
+  }
+  return true;
+}
+
+bool RunDocFromString(const std::string& text, RunDoc* out, std::string* error) {
+  JsonValue value;
+  if (!pfutil::ParseJson(text, &value, error)) {
+    return false;
+  }
+  return RunDocFromJson(value, out, error);
+}
+
+namespace {
+
+class Comparer {
+ public:
+  Comparer(const CompareOptions& options) : options_(options) {}
+
+  CompareResult Run(const RunDoc& baseline, const RunDoc& fresh) {
+    if (fresh.schema != baseline.schema) {
+      Regress("schema mismatch: baseline " + baseline.schema + " vs fresh " + fresh.schema);
+      return result_;
+    }
+    if (!options_.gate_host) {
+      Warn("host gates (wall/obs) reported but not enforced: fresh build is " +
+           fresh.build_type +
+           (fresh.sanitizers.empty() ? "" : " with sanitizers " + fresh.sanitizers));
+    }
+    for (const RunBench& base_bench : baseline.benches) {
+      const RunBench* fresh_bench = fresh.FindBench(base_bench.id);
+      if (fresh_bench == nullptr) {
+        Regress(base_bench.id + ": bench missing from fresh run");
+        continue;
+      }
+      CompareBench(base_bench, *fresh_bench);
+    }
+    for (const RunBench& fresh_bench : fresh.benches) {
+      if (baseline.FindBench(fresh_bench.id) == nullptr) {
+        Warn(fresh_bench.id + ": new bench (absent from baseline; re-baseline to track it)");
+      }
+    }
+    return result_;
+  }
+
+ private:
+  void Regress(const std::string& line) {
+    ++result_.regressions;
+    result_.report += "REGRESSION  " + line + "\n";
+  }
+  void Warn(const std::string& line) {
+    ++result_.warnings;
+    result_.report += "warning     " + line + "\n";
+  }
+  void Improve(const std::string& line) {
+    ++result_.improvements;
+    result_.report += "improvement " + line + "\n";
+  }
+
+  void GateRatio(const std::string& what, const std::string& tol_class, double base,
+                 double fresh) {
+    const bool obs = tol_class == kClassObs;
+    const double tol = obs ? options_.obs_tol : options_.wall_tol;
+    char detail[160];
+    std::snprintf(detail, sizeof(detail), "baseline %.6g, fresh %.6g (tolerance %.2fx)", base,
+                  fresh, tol);
+    if (obs && fresh <= options_.obs_floor) {
+      return;  // tax is small in absolute terms; don't flag ratio jitter
+    }
+    if (base <= 0) {
+      return;  // nothing to ratio against
+    }
+    if (fresh > base * tol) {
+      if (options_.gate_host) {
+        Regress(what + ": " + detail);
+      } else {
+        Warn(what + " would regress on a gating build: " + detail);
+      }
+    } else if (!obs && fresh < base * 0.75) {
+      Improve(what + ": " + detail);
+    }
+  }
+
+  void CompareBench(const RunBench& base, const RunBench& fresh) {
+    if (fresh.exit_code != 0) {
+      Regress(base.id + ": bench exited with code " + std::to_string(fresh.exit_code));
+    }
+    for (const CheckOutcome& check : fresh.checks) {
+      if (!check.passed) {
+        Regress(base.id + ": gate " + check.name + " failed");
+      }
+    }
+    GateRatio(base.id + " wall_ns", kClassWall, base.wall_ns, fresh.wall_ns);
+    CompareExactMap(base.id + " ledger", base.ledger, fresh.ledger);
+    CompareExactMap(base.id + " metrics", base.metrics, fresh.metrics);
+    for (const RunTable& base_table : base.tables) {
+      const RunTable* fresh_table = fresh.FindTable(base_table.id);
+      if (fresh_table == nullptr) {
+        Regress(base.id + "/" + base_table.id + ": table missing from fresh run");
+        continue;
+      }
+      CompareTable(base.id, base_table, *fresh_table);
+    }
+    for (const RunTable& fresh_table : fresh.tables) {
+      if (base.FindTable(fresh_table.id) == nullptr) {
+        Warn(base.id + "/" + fresh_table.id + ": new table (re-baseline to track it)");
+      }
+    }
+  }
+
+  void CompareExactMap(const std::string& what, const std::map<std::string, double>& base,
+                       const std::map<std::string, double>& fresh) {
+    for (const auto& [key, base_value] : base) {
+      const auto it = fresh.find(key);
+      if (it == fresh.end()) {
+        Regress(what + "." + key + ": entry missing from fresh run");
+        continue;
+      }
+      if (it->second != base_value) {
+        char detail[128];
+        std::snprintf(detail, sizeof(detail), "baseline %.17g, fresh %.17g", base_value,
+                      it->second);
+        Regress(what + "." + key + ": deterministic value drifted: " + detail);
+      }
+    }
+    for (const auto& [key, value] : fresh) {
+      (void)value;
+      if (base.find(key) == base.end()) {
+        Warn(what + "." + key + ": new entry (re-baseline to track it)");
+      }
+    }
+  }
+
+  void CompareTable(const std::string& bench_id, const RunTable& base, const RunTable& fresh) {
+    const std::string where = bench_id + "/" + base.id;
+    if (fresh.tol_class != base.tol_class) {
+      Warn(where + ": tolerance class changed " + base.tol_class + " -> " + fresh.tol_class);
+    }
+    for (const RunRow& base_row : base.rows) {
+      const RunRow* fresh_row = nullptr;
+      for (const RunRow& candidate : fresh.rows) {
+        if (candidate.id == base_row.id) {
+          fresh_row = &candidate;
+          break;
+        }
+      }
+      if (fresh_row == nullptr) {
+        Regress(where + "/" + base_row.id + " (" + base_row.label +
+                "): row missing from fresh run");
+        continue;
+      }
+      const std::string what = where + "/" + base_row.id + " (" + base_row.label + ")";
+      if (base.tol_class == kClassExact) {
+        if (fresh_row->measured != base_row.measured) {
+          char detail[128];
+          std::snprintf(detail, sizeof(detail), "baseline %.17g, fresh %.17g",
+                        base_row.measured, fresh_row->measured);
+          Regress(what + ": deterministic value drifted: " + detail);
+        }
+      } else {
+        GateRatio(what, base.tol_class, base_row.measured, fresh_row->measured);
+      }
+    }
+    if (fresh.rows.size() > base.rows.size()) {
+      Warn(where + ": fresh run has extra rows (re-baseline to track them)");
+    }
+  }
+
+  const CompareOptions& options_;
+  CompareResult result_;
+};
+
+}  // namespace
+
+CompareResult CompareRuns(const RunDoc& baseline, const RunDoc& fresh,
+                          const CompareOptions& options) {
+  return Comparer(options).Run(baseline, fresh);
+}
+
+void Perturb(RunDoc* doc, double percent) {
+  const double scale = 1.0 + percent / 100.0;
+  for (RunBench& bench : doc->benches) {
+    bench.wall_ns *= scale;
+    for (auto& [key, value] : bench.ledger) {
+      (void)key;
+      value *= scale;
+    }
+    for (RunTable& table : bench.tables) {
+      for (RunRow& row : table.rows) {
+        row.measured *= scale;
+      }
+    }
+  }
+}
+
+}  // namespace pfbench

@@ -191,7 +191,7 @@ ProfileResult RunProfile(int packets, int fixed_socket = 0, bool ring = false,
 
 }  // namespace
 
-int main(int argc, char** argv) {
+static int BenchMain(int argc, char** argv) {
   const ProfileResult mixed = RunProfile(2000);
 
   pfbench::PrintTable(
@@ -219,7 +219,7 @@ int main(int argc, char** argv) {
       "    (a mismatching fig. 3-9-style predicate costs 2 instructions thanks to the\n"
       "    short-circuit CAND; the paper's 0.122 ms average reflects longer filters.)\n");
 
-  if (pfbench::HasFlag(argc, argv, "--zerocopy")) {
+  if (pfbench::HasFlag(argc, argv, "--zerocopy") || pfbench::CaptureActive()) {
     // DESIGN.md §13 delivery modes over the same mixed profile: the ring
     // removes the read-time copy, poll mode batches interrupt work.
     const ProfileResult ring = RunProfile(2000, 0, /*ring=*/true);
@@ -232,3 +232,5 @@ int main(int argc, char** argv) {
   }
   return 0;
 }
+
+PFBENCH_MAIN("sec_6_1_per_packet", BenchMain)

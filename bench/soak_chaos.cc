@@ -533,6 +533,9 @@ int main(int argc, char** argv) {
       ++failures;
     }
   }
+  if (check) {
+    pfbench::ReportCheck("soak_chaos.grid", failures == 0);
+  }
   if (failures > 0) {
     std::fprintf(stderr, "%d chaos cell(s) failed\n", failures);
     return 1;

@@ -69,7 +69,7 @@ double MeasureUdpSend(size_t total_bytes, int packets) {
 
 }  // namespace
 
-int main() {
+static int BenchMain(int /*argc*/, char** /*argv*/) {
   constexpr int kPackets = 100;
   pfbench::PrintTable(
       "Table 6-1: Cost of sending packets", "elapsed time per packet sent, §6.2", "(ms)",
@@ -83,3 +83,5 @@ int main() {
       "UDP datagrams are unchecksummed, as in the paper; the gap is routing + header work.");
   return 0;
 }
+
+PFBENCH_MAIN("table_6_01_send_cost", BenchMain)

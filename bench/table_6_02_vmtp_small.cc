@@ -10,7 +10,7 @@
 
 #include "bench/vmtp_common.h"
 
-int main(int argc, char** argv) {
+static int BenchMain(int argc, char** argv) {
   using pfbench::MeasureVmtp;
   using pfbench::VmtpConfig;
 
@@ -30,7 +30,7 @@ int main(int argc, char** argv) {
       {"Unix kernel", 7.44, kernel_rtt},
       {"V kernel", 7.32, vkernel_rtt},
   };
-  if (pfbench::HasFlag(argc, argv, "--zerocopy")) {
+  if (pfbench::HasFlag(argc, argv, "--zerocopy") || pfbench::CaptureActive()) {
     VmtpConfig ring_config = pf_config;
     ring_config.ring_slots = 128;
     VmtpConfig ring_poll_config = ring_config;
@@ -44,3 +44,5 @@ int main(int argc, char** argv) {
   std::printf("    user-level penalty: paper 1.98x, ours %.2fx\n", pf_rtt / kernel_rtt);
   return 0;
 }
+
+PFBENCH_MAIN("table_6_02_vmtp_small", BenchMain)

@@ -11,7 +11,7 @@
 #include "bench/stream_common.h"
 #include "bench/vmtp_common.h"
 
-int main(int argc, char** argv) {
+static int BenchMain(int argc, char** argv) {
   using pfbench::MeasureTcpBulkKBps;
   using pfbench::MeasureVmtp;
   using pfbench::VmtpConfig;
@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
       {"V kernel VMTP", 278, vkernel_rate},
       {"Unix kernel TCP", 222, tcp_rate},
   };
-  if (pfbench::HasFlag(argc, argv, "--zerocopy")) {
+  if (pfbench::HasFlag(argc, argv, "--zerocopy") || pfbench::CaptureActive()) {
     VmtpConfig ring_config = pf_config;
     ring_config.ring_slots = 128;
     VmtpConfig ring_poll_config = ring_config;
@@ -49,3 +49,5 @@ int main(int argc, char** argv) {
   std::printf("    user-level penalty: paper 3.0x, ours %.2fx\n", kernel_rate / pf_rate);
   return 0;
 }
+
+PFBENCH_MAIN("table_6_03_vmtp_bulk", BenchMain)

@@ -8,7 +8,7 @@
 
 #include "bench/vmtp_common.h"
 
-int main(int argc, char** argv) {
+static int BenchMain(int argc, char** argv) {
   using pfbench::MeasureVmtp;
   using pfbench::VmtpConfig;
 
@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
       {"Batching: yes", 112, with_batching},
       {"Batching: no", 64, without_batching},
   };
-  if (pfbench::HasFlag(argc, argv, "--zerocopy")) {
+  if (pfbench::HasFlag(argc, argv, "--zerocopy") || pfbench::CaptureActive()) {
     VmtpConfig batched_ring = batched;
     batched_ring.ring_slots = 128;
     VmtpConfig unbatched_ring = unbatched;
@@ -39,3 +39,5 @@ int main(int argc, char** argv) {
               (with_batching / without_batching - 1.0) * 100.0);
   return 0;
 }
+
+PFBENCH_MAIN("table_6_04_batching", BenchMain)

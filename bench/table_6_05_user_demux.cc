@@ -6,7 +6,7 @@
 // the poor IPC facilities in 4.3BSD)".
 #include "bench/vmtp_common.h"
 
-int main() {
+static int BenchMain(int /*argc*/, char** /*argv*/) {
   using pfbench::MeasureVmtp;
   using pfbench::VmtpConfig;
 
@@ -33,3 +33,5 @@ int main() {
               direct_result.bulk_kbps / demuxed_result.bulk_kbps);
   return 0;
 }
+
+PFBENCH_MAIN("table_6_05_user_demux", BenchMain)

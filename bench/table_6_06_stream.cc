@@ -5,7 +5,7 @@
 // throughput.
 #include "bench/stream_common.h"
 
-int main() {
+static int BenchMain(int /*argc*/, char** /*argv*/) {
   constexpr size_t kTransfer = 200 * 1024;
 
   const double bsp = pfbench::MeasureBspBulkKBps(kTransfer);
@@ -25,3 +25,5 @@ int main() {
   std::printf("    TCP small-packet slowdown: paper ~2.0x, ours %.2fx\n", tcp / tcp_small);
   return 0;
 }
+
+PFBENCH_MAIN("table_6_06_stream", BenchMain)

@@ -5,7 +5,7 @@
 // (~960 cps; both protocols are terminal-limited and nearly equal).
 #include "bench/stream_common.h"
 
-int main() {
+static int BenchMain(int /*argc*/, char** /*argv*/) {
   using pfbench::MeasureTelnetCps;
   using pflink::LinkType;
 
@@ -40,3 +40,5 @@ int main() {
       "performance\" — the protocol choice barely matters at 9600 baud.");
   return 0;
 }
+
+PFBENCH_MAIN("table_6_07_telnet", BenchMain)

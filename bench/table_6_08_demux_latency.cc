@@ -13,12 +13,12 @@
 #include "bench/recv_common.h"
 #include "src/obs/trace.h"
 
-int main(int argc, char** argv) {
+static int BenchMain(int argc, char** argv) {
   using pfbench::MeasureReceivePerPacketMs;
   using pfbench::RecvConfig;
 
   std::string trace_path;
-  bool zerocopy = false;
+  bool zerocopy = pfbench::CaptureActive();  // sweeps record the full row set
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--trace=", 8) == 0) {
       trace_path = argv[i] + 8;
@@ -87,3 +87,5 @@ int main(int argc, char** argv) {
   }
   return 0;
 }
+
+PFBENCH_MAIN("table_6_08_demux_latency", BenchMain)

@@ -11,7 +11,7 @@
 
 #include "bench/recv_common.h"
 
-int main(int argc, char** argv) {
+static int BenchMain(int argc, char** argv) {
   using pfbench::MeasureReceivePerPacketMs;
   using pfbench::RecvConfig;
 
@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
       {"1500 bytes, demux in kernel", 3.5, MeasureReceivePerPacketMs(kernel1500)},
       {"1500 bytes, demux in user process", 5.9, MeasureReceivePerPacketMs(user1500)},
   };
-  if (pfbench::HasFlag(argc, argv, "--zerocopy")) {
+  if (pfbench::HasFlag(argc, argv, "--zerocopy") || pfbench::CaptureActive()) {
     RecvConfig ring128 = kernel128;
     ring128.ring_slots = 128;
     RecvConfig ring1500 = kernel1500;
@@ -59,3 +59,5 @@ int main(int argc, char** argv) {
       "per-packet.");
   return 0;
 }
+
+PFBENCH_MAIN("table_6_09_demux_latency_batch", BenchMain)

@@ -108,7 +108,7 @@ ProfiledRun MeasureProfiled(int filter_length, pf::Strategy strategy) {
 
 }  // namespace
 
-int main() {
+static int BenchMain(int /*argc*/, char** /*argv*/) {
   const double t0 = Measure(0);
   const double t1 = Measure(1);
   const double t9 = Measure(9);
@@ -153,6 +153,7 @@ int main() {
         (unsigned long long)acct.ledger_charges, acct.ledger_total_ns / 1e6,
         ok ? "reconciled" : "MISMATCH");
   }
+  pfbench::ReportCheck("table_6_10.filter_eval_reconciles", reconciled);
   if (!reconciled) {
     std::fprintf(stderr, "filter-eval histogram does not reconcile with the ledger\n");
     return 1;
@@ -190,6 +191,7 @@ int main() {
         attributed_ns / 1e6, run.ledger_total_ns / 1e6, run.hottest_pc,
         ok ? "exact" : "MISMATCH");
   }
+  pfbench::ReportCheck("table_6_10.profiler_attribution", attributed);
   if (!attributed) {
     std::fprintf(stderr, "profiler attribution does not reconcile with the ledger\n");
     return 1;
@@ -212,3 +214,5 @@ int main() {
       user_extra, user_extra / per_filter);
   return 0;
 }
+
+PFBENCH_MAIN("table_6_10_filter_cost", BenchMain)

@@ -69,4 +69,45 @@ if(CMAKE_VERSION VERSION_GREATER_EQUAL 3.19)
     message(FATAL_ERROR "sampler JSON has no rows")
   endif()
 endif()
+
+# --once --json -: the machine-readable snapshot on stdout is exactly one
+# sample (no live loop ran), and nothing else pollutes the stream.
+execute_process(
+  COMMAND "${PFSTAT}" --once --duration-ms 60 --json -
+  RESULT_VARIABLE rc OUTPUT_VARIABLE snapshot ERROR_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "pfstat --once --json - exited with ${rc}")
+endif()
+if(CMAKE_VERSION VERSION_GREATER_EQUAL 3.19)
+  string(JSON n_snap ERROR_VARIABLE err LENGTH "${snapshot}" "rows")
+  if(err)
+    message(FATAL_ERROR "snapshot stdout is not clean JSON: ${err}")
+  endif()
+  if(NOT n_snap EQUAL 1)
+    message(FATAL_ERROR "snapshot mode sampled ${n_snap} rows, want exactly 1")
+  endif()
+endif()
+
+# --trend: summarize a small pfbench run document; every gate in a clean
+# run passes, so the exit code is 0 and the bench id appears in the table.
+if(PFBENCH)
+  set(trend_doc "${OUTDIR}/pfstat_trend_input.json")
+  execute_process(
+    COMMAND "${PFBENCH}" --only table_6_01_send_cost --reps 1 --warmup 0
+            --out "${trend_doc}"
+    RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "pfbench --only table_6_01_send_cost exited with ${rc}")
+  endif()
+  execute_process(
+    COMMAND "${PFSTAT}" --trend "${trend_doc}"
+    RESULT_VARIABLE rc OUTPUT_VARIABLE trend_out)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "pfstat --trend exited with ${rc}: ${trend_out}")
+  endif()
+  string(FIND "${trend_out}" "table_6_01_send_cost" at)
+  if(at EQUAL -1)
+    message(FATAL_ERROR "pfstat --trend output lacks the bench row: ${trend_out}")
+  endif()
+endif()
 message(STATUS "pfstat smoke test passed: ${flight}")

@@ -11,21 +11,29 @@
 // test, cmake/check_pfstat.cmake).
 //
 // Flags:
-//   --once             print only the final table (default: one per period)
+//   --once             snapshot mode: no live loop — run the scenario, take a
+//                      single sample at the end, print one final table
+//                      (with --json - the table is suppressed and the
+//                      one-sample series goes to stdout, machine-readable)
 //   --interval-ms N    sampling/render period in simulated ms (default 10)
 //   --duration-ms N    traffic duration in simulated ms (default 100)
 //   --strategy S       checked|fast|tree|predecoded|indexed (default indexed)
 //   --loss P           drop each frame with probability P at the medium
 //   --ring N           shared-memory ring delivery, N slots (DESIGN.md §13)
 //   --csv PATH         write the sampled time series as CSV
-//   --json PATH        write the sampled time series as JSON
+//   --json PATH        write the sampled time series as JSON ("-" = stdout)
 //   --flight-json PATH write the flight recorder as JSON
+//   --trend FILE       no scenario at all: summarize a pfbench run document
+//                      (BENCH_<sha>.json, bench/report.h) — per-bench wall
+//                      clock, gate outcomes, host rusage — and exit non-zero
+//                      if the run recorded failures
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "bench/report.h"
 #include "src/kernel/machine.h"
 #include "src/kernel/pf_device.h"
 #include "src/net/pup_endpoint.h"
@@ -45,6 +53,7 @@ struct Options {
   const char* csv_path = nullptr;
   const char* json_path = nullptr;
   const char* flight_json_path = nullptr;
+  const char* trend_path = nullptr;
 };
 
 bool ParseStrategy(const char* name, pf::Strategy* out) {
@@ -90,6 +99,8 @@ bool ParseOptions(int argc, char** argv, Options* options) {
       if ((options->json_path = value()) == nullptr) return false;
     } else if (std::strcmp(argv[i], "--flight-json") == 0) {
       if ((options->flight_json_path = value()) == nullptr) return false;
+    } else if (std::strcmp(argv[i], "--trend") == 0) {
+      if ((options->trend_path = value()) == nullptr) return false;
     } else {
       return false;
     }
@@ -98,6 +109,10 @@ bool ParseOptions(int argc, char** argv, Options* options) {
 }
 
 bool WriteFile(const char* path, const std::string& content) {
+  if (std::strcmp(path, "-") == 0) {
+    std::fwrite(content.data(), 1, content.size(), stdout);
+    return true;
+  }
   FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "pfstat: cannot write %s\n", path);
@@ -106,6 +121,57 @@ bool WriteFile(const char* path, const std::string& content) {
   std::fwrite(content.data(), 1, content.size(), f);
   std::fclose(f);
   return true;
+}
+
+// --trend: summarize a pfbench run document — the same artifact the CI
+// perf-gate uploads — without running any scenario.
+int TrendMode(const char* path) {
+  std::string text;
+  {
+    FILE* f = std::fopen(path, "rb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "pfstat: cannot read %s\n", path);
+      return 2;
+    }
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+      text.append(buf, n);
+    }
+    std::fclose(f);
+  }
+  pfbench::RunDoc doc;
+  std::string error;
+  if (!pfbench::RunDocFromString(text, &doc, &error)) {
+    std::fprintf(stderr, "pfstat: %s: %s\n", path, error.c_str());
+    return 2;
+  }
+  std::printf("pfbench run %s (%s%s%s, %d reps, schema %s)\n", doc.git_sha.c_str(),
+              doc.build_type.c_str(), doc.sanitizers.empty() ? "" : " ",
+              doc.sanitizers.c_str(), doc.reps, doc.schema.c_str());
+  std::printf(" %-32s %10s %6s %7s %7s %9s  %s\n", "bench", "wall ms", "tables", "checks",
+              "cpu ms", "rss KB", "status");
+  int failures = 0;
+  for (const pfbench::RunBench& bench : doc.benches) {
+    int passed = 0;
+    for (const pfbench::CheckOutcome& check : bench.checks) {
+      passed += check.passed ? 1 : 0;
+    }
+    const bool ok = bench.exit_code == 0 &&
+                    passed == static_cast<int>(bench.checks.size());
+    failures += ok ? 0 : 1;
+    std::printf(" %-32s %10.2f %6zu %4d/%-2zu %7.1f %9lld  %s\n", bench.id.c_str(),
+                bench.wall_ns / 1e6, bench.tables.size(), passed, bench.checks.size(),
+                (bench.host.user_us + bench.host.sys_us) / 1e3,
+                (long long)bench.host.max_rss_kb, ok ? "ok" : "FAIL");
+    for (const pfbench::CheckOutcome& check : bench.checks) {
+      if (!check.passed) {
+        std::printf("   failed check: %s\n", check.name.c_str());
+      }
+    }
+  }
+  std::printf("%zu benches, %d with failures\n", doc.benches.size(), failures);
+  return failures == 0 ? 0 : 1;
 }
 
 // The live table: one row per bound port, then the machine-wide demux
@@ -194,10 +260,16 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: pfstat [--once] [--interval-ms N] [--duration-ms N]\n"
                  "              [--strategy checked|fast|tree|predecoded|indexed]\n"
-                 "              [--loss P] [--ring N] [--csv PATH] [--json PATH]\n"
-                 "              [--flight-json PATH]\n");
+                 "              [--loss P] [--ring N] [--csv PATH] [--json PATH|-]\n"
+                 "              [--flight-json PATH] [--trend BENCH.json]\n");
     return 2;
   }
+  if (options.trend_path != nullptr) {
+    return TrendMode(options.trend_path);
+  }
+  // Machine-readable snapshot to stdout: suppress the human tables.
+  const bool quiet =
+      options.json_path != nullptr && std::strcmp(options.json_path, "-") == 0;
 
   pfsim::Simulator sim;
   pflink::EthernetSegment wire(&sim, pflink::LinkType::kExperimental3Mb);
@@ -269,24 +341,29 @@ int main(int argc, char** argv) {
     while (sim.Now() < deadline) {
       co_await sim.Delay(interval);
       sampler.Sample(sim.NowNanos());
-      if (!options.once) {
-        RenderTable(receiver, pfsim::ToMilliseconds(sim.Now().time_since_epoch()));
-      }
+      RenderTable(receiver, pfsim::ToMilliseconds(sim.Now().time_since_epoch()));
     }
   };
 
   sim.Spawn(receiver_setup());
   sim.Spawn(sender_process());
-  sim.Spawn(stat_process());
+  if (!options.once) {
+    sim.Spawn(stat_process());  // --once: no live loop, one sample at the end
+  }
   sim.Run();
 
+  if (options.once) {
+    sampler.Sample(sim.NowNanos());
+  }
   // Final state (the only table under --once) plus the hottest filter's
   // annotated disassembly, driven by the same profile the table reads.
-  RenderTable(receiver, pfsim::ToMilliseconds(sim.Now().time_since_epoch()));
-  if (overflow_port != pf::kInvalidPort) {
-    const std::string dump = receiver.pf().ProfileDump(overflow_port);
-    if (!dump.empty()) {
-      std::printf("overflowing port %u filter profile:\n%s\n", overflow_port, dump.c_str());
+  if (!quiet) {
+    RenderTable(receiver, pfsim::ToMilliseconds(sim.Now().time_since_epoch()));
+    if (overflow_port != pf::kInvalidPort) {
+      const std::string dump = receiver.pf().ProfileDump(overflow_port);
+      if (!dump.empty()) {
+        std::printf("overflowing port %u filter profile:\n%s\n", overflow_port, dump.c_str());
+      }
     }
   }
 
@@ -302,7 +379,9 @@ int main(int argc, char** argv) {
     ok = recorder != nullptr &&
          WriteFile(options.flight_json_path, recorder->ToJson()) && ok;
   }
-  std::printf("sampled %zu rows x %zu columns over %.0f ms simulated\n", sampler.row_count(),
-              sampler.columns().size() + 1, pfsim::ToMilliseconds(sim.Now().time_since_epoch()));
+  std::fprintf(quiet ? stderr : stdout,
+               "sampled %zu rows x %zu columns over %.0f ms simulated\n", sampler.row_count(),
+               sampler.columns().size() + 1,
+               pfsim::ToMilliseconds(sim.Now().time_since_epoch()));
   return ok ? 0 : 1;
 }

@@ -1,0 +1,46 @@
+#include "src/obs/host_stats.h"
+
+#include <sys/resource.h>
+#include <sys/time.h>
+
+#include <chrono>
+
+namespace pfobs {
+
+namespace {
+int64_t TimevalUs(const timeval& tv) {
+  return static_cast<int64_t>(tv.tv_sec) * 1000000 + tv.tv_usec;
+}
+}  // namespace
+
+HostStats HostStats::Sample() {
+  HostStats stats;
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+    stats.user_us = TimevalUs(usage.ru_utime);
+    stats.sys_us = TimevalUs(usage.ru_stime);
+    stats.max_rss_kb = usage.ru_maxrss;  // Linux: kilobytes
+  }
+  return stats;
+}
+
+HostStats HostStats::Delta(const HostStats& start, const HostStats& end) {
+  HostStats delta;
+  delta.user_us = end.user_us - start.user_us;
+  delta.sys_us = end.sys_us - start.sys_us;
+  delta.max_rss_kb = end.max_rss_kb;
+  return delta;
+}
+
+std::string HostStats::ToJson() const {
+  return "{\"user_us\":" + std::to_string(user_us) + ",\"sys_us\":" + std::to_string(sys_us) +
+         ",\"max_rss_kb\":" + std::to_string(max_rss_kb) + "}";
+}
+
+int64_t HostWallNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace pfobs

@@ -1,0 +1,39 @@
+// Host (real-machine) resource usage for the performance observatory.
+//
+// Everything else in pfobs is keyed on *simulated* time; this module is the
+// deliberate exception. The pfbench runner records what each bench costs the
+// host — wall clock, user/system CPU time, peak RSS — so the trend file
+// tracks the reproduction's own efficiency alongside the simulated numbers.
+// Wall-clock readings come from steady_clock at the call site; this wraps
+// the getrusage() side.
+#ifndef SRC_OBS_HOST_STATS_H_
+#define SRC_OBS_HOST_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace pfobs {
+
+struct HostStats {
+  int64_t user_us = 0;     // ru_utime, microseconds
+  int64_t sys_us = 0;      // ru_stime, microseconds
+  int64_t max_rss_kb = 0;  // ru_maxrss, kilobytes (process high-water mark)
+
+  // Current process totals (getrusage(RUSAGE_SELF)).
+  static HostStats Sample();
+
+  // Usage accrued between two samples. max_rss is a process-lifetime
+  // high-water mark, not a rate: the delta keeps `end`'s value.
+  static HostStats Delta(const HostStats& start, const HostStats& end);
+
+  // {"user_us":..,"sys_us":..,"max_rss_kb":..}
+  std::string ToJson() const;
+};
+
+// Monotonic host wall clock in nanoseconds (steady_clock). For benches that
+// need warmup + repetition trimming, see bench/pfbench.cc.
+int64_t HostWallNs();
+
+}  // namespace pfobs
+
+#endif  // SRC_OBS_HOST_STATS_H_

@@ -1,0 +1,275 @@
+// The performance observatory's JSON schema (bench/report.h): round-trip
+// fidelity, required keys, string escaping, the tolerance-class gates, the
+// +20% perturbation self-test, and ledger<->metrics reconciliation inside a
+// real captured bench run.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bench/recv_common.h"
+#include "bench/report.h"
+#include "src/util/json.h"
+
+namespace {
+
+using pfbench::CompareOptions;
+using pfbench::CompareResult;
+using pfbench::CompareRuns;
+using pfbench::RunBench;
+using pfbench::RunDoc;
+using pfbench::RunRow;
+using pfbench::RunTable;
+
+RunDoc MakeDoc() {
+  RunDoc doc;
+  doc.git_sha = "abc123def456";
+  doc.build_type = "Release";
+  doc.sanitizers = "";
+  doc.reps = 3;
+
+  RunBench bench;
+  bench.id = "table_6_01_send_cost";
+  bench.exit_code = 0;
+  bench.wall_ns = 1.25e6;
+  bench.host.user_us = 1200;
+  bench.host.sys_us = 40;
+  bench.host.max_rss_kb = 2048;
+  bench.checks.push_back({"table_6_01.gate", true});
+  bench.ledger["copy.charges"] = 12;
+  bench.ledger["copy.total_ns"] = 340000;
+  bench.ledger["grand_total_ns"] = 1.07e9;
+  bench.metrics["pf.copy.count"] = 12;
+
+  RunTable exact;
+  exact.id = "send_cost";
+  exact.title = "Table 6-1: \"send\" cost \\ with escapes\nand a newline";
+  exact.unit = "ms";
+  exact.tol_class = pfbench::kClassExact;
+  exact.rows.push_back({"r0", "r0-label \"quoted\"", 1.5, 1.4921875});
+  exact.rows.push_back({"r1", "r1-label", std::nan(""), 0.015625});
+  bench.tables.push_back(exact);
+
+  RunTable wall;
+  wall.id = "wall_clock";
+  wall.title = "host wall clock";
+  wall.unit = "ns/packet";
+  wall.tol_class = pfbench::kClassWall;
+  wall.rows.push_back({"r0", "per packet", std::nan(""), 512.5});
+  bench.tables.push_back(wall);
+
+  RunTable obs;
+  obs.id = "tax";
+  obs.title = "instrumentation tax";
+  obs.unit = "ratio (attached/detached)";
+  obs.tol_class = pfbench::kClassObs;
+  obs.rows.push_back({"r0", "metrics tax", std::nan(""), 1.08});
+  bench.tables.push_back(obs);
+
+  doc.benches.push_back(bench);
+  return doc;
+}
+
+TEST(BenchJson, RoundTripPreservesEverything) {
+  const RunDoc doc = MakeDoc();
+  const std::string json = pfbench::ToJson(doc);
+
+  RunDoc back;
+  std::string error;
+  ASSERT_TRUE(pfbench::RunDocFromString(json, &back, &error)) << error;
+
+  EXPECT_EQ(back.schema, pfbench::kRunSchema);
+  EXPECT_EQ(back.git_sha, doc.git_sha);
+  EXPECT_EQ(back.build_type, doc.build_type);
+  EXPECT_EQ(back.reps, doc.reps);
+  ASSERT_EQ(back.benches.size(), 1u);
+
+  const RunBench& b = back.benches[0];
+  EXPECT_EQ(b.id, "table_6_01_send_cost");
+  EXPECT_EQ(b.wall_ns, 1.25e6);
+  EXPECT_EQ(b.host.user_us, 1200);
+  EXPECT_EQ(b.host.sys_us, 40);
+  EXPECT_EQ(b.host.max_rss_kb, 2048);
+  ASSERT_EQ(b.checks.size(), 1u);
+  EXPECT_EQ(b.checks[0].name, "table_6_01.gate");
+  EXPECT_TRUE(b.checks[0].passed);
+  EXPECT_EQ(b.ledger, doc.benches[0].ledger);
+  EXPECT_EQ(b.metrics, doc.benches[0].metrics);
+
+  ASSERT_EQ(b.tables.size(), 3u);
+  // The escaped title survives exactly, including the quote/backslash/newline.
+  EXPECT_EQ(b.tables[0].title, doc.benches[0].tables[0].title);
+  EXPECT_EQ(b.tables[0].rows[0].label, "r0-label \"quoted\"");
+  // Numbers round-trip bit-exactly — the precondition for the exact class.
+  EXPECT_EQ(b.tables[0].rows[0].measured, 1.4921875);
+  EXPECT_EQ(b.tables[0].rows[0].paper, 1.5);
+  // NaN paper values serialize as null and come back NaN.
+  EXPECT_TRUE(std::isnan(b.tables[0].rows[1].paper));
+  EXPECT_EQ(b.tables[1].tol_class, pfbench::kClassWall);
+  EXPECT_EQ(b.tables[2].tol_class, pfbench::kClassObs);
+}
+
+TEST(BenchJson, RequiredKeysPresent) {
+  const std::string json = pfbench::ToJson(MakeDoc());
+  pfutil::JsonValue value;
+  std::string error;
+  ASSERT_TRUE(pfutil::ParseJson(json, &value, &error)) << error;
+  for (const char* key : {"schema", "git_sha", "build_type", "sanitizers", "reps", "benches"}) {
+    EXPECT_NE(value.Find(key), nullptr) << key;
+  }
+  const pfutil::JsonValue* benches = value.Find("benches");
+  ASSERT_NE(benches, nullptr);
+  const pfutil::JsonValue& bench = benches->AsArray()[0];
+  for (const char* key :
+       {"id", "exit_code", "wall_ns", "host", "tables", "checks", "ledger", "metrics"}) {
+    EXPECT_NE(bench.Find(key), nullptr) << key;
+  }
+  const pfutil::JsonValue* host = bench.Find("host");
+  for (const char* key : {"user_us", "sys_us", "max_rss_kb"}) {
+    EXPECT_NE(host->Find(key), nullptr) << key;
+  }
+  const pfutil::JsonValue& table = bench.Find("tables")->AsArray()[0];
+  for (const char* key : {"id", "title", "unit", "class", "rows"}) {
+    EXPECT_NE(table.Find(key), nullptr) << key;
+  }
+  const pfutil::JsonValue& row = table.Find("rows")->AsArray()[0];
+  for (const char* key : {"id", "label", "paper", "measured"}) {
+    EXPECT_NE(row.Find(key), nullptr) << key;
+  }
+}
+
+TEST(BenchJson, MalformedDocsRejectedWithMessage) {
+  RunDoc out;
+  std::string error;
+  EXPECT_FALSE(pfbench::RunDocFromString("not json", &out, &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(pfbench::RunDocFromString("{\"schema\":\"bogus-9\"}", &out, &error));
+  EXPECT_NE(error.find("schema"), std::string::npos);
+}
+
+TEST(BenchJson, IdenticalRunsCompareClean) {
+  const RunDoc doc = MakeDoc();
+  const CompareResult result = CompareRuns(doc, doc, CompareOptions{});
+  EXPECT_EQ(result.regressions, 0) << result.report;
+}
+
+TEST(BenchJson, PerturbationTripsTheGate) {
+  const RunDoc baseline = MakeDoc();
+  RunDoc fresh = MakeDoc();
+  pfbench::Perturb(&fresh, 20);
+  // Even with host gates off (Debug/sanitizer builds), the deterministic
+  // exact rows and ledger totals must catch a +20% shift.
+  CompareOptions options;
+  options.gate_host = false;
+  const CompareResult result = CompareRuns(baseline, fresh, options);
+  EXPECT_GT(result.regressions, 0);
+}
+
+TEST(BenchJson, ExactClassCatchesTinyDrift) {
+  const RunDoc baseline = MakeDoc();
+  RunDoc fresh = MakeDoc();
+  fresh.benches[0].tables[0].rows[0].measured += 1e-9;
+  const CompareResult result = CompareRuns(baseline, fresh, CompareOptions{});
+  EXPECT_GT(result.regressions, 0);
+}
+
+TEST(BenchJson, WallClassToleratesNoiseButNotBlowups) {
+  const RunDoc baseline = MakeDoc();
+  RunDoc fresh = MakeDoc();
+  fresh.benches[0].tables[1].rows[0].measured *= 2.0;  // within 5x tolerance
+  fresh.benches[0].wall_ns *= 2.0;
+  EXPECT_EQ(CompareRuns(baseline, fresh, CompareOptions{}).regressions, 0);
+  fresh.benches[0].tables[1].rows[0].measured = baseline.benches[0].tables[1].rows[0].measured * 8;
+  EXPECT_GT(CompareRuns(baseline, fresh, CompareOptions{}).regressions, 0);
+  // ... unless host gating is off (sanitized build): reported as warning.
+  CompareOptions no_host;
+  no_host.gate_host = false;
+  const CompareResult result = CompareRuns(baseline, fresh, no_host);
+  EXPECT_EQ(result.regressions, 0);
+  EXPECT_GT(result.warnings, 0);
+}
+
+TEST(BenchJson, ObsFloorForgivesSmallTaxes) {
+  const RunDoc baseline = MakeDoc();
+  RunDoc fresh = MakeDoc();
+  // Tax tripled but still under the 1.5 absolute floor: not a regression.
+  fresh.benches[0].tables[2].rows[0].measured = 1.3;
+  EXPECT_EQ(CompareRuns(baseline, fresh, CompareOptions{}).regressions, 0);
+  // Above the floor and above baseline * obs_tol: regression.
+  fresh.benches[0].tables[2].rows[0].measured = 4.0;
+  EXPECT_GT(CompareRuns(baseline, fresh, CompareOptions{}).regressions, 0);
+}
+
+TEST(BenchJson, MissingBenchAndFailedCheckRegress) {
+  const RunDoc baseline = MakeDoc();
+  RunDoc missing = MakeDoc();
+  missing.benches.clear();
+  EXPECT_GT(CompareRuns(baseline, missing, CompareOptions{}).regressions, 0);
+
+  RunDoc failed = MakeDoc();
+  failed.benches[0].checks[0].passed = false;
+  EXPECT_GT(CompareRuns(baseline, failed, CompareOptions{}).regressions, 0);
+}
+
+// A real captured run reconciles: the pf.copy.count metric the machine
+// streams into its registry equals the ledger's kCopy charge count in the
+// same capture (the invariant micro_zerocopy gates on, seen here through
+// the pfbench capture plumbing end to end).
+TEST(BenchJson, CapturedRunReconcilesLedgerAndMetrics) {
+  pfbench::BeginCapture();
+  // A self-contained receive: 8 frames delivered to one port and read out.
+  // No ledger reset anywhere, so every kCopy charge has its metric twin.
+  pfsim::Simulator sim;
+  pflink::EthernetSegment segment(&sim, pflink::LinkType::kEthernet10Mb);
+  pfkern::Machine receiver(&sim, &segment, pflink::MacAddr::Dix(8, 0, 0, 0, 0, 2),
+                           pfkern::MicroVaxUltrixCosts(), "receiver");
+  pflink::LinkHeader link;
+  link.dst = receiver.link_addr();
+  link.src = pflink::MacAddr::Dix(8, 0, 0, 0, 0, 1);
+  link.ether_type = 0x3333;
+  const pflink::Frame frame = *pflink::BuildFrame(pflink::LinkType::kEthernet10Mb, link,
+                                                  std::vector<uint8_t>(100, 1));
+  constexpr int kFrames = 8;
+  int consumed = 0;
+  auto destination = [&]() -> pfsim::Task {
+    const int pid = receiver.NewPid();
+    const pf::PortId port = co_await receiver.pf().Open(pid);
+    co_await receiver.pf().SetFilter(pid, port, pf::Program{});
+    auto read_once = [&]() -> pfsim::ValueTask<size_t> {
+      co_return (co_await receiver.pf().Read(pid, port, pfsim::Seconds(5))).size();
+    };
+    consumed = co_await pfbench::DrainPackets(kFrames, read_once);
+  };
+  sim.Spawn(destination());
+  sim.Schedule(pfsim::Milliseconds(10), [&] {
+    for (int i = 0; i < kFrames; ++i) {
+      receiver.OnFrameDelivered(frame, sim.Now());
+    }
+  });
+  sim.RunUntil(pfsim::TimePoint{} + pfsim::Seconds(30));
+  pfbench::CaptureMachine(receiver);
+  const pfbench::BenchCapture capture = pfbench::EndCapture();
+  EXPECT_EQ(consumed, kFrames);
+
+  ASSERT_NE(capture.ledger.find("copy.charges"), capture.ledger.end());
+  ASSERT_NE(capture.metrics.find("pf.copy.count"), capture.metrics.end());
+  EXPECT_EQ(capture.ledger.at("copy.charges"), capture.metrics.at("pf.copy.count"));
+  EXPECT_GT(capture.ledger.at("grand_total_ns"), 0);
+
+  // And the reconciled capture survives the JSON round trip unchanged.
+  RunDoc doc;
+  doc.git_sha = "test";
+  doc.build_type = "Release";
+  doc.reps = 1;
+  RunBench bench;
+  bench.id = "recv_probe";
+  bench.ledger = capture.ledger;
+  bench.metrics = capture.metrics;
+  doc.benches.push_back(bench);
+  RunDoc back;
+  std::string error;
+  ASSERT_TRUE(pfbench::RunDocFromString(pfbench::ToJson(doc), &back, &error)) << error;
+  EXPECT_EQ(back.benches[0].ledger.at("copy.charges"),
+            back.benches[0].metrics.at("pf.copy.count"));
+}
+
+}  // namespace
