@@ -1,0 +1,525 @@
+#include "src/pf/compile.h"
+
+#include <algorithm>
+
+#include "src/pf/engine.h"
+#include "src/pf/insn.h"
+#include "src/util/byte_order.h"
+
+namespace pf {
+
+namespace {
+
+// Compile-time knowledge about one abstract stack slot.
+struct Slot {
+  enum class Kind : uint8_t {
+    kConst,  // value known at compile time
+    kLoad,   // a pure masked packet-word load, deferred to its consumer
+    kDyn,    // produced at run time by an event
+  };
+  Kind kind = Slot::Kind::kDyn;
+  uint16_t imm = 0;
+  uint8_t word = 0;
+  uint16_t mask = 0xffff;
+  int producer = -1;  // event index (kDyn only)
+  bool live = false;
+};
+
+// One runtime action the simulation could not fold away.
+struct Event {
+  enum class Kind : uint8_t { kOp, kInd } kind = Event::Kind::kOp;
+  uint16_t insn = 0;  // original instruction index
+  BinaryOp op = BinaryOp::kNop;
+  int t1 = -1;  // operand slot (kOp: popped first; kInd: the byte offset)
+  int t2 = -1;  // operand slot (kOp only)
+  int result = -1;
+  bool emit = false;
+  bool push = false;
+};
+
+Operand OperandOf(const Slot& slot) {
+  Operand operand;
+  switch (slot.kind) {
+    case Slot::Kind::kConst:
+      operand.src = Operand::Src::kImm;
+      operand.imm = slot.imm;
+      break;
+    case Slot::Kind::kLoad:
+      operand.src = Operand::Src::kLoad;
+      operand.word = slot.word;
+      operand.mask = slot.mask;
+      break;
+    case Slot::Kind::kDyn:
+      operand.src = Operand::Src::kStack;
+      break;
+  }
+  return operand;
+}
+
+// May this event exit or fault at run time? (Everything else is pure and
+// eliminable when its result is dead.) Division events only exist with a
+// non-constant or constant-nonzero divisor — the constant-zero case folds
+// into a verdict op before any event is created.
+bool HasSideEffect(const Event& event, const std::vector<Slot>& slots) {
+  if (event.kind == Event::Kind::kInd) {
+    return true;  // data-dependent offset: may fault
+  }
+  if (IsShortCircuit(event.op)) {
+    return true;  // may terminate the program
+  }
+  if (event.op == BinaryOp::kDiv || event.op == BinaryOp::kMod) {
+    return slots[static_cast<size_t>(event.t1)].kind != Slot::Kind::kConst;
+  }
+  return false;
+}
+
+inline uint16_t FetchOperand(const Operand& operand, std::span<const uint8_t> packet,
+                             uint16_t* stack, uint32_t& depth) {
+  switch (operand.src) {
+    case Operand::Src::kImm:
+      return operand.imm;
+    case Operand::Src::kLoad: {
+      // Cannot fail: the caller checked CompiledProgram::min_packet_bytes.
+      uint16_t value = 0;
+      pfutil::LoadPacketWord(packet, operand.word, &value);
+      return static_cast<uint16_t>(value & operand.mask);
+    }
+    case Operand::Src::kStack:
+      return stack[--depth];
+  }
+  return 0;
+}
+
+// Runs ops [start, end). Returns the exit result, or nullopt when `end` was
+// reached without one (the prefix-hoisting case); *cursor carries the
+// machine state either way.
+std::optional<ExecResult> RunRange(const CompiledProgram& program,
+                                   std::span<const uint8_t> packet, size_t start, size_t end,
+                                   CompiledCursor* cursor, uint32_t* fused_ops) {
+  uint16_t* stack = cursor->stack;
+  uint32_t depth = cursor->depth;
+  uint32_t executed = 0;
+  ExecResult res;
+  bool done = false;
+  for (size_t i = start; i < end && !done; ++i) {
+    const CompiledOp& op = program.ops[i];
+    ++executed;
+    switch (op.kind) {
+      case CompiledOp::Kind::kPush: {
+        const uint16_t value = FetchOperand(op.a, packet, stack, depth);
+        stack[depth++] = value;
+        break;
+      }
+      case CompiledOp::Kind::kIndLoad: {
+        const uint16_t offset = FetchOperand(op.a, packet, stack, depth);
+        uint16_t value = 0;
+        if (!pfutil::LoadPacketWordAtByte(packet, offset, &value)) {
+          res = ExecResult{false, ExecStatus::kOutOfPacket, op.end_insns, false};
+          done = true;
+          break;
+        }
+        if (op.push_result) {
+          stack[depth++] = value;
+        }
+        break;
+      }
+      case CompiledOp::Kind::kBinop: {
+        const uint16_t t1 = FetchOperand(op.a, packet, stack, depth);
+        const uint16_t t2 = FetchOperand(op.b, packet, stack, depth);
+        uint16_t result = 0;
+        switch (detail::EvalBinaryOp(op.op, t1, t2, &result)) {
+          case detail::OpOutcome::kContinue:
+            if (op.push_result) {
+              stack[depth++] = result;
+            }
+            break;
+          case detail::OpOutcome::kAccept:
+            res = ExecResult{true, ExecStatus::kOk, op.end_insns, true};
+            done = true;
+            break;
+          case detail::OpOutcome::kReject:
+            res = ExecResult{false, ExecStatus::kOk, op.end_insns, true};
+            done = true;
+            break;
+          case detail::OpOutcome::kDivideByZero:
+            res = ExecResult{false, ExecStatus::kDivideByZero, op.end_insns, false};
+            done = true;
+            break;
+        }
+        break;
+      }
+      case CompiledOp::Kind::kVerdictConst:
+        res = ExecResult{op.accept, op.status, op.end_insns, op.short_circuited};
+        done = true;
+        break;
+      case CompiledOp::Kind::kVerdictValue: {
+        const uint16_t value = FetchOperand(op.a, packet, stack, depth);
+        res = ExecResult{value != 0, ExecStatus::kOk, op.end_insns, false};
+        done = true;
+        break;
+      }
+    }
+  }
+  cursor->depth = depth;
+  if (fused_ops != nullptr) {
+    *fused_ops += executed;
+  }
+  if (done) {
+    return res;
+  }
+  return std::nullopt;
+}
+
+// Matches a fused compare op against the kernel shape: one kLoad operand,
+// one kImm operand (either order — PUSHLIT|CAND leaves the literal on top,
+// so t1 is usually the immediate). An immediate with bits outside the
+// load's mask simply never compares equal, in the kernel exactly as in the
+// generic executor, so no special case is needed.
+bool KernelCompare(const CompiledOp& op, KernelStep* step) {
+  const Operand* load = nullptr;
+  const Operand* imm = nullptr;
+  if (op.a.src == Operand::Src::kLoad && op.b.src == Operand::Src::kImm) {
+    load = &op.a;
+    imm = &op.b;
+  } else if (op.a.src == Operand::Src::kImm && op.b.src == Operand::Src::kLoad) {
+    load = &op.b;
+    imm = &op.a;
+  } else {
+    return false;
+  }
+  step->word = load->word;
+  step->mask = load->mask;
+  step->value = imm->imm;
+  step->end_insns = op.end_insns;
+  return true;
+}
+
+// Lowers the op array into the flat conjunction kernel when it has the
+// shape `CAND* (EQ + value-verdict | const-verdict)`. Exactness: each step
+// reproduces the generic executor's exit for its op (a failing CAND
+// rejects short-circuited at its end_insns; the EQ tail flows into the
+// verdict op, so both outcomes report the verdict's end_insns), and the
+// fused-op charge is positional — step i failing means ops 0..i executed.
+void BuildConjunctionKernel(CompiledProgram* out) {
+  const std::vector<CompiledOp>& ops = out->ops;
+  if (ops.size() < 2) {
+    return;  // a lone verdict op is already as cheap as it gets
+  }
+  size_t cands = 0;
+  CompiledProgram scratch;
+  const CompiledOp& last = ops.back();
+  if (last.kind == CompiledOp::Kind::kVerdictConst) {
+    cands = ops.size() - 1;
+    scratch.kernel_tail_eq = false;
+    scratch.kernel_tail =
+        ExecResult{last.accept, last.status, last.end_insns, last.short_circuited};
+  } else if (last.kind == CompiledOp::Kind::kVerdictValue &&
+             last.a.src == Operand::Src::kStack && ops.size() >= 2) {
+    const CompiledOp& eq = ops[ops.size() - 2];
+    KernelStep tail;
+    if (eq.kind != CompiledOp::Kind::kBinop || eq.op != BinaryOp::kEq ||
+        !eq.push_result || !KernelCompare(eq, &tail)) {
+      return;
+    }
+    tail.end_insns = last.end_insns;  // the verdict op still runs either way
+    cands = ops.size() - 2;
+    scratch.kernel_tail_eq = true;
+    scratch.kernel.push_back(tail);  // appended after the CANDs below
+  } else {
+    return;
+  }
+  std::vector<KernelStep> steps;
+  steps.reserve(cands + scratch.kernel.size());
+  for (size_t i = 0; i < cands; ++i) {
+    const CompiledOp& op = ops[i];
+    KernelStep step;
+    if (op.kind != CompiledOp::Kind::kBinop || op.op != BinaryOp::kCand ||
+        op.push_result || !KernelCompare(op, &step)) {
+      return;
+    }
+    steps.push_back(step);
+  }
+  steps.insert(steps.end(), scratch.kernel.begin(), scratch.kernel.end());
+  out->has_kernel = true;
+  out->kernel_tail_eq = scratch.kernel_tail_eq;
+  out->kernel_tail = scratch.kernel_tail;
+  out->kernel = std::move(steps);
+}
+
+// The kernel hot loop. Loads are unchecked (the min_packet_bytes guard
+// makes them sound, same contract as the generic executor's kLoad fetch).
+ExecResult ExecKernel(const CompiledProgram& program, std::span<const uint8_t> packet,
+                      uint32_t* fused_ops) {
+  const uint8_t* data = packet.data();
+  const KernelStep* steps = program.kernel.data();
+  const size_t n = program.kernel.size();
+  const size_t cands = program.kernel_tail_eq ? n - 1 : n;
+  for (size_t i = 0; i < cands; ++i) {
+    const KernelStep& s = steps[i];
+    const uint16_t value =
+        static_cast<uint16_t>(pfutil::LoadBe16(data + 2 * s.word) & s.mask);
+    if (value != s.value) {
+      if (fused_ops != nullptr) {
+        *fused_ops += static_cast<uint32_t>(i + 1);
+      }
+      return ExecResult{false, ExecStatus::kOk, s.end_insns, true};
+    }
+  }
+  // All compares passed: every op ran — the CANDs plus the verdict (and,
+  // for the EQ tail, the EQ itself), which is kernel.size() + 1 ops.
+  if (fused_ops != nullptr) {
+    *fused_ops += static_cast<uint32_t>(n + 1);
+  }
+  if (!program.kernel_tail_eq) {
+    return program.kernel_tail;
+  }
+  const KernelStep& s = steps[n - 1];
+  const uint16_t value =
+      static_cast<uint16_t>(pfutil::LoadBe16(data + 2 * s.word) & s.mask);
+  return ExecResult{value == s.value, ExecStatus::kOk, s.end_insns, false};
+}
+
+}  // namespace
+
+CompiledProgram CompileProgram(const ValidatedProgram& program) {
+  CompiledProgram out;
+  const std::vector<PredecodedInsn> decoded = Predecode(program);
+  const ValidationResult& meta = program.meta();
+  out.total_insns = static_cast<uint16_t>(decoded.size());
+  out.min_packet_bytes =
+      meta.uses_push_word ? 2 * (static_cast<size_t>(meta.max_word_index) + 1) : 0;
+
+  if (decoded.empty()) {
+    // An empty filter accepts every packet, as in the interpreters.
+    CompiledOp accept;
+    accept.kind = CompiledOp::Kind::kVerdictConst;
+    accept.accept = true;
+    accept.end_insns = 0;
+    out.ops.push_back(accept);
+    return out;
+  }
+
+  // --- Abstract interpretation over the (static) stack ---
+  std::vector<Slot> slots;
+  std::vector<Event> events;
+  std::vector<int> stack;  // slot ids
+  bool const_exit = false;
+  CompiledOp exit_op;  // kVerdictConst, filled when const_exit
+
+  const auto push_slot = [&](Slot slot) {
+    slots.push_back(slot);
+    stack.push_back(static_cast<int>(slots.size()) - 1);
+  };
+  const auto const_slot = [](uint16_t value) {
+    Slot slot;
+    slot.kind = Slot::Kind::kConst;
+    slot.imm = value;
+    return slot;
+  };
+  const auto load_slot = [](uint8_t word, uint16_t mask) {
+    Slot slot;
+    slot.kind = Slot::Kind::kLoad;
+    slot.word = word;
+    slot.mask = mask;
+    return slot;
+  };
+
+  for (size_t i = 0; i < decoded.size() && !const_exit; ++i) {
+    const PredecodedInsn& insn = decoded[i];
+    switch (insn.fetch) {
+      case PredecodedInsn::Fetch::kNone:
+        break;
+      case PredecodedInsn::Fetch::kImm:
+        push_slot(const_slot(insn.imm));
+        break;
+      case PredecodedInsn::Fetch::kWord:
+        push_slot(load_slot(insn.word_index, 0xffff));
+        break;
+      case PredecodedInsn::Fetch::kInd: {
+        Event event;
+        event.kind = Event::Kind::kInd;
+        event.insn = static_cast<uint16_t>(i);
+        event.t1 = stack.back();
+        stack.pop_back();
+        Slot result;
+        result.kind = Slot::Kind::kDyn;
+        result.producer = static_cast<int>(events.size());
+        event.result = static_cast<int>(slots.size());
+        slots.push_back(result);
+        stack.push_back(event.result);
+        events.push_back(event);
+        break;
+      }
+    }
+    if (insn.op == BinaryOp::kNop) {
+      continue;
+    }
+    const int t1 = stack.back();
+    stack.pop_back();
+    const int t2 = stack.back();
+    stack.pop_back();
+    const Slot s1 = slots[static_cast<size_t>(t1)];
+    const Slot s2 = slots[static_cast<size_t>(t2)];
+
+    if (s1.kind == Slot::Kind::kConst && s2.kind == Slot::Kind::kConst) {
+      // Both operands known: fold the op — including a short-circuit exit
+      // or a constant divide-by-zero, which fold the whole remaining
+      // program into the terminator (everything after it is unreachable).
+      uint16_t result = 0;
+      switch (detail::EvalBinaryOp(insn.op, s1.imm, s2.imm, &result)) {
+        case detail::OpOutcome::kContinue:
+          push_slot(const_slot(result));
+          continue;
+        case detail::OpOutcome::kAccept:
+          exit_op.accept = true;
+          exit_op.short_circuited = true;
+          break;
+        case detail::OpOutcome::kReject:
+          exit_op.accept = false;
+          exit_op.short_circuited = true;
+          break;
+        case detail::OpOutcome::kDivideByZero:
+          exit_op.status = ExecStatus::kDivideByZero;
+          break;
+      }
+      exit_op.kind = CompiledOp::Kind::kVerdictConst;
+      exit_op.end_insns = static_cast<uint16_t>(i + 1);
+      const_exit = true;
+      break;
+    }
+    if ((insn.op == BinaryOp::kDiv || insn.op == BinaryOp::kMod) &&
+        s1.kind == Slot::Kind::kConst && s1.imm == 0) {
+      // Constant zero divisor: the op faults whenever it is reached.
+      exit_op.kind = CompiledOp::Kind::kVerdictConst;
+      exit_op.status = ExecStatus::kDivideByZero;
+      exit_op.end_insns = static_cast<uint16_t>(i + 1);
+      const_exit = true;
+      break;
+    }
+    if (insn.op == BinaryOp::kAnd) {
+      // Fold a constant mask into a pending load: the canonical
+      // `PUSHWORD+n, PUSH00FF|AND` prefix becomes one masked load.
+      if (s1.kind == Slot::Kind::kConst && s2.kind == Slot::Kind::kLoad) {
+        push_slot(load_slot(s2.word, static_cast<uint16_t>(s2.mask & s1.imm)));
+        continue;
+      }
+      if (s2.kind == Slot::Kind::kConst && s1.kind == Slot::Kind::kLoad) {
+        push_slot(load_slot(s1.word, static_cast<uint16_t>(s1.mask & s2.imm)));
+        continue;
+      }
+    }
+
+    Event event;
+    event.kind = Event::Kind::kOp;
+    event.insn = static_cast<uint16_t>(i);
+    event.op = insn.op;
+    event.t1 = t1;
+    event.t2 = t2;
+    Slot result;
+    if (IsShortCircuit(insn.op)) {
+      // If execution continues past a short-circuit op, the pushed R is
+      // fixed by fig. 3-6: CAND/CNAND only continue with R=1, COR/CNOR
+      // only with R=0 — so the result is a compile-time constant even
+      // though the op itself must run.
+      result = const_slot(
+          insn.op == BinaryOp::kCand || insn.op == BinaryOp::kCnand ? 1 : 0);
+    } else {
+      result.kind = Slot::Kind::kDyn;
+      result.producer = static_cast<int>(events.size());
+    }
+    event.result = static_cast<int>(slots.size());
+    slots.push_back(result);
+    stack.push_back(event.result);
+    events.push_back(event);
+  }
+
+  // --- Terminator ---
+  CompiledOp terminator;
+  if (const_exit) {
+    terminator = exit_op;
+  } else {
+    // The validator proved a non-empty program leaves a verdict on the
+    // stack (kEmptyStackAtEnd).
+    Slot& final_slot = slots[static_cast<size_t>(stack.back())];
+    terminator.end_insns = out.total_insns;
+    switch (final_slot.kind) {
+      case Slot::Kind::kConst:
+        terminator.kind = CompiledOp::Kind::kVerdictConst;
+        terminator.accept = final_slot.imm != 0;
+        break;
+      case Slot::Kind::kLoad:
+      case Slot::Kind::kDyn:
+        terminator.kind = CompiledOp::Kind::kVerdictValue;
+        terminator.a = OperandOf(final_slot);
+        final_slot.live = true;
+        break;
+    }
+  }
+
+  // --- Liveness / dead-push elimination (backward: consumers precede
+  // producers in reverse order, so one pass settles everything) ---
+  for (size_t e = events.size(); e-- > 0;) {
+    Event& event = events[e];
+    const Slot& result = slots[static_cast<size_t>(event.result)];
+    const bool result_needed = result.kind == Slot::Kind::kDyn && result.live;
+    event.emit = result_needed || HasSideEffect(event, slots);
+    event.push = result_needed;
+    if (!event.emit) {
+      continue;
+    }
+    for (const int operand : {event.t1, event.t2}) {
+      if (operand >= 0 && slots[static_cast<size_t>(operand)].kind == Slot::Kind::kDyn) {
+        slots[static_cast<size_t>(operand)].live = true;
+      }
+    }
+  }
+
+  // --- Emission ---
+  for (const Event& event : events) {
+    if (!event.emit) {
+      continue;
+    }
+    CompiledOp op;
+    op.end_insns = static_cast<uint16_t>(event.insn + 1);
+    op.push_result = event.push;
+    if (event.kind == Event::Kind::kInd) {
+      op.kind = CompiledOp::Kind::kIndLoad;
+      op.a = OperandOf(slots[static_cast<size_t>(event.t1)]);
+    } else {
+      op.kind = CompiledOp::Kind::kBinop;
+      op.op = event.op;
+      op.a = OperandOf(slots[static_cast<size_t>(event.t1)]);
+      op.b = OperandOf(slots[static_cast<size_t>(event.t2)]);
+    }
+    out.ops.push_back(op);
+  }
+  out.ops.push_back(terminator);
+  BuildConjunctionKernel(&out);
+  return out;
+}
+
+ExecResult ExecCompiled(const CompiledProgram& program, std::span<const uint8_t> packet,
+                        uint32_t* fused_ops) {
+  if (program.has_kernel) {
+    return ExecKernel(program, packet, fused_ops);
+  }
+  CompiledCursor cursor;
+  // The final op is always a verdict, so the range always exits.
+  return *RunRange(program, packet, 0, program.ops.size(), &cursor, fused_ops);
+}
+
+std::optional<ExecResult> ExecCompiledPrefix(const CompiledProgram& program,
+                                             std::span<const uint8_t> packet,
+                                             size_t prefix_ops, CompiledCursor* cursor,
+                                             uint32_t* fused_ops) {
+  return RunRange(program, packet, 0, std::min(prefix_ops, program.ops.size()), cursor,
+                  fused_ops);
+}
+
+ExecResult ExecCompiledFrom(const CompiledProgram& program, std::span<const uint8_t> packet,
+                            size_t start, const CompiledCursor& cursor, uint32_t* fused_ops) {
+  CompiledCursor resumed = cursor;
+  return *RunRange(program, packet, start, program.ops.size(), &resumed, fused_ops);
+}
+
+}  // namespace pf

@@ -1,0 +1,168 @@
+// Bind-time filter compilation (ROADMAP item 2; the lineage the paper's
+// interpreter seeded — BPF, netfilter, npf — won by compiling at attach
+// time instead of interpreting per packet).
+//
+// CompileProgram() lowers a validated CSPF program into a short array of
+// *fused ops*. The language is branch-free, which makes three classic
+// compiler passes both easy and exact:
+//
+//   * Constant folding — the abstract stack tracks which slots hold
+//     compile-time constants (literal pushes, PUSHZERO/ONE/FFFF/...,
+//     results of all-constant operators). A short-circuit operator over two
+//     constants folds the entire remaining program into a single verdict
+//     op; an all-constant filter compiles to one op, total.
+//   * Operand fusion — an operator's inputs are encoded as operand
+//     descriptors (immediate / packet-word load / stack pop), so the
+//     canonical conjunction `PUSHWORD+n [,mask|AND], PUSHLIT|CAND v`
+//     becomes ONE fused compare-and-exit op with zero stack traffic: a
+//     flat, branch-predictable match kernel. Pure masked loads never fault
+//     under the short-packet guard (below), so deferring them from their
+//     program position into the consuming op is unobservable.
+//   * Dead-push elimination — a pushed value that is never popped and is
+//     not the final verdict is dead; since every pop consumes a live slot,
+//     omitting dead pushes can never misalign later pops. Side-effecting
+//     ops (short-circuit exits, faultable div/mod, indirect loads) are
+//     emitted regardless, with the push suppressed.
+//
+// Exactness contract: every fused op carries `end_insns`, the cumulative
+// count of *original* instructions completed once the op retires. Any exit
+// — fused compare-and-exit, const verdict, runtime fault — therefore
+// reports the ExecResult the §4 interpreter would have produced, bit for
+// bit (accept, status, insns_executed, short_circuited). That is what lets
+// Strategy::kCompiled charge the ledger and feed the profiler identically
+// to kChecked while doing a fraction of the runtime work; the win is pure
+// wall clock, property-tested in tests/compile_test.cc.
+//
+// Short-packet guard: direct word loads are compiled UNCHECKED; the guard
+// `packet.size() >= min_packet_bytes` (hoisted out of the hot loop) makes
+// that sound. Packets below the guard take the engine's pre-decoded
+// fallback so kOutOfPacket statuses stay exact. Indirect (PUSHIND) loads
+// keep their runtime bounds check — the offset is data-dependent.
+#ifndef SRC_PF_COMPILE_H_
+#define SRC_PF_COMPILE_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/pf/interpreter.h"
+#include "src/pf/program.h"
+#include "src/pf/validate.h"
+
+namespace pf {
+
+// Where a fused op's input value comes from. kLoad is a direct packet-word
+// load already masked (`mask` is 0xffff when the program applied none);
+// loads are guard-protected and cannot fault.
+struct Operand {
+  enum class Src : uint8_t {
+    kStack,  // pop the runtime stack
+    kImm,    // compile-time constant `imm`
+    kLoad,   // packet word `word`, masked by `mask`
+  };
+  Src src = Src::kStack;
+  uint8_t word = 0;
+  uint16_t mask = 0xffff;
+  uint16_t imm = 0;
+
+  friend bool operator==(const Operand&, const Operand&) = default;
+};
+
+// One fused op. `end_insns` is the number of original instructions
+// completed once this op retires — the exact-accounting field every exit
+// path reports through.
+struct CompiledOp {
+  enum class Kind : uint8_t {
+    kPush,          // push operand `a`
+    kBinop,         // t1 = a, t2 = b (pops in that order), EvalBinaryOp
+    kIndLoad,       // byte offset = a; push the packet word there (checked)
+    kVerdictConst,  // terminator: precomputed accept/status
+    kVerdictValue,  // terminator: accept = (a != 0)
+  };
+  Kind kind = Kind::kVerdictConst;
+  BinaryOp op = BinaryOp::kNop;  // kBinop only
+  bool push_result = true;       // kBinop/kIndLoad: false when the value is dead
+  uint16_t end_insns = 0;
+  Operand a;
+  Operand b;
+  // kVerdictConst payload.
+  bool accept = false;
+  bool short_circuited = false;
+  ExecStatus status = ExecStatus::kOk;
+
+  friend bool operator==(const CompiledOp&, const CompiledOp&) = default;
+};
+
+// One step of the flat conjunction kernel (below): compare packet word
+// `word` (masked) against `value`. `end_insns` is the exact kChecked insn
+// charge if this step decides the verdict — a CAND step's own end_insns,
+// or, for the EQ tail, the final verdict op's.
+struct KernelStep {
+  uint8_t word = 0;
+  uint16_t mask = 0xffff;
+  uint16_t value = 0;
+  uint16_t end_insns = 0;
+};
+
+struct CompiledProgram {
+  std::vector<CompiledOp> ops;
+  // ExecCompiled* may only run when packet.size() >= min_packet_bytes
+  // (0 when the program loads no direct words); shorter packets must take
+  // the caller's exact interpreter fallback.
+  size_t min_packet_bytes = 0;
+  uint16_t total_insns = 0;  // original instruction count
+
+  // --- Flat conjunction kernel ---
+  // After fusion, the dominant filter shape (fig. 3-9, every demux socket
+  // filter) is a chain of `CAND load==imm` ops ending in either an
+  // `EQ load==imm` + value verdict or a folded const verdict. That shape
+  // needs no stack, no operand dispatch, and no operator switch, so
+  // CompileProgram additionally lowers it into this dense step array and
+  // ExecCompiled runs it as one branch-predictable compare loop — the same
+  // trick as the decision tree's FieldTest probes, but with the exact
+  // per-exit accounting kept. Programs that don't match the shape leave
+  // has_kernel false and take the generic op executor.
+  bool has_kernel = false;
+  // True: the last step is the EQ tail (accept = compare result, both
+  // outcomes charge that step's end_insns, not short-circuited). False:
+  // all steps are CANDs and an all-pass run returns kernel_tail verbatim.
+  bool kernel_tail_eq = false;
+  ExecResult kernel_tail{};
+  std::vector<KernelStep> kernel;
+};
+
+CompiledProgram CompileProgram(const ValidatedProgram& program);
+
+// Mid-program machine state, for resuming after a shared prefix (the
+// engine's cross-binding prefix hoisting). Identical compiled-op prefixes
+// leave identical cursors for any given packet.
+struct CompiledCursor {
+  uint16_t stack[kMaxStackDepth] = {};
+  uint32_t depth = 0;
+};
+
+// Runs the whole program. The caller must have checked min_packet_bytes.
+// `fused_ops`, when non-null, accumulates the number of compiled ops
+// actually executed (the informational ExecTelemetry counter).
+ExecResult ExecCompiled(const CompiledProgram& program, std::span<const uint8_t> packet,
+                        uint32_t* fused_ops = nullptr);
+
+// Runs ops [0, prefix_ops). Returns the exit result if the prefix itself
+// terminated; otherwise nullopt with *cursor holding the machine state at
+// the boundary.
+std::optional<ExecResult> ExecCompiledPrefix(const CompiledProgram& program,
+                                             std::span<const uint8_t> packet,
+                                             size_t prefix_ops, CompiledCursor* cursor,
+                                             uint32_t* fused_ops = nullptr);
+
+// Resumes from op `start` with `cursor` (as left by ExecCompiledPrefix over
+// an identical op prefix). Always terminates: compiled programs end in a
+// verdict op.
+ExecResult ExecCompiledFrom(const CompiledProgram& program, std::span<const uint8_t> packet,
+                            size_t start, const CompiledCursor& cursor,
+                            uint32_t* fused_ops = nullptr);
+
+}  // namespace pf
+
+#endif  // SRC_PF_COMPILE_H_

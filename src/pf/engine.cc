@@ -19,6 +19,8 @@ std::string ToString(Strategy strategy) {
       return "predecoded";
     case Strategy::kIndexed:
       return "indexed";
+    case Strategy::kCompiled:
+      return "compiled";
   }
   return "unknown";
 }
@@ -202,12 +204,14 @@ void Engine::set_strategy(Strategy strategy) {
   strategy_ = strategy;
   tree_dirty_ = true;
   index_dirty_ = true;
+  compiled_dirty_ = true;
 }
 
 void Engine::Bind(Key key, ValidatedProgram program) {
-  Binding binding{std::move(program), {}, std::nullopt, false, nullptr};
+  Binding binding{std::move(program), {}, std::nullopt, false, {}, -1, 0, nullptr};
   binding.decoded = Predecode(binding.program);
   binding.conjunction = ExtractConjunction(binding.program.program());
+  binding.compiled = CompileProgram(binding.program);
   if (profiling_) {
     binding.profile = std::make_unique<ProgramProfile>();
     binding.profile->pc.resize(binding.decoded.size());
@@ -215,6 +219,7 @@ void Engine::Bind(Key key, ValidatedProgram program) {
   filters_.insert_or_assign(key, std::move(binding));
   tree_dirty_ = true;
   index_dirty_ = true;
+  compiled_dirty_ = true;
 }
 
 bool Engine::Unbind(Key key) {
@@ -223,6 +228,7 @@ bool Engine::Unbind(Key key) {
   }
   tree_dirty_ = true;
   index_dirty_ = true;
+  compiled_dirty_ = true;
   return true;
 }
 
@@ -236,6 +242,9 @@ void Engine::Clear() {
   index_covers_all_ = false;
   index_min_packet_bytes_ = 0;
   index_dirty_ = false;
+  compiled_prefix_groups_ = 0;
+  prefix_cache_.clear();
+  compiled_dirty_ = false;
 }
 
 const ValidatedProgram* Engine::Find(Key key) const {
@@ -409,6 +418,77 @@ std::optional<uint64_t> Engine::IndexSignature(std::span<const uint8_t> packet) 
   return signature;
 }
 
+void Engine::RebuildCompiledPrefixes() {
+  compiled_dirty_ = false;
+  compiled_prefix_groups_ = 0;
+  prefix_cache_.clear();
+  for (auto& [key, binding] : filters_) {
+    binding.prefix_group = -1;
+    binding.prefix_len = 0;
+  }
+  if (strategy_ != Strategy::kCompiled || filters_.size() < 2) {
+    return;
+  }
+
+  // Key order keeps group assignment deterministic across identical bound
+  // sets (unordered_map iteration order is not).
+  std::vector<Key> keys;
+  keys.reserve(filters_.size());
+  for (const auto& [key, binding] : filters_) {
+    keys.push_back(key);
+  }
+  std::sort(keys.begin(), keys.end());
+
+  // Group by first compiled op; ops compare equal only when their operand
+  // encodings AND end_insns accounting agree, so any common prefix yields
+  // identical ExecResults (and cursors) for a given packet no matter which
+  // member executes it.
+  std::vector<std::vector<Key>> groups;
+  for (const Key key : keys) {
+    const Binding& binding = filters_.at(key);
+    if (binding.compiled.ops.size() < 2) {
+      continue;  // a lone verdict op is not worth sharing
+    }
+    bool placed = false;
+    for (std::vector<Key>& group : groups) {
+      if (filters_.at(group.front()).compiled.ops.front() == binding.compiled.ops.front()) {
+        group.push_back(key);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      groups.push_back({key});
+    }
+  }
+  for (const std::vector<Key>& group : groups) {
+    if (group.size() < 2) {
+      continue;
+    }
+    const std::vector<CompiledOp>& head = filters_.at(group.front()).compiled.ops;
+    size_t lcp = head.size();
+    for (const Key key : group) {
+      const std::vector<CompiledOp>& ops = filters_.at(key).compiled.ops;
+      size_t match = 0;
+      const size_t limit = std::min(lcp, ops.size());
+      while (match < limit && ops[match] == head[match]) {
+        ++match;
+      }
+      lcp = match;
+    }
+    if (lcp < 2) {
+      continue;  // too short to be worth a cache slot
+    }
+    const int group_id = static_cast<int>(compiled_prefix_groups_++);
+    for (const Key key : group) {
+      Binding& binding = filters_.at(key);
+      binding.prefix_group = group_id;
+      binding.prefix_len = static_cast<uint32_t>(lcp);
+    }
+  }
+  prefix_cache_.assign(compiled_prefix_groups_, PrefixCacheEntry{});
+}
+
 void Engine::RebuildTree() {
   std::vector<std::pair<uint32_t, std::vector<FieldTest>>> compiled;
   if (strategy_ == Strategy::kTree) {
@@ -428,6 +508,13 @@ Engine::MatchPass Engine::Match(std::span<const uint8_t> packet) {
   }
   if (strategy_ == Strategy::kIndexed && index_dirty_) {
     RebuildIndex();
+  }
+  if (strategy_ == Strategy::kCompiled) {
+    if (compiled_dirty_) {
+      RebuildCompiledPrefixes();
+    }
+    // New pass: every prefix-cache entry with an older generation is stale.
+    ++compiled_pass_gen_;
   }
   MatchPass pass(this, packet);
   if (tree_in_use()) {
@@ -512,6 +599,45 @@ Verdict Engine::MatchPass::Test(Key key, const Binding* binding) {
     case Strategy::kTree:  // non-conjunction fallback within a tree pass
       exec = InterpretFast(binding->program, packet_);
       break;
+    case Strategy::kCompiled: {
+      const CompiledProgram& compiled = binding->compiled;
+      if (packet_.size() < compiled.min_packet_bytes) {
+        // Below the hoisted guard the fused path would skip the bounds
+        // checks a sequential run performs; the pre-decoded interpreter
+        // keeps kOutOfPacket statuses (and their pcs) exact.
+        exec = InterpretPredecoded(binding->decoded, packet_);
+        ++telemetry_.decode_cache_hits;
+        break;
+      }
+      uint32_t fused = 0;
+      if (binding->prefix_group >= 0) {
+        PrefixCacheEntry& entry =
+            engine_->prefix_cache_[static_cast<size_t>(binding->prefix_group)];
+        if (entry.gen != engine_->compiled_pass_gen_) {
+          entry.gen = engine_->compiled_pass_gen_;
+          entry.cursor = CompiledCursor{};
+          const std::optional<ExecResult> exit = ExecCompiledPrefix(
+              compiled, packet_, binding->prefix_len, &entry.cursor, &fused);
+          entry.exited = exit.has_value();
+          if (entry.exited) {
+            entry.exit = *exit;
+          }
+        }
+        if (entry.exited) {
+          // The shared prefix itself produced the verdict; every member of
+          // the group reports the identical ExecResult, so charging stays
+          // exact even though only the first member executed it.
+          exec = entry.exit;
+        } else {
+          exec = ExecCompiledFrom(compiled, packet_, binding->prefix_len, entry.cursor,
+                                  &fused);
+        }
+      } else {
+        exec = ExecCompiled(compiled, packet_, &fused);
+      }
+      telemetry_.fused_ops += fused;
+      break;
+    }
   }
   telemetry_.insns_executed += exec.insns_executed;
   if (engine_->profiling_ && binding->profile != nullptr) {

@@ -32,6 +32,19 @@
 //                   and packets too short to load every indexed word, fall
 //                   back to the sequential pre-decoded pass. Common-case
 //                   cost is O(index width), independent of bound_count().
+//   * kCompiled   — bind-time compilation (src/pf/compile.h): each program
+//                   is lowered to fused ops — constants folded, masks and
+//                   compare-and-exit pairs fused into single ops, dead
+//                   pushes eliminated, the short-packet guard hoisted out
+//                   of the hot loop — and bindings sharing a compiled-op
+//                   prefix (e.g. a port's filters testing the same leading
+//                   header fields) execute that prefix once per pass.
+//                   Exact-accounting ops make every exit report the same
+//                   ExecResult the §4 interpreter would have produced, so
+//                   charged cost, statuses, and profiles reconcile with
+//                   kChecked; the win is wall clock (bench/micro_interpreter).
+//                   Packets below a program's guard fall back to the exact
+//                   pre-decoded interpreter.
 //
 // An Engine owns the bound filter set (keyed by an opaque uint32_t — the
 // demultiplexer uses its PortId). Match(packet) starts one evaluation pass;
@@ -52,6 +65,7 @@
 #include <vector>
 
 #include "src/obs/metrics.h"
+#include "src/pf/compile.h"
 #include "src/pf/decision_tree.h"
 #include "src/pf/interpreter.h"
 #include "src/pf/profile.h"
@@ -66,11 +80,12 @@ enum class Strategy : uint8_t {
   kTree,         // §7 decision-tree compilation of the conjunction subset
   kPredecoded,   // bind-time pre-decode, no per-instruction operand fetching
   kIndexed,      // hash dispatch on shared discriminating words + re-confirm
+  kCompiled,     // bind-time compilation into fused ops (src/pf/compile.h)
 };
 
 inline constexpr Strategy kAllStrategies[] = {Strategy::kChecked, Strategy::kFast,
                                               Strategy::kTree, Strategy::kPredecoded,
-                                              Strategy::kIndexed};
+                                              Strategy::kIndexed, Strategy::kCompiled};
 inline constexpr size_t kStrategyCount = sizeof(kAllStrategies) / sizeof(kAllStrategies[0]);
 
 std::string ToString(Strategy strategy);
@@ -84,6 +99,11 @@ struct ExecTelemetry {
   uint32_t tree_probes = 0;       // decision-tree node probes
   uint32_t decode_cache_hits = 0; // verdicts served from a pre-decoded program
   uint32_t index_probes = 0;      // discriminating-word loads for the hash index
+  // Fused ops the kCompiled backend actually executed — informational (the
+  // runtime-work counterpart of insns_executed, which under kCompiled
+  // stays the *original-equivalent* count the ledger charges). Not part of
+  // the charged work sum.
+  uint64_t fused_ops = 0;
 
   ExecTelemetry& operator+=(const ExecTelemetry& other) {
     filters_run += other.filters_run;
@@ -91,6 +111,7 @@ struct ExecTelemetry {
     tree_probes += other.tree_probes;
     decode_cache_hits += other.decode_cache_hits;
     index_probes += other.index_probes;
+    fused_ops += other.fused_ops;
     return *this;
   }
 };
@@ -139,6 +160,12 @@ class Engine {
     std::vector<PredecodedInsn> decoded;
     std::optional<std::vector<FieldTest>> conjunction;
     bool indexed = false;  // dispatched through the hash index (kIndexed)
+    // Bind-time compilation output (kCompiled). `prefix_group` >= 0 names
+    // the engine prefix-cache slot shared with every binding whose first
+    // `prefix_len` compiled ops are identical; -1 = no shared prefix.
+    CompiledProgram compiled;
+    int prefix_group = -1;
+    uint32_t prefix_len = 0;
     // Allocated by SetProfiling(true) / Bind() while profiling; updated by
     // the (const) MatchPass, hence mutable. Null whenever profiling has
     // never been on for this binding.
@@ -198,6 +225,11 @@ class Engine {
   // strategy is not kIndexed, no index exists, or the packet is too short
   // to load every discriminating word.
   std::optional<uint64_t> IndexSignature(std::span<const uint8_t> packet);
+
+  // --- Compiled-backend introspection (meaningful under kCompiled) ---
+  // Shared-prefix groups found across the bound set; reflects the most
+  // recent rebuild (Match() rebuilds lazily after Bind/Unbind/set_strategy).
+  size_t compiled_prefix_groups() const { return compiled_prefix_groups_; }
 
   // --- Filter-program profiling (src/pf/profile.h) ---
   // Opt-in per-binding profiles: per-pc hit counts, exit pcs, and charged
@@ -263,6 +295,19 @@ class Engine {
 
   void RebuildTree();
   void RebuildIndex();
+  void RebuildCompiledPrefixes();
+
+  // Per-pass memo for one shared compiled-op prefix: either the prefix
+  // itself exited (every group member reports the identical ExecResult —
+  // ops compare equal *including* their end_insns accounting) or the
+  // machine state at the boundary, from which each member resumes. Charged
+  // work is unaffected: insns_executed always derives from end_insns.
+  struct PrefixCacheEntry {
+    uint64_t gen = 0;  // valid iff == compiled_pass_gen_
+    bool exited = false;
+    ExecResult exit;
+    CompiledCursor cursor;
+  };
 
   struct StrategyMetrics {
     pfobs::Counter* passes = nullptr;
@@ -294,6 +339,15 @@ class Engine {
   // many bytes; shorter packets take the sequential fallback so pruning
   // can never hide a kOutOfPacket status a sequential run would report.
   size_t index_min_packet_bytes_ = 0;
+
+  // --- Compiled prefix hoisting (kCompiled) ---
+  bool compiled_dirty_ = false;
+  size_t compiled_prefix_groups_ = 0;
+  // One entry per prefix group, written by the (const) MatchPass on the
+  // first member tested each pass, hence mutable. Entries invalidate by
+  // generation, not by clearing, so Match() stays O(1) in group count.
+  mutable std::vector<PrefixCacheEntry> prefix_cache_;
+  uint64_t compiled_pass_gen_ = 0;
 };
 
 // Bind-time pre-decode of a validated program (exposed for tests and the

@@ -1,0 +1,275 @@
+// CSPF→BPF cross-compiler tests: the conjunction lowering (golden-listed),
+// the embedded reference interpreter, the bpf_validate mirror, and the
+// differential property — BPF verdicts must match kChecked's accept
+// decision on random conjunction filters and random packets, runts
+// included (both machines reject on an out-of-bounds load).
+#include <gtest/gtest.h>
+
+#include "src/pf/bpf.h"
+#include "src/pf/builder.h"
+#include "src/pf/engine.h"
+#include "src/pf/interpreter.h"
+#include "src/util/rng.h"
+#include "tests/test_packets.h"
+
+namespace {
+
+using pf::BinaryOp;
+using pf::BpfInsn;
+using pf::BpfProgram;
+using pf::FilterBuilder;
+using pf::Program;
+using pf::ValidatedProgram;
+namespace bpf = pf::bpf;
+
+// --- Cross-compilation ---
+
+TEST(BpfCompileTest, AcceptAllCompilesToSingleRet) {
+  const auto compiled = pf::CompileToBpf(Program{0, pf::LangVersion::kV1, {}});
+  ASSERT_TRUE(compiled.has_value());
+  ASSERT_EQ(compiled->insns.size(), 1u);
+  EXPECT_EQ(compiled->insns[0], (BpfInsn{bpf::kRet | bpf::kK, 0, 0, 0xFFFF}));
+  EXPECT_TRUE(pf::BpfValidate(*compiled));
+  EXPECT_EQ(pf::BpfRun(*compiled, {}), 0xFFFFu);
+}
+
+TEST(BpfCompileTest, NonConjunctionIsRejected) {
+  // Fig. 3-8 uses range comparisons — outside the conjunction subset.
+  EXPECT_FALSE(pf::CompileToBpf(pf::PaperFig38Filter()).has_value());
+}
+
+TEST(BpfCompileTest, MaskedTestEmitsAnd) {
+  FilterBuilder b;
+  b.MaskedWordEquals(3, 0x00ff, 5);
+  const auto compiled = pf::CompileToBpf(b.Build(0));
+  ASSERT_TRUE(compiled.has_value());
+  // ldh [6]; and #0xff; jeq #5 -> accept/reject rets.
+  ASSERT_EQ(compiled->insns.size(), 5u);
+  EXPECT_EQ(compiled->insns[0], (BpfInsn{bpf::kLd | bpf::kH | bpf::kAbs, 0, 0, 6}));
+  EXPECT_EQ(compiled->insns[1], (BpfInsn{bpf::kAlu | bpf::kAnd | bpf::kK, 0, 0, 0x00ff}));
+  EXPECT_EQ(compiled->insns[2], (BpfInsn{bpf::kJmp | bpf::kJeq | bpf::kK, 0, 1, 5}));
+  EXPECT_TRUE(pf::BpfValidate(*compiled));
+}
+
+TEST(BpfCompileTest, GoldenFig39Listing) {
+  const auto compiled = pf::CompileToBpf(pf::PaperFig39Filter());
+  ASSERT_TRUE(compiled.has_value());
+  std::string error;
+  EXPECT_TRUE(pf::BpfValidate(*compiled, &error)) << error;
+  const std::string kGolden =
+      "(000) ldh      [16]\n"
+      "(001) jeq      #0x23            jt 2    jf 7\n"
+      "(002) ldh      [14]\n"
+      "(003) jeq      #0x0             jt 4    jf 7\n"
+      "(004) ldh      [2]\n"
+      "(005) jeq      #0x2             jt 6    jf 7\n"
+      "(006) ret      #65535\n"
+      "(007) ret      #0\n";
+  EXPECT_EQ(pf::BpfDisassemble(*compiled), kGolden);
+}
+
+TEST(BpfCompileTest, VerdictsOnPaperPackets) {
+  const auto compiled = pf::CompileToBpf(pf::PaperFig39Filter());
+  ASSERT_TRUE(compiled.has_value());
+  EXPECT_EQ(pf::BpfRun(*compiled, pftest::MakePupFrame(50, 35)), 0xFFFFu);
+  EXPECT_EQ(pf::BpfRun(*compiled, pftest::MakePupFrame(50, 9999)), 0u);
+  // Runt: the socket-word load aborts, rejecting — like CSPF's kOutOfPacket.
+  EXPECT_EQ(pf::BpfRun(*compiled, std::vector<uint8_t>{1, 2, 3, 4}), 0u);
+}
+
+TEST(BpfCompileTest, ValueOutsideMaskNeverAccepts) {
+  // (word & 0x00ff) == 0x1234 is unsatisfiable; both machines must agree.
+  FilterBuilder b;
+  b.MaskedWordEquals(3, 0x00ff, 0x1234);
+  const Program program = b.Build(0);
+  const auto compiled = pf::CompileToBpf(program);
+  ASSERT_TRUE(compiled.has_value());
+  std::vector<uint8_t> packet = pftest::MakePupFrame(50, 35);
+  packet[7] = 0x34;  // low byte of word 3 matches the in-mask part
+  EXPECT_EQ(pf::BpfRun(*compiled, packet), 0u);
+  EXPECT_FALSE(pf::InterpretChecked(program, packet).accept);
+}
+
+// --- Differential property: BPF vs the checked interpreter ---
+
+Program RandomConjunction(pfutil::Rng* rng) {
+  FilterBuilder b;
+  const int tests = static_cast<int>(rng->Range(1, 4));
+  for (int i = 0; i < tests; ++i) {
+    const uint8_t word = static_cast<uint8_t>(rng->Range(1, 12));
+    const uint16_t value = static_cast<uint16_t>(rng->Below(4));
+    const bool last = i == tests - 1;
+    if (rng->Chance(0.3)) {
+      const uint16_t mask = rng->Chance(0.5) ? 0x00ff : 0xff00;
+      if (last) {
+        b.MaskedWordEquals(word, mask, value);
+      } else {
+        b.MaskedWordEqualsShortCircuit(word, mask, value);
+      }
+    } else if (last) {
+      b.WordEquals(word, value);
+    } else {
+      b.WordEqualsShortCircuit(word, value);
+    }
+  }
+  return b.Build(0);
+}
+
+TEST(BpfDifferentialProperty, VerdictsMatchCheckedOnRandomConjunctions) {
+  pfutil::Rng rng(0xbfd1ff);
+  int accepts = 0;
+  int out_of_packet = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    const Program program = RandomConjunction(&rng);
+    const auto compiled = pf::CompileToBpf(program);
+    ASSERT_TRUE(compiled.has_value()) << "trial " << trial;
+    std::string error;
+    ASSERT_TRUE(pf::BpfValidate(*compiled, &error)) << "trial " << trial << ": " << error;
+    for (int p = 0; p < 8; ++p) {
+      std::vector<uint8_t> packet;
+      const size_t bytes = rng.Below(2) == 0 ? rng.Below(8) : rng.Range(8, 30);
+      for (size_t i = 0; i < bytes; ++i) {
+        // Bias toward zero bytes so whole-word matches (value < 4 with a
+        // zero high byte) actually occur and the accept side is exercised.
+        packet.push_back(rng.Below(2) == 0 ? 0 : static_cast<uint8_t>(rng.Below(4)));
+      }
+      const pf::ExecResult want = pf::InterpretChecked(program, packet);
+      const bool bpf_accepts = pf::BpfRun(*compiled, packet) != 0;
+      EXPECT_EQ(bpf_accepts, want.accept) << "trial " << trial << " packet " << p;
+      accepts += want.accept ? 1 : 0;
+      out_of_packet += want.status == pf::ExecStatus::kOutOfPacket ? 1 : 0;
+    }
+  }
+  // Both sides of the verdict and the short-packet abort must be exercised.
+  EXPECT_GT(accepts, 20);
+  EXPECT_GT(out_of_packet, 100);
+}
+
+// --- Reference interpreter units ---
+
+TEST(BpfRunTest, LoadsAreBigEndianAndBoundsChecked) {
+  const std::vector<uint8_t> packet = {0x01, 0x02, 0x03, 0x04, 0x05};
+  BpfProgram p;
+  p.insns = {{bpf::kLd | bpf::kH | bpf::kAbs, 0, 0, 1}, {bpf::kRet | bpf::kA, 0, 0, 0}};
+  EXPECT_EQ(pf::BpfRun(p, packet), 0x0203u);
+  p.insns[0] = {bpf::kLd | bpf::kW | bpf::kAbs, 0, 0, 0};
+  EXPECT_EQ(pf::BpfRun(p, packet), 0x01020304u);
+  p.insns[0] = {bpf::kLd | bpf::kB | bpf::kAbs, 0, 0, 4};
+  EXPECT_EQ(pf::BpfRun(p, packet), 0x05u);
+  // One past the end: abort with 0.
+  p.insns[0] = {bpf::kLd | bpf::kH | bpf::kAbs, 0, 0, 4};
+  EXPECT_EQ(pf::BpfRun(p, packet), 0u);
+}
+
+TEST(BpfRunTest, ScratchMemoryAndIndexRegister) {
+  const std::vector<uint8_t> packet = {0x00, 0x10, 0xab, 0xcd};
+  BpfProgram p;
+  p.insns = {
+      {bpf::kLd | bpf::kImm, 0, 0, 42},           // A = 42
+      {bpf::kSt, 0, 0, 3},                        // mem[3] = A
+      {bpf::kLd | bpf::kImm, 0, 0, 0},            // A = 0
+      {bpf::kLdx | bpf::kMem, 0, 0, 3},           // X = mem[3] = 42
+      {bpf::kMisc | 0x80, 0, 0, 0},               // txa: A = 42
+      {bpf::kAlu | bpf::kAdd | bpf::kK, 0, 0, 8}, // A = 50
+      {bpf::kRet | bpf::kA, 0, 0, 0},
+  };
+  EXPECT_EQ(pf::BpfRun(p, packet), 50u);
+}
+
+TEST(BpfRunTest, IndirectLoadUsesX) {
+  const std::vector<uint8_t> packet = {0x00, 0x00, 0xab, 0xcd};
+  BpfProgram p;
+  p.insns = {
+      {bpf::kLdx | bpf::kImm, 0, 0, 2},
+      {bpf::kLd | bpf::kH | bpf::kInd, 0, 0, 0},  // A = word at X+0
+      {bpf::kRet | bpf::kA, 0, 0, 0},
+  };
+  EXPECT_EQ(pf::BpfRun(p, packet), 0xabcdu);
+}
+
+TEST(BpfRunTest, MshComputesIpHeaderLength) {
+  const std::vector<uint8_t> packet = {0x45};  // IPv4, IHL 5
+  BpfProgram p;
+  p.insns = {
+      {bpf::kLdx | bpf::kB | bpf::kMsh, 0, 0, 0},  // X = 4 * (0x45 & 0xf) = 20
+      {bpf::kMisc | 0x80, 0, 0, 0},                // txa
+      {bpf::kRet | bpf::kA, 0, 0, 0},
+  };
+  EXPECT_EQ(pf::BpfRun(p, packet), 20u);
+}
+
+TEST(BpfRunTest, DivisionByZeroAborts) {
+  BpfProgram p;
+  p.insns = {
+      {bpf::kLd | bpf::kImm, 0, 0, 8},
+      {bpf::kLdx | bpf::kImm, 0, 0, 0},
+      {bpf::kAlu | bpf::kDiv | bpf::kX, 0, 0, 0},
+      {bpf::kRet | bpf::kK, 0, 0, 0xFFFF},
+  };
+  EXPECT_EQ(pf::BpfRun(p, {}), 0u);
+}
+
+TEST(BpfRunTest, JumpsAndJset) {
+  BpfProgram p;
+  p.insns = {
+      {bpf::kLd | bpf::kImm, 0, 0, 0x0f0},
+      {bpf::kJmp | bpf::kJset | bpf::kK, 0, 1, 0x010},  // set -> fall through
+      {bpf::kRet | bpf::kK, 0, 0, 7},
+      {bpf::kRet | bpf::kK, 0, 0, 9},
+  };
+  EXPECT_EQ(pf::BpfRun(p, {}), 7u);
+  p.insns[1].k = 0xf00;  // no bits in common -> jf
+  EXPECT_EQ(pf::BpfRun(p, {}), 9u);
+}
+
+// --- Validator ---
+
+TEST(BpfValidateTest, RejectsBadPrograms) {
+  std::string error;
+  EXPECT_FALSE(pf::BpfValidate(BpfProgram{}, &error));
+  EXPECT_NE(error.find("empty"), std::string::npos);
+
+  BpfProgram no_ret;
+  no_ret.insns = {{bpf::kLd | bpf::kImm, 0, 0, 1}};
+  EXPECT_FALSE(pf::BpfValidate(no_ret, &error));
+  EXPECT_NE(error.find("RET"), std::string::npos);
+
+  BpfProgram bad_jump;
+  bad_jump.insns = {{bpf::kJmp | bpf::kJeq | bpf::kK, 9, 0, 0},
+                    {bpf::kRet | bpf::kK, 0, 0, 0}};
+  EXPECT_FALSE(pf::BpfValidate(bad_jump, &error));
+  EXPECT_NE(error.find("jump"), std::string::npos);
+
+  BpfProgram bad_mem;
+  bad_mem.insns = {{bpf::kSt, 0, 0, 16}, {bpf::kRet | bpf::kK, 0, 0, 0}};
+  EXPECT_FALSE(pf::BpfValidate(bad_mem, &error));
+  EXPECT_NE(error.find("memory"), std::string::npos);
+
+  BpfProgram div0;
+  div0.insns = {{bpf::kAlu | bpf::kDiv | bpf::kK, 0, 0, 0},
+                {bpf::kRet | bpf::kK, 0, 0, 0}};
+  EXPECT_FALSE(pf::BpfValidate(div0, &error));
+  EXPECT_NE(error.find("divisor"), std::string::npos);
+
+  BpfProgram unknown;
+  unknown.insns = {{0xffff, 0, 0, 0}, {bpf::kRet | bpf::kK, 0, 0, 0}};
+  EXPECT_FALSE(pf::BpfValidate(unknown, &error));
+  EXPECT_NE(error.find("opcode"), std::string::npos);
+
+  BpfProgram huge;
+  huge.insns.assign(bpf::kMaxInsns + 1, BpfInsn{bpf::kRet | bpf::kK, 0, 0, 0});
+  EXPECT_FALSE(pf::BpfValidate(huge, &error));
+  EXPECT_NE(error.find("MAXINSNS"), std::string::npos);
+}
+
+TEST(BpfValidateTest, AcceptsCompiledConjunctions) {
+  pfutil::Rng rng(0x7a11d);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto compiled = pf::CompileToBpf(RandomConjunction(&rng));
+    ASSERT_TRUE(compiled.has_value());
+    std::string error;
+    EXPECT_TRUE(pf::BpfValidate(*compiled, &error)) << error;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,447 @@
+// Strategy::kCompiled tests: the bind-time compiler's constant folding,
+// operand fusion, and dead-push elimination; the exactness contract
+// (ExecCompiled reproduces kChecked's ExecResult bit for bit, under the
+// short-packet guard); prefix hoisting across a filter set; and the
+// golden fused-op disassembly encoding.
+#include <gtest/gtest.h>
+
+#include "src/pf/builder.h"
+#include "src/pf/compile.h"
+#include "src/pf/disasm.h"
+#include "src/pf/engine.h"
+#include "src/util/rng.h"
+#include "tests/test_packets.h"
+
+namespace {
+
+using pf::BinaryOp;
+using pf::CompiledOp;
+using pf::CompiledProgram;
+using pf::Engine;
+using pf::ExecResult;
+using pf::ExecStatus;
+using pf::FilterBuilder;
+using pf::LangVersion;
+using pf::Operand;
+using pf::Program;
+using pf::StackAction;
+using pf::Strategy;
+using pf::ValidatedProgram;
+
+CompiledProgram Compile(const Program& program) {
+  const auto validated = ValidatedProgram::Create(program);
+  EXPECT_TRUE(validated.has_value());
+  return pf::CompileProgram(*validated);
+}
+
+// What the engine does: compiled execution behind the short-packet guard,
+// the exact pre-decoded interpreter below it.
+ExecResult RunGuarded(const ValidatedProgram& validated, const CompiledProgram& compiled,
+                      std::span<const uint8_t> packet) {
+  if (packet.size() < compiled.min_packet_bytes) {
+    return pf::InterpretPredecoded(pf::Predecode(validated), packet);
+  }
+  return pf::ExecCompiled(compiled, packet);
+}
+
+void ExpectSameResult(const ExecResult& got, const ExecResult& want, const std::string& what) {
+  EXPECT_EQ(got.accept, want.accept) << what;
+  EXPECT_EQ(got.status, want.status) << what;
+  EXPECT_EQ(got.insns_executed, want.insns_executed) << what;
+  EXPECT_EQ(got.short_circuited, want.short_circuited) << what;
+}
+
+// --- Compiler structure ---
+
+TEST(CompileTest, EmptyProgramCompilesToConstAccept) {
+  const CompiledProgram c = Compile(Program{7, LangVersion::kV1, {}});
+  ASSERT_EQ(c.ops.size(), 1u);
+  EXPECT_EQ(c.ops[0].kind, CompiledOp::Kind::kVerdictConst);
+  EXPECT_TRUE(c.ops[0].accept);
+  EXPECT_EQ(c.min_packet_bytes, 0u);
+  const ExecResult r = pf::ExecCompiled(c, {});
+  EXPECT_TRUE(r.accept);
+  EXPECT_EQ(r.insns_executed, 0u);
+}
+
+TEST(CompileTest, ConstantChainFoldsToSingleVerdict) {
+  FilterBuilder b;
+  b.PushLit(3).Lit(BinaryOp::kEq, 3);  // 3 == 3, known at bind time
+  const CompiledProgram c = Compile(b.Build(0));
+  ASSERT_EQ(c.ops.size(), 1u);
+  EXPECT_EQ(c.ops[0].kind, CompiledOp::Kind::kVerdictConst);
+  EXPECT_TRUE(c.ops[0].accept);
+  EXPECT_EQ(c.min_packet_bytes, 0u);
+  // Exact accounting: both original instructions are still charged.
+  const ExecResult r = pf::ExecCompiled(c, {});
+  EXPECT_TRUE(r.accept);
+  EXPECT_EQ(r.insns_executed, 2u);
+}
+
+TEST(CompileTest, ConstShortCircuitFoldsUnreachableTail) {
+  FilterBuilder b;
+  // 0 CAND 1 rejects immediately; everything after it is unreachable and
+  // must vanish from the compiled form.
+  b.PushLit(1).Lit(BinaryOp::kCand, 0).PushWord(3).PushWord(4).Op(BinaryOp::kAnd);
+  const auto validated = ValidatedProgram::Create(b.Build(0));
+  ASSERT_TRUE(validated.has_value());
+  const CompiledProgram c = pf::CompileProgram(*validated);
+  ASSERT_EQ(c.ops.size(), 1u);
+  EXPECT_EQ(c.ops[0].kind, CompiledOp::Kind::kVerdictConst);
+  EXPECT_FALSE(c.ops[0].accept);
+  EXPECT_TRUE(c.ops[0].short_circuited);
+  EXPECT_EQ(c.ops[0].end_insns, 2u);
+  const auto packet = pftest::MakePupFrame(50, 35);
+  ExpectSameResult(RunGuarded(*validated, c, packet), pf::InterpretChecked(validated->program(), packet),
+                   "const short-circuit");
+}
+
+TEST(CompileTest, ConstZeroDivisorFoldsToFault) {
+  FilterBuilder b(LangVersion::kV2);
+  b.PushWord(1).Lit(BinaryOp::kDiv, 0);  // divisor is a compile-time zero
+  const auto validated = ValidatedProgram::Create(b.Build(0));
+  ASSERT_TRUE(validated.has_value());
+  const CompiledProgram c = pf::CompileProgram(*validated);
+  ASSERT_EQ(c.ops.size(), 1u);
+  EXPECT_EQ(c.ops[0].kind, CompiledOp::Kind::kVerdictConst);
+  EXPECT_EQ(c.ops[0].status, ExecStatus::kDivideByZero);
+  const auto packet = pftest::MakePupFrame(50, 35);
+  ExpectSameResult(RunGuarded(*validated, c, packet), pf::InterpretChecked(validated->program(), packet),
+                   "const div0");
+}
+
+TEST(CompileTest, Fig39CompilesToFlatKernel) {
+  const CompiledProgram c = Compile(pf::PaperFig39Filter());
+  // The conjunction compiles to fused compare ops reading immediates and
+  // packet words directly — no op touches the runtime stack except the
+  // final verdict pop.
+  ASSERT_GT(c.ops.size(), 1u);
+  for (size_t i = 0; i + 1 < c.ops.size(); ++i) {
+    const CompiledOp& op = c.ops[i];
+    EXPECT_EQ(op.kind, CompiledOp::Kind::kBinop) << "op " << i;
+    EXPECT_NE(op.a.src, Operand::Src::kStack) << "op " << i;
+    EXPECT_NE(op.b.src, Operand::Src::kStack) << "op " << i;
+  }
+  EXPECT_LT(c.ops.size(), static_cast<size_t>(c.total_insns));
+}
+
+TEST(CompileTest, ConjunctionKernelMatchesGenericExecutor) {
+  // Fig. 3-9 lowers all the way to the flat kernel: two CAND steps plus the
+  // EQ tail, run without touching the generic op executor.
+  const auto validated = ValidatedProgram::Create(pf::PaperFig39Filter());
+  ASSERT_TRUE(validated.has_value());
+  const CompiledProgram c = pf::CompileProgram(*validated);
+  ASSERT_TRUE(c.has_kernel);
+  EXPECT_TRUE(c.kernel_tail_eq);
+  ASSERT_EQ(c.kernel.size(), 3u);
+
+  const std::vector<uint8_t> hit = pftest::MakePupFrame(50, 35);
+  const std::vector<uint8_t> miss = pftest::MakePupFrame(50, 9999);
+  for (const auto* packet : {&hit, &miss}) {
+    uint32_t fused = 0;
+    const ExecResult got = pf::ExecCompiled(c, *packet, &fused);
+    ExpectSameResult(got, pf::InterpretChecked(validated->program(), *packet),
+                     packet == &hit ? "kernel hit" : "kernel miss");
+    // Charged fused ops are positional: a first-step CAND miss ran one op,
+    // a full pass ran every CAND, the EQ, and the verdict pop.
+    EXPECT_EQ(fused, packet == &hit ? 4u : 1u);
+  }
+}
+
+TEST(CompileTest, NonConjunctionShapesSkipTheKernel) {
+  // EQ+AND chains keep live stack traffic, so they stay on the generic
+  // executor (fig. 3-8 ranges do too).
+  FilterBuilder b;
+  b.WordEquals(8, 35).WordEquals(7, 0).Op(BinaryOp::kAnd);
+  EXPECT_FALSE(Compile(b.Build(0)).has_kernel);
+  EXPECT_FALSE(Compile(pf::PaperFig38Filter()).has_kernel);
+}
+
+TEST(CompileTest, ConstTailKernelKeepsFoldedVerdict) {
+  // CANDs over packet words followed by a constant tail: the fold becomes
+  // the kernel's all-pass result, exact end_insns included.
+  FilterBuilder b;
+  b.PushWord(8).Lit(BinaryOp::kCand, 35).PushOne().ConstOp(StackAction::kPushOne,
+                                                           BinaryOp::kAnd);
+  const auto validated = ValidatedProgram::Create(b.Build(0));
+  ASSERT_TRUE(validated.has_value());
+  const CompiledProgram c = pf::CompileProgram(*validated);
+  ASSERT_TRUE(c.has_kernel);
+  EXPECT_FALSE(c.kernel_tail_eq);
+  ASSERT_EQ(c.kernel.size(), 1u);
+  const std::vector<uint8_t> hit = pftest::MakePupFrame(50, 35);
+  ExpectSameResult(pf::ExecCompiled(c, hit), pf::InterpretChecked(validated->program(), hit),
+                   "const tail hit");
+}
+
+TEST(CompileTest, MaskFoldsIntoLoadOperand) {
+  FilterBuilder b;
+  b.MaskedWordEquals(3, 0x00ff, 5);  // PUSHWORD+3, PUSH00FF|AND, PUSHLIT|EQ
+  const CompiledProgram c = Compile(b.Build(0));
+  ASSERT_EQ(c.ops.size(), 2u);  // fused EQ + verdict pop: the AND is gone
+  EXPECT_EQ(c.ops[0].kind, CompiledOp::Kind::kBinop);
+  EXPECT_EQ(c.ops[0].op, BinaryOp::kEq);
+  EXPECT_EQ(c.ops[0].a.src, Operand::Src::kImm);
+  EXPECT_EQ(c.ops[0].a.imm, 5u);
+  EXPECT_EQ(c.ops[0].b.src, Operand::Src::kLoad);
+  EXPECT_EQ(c.ops[0].b.word, 3u);
+  EXPECT_EQ(c.ops[0].b.mask, 0x00ffu);
+}
+
+TEST(CompileTest, DeadPushesAreEliminated) {
+  FilterBuilder b;
+  // Two abandoned packet-word loads below a constant verdict.
+  b.PushWord(1).PushWord(2).PushOne();
+  const auto validated = ValidatedProgram::Create(b.Build(0));
+  ASSERT_TRUE(validated.has_value());
+  const CompiledProgram c = pf::CompileProgram(*validated);
+  ASSERT_EQ(c.ops.size(), 1u);
+  EXPECT_EQ(c.ops[0].kind, CompiledOp::Kind::kVerdictConst);
+  EXPECT_TRUE(c.ops[0].accept);
+  // All three instructions still charged when the program runs to the end.
+  const auto packet = pftest::MakePupFrame(50, 35);
+  ExpectSameResult(RunGuarded(*validated, c, packet), pf::InterpretChecked(validated->program(), packet),
+                   "dead pushes");
+}
+
+// --- Exactness property: compiled execution reproduces kChecked bit for
+// bit on random programs and packets (including runts via the guard). ---
+
+Program RandomProgram(pfutil::Rng* rng) {
+  const bool v2 = rng->Chance(0.3);
+  FilterBuilder b(v2 ? LangVersion::kV2 : LangVersion::kV1);
+  uint32_t depth = 0;
+  const int steps = static_cast<int>(rng->Range(1, 12));
+  for (int i = 0; i < steps; ++i) {
+    StackAction action = StackAction::kPushWord;
+    switch (rng->Below(6)) {
+      case 0: action = StackAction::kPushLit; break;
+      case 1: action = StackAction::kPushZero; break;
+      case 2: action = StackAction::kPushOne; break;
+      case 3:
+        action = v2 && depth >= 1 ? StackAction::kPushInd : StackAction::kPushWord;
+        break;
+      default: action = StackAction::kPushWord; break;
+    }
+    const uint8_t word_index = static_cast<uint8_t>(rng->Below(16));
+    const uint16_t literal = static_cast<uint16_t>(rng->Below(6));
+    if (action != StackAction::kPushInd) {
+      ++depth;
+    }
+    BinaryOp op = BinaryOp::kNop;
+    if (depth >= 2 && rng->Chance(0.7)) {
+      static constexpr BinaryOp kV1Ops[] = {
+          BinaryOp::kEq,  BinaryOp::kNeq, BinaryOp::kLt,   BinaryOp::kLe,
+          BinaryOp::kGt,  BinaryOp::kGe,  BinaryOp::kAnd,  BinaryOp::kOr,
+          BinaryOp::kXor, BinaryOp::kCor, BinaryOp::kCand, BinaryOp::kCnor,
+          BinaryOp::kCnand};
+      static constexpr BinaryOp kV2Ops[] = {BinaryOp::kAdd, BinaryOp::kSub, BinaryOp::kMul,
+                                            BinaryOp::kDiv, BinaryOp::kMod, BinaryOp::kLsh,
+                                            BinaryOp::kRsh};
+      op = v2 && rng->Chance(0.35) ? kV2Ops[rng->Below(std::size(kV2Ops))]
+                                   : kV1Ops[rng->Below(std::size(kV1Ops))];
+      --depth;
+    }
+    if (action == StackAction::kPushLit) {
+      b.Lit(op, literal);
+    } else {
+      b.Stmt(action, op, word_index);
+    }
+  }
+  if (depth == 0) {
+    b.PushOne();
+  }
+  return b.Build(0);
+}
+
+TEST(CompileExactnessProperty, MatchesCheckedOnRandomProgramsAndPackets) {
+  pfutil::Rng rng(0xc09b11ed);
+  int folded_whole_programs = 0;
+  int guarded_fallbacks = 0;
+  int errors_seen = 0;
+  for (int trial = 0; trial < 500; ++trial) {
+    const Program program = RandomProgram(&rng);
+    const auto validated = ValidatedProgram::Create(program);
+    ASSERT_TRUE(validated.has_value()) << "trial " << trial;
+    const CompiledProgram compiled = pf::CompileProgram(*validated);
+    folded_whole_programs += compiled.ops.size() == 1 ? 1 : 0;
+    for (int p = 0; p < 8; ++p) {
+      std::vector<uint8_t> packet;
+      const size_t bytes = rng.Below(2) == 0 ? rng.Below(6) : rng.Range(8, 30);
+      for (size_t i = 0; i < bytes; ++i) {
+        packet.push_back(static_cast<uint8_t>(rng.Below(6)));
+      }
+      guarded_fallbacks += packet.size() < compiled.min_packet_bytes ? 1 : 0;
+      const ExecResult want = pf::InterpretChecked(validated->program(), packet);
+      errors_seen += want.status != ExecStatus::kOk ? 1 : 0;
+      ExpectSameResult(RunGuarded(*validated, compiled, packet), want,
+                       "trial " + std::to_string(trial) + " packet " + std::to_string(p));
+    }
+  }
+  // The property is vacuous unless the generator hit the interesting paths.
+  EXPECT_GT(folded_whole_programs, 10);
+  EXPECT_GT(guarded_fallbacks, 100);
+  EXPECT_GT(errors_seen, 100);
+}
+
+// --- Prefix execution (the engine's cross-binding hoisting primitive) ---
+
+TEST(CompileTest, PrefixPlusResumeMatchesFullRun) {
+  const auto validated = ValidatedProgram::Create(pf::PaperFig39Filter());
+  ASSERT_TRUE(validated.has_value());
+  const CompiledProgram c = pf::CompileProgram(*validated);
+  ASSERT_GE(c.ops.size(), 3u);
+  for (const auto& packet :
+       {pftest::MakePupFrame(50, 35), pftest::MakePupFrame(50, 9999)}) {
+    const ExecResult whole = pf::ExecCompiled(c, packet);
+    pf::CompiledCursor cursor;
+    const auto exit = pf::ExecCompiledPrefix(c, packet, 2, &cursor);
+    const ExecResult split =
+        exit.has_value() ? *exit : pf::ExecCompiledFrom(c, packet, 2, cursor);
+    ExpectSameResult(split, whole, "split execution");
+  }
+}
+
+// --- Engine integration ---
+
+TEST(CompiledEngineTest, ShortPacketTakesExactFallback) {
+  Engine engine(Strategy::kCompiled);
+  FilterBuilder b;
+  b.WordEqualsShortCircuit(8, 35).WordEquals(1, 2);
+  engine.Bind(1, *b.BuildValidated(10));
+  const std::vector<uint8_t> runt = {1, 2, 3, 4};
+  pf::ExecTelemetry telemetry;
+  const pf::Verdict verdict = engine.RunOne(1, runt, &telemetry);
+  EXPECT_FALSE(verdict.accept);
+  EXPECT_EQ(verdict.status, ExecStatus::kOutOfPacket);
+  // The fallback runs the pre-decoded form; no fused ops execute.
+  EXPECT_EQ(telemetry.decode_cache_hits, 1u);
+  EXPECT_EQ(telemetry.fused_ops, 0u);
+}
+
+// Builds the fig. 3-9 shape with a distinguishing final socket test: a
+// family of filters sharing their first two compiled ops.
+Program SocketFamilyFilter(uint16_t socket) {
+  FilterBuilder b;
+  b.WordEqualsShortCircuit(pfproto::kWordDstSocketHigh, 0)
+      .WordEqualsShortCircuit(pfproto::kWordEtherType, pfproto::kEtherTypePup)
+      .WordEquals(pfproto::kWordDstSocketLow, socket);
+  return b.Build(10);
+}
+
+TEST(CompiledEngineTest, HoistsSharedPrefixAcrossFilterSet) {
+  Engine compiled(Strategy::kCompiled);
+  Engine checked(Strategy::kChecked);
+  for (Engine::Key key = 1; key <= 4; ++key) {
+    const auto validated = ValidatedProgram::Create(SocketFamilyFilter(34 + key));
+    ASSERT_TRUE(validated.has_value());
+    compiled.Bind(key, *validated);
+    checked.Bind(key, *validated);
+  }
+  const auto packet = pftest::MakePupFrame(50, 35);
+  Engine::MatchPass compiled_pass = compiled.Match(packet);
+  Engine::MatchPass checked_pass = checked.Match(packet);
+  for (Engine::Key key = 1; key <= 4; ++key) {
+    const pf::Verdict want = checked_pass.Test(key);
+    const pf::Verdict got = compiled_pass.Test(key);
+    EXPECT_EQ(got.accept, want.accept) << "key " << key;
+    EXPECT_EQ(got.status, want.status) << "key " << key;
+    EXPECT_EQ(got.accept, key == 1u) << "key " << key;  // socket 35 matches
+  }
+  EXPECT_EQ(compiled.compiled_prefix_groups(), 1u);
+  // Charged work reconciles exactly with kChecked: hoisting is a pure
+  // wall-clock optimization, invisible to the ledger.
+  EXPECT_EQ(compiled_pass.telemetry().insns_executed,
+            checked_pass.telemetry().insns_executed);
+  EXPECT_EQ(compiled_pass.telemetry().filters_run, checked_pass.telemetry().filters_run);
+  // The two shared prefix ops ran once, not four times: 2 (prefix) +
+  // 4 filters x 2 remaining ops (fused EQ + verdict pop).
+  EXPECT_EQ(compiled_pass.telemetry().fused_ops, 10u);
+}
+
+TEST(CompiledEngineTest, PrefixCacheInvalidatedPerPass) {
+  Engine engine(Strategy::kCompiled);
+  for (Engine::Key key = 1; key <= 2; ++key) {
+    engine.Bind(key, *ValidatedProgram::Create(SocketFamilyFilter(34 + key)));
+  }
+  // Two packets with different prefix outcomes, interleaved: the second
+  // pass must re-evaluate the shared prefix, not reuse the first pass's.
+  const auto pup = pftest::MakePupFrame(50, 35);
+  const auto not_pup = pftest::MakePupFrame(50, 35, 2, 1, 8, 0x1234);
+  Engine::MatchPass first = engine.Match(pup);
+  EXPECT_TRUE(first.Test(1).accept);
+  Engine::MatchPass second = engine.Match(not_pup);
+  EXPECT_FALSE(second.Test(1).accept);
+  Engine::MatchPass third = engine.Match(pup);
+  EXPECT_TRUE(third.Test(1).accept);
+}
+
+// The filter-set analogue of the single-filter exactness property: a
+// kCompiled engine must agree with kChecked on accept, status, AND charged
+// work for random filter sets x random packets (prefix hoisting and the
+// guard fallback both in play).
+TEST(CompiledEngineTest, MatchesCheckedOnRandomFilterSets) {
+  pfutil::Rng rng(0x5eedf00d);
+  int hoisted_sets = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    Engine compiled(Strategy::kCompiled);
+    Engine checked(Strategy::kChecked);
+    const size_t filters = rng.Range(2, 10);
+    for (Engine::Key key = 1; key <= filters; ++key) {
+      const Program program = rng.Chance(0.4) ? SocketFamilyFilter(static_cast<uint16_t>(
+                                                    rng.Below(4)))
+                                              : RandomProgram(&rng);
+      const auto validated = ValidatedProgram::Create(program);
+      ASSERT_TRUE(validated.has_value());
+      compiled.Bind(key, *validated);
+      checked.Bind(key, *validated);
+    }
+    for (int p = 0; p < 6; ++p) {
+      std::vector<uint8_t> packet;
+      const size_t bytes = rng.Below(2) == 0 ? rng.Below(6) : rng.Range(8, 30);
+      for (size_t i = 0; i < bytes; ++i) {
+        packet.push_back(static_cast<uint8_t>(rng.Below(6)));
+      }
+      Engine::MatchPass compiled_pass = compiled.Match(packet);
+      Engine::MatchPass checked_pass = checked.Match(packet);
+      for (Engine::Key key = 1; key <= filters; ++key) {
+        const pf::Verdict want = checked_pass.Test(key);
+        const pf::Verdict got = compiled_pass.Test(key);
+        EXPECT_EQ(got.accept, want.accept) << "trial " << trial << " key " << key;
+        EXPECT_EQ(got.status, want.status) << "trial " << trial << " key " << key;
+      }
+      EXPECT_EQ(compiled_pass.telemetry().insns_executed,
+                checked_pass.telemetry().insns_executed)
+          << "trial " << trial << " packet " << p;
+    }
+    // Groups are built lazily on the first Match after binding.
+    hoisted_sets += compiled.compiled_prefix_groups() > 0 ? 1 : 0;
+  }
+  EXPECT_GT(hoisted_sets, 5);  // prefix hoisting must actually engage
+}
+
+// --- Golden disassembly (pins the fused-op encoding) ---
+
+TEST(CompileTest, GoldenCompiledDisassembly) {
+  FilterBuilder b;
+  b.MaskedWordEqualsShortCircuit(3, 0x00ff, 5).WordEquals(1, 2);
+  const CompiledProgram c = Compile(b.Build(0));
+  const std::string kGolden =
+      "compiled: 3 ops, 5 insns, guard 8 bytes\n"
+      "   0: CAND #0x0005, word[3]&0x00ff (drop)      ; insn 3\n"
+      "   1: EQ #0x0002, word[1]                      ; insn 5\n"
+      "   2: ret (pop != 0)                           ; insn 5\n";
+  EXPECT_EQ(pf::DisassembleCompiled(c), kGolden);
+}
+
+TEST(CompileTest, GoldenConstVerdictDisassembly) {
+  FilterBuilder b;
+  b.PushLit(1).Lit(BinaryOp::kCand, 0);
+  const CompiledProgram c = Compile(b.Build(0));
+  const std::string kGolden =
+      "compiled: 1 ops, 2 insns, guard 0 bytes\n"
+      "   0: ret reject [ok] (short-circuit)          ; insn 2\n";
+  EXPECT_EQ(pf::DisassembleCompiled(c), kGolden);
+}
+
+}  // namespace

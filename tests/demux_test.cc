@@ -92,6 +92,30 @@ TEST(DemuxTest, DeliverToLowerProducesCopies) {
   EXPECT_EQ(filter.QueueLength(app), 1u);
 }
 
+TEST(DemuxTest, DeliverToLowerOrderingIsStrategyIndependent) {
+  // The fig. 4-1 walk order (priority desc, then open order) is policy and
+  // must not depend on how filters are *executed* — in particular the
+  // compiled backend's prefix hoisting shares work across bindings but may
+  // not reorder claims or copies.
+  for (const pf::Strategy strategy : pf::kAllStrategies) {
+    PacketFilter filter;
+    filter.SetStrategy(strategy);
+    const PortId monitor = filter.OpenPort();
+    const PortId app35 = filter.OpenPort();
+    const PortId app36 = filter.OpenPort();
+    ASSERT_TRUE(filter.SetFilter(monitor, AcceptAll(255)).ok);
+    ASSERT_TRUE(filter.SetFilter(app35, SocketFilter(35, 10)).ok);
+    ASSERT_TRUE(filter.SetFilter(app36, SocketFilter(36, 10)).ok);
+    filter.SetDeliverToLower(monitor, true);
+
+    const auto r = filter.Demux(pftest::MakePupFrame(8, 35));
+    EXPECT_EQ(r.deliveries, 2u) << pf::ToString(strategy);
+    EXPECT_EQ(filter.QueueLength(monitor), 1u) << pf::ToString(strategy);
+    EXPECT_EQ(filter.QueueLength(app35), 1u) << pf::ToString(strategy);
+    EXPECT_EQ(filter.QueueLength(app36), 0u) << pf::ToString(strategy);
+  }
+}
+
 TEST(DemuxTest, WithoutDeliverToLowerMonitorSteals) {
   PacketFilter filter;
   const PortId monitor = filter.OpenPort();
@@ -267,10 +291,12 @@ TEST(DemuxTest, StrategySwitchableAtRuntime) {
     EXPECT_EQ(filter.strategy(), strategy);
     filter.Demux(pftest::MakePupFrame(8, 35));
   }
-  EXPECT_EQ(filter.QueueLength(port), 5u);
+  EXPECT_EQ(filter.QueueLength(port), std::size(pf::kAllStrategies));
   // The pre-decoded pass reported its decode-cache hit, and the indexed
-  // pass re-confirmed its bucket hit from the same pre-decoded form.
+  // pass re-confirmed its bucket hit from the same pre-decoded form. The
+  // compiled pass runs its fused ops (full-length packet: no fallback).
   EXPECT_EQ(filter.global_stats().exec.decode_cache_hits, 2u);
+  EXPECT_GT(filter.global_stats().exec.fused_ops, 0u);
 }
 
 TEST(DemuxTest, GlobalStatsAccumulate) {
