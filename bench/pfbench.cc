@@ -86,15 +86,39 @@ double TrimmedMedian(std::vector<double> samples) {
   return n % 2 == 1 ? samples[mid] : (samples[mid - 1] + samples[mid]) / 2.0;
 }
 
+// What rides the demux hot path while the loop is clocked.
+enum class DemuxObsMode {
+  kDetached,         // nothing attached: the no-observer floor
+  kMetricsRecorder,  // metrics registry + flight recorder (the PR-4 tax)
+  kFlowStats,        // per-flow accounting enabled (DESIGN.md §16)
+  kEmptyTapSet,      // TapSet attached with zero taps: the mask-test tax
+  kSampledTap,       // one filter-scoped 1-in-16 capture tap at demux-in
+};
+
 // Host ns per Demux call over a rotating 64-port packet set.
-double DemuxLoopNsPerPacket(bool attach_obs) {
+double DemuxLoopNsPerPacket(DemuxObsMode mode) {
   constexpr int kPorts = 64;
   constexpr int kRounds = 64;
   pfobs::MetricsRegistry registry;
+  pf::TapSet taps;
   pf::PacketFilter filter;
-  if (attach_obs) {
+  if (mode == DemuxObsMode::kMetricsRecorder) {
     filter.AttachMetrics(&registry);
     filter.SetFlightRecorder(64);
+  }
+  if (mode == DemuxObsMode::kFlowStats) {
+    filter.EnableFlowStats({});
+  }
+  if (mode == DemuxObsMode::kEmptyTapSet || mode == DemuxObsMode::kSampledTap) {
+    filter.AttachTaps(&taps);
+  }
+  if (mode == DemuxObsMode::kSampledTap) {
+    pf::TapConfig tap;
+    tap.stage = pf::TapStage::kDemuxIn;
+    tap.filter = pfnet::MakePupSocketFilter(1, 10);
+    tap.snaplen = 64;
+    tap.sample_every = 16;
+    taps.Attach(std::move(tap));
   }
   for (int socket = 1; socket <= kPorts; ++socket) {
     const pf::PortId port = filter.OpenPort();
@@ -145,8 +169,11 @@ double RecvPathNsPerPacket(bool attach_trace) {
 
 int ObsOverheadMain(int /*argc*/, char** /*argv*/) {
   const double nan = std::nan("");
-  const double demux_detached = DemuxLoopNsPerPacket(false);
-  const double demux_attached = DemuxLoopNsPerPacket(true);
+  const double demux_detached = DemuxLoopNsPerPacket(DemuxObsMode::kDetached);
+  const double demux_attached = DemuxLoopNsPerPacket(DemuxObsMode::kMetricsRecorder);
+  const double demux_flow = DemuxLoopNsPerPacket(DemuxObsMode::kFlowStats);
+  const double demux_empty_taps = DemuxLoopNsPerPacket(DemuxObsMode::kEmptyTapSet);
+  const double demux_sampled_tap = DemuxLoopNsPerPacket(DemuxObsMode::kSampledTap);
   const double recv_untraced = RecvPathNsPerPacket(false);
   const double recv_traced = RecvPathNsPerPacket(true);
   pfbench::PrintTable(
@@ -156,6 +183,9 @@ int ObsOverheadMain(int /*argc*/, char** /*argv*/) {
       {
           {"PacketFilter::Demux, obs detached", nan, demux_detached},
           {"PacketFilter::Demux, registry+recorder attached", nan, demux_attached},
+          {"PacketFilter::Demux, flow accounting enabled", nan, demux_flow},
+          {"PacketFilter::Demux, tap set attached, no taps", nan, demux_empty_taps},
+          {"PacketFilter::Demux, sampled filter tap active", nan, demux_sampled_tap},
           {"receive path, trace detached", nan, recv_untraced},
           {"receive path, trace attached", nan, recv_traced},
       });
@@ -166,6 +196,12 @@ int ObsOverheadMain(int /*argc*/, char** /*argv*/) {
       {
           {"metrics+recorder tax on Demux", nan,
            demux_detached > 0 ? demux_attached / demux_detached : 0},
+          {"flow-accounting tax on Demux", nan,
+           demux_detached > 0 ? demux_flow / demux_detached : 0},
+          {"empty tap-set tax on Demux", nan,
+           demux_detached > 0 ? demux_empty_taps / demux_detached : 0},
+          {"sampled-tap tax on Demux", nan,
+           demux_detached > 0 ? demux_sampled_tap / demux_detached : 0},
           {"trace tax on the receive path", nan,
            recv_untraced > 0 ? recv_traced / recv_untraced : 0},
       });

@@ -1,0 +1,58 @@
+# Smoke test for the flow observability plane (DESIGN.md §16):
+#   (a) pfstat --pcapng attaches a sampled, filter-scoped capture tap and the
+#       emitted file is structurally valid pcapng — SHB/IDB/EPB grammar
+#       checked by pcapng_verify — with the tap's named interface and
+#       flow-signature packet comments present;
+#   (b) pfstat --top (pftop) renders the per-flow table with the drop-reason
+#       drill-down driven by the same scenario's queue-overflow drops.
+#
+# Usage: cmake -DPFSTAT=<bin> -DVERIFY=<bin> -DOUTDIR=<dir> -P check_pcapng.cmake
+
+if(NOT PFSTAT OR NOT VERIFY OR NOT OUTDIR)
+  message(FATAL_ERROR "usage: cmake -DPFSTAT=... -DVERIFY=... -DOUTDIR=... -P check_pcapng.cmake")
+endif()
+
+set(capture "${OUTDIR}/pfstat_capture.pcapng")
+
+execute_process(
+  COMMAND "${PFSTAT}" --once --duration-ms 60 --pcapng "${capture}"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "pfstat --once --pcapng exited with ${rc}: ${out}")
+endif()
+if(NOT EXISTS "${capture}")
+  message(FATAL_ERROR "pfstat did not write ${capture}")
+endif()
+# The tap line reports its funnel; sampling (1-in-2) must have skipped some.
+string(FIND "${out}" "sampled-out=" at)
+if(at EQUAL -1)
+  message(FATAL_ERROR "pfstat --pcapng did not report tap stats: ${out}")
+endif()
+
+# Structure: one section, the tap's demux-in interface, at least one packet,
+# and flow-signature comments cross-referencing the flight recorder.
+execute_process(
+  COMMAND "${VERIFY}" "${capture}" --min-idb 1 --min-epb 1
+          --expect-interface "demux-in:pup35" --expect-comment "sig=0x"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE verify_out ERROR_VARIABLE verify_err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "pcapng_verify rejected ${capture}: ${verify_out}${verify_err}")
+endif()
+message(STATUS "${verify_out}")
+
+# pftop: the live per-flow table. The scenario floods socket 77's 2-packet
+# queue, so the drill-down must attribute queue-overflow drops to its flow.
+execute_process(
+  COMMAND "${PFSTAT}" --once --duration-ms 60 --top
+  RESULT_VARIABLE rc OUTPUT_VARIABLE top_out ERROR_VARIABLE top_err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "pfstat --once --top exited with ${rc}: ${top_out}${top_err}")
+endif()
+foreach(needle "=== pftop" "drops by reason" "queue-overflow=")
+  string(FIND "${top_out}" "${needle}" at)
+  if(at EQUAL -1)
+    message(FATAL_ERROR "pfstat --top output lacks \"${needle}\":\n${top_out}")
+  endif()
+endforeach()
+
+message(STATUS "pcapng smoke test passed: ${capture}")

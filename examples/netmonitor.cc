@@ -4,7 +4,7 @@
 // segment where three kinds of traffic coexist (fig. 3-3): kernel UDP, a
 // user-level Pup exchange through the packet filter, and RARP. Every frame
 // is decoded to a tcpdump-style line, counted, and recorded to
-// netmonitor.pcap (openable with Wireshark).
+// netmonitor.pcapng (openable with Wireshark).
 #include <cstdio>
 
 #include "src/kernel/kernel_ip.h"
@@ -82,10 +82,10 @@ int main() {
     std::printf("  %s\n", line.c_str());
   }
   std::printf("\n%s\n\n", monitor->Summary().c_str());
-  const std::string path = "netmonitor.pcap";
-  if (monitor->pcap().WriteFile(path)) {
-    std::printf("wrote %zu frames to %s (%zu bytes)\n", monitor->pcap().record_count(),
-                path.c_str(), monitor->pcap().buffer().size());
+  const std::string path = "netmonitor.pcapng";
+  if (monitor->WriteCapture(path)) {
+    std::printf("wrote %zu frames to %s (%zu bytes)\n", monitor->capture().record_count(),
+                path.c_str(), monitor->capture().buffer().size());
   }
   return 0;
 }

@@ -27,6 +27,17 @@
 //                      (BENCH_<sha>.json, bench/report.h) — per-bench wall
 //                      clock, gate outcomes, host rusage — and exit non-zero
 //                      if the run recorded failures
+//   --top              pftop mode: enable per-flow accounting (src/obs/
+//                      flow_stats.h) and render the top flows by rate each
+//                      period instead of the port table, with a per-flow
+//                      drop-reason drill-down for flows still resident in
+//                      the exact table
+//   --top-k N          how many flows the pftop table shows (default 8)
+//   --pcapng PATH      attach a sampled, filter-scoped capture tap (src/pf/
+//                      tap.h) at the demux-in stage — predicate: the Pup
+//                      socket-35 filter, 1-in-2 sampling, snaplen 96 — and
+//                      write the machine's pcapng stream (all taps, the
+//                      monitor's included if one exists) to PATH
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -37,8 +48,10 @@
 #include "src/kernel/machine.h"
 #include "src/kernel/pf_device.h"
 #include "src/net/pup_endpoint.h"
+#include "src/obs/flow_stats.h"
 #include "src/obs/sampler.h"
 #include "src/pf/disasm.h"
+#include "src/pf/tap.h"
 #include "tests/test_packets.h"
 
 namespace {
@@ -54,6 +67,9 @@ struct Options {
   const char* json_path = nullptr;
   const char* flight_json_path = nullptr;
   const char* trend_path = nullptr;
+  bool top = false;
+  int top_k = 8;
+  const char* pcapng_path = nullptr;
 };
 
 bool ParseStrategy(const char* name, pf::Strategy* out) {
@@ -101,6 +117,15 @@ bool ParseOptions(int argc, char** argv, Options* options) {
       if ((options->flight_json_path = value()) == nullptr) return false;
     } else if (std::strcmp(argv[i], "--trend") == 0) {
       if ((options->trend_path = value()) == nullptr) return false;
+    } else if (std::strcmp(argv[i], "--top") == 0) {
+      options->top = true;
+    } else if (std::strcmp(argv[i], "--top-k") == 0) {
+      const char* v = value();
+      if (v == nullptr || std::atoi(v) <= 0) return false;
+      options->top_k = std::atoi(v);
+      options->top = true;
+    } else if (std::strcmp(argv[i], "--pcapng") == 0) {
+      if ((options->pcapng_path = value()) == nullptr) return false;
     } else {
       return false;
     }
@@ -252,6 +277,69 @@ void RenderTable(pfkern::Machine& machine, double now_ms) {
   std::printf("\n");
 }
 
+// The pftop table: the sketch's top-K flows by packet count, each ranked
+// row showing rate (bytes over the flow's observed lifetime) and, for flows
+// still resident in the exact table, the per-reason drop drill-down. Flows
+// the LRU evicted still rank (the sketch survives eviction) but can only
+// show their count bound.
+void RenderTopFlows(pfkern::Machine& machine, size_t k, double now_ms) {
+  const pfobs::FlowTable* flows = machine.pf().FlowStats();
+  if (flows == nullptr) {
+    return;
+  }
+  const pfobs::FlowTable::Totals& totals = flows->totals();
+  std::printf("=== pftop %-8s t=%.3f ms flows: live=%zu seen=%llu evicted=%llu"
+              " pkts=%llu drops=%llu ===\n",
+              machine.name().c_str(), now_ms, flows->size(),
+              (unsigned long long)totals.flows_seen, (unsigned long long)totals.evictions,
+              (unsigned long long)totals.packets, (unsigned long long)totals.drops);
+  std::printf(" rank flow              %8s %9s %10s %7s %6s  drops by reason\n", "pkts",
+              "bytes", "rate", "deliv", "drops");
+  size_t rank = 0;
+  for (const pfobs::SpaceSavingSketch::Entry& hit : flows->TopK(k)) {
+    ++rank;
+    char sig[24];
+    std::snprintf(sig, sizeof(sig), "%016llx", (unsigned long long)hit.key);
+    const pfobs::FlowTable::Entry* entry = flows->Find(hit.key);
+    if (entry == nullptr) {
+      // Evicted from the exact table: only the sketch's bound survives
+      // (true count is within [count-error, count]).
+      std::printf(" %4zu %s %8llu %9s %10s %7s %6s  <evicted; count within -%llu>\n", rank,
+                  sig, (unsigned long long)hit.count, "-", "-", "-", "-",
+                  (unsigned long long)hit.error);
+      continue;
+    }
+    char rate[24] = "-";
+    if (entry->last_seen_ns > entry->first_seen_ns) {
+      std::snprintf(rate, sizeof(rate), "%.1f KB/s",
+                    static_cast<double>(entry->bytes) * 1e9 / 1024.0 /
+                        static_cast<double>(entry->last_seen_ns - entry->first_seen_ns));
+    }
+    std::printf(" %4zu %s %8llu %9llu %10s %7llu %6llu ", rank, sig,
+                (unsigned long long)entry->packets, (unsigned long long)entry->bytes, rate,
+                (unsigned long long)entry->deliveries, (unsigned long long)entry->drops);
+    if (entry->drops == 0) {
+      std::printf(" -");
+    }
+    for (size_t slot = 0; slot < pfobs::kFlowDropSlots; ++slot) {
+      if (entry->drops_by_slot[slot] == 0) {
+        continue;
+      }
+      const std::string label = slot < pf::kDropReasonCount
+                                    ? pf::ToString(static_cast<pf::DropReason>(slot))
+                                    : std::string("?");
+      std::printf(" %s=%llu", label.c_str(), (unsigned long long)entry->drops_by_slot[slot]);
+    }
+    if (entry->latency_samples > 0) {
+      std::printf("  [demux avg %.1f us]",
+                  static_cast<double>(entry->latency_sum_ns) /
+                      static_cast<double>(entry->latency_samples) / 1e3);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -261,7 +349,8 @@ int main(int argc, char** argv) {
                  "usage: pfstat [--once] [--interval-ms N] [--duration-ms N]\n"
                  "              [--strategy checked|fast|tree|predecoded|indexed]\n"
                  "              [--loss P] [--ring N] [--csv PATH] [--json PATH|-]\n"
-                 "              [--flight-json PATH] [--trend BENCH.json]\n");
+                 "              [--flight-json PATH] [--trend BENCH.json]\n"
+                 "              [--top] [--top-k N] [--pcapng PATH]\n");
     return 2;
   }
   if (options.trend_path != nullptr) {
@@ -284,6 +373,25 @@ int main(int argc, char** argv) {
   receiver.pf().core().SetProfiling(true);
   if (options.ring_slots > 0) {
     receiver.pf().SetRingDelivery(static_cast<size_t>(options.ring_slots));
+  }
+  if (options.top) {
+    receiver.pf().EnableFlowAccounting({});
+  }
+  int pcap_tap_id = 0;
+  if (options.pcapng_path != nullptr) {
+    // A sampled, filter-scoped tap: capture only socket-35 Pup traffic
+    // entering the demux, every other matching packet, 96 bytes each.
+    pf::TapConfig tap;
+    tap.stage = pf::TapStage::kDemuxIn;
+    tap.name = "pup35";
+    tap.filter = pfnet::MakePupSocketFilter(35, 10);
+    tap.snaplen = 96;
+    tap.sample_every = 2;
+    pcap_tap_id = receiver.taps().Attach(std::move(tap));
+    if (pcap_tap_id == 0) {
+      std::fprintf(stderr, "pfstat: capture tap rejected\n");
+      return 2;
+    }
   }
 
   const pfsim::Duration duration = pfsim::Milliseconds(options.duration_ms);
@@ -341,7 +449,12 @@ int main(int argc, char** argv) {
     while (sim.Now() < deadline) {
       co_await sim.Delay(interval);
       sampler.Sample(sim.NowNanos());
-      RenderTable(receiver, pfsim::ToMilliseconds(sim.Now().time_since_epoch()));
+      const double now_ms = pfsim::ToMilliseconds(sim.Now().time_since_epoch());
+      if (options.top) {
+        RenderTopFlows(receiver, static_cast<size_t>(options.top_k), now_ms);
+      } else {
+        RenderTable(receiver, now_ms);
+      }
     }
   };
 
@@ -359,6 +472,10 @@ int main(int argc, char** argv) {
   // annotated disassembly, driven by the same profile the table reads.
   if (!quiet) {
     RenderTable(receiver, pfsim::ToMilliseconds(sim.Now().time_since_epoch()));
+    if (options.top) {
+      RenderTopFlows(receiver, static_cast<size_t>(options.top_k),
+                     pfsim::ToMilliseconds(sim.Now().time_since_epoch()));
+    }
     if (overflow_port != pf::kInvalidPort) {
       const std::string dump = receiver.pf().ProfileDump(overflow_port);
       if (!dump.empty()) {
@@ -378,6 +495,22 @@ int main(int argc, char** argv) {
     const pf::DropRecorder* recorder = receiver.pf().FlightRecorder();
     ok = recorder != nullptr &&
          WriteFile(options.flight_json_path, recorder->ToJson()) && ok;
+  }
+  if (options.pcapng_path != nullptr) {
+    const pf::CaptureTap* tap = receiver.taps().Find(pcap_tap_id);
+    if (!receiver.taps().WriteFile(options.pcapng_path) || tap == nullptr) {
+      std::fprintf(stderr, "pfstat: cannot write %s\n", options.pcapng_path);
+      ok = false;
+    } else {
+      std::fprintf(quiet ? stderr : stdout,
+                   "pcapng %s: offered=%llu matched=%llu sampled-out=%llu captured=%llu"
+                   " (%zu bytes)\n",
+                   options.pcapng_path, (unsigned long long)tap->stats().offered,
+                   (unsigned long long)tap->stats().matched,
+                   (unsigned long long)tap->stats().sampled_out,
+                   (unsigned long long)tap->stats().captured,
+                   receiver.taps().pcapng().buffer().size());
+    }
   }
   std::fprintf(quiet ? stderr : stdout,
                "sampled %zu rows x %zu columns over %.0f ms simulated\n", sampler.row_count(),

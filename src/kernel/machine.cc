@@ -1,6 +1,7 @@
 #include "src/kernel/machine.h"
 
 #include "src/kernel/pf_device.h"
+#include "src/obs/flow_stats.h"
 
 namespace pfkern {
 
@@ -24,8 +25,12 @@ Machine::Machine(pfsim::Simulator* sim, pflink::EthernetSegment* segment, pflink
   nic_poll_frames_counter_ = metrics_.counter("nic.poll.frames");
   copy_count_counter_ = metrics_.counter("pf.copy.count");
   copy_bytes_counter_ = metrics_.counter("pf.copy.bytes");
+  taps_.set_linktype(segment_->properties().type == pflink::LinkType::kEthernet10Mb
+                         ? pfutil::PcapWriter::kLinktypeEthernet
+                         : pfutil::PcapWriter::kLinktypeUser0);
   pf_device_ = std::make_unique<PacketFilterDevice>(this);
   pf_device_->core().AttachMetrics(&metrics_);
+  pf_device_->core().AttachTaps(&taps_);
   segment_->Attach(this);
 }
 
@@ -168,13 +173,30 @@ void Machine::RecordNicDrop(pf::DropReason reason, const pflink::Frame& frame) {
     default:
       break;
   }
+  const uint64_t now_ns = static_cast<uint64_t>(sim_->Now().time_since_epoch().count());
+  const bool tap_drop = taps_.stage_active(pf::TapStage::kDrop);
   pf::DropRecorder* recorder = pf_device_->core().flight_recorder();
+  uint64_t sig = 0;
+  if (recorder != nullptr || tap_drop) {
+    // The same flow identity the demux stamps, so NIC-level losses
+    // cross-reference flow-table rows and tap captures too.
+    sig = pfobs::FlowSignature(frame.AsSpan());
+  }
   if (recorder != nullptr) {
     pf::DropRecord record;
-    record.timestamp_ns = static_cast<uint64_t>(sim_->Now().time_since_epoch().count());
+    record.timestamp_ns = now_ns;
     record.flow_id = frame.flow_id;
+    record.flow_sig = sig;
     record.reason = reason;
     recorder->RecordPacket(record, frame.AsSpan());
+  }
+  if (tap_drop) {
+    pf::TapPacketMeta meta;
+    meta.timestamp_ns = now_ns;
+    meta.flow_id = frame.flow_id;
+    meta.flow_sig = sig;
+    meta.drop_reason = static_cast<int>(reason);
+    taps_.Offer(pf::TapStage::kDrop, frame.AsSpan(), meta);
   }
 }
 
@@ -182,6 +204,16 @@ void Machine::OnFrameDelivered(const pflink::Frame& frame, pfsim::TimePoint at) 
   (void)at;
   ++nic_stats_.frames_in;
   nic_in_counter_->Add();
+  if (taps_.stage_active(pf::TapStage::kNicRx)) {
+    // Post-impairment, pre-FCS-verification: the frame exactly as the NIC
+    // heard it, corrupted bytes and all — including frames about to be
+    // lost to a full ring below.
+    pf::TapPacketMeta meta;
+    meta.timestamp_ns = static_cast<uint64_t>(sim_->Now().time_since_epoch().count());
+    meta.flow_id = frame.flow_id;
+    meta.flow_sig = pfobs::FlowSignature(frame.AsSpan());
+    taps_.Offer(pf::TapStage::kNicRx, frame.AsSpan(), meta);
+  }
   if (rx_ring_capacity_ > 0 && rx_pending_ >= rx_ring_capacity_) {
     // Ring full: the frame is dropped before DMA completes. No CPU is
     // charged — the loss is invisible until a higher layer times out.

@@ -35,6 +35,7 @@
 #include "src/obs/trace.h"
 #include "src/link/segment.h"
 #include "src/pf/drop.h"
+#include "src/pf/tap.h"
 #include "src/sim/sim_time.h"
 #include "src/sim/simulator.h"
 #include "src/sim/sync.h"
@@ -101,6 +102,14 @@ class Machine : public pflink::Station {
   // Frames claimed by kernel stacks are *also* offered to the packet filter
   // (the coexistence of fig. 3-3, needed to monitor kernel protocols).
   void SetTapAllToPf(bool enabled) { tap_all_to_pf_ = enabled; }
+
+  // --- Capture taps (src/pf/tap.h, DESIGN.md §16) ---
+  // The machine-wide tap registry: the NIC offers kNicRx (every frame
+  // heard, post-impairment, pre-FCS-check) and NIC-level drops; the demux
+  // core (wired at construction) offers kDemuxIn / kDeliver / kDrop. The
+  // pcapng stream the taps share lives here (taps().WriteFile(path)).
+  pf::TapSet& taps() { return taps_; }
+  const pf::TapSet& taps() const { return taps_; }
 
   // --- Poll-mode receive (DESIGN.md §13) ---
   // Off (the default): every frame takes a receive interrupt — the 1987
@@ -220,6 +229,7 @@ class Machine : public pflink::Station {
 
   std::unordered_map<uint16_t, FrameHandler> kernel_handlers_;
   std::unordered_map<uint32_t, pflink::MacAddr> neighbors_;
+  pf::TapSet taps_;
   std::unique_ptr<PacketFilterDevice> pf_device_;
   NicStats nic_stats_;
   size_t rx_ring_capacity_ = 0;  // 0 = unbounded

@@ -449,7 +449,15 @@ pfsim::ValueTask<void> PacketFilterDevice::HandlePacket(const pf::PacketBuf& pac
   if (!charges.empty()) {
     co_await machine_->RunMulti(Machine::kInterruptContext, std::move(charges));
   }
-  demux_latency_hist_->Record(machine_->sim()->NowNanos() - demux_start_ns);
+  const int64_t demux_latency_ns = machine_->sim()->NowNanos() - demux_start_ns;
+  demux_latency_hist_->Record(demux_latency_ns);
+  // Per-flow latency: the demux already keyed this packet's flow signature
+  // when flow accounting is on; fold the same simulated latency sample in,
+  // so pf.flow.latency.count/sum reconcile exactly with pf.demux.latency.
+  if (pfobs::FlowTable* flows = filter_.flow_stats();
+      flows != nullptr && result.flow_sig != 0) {
+    flows->RecordLatency(result.flow_sig, demux_latency_ns);
+  }
   if (trace != nullptr) {
     trace->Complete(machine_->trace_track(), "pf", "pf.demux", demux_start_ns,
                     machine_->sim()->NowNanos(),

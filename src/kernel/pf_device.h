@@ -117,6 +117,15 @@ class PacketFilterDevice {
   // kFlightRecorderDepth drops (a simulated tcpdump for losses).
   const pf::DropRecorder* FlightRecorder() const { return filter_.flight_recorder(); }
 
+  // Per-flow accounting (DESIGN.md §16): opt-in like profiling — a status
+  // ioctl off the hot paths, so nothing is charged. Once enabled, every
+  // demuxed packet is accounted to its flow signature and HandlePacket
+  // folds per-flow demux latency in.
+  void EnableFlowAccounting(pfobs::FlowTable::Config config = {}) {
+    filter_.EnableFlowStats(config);
+  }
+  const pfobs::FlowTable* FlowStats() const { return filter_.flow_stats(); }
+
   static constexpr size_t kFlightRecorderDepth = 64;
 
   // --- Kernel-side entry, interrupt context ---

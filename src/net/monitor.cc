@@ -11,8 +11,7 @@
 
 namespace pfnet {
 
-NetworkMonitor::NetworkMonitor(pfkern::Machine* machine, uint32_t linktype)
-    : machine_(machine), pcap_(linktype) {
+NetworkMonitor::NetworkMonitor(pfkern::Machine* machine) : machine_(machine) {
   pfobs::MetricsRegistry& registry = machine_->metrics();
   frames_ = registry.counter("monitor.frames");
   bytes_ = registry.counter("monitor.bytes");
@@ -45,10 +44,7 @@ NetworkMonitor::Counters NetworkMonitor::Snapshot() const {
 
 pfsim::ValueTask<std::unique_ptr<NetworkMonitor>> NetworkMonitor::Create(
     pfkern::Machine* machine, int pid) {
-  const uint32_t linktype = machine->link_properties().type == pflink::LinkType::kEthernet10Mb
-                                ? pfutil::PcapWriter::kLinktypeEthernet
-                                : pfutil::PcapWriter::kLinktypeUser0;
-  auto monitor = std::unique_ptr<NetworkMonitor>(new NetworkMonitor(machine, linktype));
+  auto monitor = std::unique_ptr<NetworkMonitor>(new NetworkMonitor(machine));
   machine->SetPromiscuous(true);
   machine->SetTapAllToPf(true);
   monitor->port_ = co_await machine->pf().Open(pid);
@@ -61,6 +57,15 @@ pfsim::ValueTask<std::unique_ptr<NetworkMonitor>> NetworkMonitor::Create(
   options.batching = true;
   options.queue_limit = 256;
   co_await machine->pf().Configure(pid, monitor->port_, options);
+  // The capture rides the shared tap plane: an accept-all tap scoped to
+  // this port's deliveries records exactly the frames the monitor queue
+  // accepted (what Poll() will count) into the machine's pcapng stream.
+  pf::TapConfig tap;
+  tap.stage = pf::TapStage::kDeliver;
+  tap.name = "monitor";
+  tap.port = monitor->port_;
+  tap.max_packets = SIZE_MAX;  // the monitor's capture is unbudgeted
+  monitor->tap_id_ = machine->taps().Attach(std::move(tap));
   co_return monitor;
 }
 
@@ -78,7 +83,6 @@ pfsim::ValueTask<size_t> NetworkMonitor::Poll(int pid, pfsim::Duration timeout,
     frames_->Add();
     bytes_->Add(packet.bytes.size());
     dropped_->Add(packet.dropped_before);
-    pcap_.AddRecord(packet.timestamp_ns, packet.bytes);
 
     const auto header = pflink::ParseHeader(machine_->link_properties().type, packet.bytes);
     if (!header.has_value()) {

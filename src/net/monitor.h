@@ -11,6 +11,12 @@
 // The NIC is put into promiscuous mode and the machine's kernel tap is
 // enabled so frames claimed by kernel-resident protocols are seen too
 // (fig. 3-3 coexistence).
+//
+// Recording goes through the machine's shared capture-tap plane (src/pf/
+// tap.h): Create() attaches an accept-all tap at the per-port deliver stage
+// scoped to the monitor's own port, so the capture is exactly the frames
+// the monitor's queue accepted — the same stream Poll() counts — written
+// as pcapng with flow-signature packet comments (DESIGN.md §16).
 #ifndef SRC_NET_MONITOR_H_
 #define SRC_NET_MONITOR_H_
 
@@ -21,6 +27,7 @@
 
 #include "src/kernel/machine.h"
 #include "src/kernel/pf_device.h"
+#include "src/pf/tap.h"
 #include "src/util/pcap_writer.h"
 
 namespace pfnet {
@@ -54,7 +61,12 @@ class NetworkMonitor {
                                 std::vector<std::string>* decoded = nullptr);
 
   Counters Snapshot() const;
-  pfutil::PcapWriter& pcap() { return pcap_; }
+  // The capture: the monitor's tap on the machine's shared pcapng stream.
+  // record_count()/size() reflect everything enqueued on the monitor port;
+  // WriteCapture dumps the stream (including any other attached taps).
+  const pf::CaptureTap* tap() const { return machine_->taps().Find(tap_id_); }
+  const pfutil::PcapngWriter& capture() const { return machine_->taps().pcapng(); }
+  bool WriteCapture(const std::string& path) const { return machine_->taps().WriteFile(path); }
   std::string Summary() const;
 
   // One-line tcpdump-style rendering of a frame (static: reused by tests
@@ -63,11 +75,11 @@ class NetworkMonitor {
                                    std::span<const uint8_t> frame);
 
  private:
-  NetworkMonitor(pfkern::Machine* machine, uint32_t linktype);
+  explicit NetworkMonitor(pfkern::Machine* machine);
 
   pfkern::Machine* machine_;
   pf::PortId port_ = pf::kInvalidPort;
-  pfutil::PcapWriter pcap_;
+  int tap_id_ = 0;
   // Live counters in the machine registry ("monitor.frames" etc.), cached.
   pfobs::Counter* frames_ = nullptr;
   pfobs::Counter* bytes_ = nullptr;

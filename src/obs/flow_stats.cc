@@ -1,0 +1,246 @@
+#include "src/obs/flow_stats.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pfobs {
+
+uint64_t FlowSignature(std::span<const uint8_t> frame) {
+  // FNV-1a 64-bit over the header prefix.
+  uint64_t hash = 0xcbf29ce484222325ull;
+  const size_t n = frame.size() < kFlowSignaturePrefix ? frame.size() : kFlowSignaturePrefix;
+  for (size_t i = 0; i < n; ++i) {
+    hash ^= frame[i];
+    hash *= 0x100000001b3ull;
+  }
+  return hash == 0 ? 1 : hash;  // reserve 0 for "no signature"
+}
+
+SpaceSavingSketch::SpaceSavingSketch(size_t k) : k_(k == 0 ? 1 : k) {
+  heap_.reserve(k_);
+}
+
+bool SpaceSavingSketch::Less(size_t a, size_t b) const {
+  return heap_[a].entry.count < heap_[b].entry.count;
+}
+
+void SpaceSavingSketch::Swap(size_t a, size_t b) {
+  std::swap(heap_[a], heap_[b]);
+  pos_[heap_[a].entry.key] = a;
+  pos_[heap_[b].entry.key] = b;
+}
+
+void SpaceSavingSketch::SiftUp(size_t pos) {
+  while (pos > 0) {
+    const size_t parent = (pos - 1) / 2;
+    if (!Less(pos, parent)) {
+      break;
+    }
+    Swap(pos, parent);
+    pos = parent;
+  }
+}
+
+void SpaceSavingSketch::SiftDown(size_t pos) {
+  for (;;) {
+    size_t smallest = pos;
+    const size_t left = 2 * pos + 1;
+    const size_t right = 2 * pos + 2;
+    if (left < heap_.size() && Less(left, smallest)) {
+      smallest = left;
+    }
+    if (right < heap_.size() && Less(right, smallest)) {
+      smallest = right;
+    }
+    if (smallest == pos) {
+      return;
+    }
+    Swap(pos, smallest);
+    pos = smallest;
+  }
+}
+
+void SpaceSavingSketch::Add(uint64_t key, uint64_t weight) {
+  total_ += weight;
+  const auto it = pos_.find(key);
+  if (it != pos_.end()) {
+    heap_[it->second].entry.count += weight;
+    SiftDown(it->second);
+    return;
+  }
+  if (heap_.size() < k_) {
+    heap_.push_back(Slot{Entry{key, weight, 0}});
+    pos_[key] = heap_.size() - 1;
+    SiftUp(heap_.size() - 1);
+    return;
+  }
+  // Replace the monitored minimum: the newcomer inherits its count as the
+  // overestimate bound (Space-Saving's defining move).
+  Slot& min = heap_[0];
+  pos_.erase(min.entry.key);
+  const uint64_t floor = min.entry.count;
+  min.entry = Entry{key, floor + weight, floor};
+  pos_[key] = 0;
+  SiftDown(0);
+  ++replacements_;
+}
+
+std::vector<SpaceSavingSketch::Entry> SpaceSavingSketch::Top(size_t n) const {
+  std::vector<Entry> out;
+  out.reserve(heap_.size());
+  for (const Slot& slot : heap_) {
+    out.push_back(slot.entry);
+  }
+  std::sort(out.begin(), out.end(), [](const Entry& a, const Entry& b) {
+    if (a.count != b.count) {
+      return a.count > b.count;
+    }
+    return a.key < b.key;
+  });
+  if (out.size() > n) {
+    out.resize(n);
+  }
+  return out;
+}
+
+FlowTable::FlowTable() : FlowTable(Config()) {}
+
+FlowTable::FlowTable(Config config)
+    : config_(config), sketch_(config.top_k) {
+  if (config_.capacity == 0) {
+    config_.capacity = 1;
+  }
+}
+
+void FlowTable::AttachMetrics(MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    metrics_ = Metrics{};
+    return;
+  }
+  metrics_.packets = registry->counter("pf.flow.packets");
+  metrics_.bytes = registry->counter("pf.flow.bytes");
+  metrics_.deliveries = registry->counter("pf.flow.deliveries");
+  metrics_.drops = registry->counter("pf.flow.drops");
+  metrics_.flows_seen = registry->counter("pf.flow.flows_seen");
+  metrics_.evictions = registry->counter("pf.flow.evictions");
+  metrics_.active = registry->gauge("pf.flow.active");
+  metrics_.latency = registry->histogram("pf.flow.latency");
+  UpdateGauges();
+}
+
+void FlowTable::UpdateGauges() {
+  if (metrics_.active != nullptr) {
+    metrics_.active->Set(static_cast<int64_t>(entries_.size()));
+  }
+}
+
+FlowTable::Entry* FlowTable::Touch(uint64_t signature, uint64_t now_ns) {
+  ++generation_;
+  const auto it = index_.find(signature);
+  if (it != index_.end()) {
+    // Move to the LRU front and restamp.
+    entries_.splice(entries_.begin(), entries_, it->second);
+    Entry& entry = entries_.front();
+    entry.last_seen_ns = now_ns;
+    entry.generation = generation_;
+    return &entry;
+  }
+  if (entries_.size() >= config_.capacity) {
+    // Evict the least-recently-touched entry; fold its counts into the
+    // evicted_* totals so live + evicted stays an exact partition.
+    const Entry& victim = entries_.back();
+    totals_.evicted_packets += victim.packets;
+    totals_.evicted_bytes += victim.bytes;
+    totals_.evicted_deliveries += victim.deliveries;
+    totals_.evicted_drops += victim.drops;
+    index_.erase(victim.signature);
+    entries_.pop_back();
+    ++totals_.evictions;
+    if (metrics_.evictions != nullptr) {
+      metrics_.evictions->Add();
+    }
+  }
+  entries_.push_front(Entry{});
+  Entry& entry = entries_.front();
+  entry.signature = signature;
+  entry.first_seen_ns = now_ns;
+  entry.last_seen_ns = now_ns;
+  entry.generation = generation_;
+  index_[signature] = entries_.begin();
+  ++totals_.flows_seen;
+  if (metrics_.flows_seen != nullptr) {
+    metrics_.flows_seen->Add();
+  }
+  UpdateGauges();
+  return &entry;
+}
+
+void FlowTable::Record(uint64_t signature, size_t bytes, uint32_t deliveries,
+                       uint64_t now_ns) {
+  Entry* entry = Touch(signature, now_ns);
+  ++entry->packets;
+  entry->bytes += bytes;
+  entry->deliveries += deliveries;
+  ++totals_.packets;
+  totals_.bytes += bytes;
+  totals_.deliveries += deliveries;
+  sketch_.Add(signature);
+  if (metrics_.packets != nullptr) {
+    metrics_.packets->Add();
+    metrics_.bytes->Add(bytes);
+    metrics_.deliveries->Add(deliveries);
+  }
+}
+
+void FlowTable::RecordDrop(uint64_t signature, size_t slot, uint64_t now_ns) {
+  assert(slot < kFlowDropSlots);
+  // A drop touches the flow but is not a new packet observation: no sketch
+  // add (the packet itself was, or will be, Record()ed once).
+  Entry* entry = Touch(signature, now_ns);
+  ++entry->drops;
+  ++entry->drops_by_slot[slot];
+  ++totals_.drops;
+  ++totals_.drops_by_slot[slot];
+  if (metrics_.drops != nullptr) {
+    metrics_.drops->Add();
+  }
+}
+
+void FlowTable::RecordLatency(uint64_t signature, int64_t latency_ns) {
+  const auto it = index_.find(signature);
+  if (it != index_.end()) {
+    Entry& entry = *it->second;
+    ++entry.latency_samples;
+    entry.latency_sum_ns += latency_ns;
+    entry.latency_max_ns = std::max(entry.latency_max_ns, latency_ns);
+  }
+  ++totals_.latency_samples;
+  totals_.latency_sum_ns += latency_ns;
+  if (metrics_.latency != nullptr) {
+    metrics_.latency->Record(latency_ns);
+  }
+}
+
+const FlowTable::Entry* FlowTable::Find(uint64_t signature) const {
+  const auto it = index_.find(signature);
+  return it == index_.end() ? nullptr : &*it->second;
+}
+
+std::vector<FlowTable::Entry> FlowTable::Snapshot() const {
+  return {entries_.begin(), entries_.end()};
+}
+
+std::vector<SpaceSavingSketch::Entry> FlowTable::TopK(size_t n) const {
+  return sketch_.Top(n);
+}
+
+void FlowTable::Clear() {
+  entries_.clear();
+  index_.clear();
+  sketch_ = SpaceSavingSketch(config_.top_k);
+  totals_ = Totals{};
+  generation_ = 0;
+  UpdateGauges();
+}
+
+}  // namespace pfobs

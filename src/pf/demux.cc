@@ -120,6 +120,15 @@ void PacketFilter::SetFlightRecorder(size_t capacity) {
   recorder_ = capacity == 0 ? nullptr : std::make_unique<DropRecorder>(capacity);
 }
 
+void PacketFilter::EnableFlowStats(pfobs::FlowTable::Config config) {
+  flow_table_ = std::make_unique<pfobs::FlowTable>(config);
+  if (registry_ != nullptr) {
+    flow_table_->AttachMetrics(registry_);
+  }
+}
+
+void PacketFilter::DisableFlowStats() { flow_table_.reset(); }
+
 std::vector<PortId> PacketFilter::Ports() const {
   std::vector<PortId> ids;
   ids.reserve(ports_.size());
@@ -142,6 +151,10 @@ void PacketFilter::InvalidateFlowCache() {
 }
 
 void PacketFilter::AttachMetrics(pfobs::MetricsRegistry* registry) {
+  registry_ = registry;
+  if (flow_table_ != nullptr) {
+    flow_table_->AttachMetrics(registry);
+  }
   if (registry == nullptr) {
     metrics_ = DemuxMetrics{};
   } else {
@@ -196,14 +209,35 @@ void PacketFilter::CountDrop(PortState* port, DropReason reason, std::span<const
   if (metrics_.drop_reasons[index] != nullptr) {
     metrics_.drop_reasons[index]->Add();
   }
+  // The flow signature is the cross-reference between the flight recorder,
+  // the per-flow accounting, and any drop-path capture tap — compute it
+  // once if any of them is listening.
+  const bool tap_drop = taps_ != nullptr && taps_->stage_active(TapStage::kDrop);
+  uint64_t sig = 0;
+  if (recorder_ != nullptr || flow_table_ != nullptr || tap_drop) {
+    sig = SigOf(packet);
+  }
+  if (flow_table_ != nullptr) {
+    flow_table_->RecordDrop(sig, index, timestamp_ns);
+  }
   if (recorder_ != nullptr) {
     DropRecord record;
     record.timestamp_ns = timestamp_ns;
     record.flow_id = flow_id;
+    record.flow_sig = sig;
     record.reason = reason;
     record.port = port != nullptr ? port->id : 0;
     record.pc = pc;
     recorder_->RecordPacket(record, packet);
+  }
+  if (tap_drop) {
+    TapPacketMeta meta;
+    meta.timestamp_ns = timestamp_ns;
+    meta.flow_id = flow_id;
+    meta.flow_sig = sig;
+    meta.port = port != nullptr ? port->id : 0;
+    meta.drop_reason = static_cast<int>(index);
+    taps_->Offer(TapStage::kDrop, packet, meta);
   }
 }
 
@@ -233,6 +267,14 @@ void PacketFilter::DeliverTo(PortState& port, std::span<const uint8_t> packet,
   ++port.stats.enqueued;
   ++result->deliveries;
   assert(port.stats.accepts == port.stats.enqueued + port.stats.dropped);
+  if (taps_ != nullptr && taps_->stage_active(TapStage::kDeliver)) {
+    TapPacketMeta meta;
+    meta.timestamp_ns = timestamp_ns;
+    meta.flow_id = flow_id;
+    meta.flow_sig = SigOf(packet);
+    meta.port = port.id;
+    taps_->Offer(TapStage::kDeliver, packet, meta);
+  }
   if (port.on_enqueue) {
     port.on_enqueue();
   }
@@ -253,6 +295,14 @@ DemuxResult PacketFilter::DemuxImpl(std::span<const uint8_t> packet, const Packe
   DemuxResult result;
   ++global_stats_.packets_in;
   ++demux_count_;
+  cur_sig_ = 0;  // new packet: SigOf() recomputes on first use
+  if (taps_ != nullptr && taps_->stage_active(TapStage::kDemuxIn)) {
+    TapPacketMeta meta;
+    meta.timestamp_ns = timestamp_ns;
+    meta.flow_id = flow_id;
+    meta.flow_sig = SigOf(packet);
+    taps_->Offer(TapStage::kDemuxIn, packet, meta);
+  }
   if (order_dirty_ || (busy_reordering_ && demux_count_ % kReorderInterval == 0)) {
     // Any change that dirtied the order (SetFilter / ClearFilter /
     // ClosePort / a priority change) — and any busy-reordering shuffle that
@@ -409,6 +459,13 @@ DemuxResult PacketFilter::DemuxImpl(std::span<const uint8_t> packet, const Packe
       metrics_.cache_hits->Add();
     }
   }
+  // Per-flow accounting: exactly one Record per demuxed packet, so
+  // pf.flow.packets == pf.demux.packets_in and pf.flow.deliveries ==
+  // pf.demux.deliveries bit-exactly (drops were folded in by CountDrop).
+  if (flow_table_ != nullptr) {
+    flow_table_->Record(SigOf(packet), packet.size(), result.deliveries, timestamp_ns);
+  }
+  result.flow_sig = cur_sig_;
   return result;
 }
 

@@ -29,10 +29,12 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/obs/flow_stats.h"
 #include "src/pf/drop.h"
 #include "src/pf/engine.h"
 #include "src/pf/packet_buf.h"
 #include "src/pf/program.h"
+#include "src/pf/tap.h"
 #include "src/pf/validate.h"
 
 namespace pf {
@@ -83,6 +85,10 @@ struct DemuxResult {
   uint32_t drops = 0;          // copies lost to full queues
   bool cache_lookup = false;   // the flow verdict cache was consulted
   bool cache_hit = false;      // delivery served from the cache (re-confirmed)
+  uint64_t flow_sig = 0;       // the packet's flow signature, when flow
+                               // accounting / taps / the recorder needed it
+                               // (0 = never computed); the kernel device
+                               // keys per-flow latency on this
   ExecTelemetry exec;          // what the engine did for this packet
 };
 
@@ -208,6 +214,24 @@ class PacketFilter {
   // microbenchmarks) each hook is a null check.
   void AttachMetrics(pfobs::MetricsRegistry* registry);
 
+  // --- Per-flow accounting (src/obs/flow_stats.h, DESIGN.md §16) ---
+  // Opt-in: every demuxed packet is accounted to its flow signature
+  // (pfobs::FlowSignature over the header prefix — strategy-independent,
+  // so accounting is identical across engine backends). Off (the default)
+  // the hot path pays one null check. The table registers "pf.flow.*"
+  // metrics when a registry is attached.
+  void EnableFlowStats(pfobs::FlowTable::Config config = {});
+  void DisableFlowStats();
+  pfobs::FlowTable* flow_stats() { return flow_table_.get(); }
+  const pfobs::FlowTable* flow_stats() const { return flow_table_.get(); }
+
+  // --- Capture taps (tap.h) ---
+  // Attaches the stage-tap registry this demux offers packets to
+  // (kDemuxIn / kDeliver / kDrop; the NIC offers kNicRx). Null detaches;
+  // detached costs one null check per stage.
+  void AttachTaps(TapSet* taps) { taps_ = taps; }
+  TapSet* taps() { return taps_; }
+
  private:
   struct PortState {
     PortId id = kInvalidPort;
@@ -235,6 +259,14 @@ class PacketFilter {
   const PortState* Find(PortId id) const;
   void RebuildOrder();
   void InvalidateFlowCache();
+  // The current packet's flow signature, computed on first use per Demux
+  // pass (cur_sig_ is reset at DemuxImpl entry; 0 = not yet computed).
+  uint64_t SigOf(std::span<const uint8_t> packet) {
+    if (cur_sig_ == 0) {
+      cur_sig_ = pfobs::FlowSignature(packet);
+    }
+    return cur_sig_;
+  }
   DemuxResult DemuxImpl(std::span<const uint8_t> packet, const PacketBuf* buf,
                         uint64_t timestamp_ns, uint64_t flow_id);
   // `buf` non-null = share its block; null = copy `packet` (span callers).
@@ -261,6 +293,15 @@ class PacketFilter {
 
   // Flight recorder (null = disabled, the default).
   std::unique_ptr<DropRecorder> recorder_;
+
+  // Per-flow accounting (null = disabled, the default).
+  std::unique_ptr<pfobs::FlowTable> flow_table_;
+  // Capture taps (null = detached, the default). Not owned.
+  TapSet* taps_ = nullptr;
+  // The registry last attached (so EnableFlowStats after AttachMetrics
+  // still registers "pf.flow.*").
+  pfobs::MetricsRegistry* registry_ = nullptr;
+  uint64_t cur_sig_ = 0;  // see SigOf()
 
   struct DemuxMetrics {
     pfobs::Counter* packets_in = nullptr;

@@ -75,12 +75,14 @@ std::vector<DropRecord> DropRecorder::Tail(size_t max) const {
 
 std::string DropRecorder::ToText() const {
   std::string out;
-  char line[192];
+  char line[224];
   for (const DropRecord& r : ring_) {
-    std::snprintf(line, sizeof(line), "  t=%-12llu flow=%-6llu %-14s port=%-4u pc=%-3d %u bytes [",
+    std::snprintf(line, sizeof(line),
+                  "  t=%-12llu flow=%-6llu sig=%016llx %-14s port=%-4u pc=%-3d %u bytes [",
                   static_cast<unsigned long long>(r.timestamp_ns),
-                  static_cast<unsigned long long>(r.flow_id), ToString(r.reason).c_str(), r.port,
-                  r.pc, r.packet_bytes);
+                  static_cast<unsigned long long>(r.flow_id),
+                  static_cast<unsigned long long>(r.flow_sig), ToString(r.reason).c_str(),
+                  r.port, r.pc, r.packet_bytes);
     out += line;
     for (uint8_t w = 0; w < r.head_word_count; ++w) {
       std::snprintf(line, sizeof(line), "%s%04x", w == 0 ? "" : " ", r.head_words[w]);
@@ -93,7 +95,7 @@ std::string DropRecorder::ToText() const {
 
 std::string DropRecorder::ToJson() const {
   std::string out;
-  char buf[192];
+  char buf[224];
   std::snprintf(buf, sizeof(buf), "{\"capacity\":%zu,\"total_recorded\":%llu,\"records\":[",
                 capacity_, static_cast<unsigned long long>(total_));
   out = buf;
@@ -104,11 +106,13 @@ std::string DropRecorder::ToJson() const {
     }
     first = false;
     std::snprintf(buf, sizeof(buf),
-                  "{\"timestamp_ns\":%llu,\"flow_id\":%llu,\"reason\":\"%s\","
+                  "{\"timestamp_ns\":%llu,\"flow_id\":%llu,\"flow_sig\":%llu,"
+                  "\"reason\":\"%s\","
                   "\"port\":%u,\"pc\":%d,\"packet_bytes\":%u,\"head_words\":[",
                   static_cast<unsigned long long>(r.timestamp_ns),
-                  static_cast<unsigned long long>(r.flow_id), ToString(r.reason).c_str(), r.port,
-                  r.pc, r.packet_bytes);
+                  static_cast<unsigned long long>(r.flow_id),
+                  static_cast<unsigned long long>(r.flow_sig), ToString(r.reason).c_str(),
+                  r.port, r.pc, r.packet_bytes);
     out += buf;
     for (uint8_t w = 0; w < r.head_word_count; ++w) {
       std::snprintf(buf, sizeof(buf), "%s%u", w == 0 ? "" : ",", r.head_words[w]);

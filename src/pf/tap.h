@@ -1,0 +1,160 @@
+// Filter-scoped capture taps (DESIGN.md §16): bounded, sampled packet
+// capture attachable at named stages of the receive path, with the capture
+// predicate expressed as a CSPF filter program run through pf::Engine — the
+// paper's own mechanism dogfooded as its debugging tool.
+//
+// Stages:
+//   * kNicRx    — every frame the NIC heard, post-impairment, before FCS
+//                 verification (so corrupted frames are capturable);
+//   * kDemuxIn  — every packet entering PacketFilter::Demux;
+//   * kDeliver  — per-copy, as a port's queue accepts it (meta.port set);
+//   * kDrop     — every counted drop, demux or NIC (meta.drop_reason set).
+//
+// Each tap owns an Engine with one bound program (an *empty* program
+// accepts everything), a snaplen, a 1-in-N sampling stride, and a bounded
+// packet budget. Captured packets stream into a shared pcapng writer: one
+// pcapng interface per tap, packet comments carrying the flow signature /
+// tracing id / port / drop reason — the same identities the DropRecorder
+// ring stamps, so a capture and the flight recorder cross-reference.
+//
+// Cost: a detached TapSet is a nullptr; an attached-but-empty TapSet is one
+// load + branch per stage (stage_active bitmask). Taps charge no simulated
+// cost — like the metrics registry, they are observer-plane machinery whose
+// *wall* cost is regression-gated by the obs_overhead bench.
+#ifndef SRC_PF_TAP_H_
+#define SRC_PF_TAP_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/pf/drop.h"
+#include "src/pf/engine.h"
+#include "src/pf/program.h"
+#include "src/pf/validate.h"
+#include "src/util/pcap_writer.h"
+
+namespace pf {
+
+enum class TapStage : uint8_t {
+  kNicRx = 0,
+  kDemuxIn,
+  kDeliver,
+  kDrop,
+  kCount,
+};
+inline constexpr size_t kTapStageCount = static_cast<size_t>(TapStage::kCount);
+
+// "nic-rx" style label (pcapng interface names, pfstat).
+std::string ToString(TapStage stage);
+
+// Everything a stage knows about the packet beyond its bytes.
+struct TapPacketMeta {
+  uint64_t timestamp_ns = 0;
+  uint64_t flow_id = 0;    // tracing id (src/obs), 0 = untracked
+  uint64_t flow_sig = 0;   // demux flow signature, 0 = not computed
+  uint32_t port = 0;       // kDeliver: receiving port
+  int drop_reason = -1;    // kDrop: DropReason index
+};
+
+struct TapConfig {
+  TapStage stage = TapStage::kDemuxIn;
+  std::string name;          // pcapng interface suffix ("<stage>:<name>")
+  Program filter;            // empty words = capture everything
+  uint32_t snaplen = 65535;  // bytes kept per packet
+  uint32_t sample_every = 1; // 1-in-N sampling (1 = every packet)
+  size_t max_packets = 4096; // capture budget; the tap goes quiet after
+  uint32_t port = 0;         // kDeliver/kDrop: only events on this port
+                             // (0 = every port)
+};
+
+struct TapStats {
+  uint64_t offered = 0;      // packets presented to this tap's stage
+  uint64_t matched = 0;      // capture predicate accepted
+  uint64_t sampled_out = 0;  // matched but skipped by the 1-in-N stride
+  uint64_t captured = 0;     // written to the pcapng stream
+  uint64_t truncated = 0;    // captured with snaplen cutting bytes
+  uint64_t budget_stop = 0;  // matched after the max_packets budget ran out
+};
+
+class TapSet;
+
+class CaptureTap {
+ public:
+  // Validates config.filter; a failed validation leaves the tap inert
+  // (ok() false, Offer() never captures).
+  explicit CaptureTap(TapConfig config);
+
+  bool ok() const { return ok_; }
+  const TapConfig& config() const { return config_; }
+  const TapStats& stats() const { return stats_; }
+  uint32_t interface_id() const { return interface_id_; }
+
+  // Runs the predicate and, if it accepts (and the sample stride and budget
+  // allow), writes the packet into `out`. Returns true when captured.
+  bool Offer(std::span<const uint8_t> packet, const TapPacketMeta& meta,
+             pfutil::PcapngWriter* out);
+
+ private:
+  friend class TapSet;
+
+  static constexpr Engine::Key kPredicateKey = 1;
+
+  TapConfig config_;
+  bool ok_ = false;
+  bool match_all_ = false;  // empty program: skip the engine entirely
+  Engine engine_;           // owns the one bound predicate program
+  const Engine::Binding* binding_ = nullptr;
+  uint32_t interface_id_ = 0;
+  TapStats stats_;
+};
+
+// The per-machine (or per-demux, in harness use) registry of taps, plus the
+// shared pcapng stream they write into.
+class TapSet {
+ public:
+  TapSet();
+
+  // The linktype recorded on subsequently added tap interfaces (default
+  // Ethernet; the Machine sets this from its link).
+  void set_linktype(uint32_t linktype) { linktype_ = linktype; }
+
+  // Attaches a tap; returns its id (>=1), or 0 if the filter failed
+  // validation (`error`, if non-null, receives the diagnosis).
+  int Attach(TapConfig config, ValidationResult* error = nullptr);
+  bool Detach(int tap_id);
+  size_t size() const { return taps_.size(); }
+
+  // One load + mask test: the per-stage fast path guard.
+  bool stage_active(TapStage stage) const {
+    return (active_mask_ & (1u << static_cast<unsigned>(stage))) != 0;
+  }
+
+  // Offers `packet` to every tap attached at `stage`.
+  void Offer(TapStage stage, std::span<const uint8_t> packet, const TapPacketMeta& meta);
+
+  const CaptureTap* Find(int tap_id) const;
+  std::vector<int> TapIds() const;
+
+  const pfutil::PcapngWriter& pcapng() const { return pcapng_; }
+  bool WriteFile(const std::string& path) const { return pcapng_.WriteFile(path); }
+
+ private:
+  void RebuildMask();
+
+  uint32_t linktype_;
+  pfutil::PcapngWriter pcapng_;
+  std::vector<std::pair<int, std::unique_ptr<CaptureTap>>> taps_;
+  int next_id_ = 1;
+  uint32_t active_mask_ = 0;
+};
+
+// Formats the pcapng packet comment for `meta` ("sig=0x… flow=… port=…
+// reason=queue-overflow"; empty when nothing is known).
+std::string TapComment(const TapPacketMeta& meta);
+
+}  // namespace pf
+
+#endif  // SRC_PF_TAP_H_

@@ -53,4 +53,104 @@ bool PcapWriter::WriteFile(const std::string& path) const {
   return ok;
 }
 
+void PcapngWriter::Put32(uint32_t v) {
+  buffer_.push_back(static_cast<uint8_t>(v & 0xff));
+  buffer_.push_back(static_cast<uint8_t>((v >> 8) & 0xff));
+  buffer_.push_back(static_cast<uint8_t>((v >> 16) & 0xff));
+  buffer_.push_back(static_cast<uint8_t>((v >> 24) & 0xff));
+}
+
+void PcapngWriter::Put16(uint16_t v) {
+  buffer_.push_back(static_cast<uint8_t>(v & 0xff));
+  buffer_.push_back(static_cast<uint8_t>((v >> 8) & 0xff));
+}
+
+void PcapngWriter::PutOption(uint16_t code, std::span<const uint8_t> value) {
+  Put16(code);
+  Put16(static_cast<uint16_t>(value.size()));
+  buffer_.insert(buffer_.end(), value.begin(), value.end());
+  while (buffer_.size() % 4 != 0) {
+    buffer_.push_back(0);  // options pad to 32 bits
+  }
+}
+
+size_t PcapngWriter::BeginBlock(uint32_t type) {
+  Put32(type);
+  const size_t length_offset = buffer_.size();
+  Put32(0);  // total length, patched by EndBlock
+  return length_offset;
+}
+
+void PcapngWriter::EndBlock(size_t length_offset) {
+  // Total length covers type + both length fields + body.
+  const uint32_t total = static_cast<uint32_t>(buffer_.size() - length_offset + 8);
+  Put32(total);
+  for (int i = 0; i < 4; ++i) {
+    buffer_[length_offset + static_cast<size_t>(i)] =
+        static_cast<uint8_t>((total >> (8 * i)) & 0xff);
+  }
+}
+
+PcapngWriter::PcapngWriter() {
+  const size_t len = BeginBlock(kBlockSectionHeader);
+  Put32(kByteOrderMagic);
+  Put16(1);  // major version
+  Put16(0);  // minor version
+  Put32(0xffffffff);  // section length unknown (-1)
+  Put32(0xffffffff);
+  EndBlock(len);
+}
+
+uint32_t PcapngWriter::AddInterface(uint32_t linktype, uint32_t snaplen,
+                                    const std::string& name) {
+  const size_t len = BeginBlock(kBlockInterface);
+  Put16(static_cast<uint16_t>(linktype));
+  Put16(0);  // reserved
+  Put32(snaplen);
+  if (!name.empty()) {
+    PutOption(2, std::span<const uint8_t>(  // if_name
+                     reinterpret_cast<const uint8_t*>(name.data()), name.size()));
+  }
+  const uint8_t tsresol = 9;  // timestamps in 10^-9 s (simulated nanoseconds)
+  PutOption(9, std::span<const uint8_t>(&tsresol, 1));  // if_tsresol
+  PutOption(0, {});  // opt_endofopt
+  EndBlock(len);
+  return static_cast<uint32_t>(interface_count_++);
+}
+
+void PcapngWriter::AddPacket(uint32_t interface_id, uint64_t timestamp_ns,
+                             std::span<const uint8_t> data, uint32_t orig_len,
+                             const std::string& comment) {
+  const size_t len = BeginBlock(kBlockEnhancedPacket);
+  Put32(interface_id);
+  Put32(static_cast<uint32_t>(timestamp_ns >> 32));  // timestamp high
+  Put32(static_cast<uint32_t>(timestamp_ns & 0xffffffffu));
+  Put32(static_cast<uint32_t>(data.size()));  // captured length
+  Put32(orig_len);
+  buffer_.insert(buffer_.end(), data.begin(), data.end());
+  while (buffer_.size() % 4 != 0) {
+    buffer_.push_back(0);  // packet data pads to 32 bits
+  }
+  if (!comment.empty()) {
+    PutOption(1, std::span<const uint8_t>(  // opt_comment
+                     reinterpret_cast<const uint8_t*>(comment.data()), comment.size()));
+    PutOption(0, {});
+  }
+  EndBlock(len);
+  ++record_count_;
+}
+
+bool PcapngWriter::WriteFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return false;
+  }
+  const size_t written = std::fwrite(buffer_.data(), 1, buffer_.size(), f);
+  const bool ok = written == buffer_.size() && std::fclose(f) == 0;
+  if (!ok && written != buffer_.size()) {
+    std::fclose(f);
+  }
+  return ok;
+}
+
 }  // namespace pfutil

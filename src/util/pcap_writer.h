@@ -1,10 +1,15 @@
-// Minimal classic-pcap (libpcap 2.4 format) trace writer.
+// Minimal classic-pcap (libpcap 2.4 format) and pcapng trace writers.
 //
 // The paper's network-monitor use case (§5.4) predates pcap, but pcap is the
 // modern interchange format for exactly that tool; the monitor example writes
 // captures that Wireshark/tcpdump can open. Frames from the simulated DIX
 // Ethernet use LINKTYPE_ETHERNET; frames from the 3 Mbit/s experimental
 // Ethernet use LINKTYPE_USER0 (there is no registered linktype for it).
+//
+// PcapngWriter emits the block-structured successor format. It exists for
+// the capture taps (src/pf/tap.h): one file can interleave packets from
+// several named interfaces (one per tap stage) and every packet can carry a
+// comment option (flow id, drop reason) — neither fits classic pcap.
 #ifndef SRC_UTIL_PCAP_WRITER_H_
 #define SRC_UTIL_PCAP_WRITER_H_
 
@@ -40,6 +45,58 @@ class PcapWriter {
 
   std::vector<uint8_t> buffer_;
   uint32_t snaplen_;
+  size_t record_count_ = 0;
+};
+
+// pcapng (pcap next generation, the current Wireshark native format),
+// little-endian, one section. Structure:
+//   * one Section Header Block (SHB) written by the constructor;
+//   * one Interface Description Block (IDB) per AddInterface() call, with
+//     if_name and if_tsresol = 10^-9 options (timestamps are nanoseconds of
+//     simulated time since epoch zero);
+//   * one Enhanced Packet Block (EPB) per AddPacket() call, optionally
+//     carrying an opt_comment ("flow=0x… reason=queue-overflow" — the taps'
+//     cross-reference into the drop flight recorder).
+// All blocks are 32-bit aligned with the trailing duplicate length field the
+// format requires.
+class PcapngWriter {
+ public:
+  static constexpr uint32_t kBlockSectionHeader = 0x0A0D0D0A;
+  static constexpr uint32_t kBlockInterface = 0x00000001;
+  static constexpr uint32_t kBlockEnhancedPacket = 0x00000006;
+  static constexpr uint32_t kByteOrderMagic = 0x1A2B3C4D;
+
+  PcapngWriter();
+
+  // Registers one capture interface; returns its id (EPBs reference it).
+  // `snaplen` 0 means "no limit" per the spec; callers that truncate pass
+  // the limit they applied.
+  uint32_t AddInterface(uint32_t linktype, uint32_t snaplen, const std::string& name);
+
+  // Appends one Enhanced Packet Block. `data` is the (possibly already
+  // snaplen-truncated) capture; `orig_len` the frame's length on the wire.
+  // A non-empty `comment` becomes an opt_comment option.
+  void AddPacket(uint32_t interface_id, uint64_t timestamp_ns, std::span<const uint8_t> data,
+                 uint32_t orig_len, const std::string& comment = {});
+
+  const std::vector<uint8_t>& buffer() const { return buffer_; }
+  size_t interface_count() const { return interface_count_; }
+  size_t record_count() const { return record_count_; }
+
+  bool WriteFile(const std::string& path) const;
+
+ private:
+  void Put32(uint32_t v);
+  void Put16(uint16_t v);
+  // Writes an option (code, value, padding); `value` is raw bytes.
+  void PutOption(uint16_t code, std::span<const uint8_t> value);
+  // Begins a block: emits type + a placeholder total length; returns the
+  // offset of the placeholder for EndBlock to patch.
+  size_t BeginBlock(uint32_t type);
+  void EndBlock(size_t length_offset);
+
+  std::vector<uint8_t> buffer_;
+  size_t interface_count_ = 0;
   size_t record_count_ = 0;
 };
 

@@ -17,6 +17,7 @@
 
 #include "src/kernel/machine.h"
 #include "src/link/impair.h"
+#include "src/obs/flow_stats.h"
 #include "src/net/bsp.h"
 #include "src/net/rarp.h"
 #include "src/net/rto.h"
@@ -131,6 +132,11 @@ class ChaosNet {
     if (cell.rx_ring > 0) {
       client_.SetRxRing(cell.rx_ring);
     }
+    // Per-flow accounting on both ends, deliberately tiny so every cell
+    // exercises the LRU eviction fold that the conservation identities
+    // below must survive (DESIGN.md §16).
+    client_.pf().EnableFlowAccounting({.capacity = 4, .top_k = 8});
+    server_.pf().EnableFlowAccounting({.capacity = 4, .top_k = 8});
   }
 
   // Runs until quiescent or the watchdog horizon; returns true iff the
@@ -177,6 +183,39 @@ class ChaosNet {
                                       server_.nic_stats().crc_errors +
                                       server_.nic_stats().truncated;
     EXPECT_GE(nic_damage_drops, impair.corrupted > 0 || impair.truncated > 0 ? 1u : 0u);
+
+    // Per-flow accounting (DESIGN.md §16): on each machine the FlowTable's
+    // stream totals equal the demux core's own counters bit-exactly, and
+    // the live entries plus the eviction fold conserve every count —
+    // whatever loss, duplication, reorder, or overflow the cell injected.
+    for (Machine* machine : {&client_, &server_}) {
+      const pfobs::FlowTable* flows = machine->pf().FlowStats();
+      ASSERT_NE(flows, nullptr) << machine->name();
+      const pfobs::FlowTable::Totals& totals = flows->totals();
+      const pf::FilterGlobalStats& global = machine->pf().core().global_stats();
+      EXPECT_EQ(totals.packets, global.packets_in) << machine->name();
+      EXPECT_EQ(totals.drops, pf::TotalDrops(global.drops_by_reason)) << machine->name();
+      for (size_t i = 0; i < pf::kDropReasonCount; ++i) {
+        EXPECT_EQ(totals.drops_by_slot[i], global.drops_by_reason[i])
+            << machine->name() << " " << pf::ToString(static_cast<pf::DropReason>(i));
+      }
+      uint64_t live_packets = 0;
+      uint64_t live_bytes = 0;
+      uint64_t live_deliveries = 0;
+      uint64_t live_drops = 0;
+      for (const pfobs::FlowTable::Entry& entry : flows->Snapshot()) {
+        live_packets += entry.packets;
+        live_bytes += entry.bytes;
+        live_deliveries += entry.deliveries;
+        live_drops += entry.drops;
+      }
+      EXPECT_EQ(live_packets + totals.evicted_packets, totals.packets) << machine->name();
+      EXPECT_EQ(live_bytes + totals.evicted_bytes, totals.bytes) << machine->name();
+      EXPECT_EQ(live_deliveries + totals.evicted_deliveries, totals.deliveries)
+          << machine->name();
+      EXPECT_EQ(live_drops + totals.evicted_drops, totals.drops) << machine->name();
+      EXPECT_EQ(flows->sketch().total_weight(), totals.packets) << machine->name();
+    }
   }
 
   Simulator sim_;

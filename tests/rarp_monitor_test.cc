@@ -191,7 +191,14 @@ TEST(MonitorTest, CapturesCoexistingTrafficWithoutStealing) {
   const pfnet::NetworkMonitor::Counters counters = monitor->Snapshot();
   EXPECT_EQ(counters.udp, 3u);
   EXPECT_EQ(counters.frames, 5u);
-  EXPECT_EQ(monitor->pcap().record_count(), 5u);
+  EXPECT_EQ(monitor->capture().record_count(), 5u);
+  // The capture rides the shared tap plane: the deliver-stage tap scoped to
+  // the monitor's port recorded exactly the frames Poll() counted, and the
+  // pcapng stream carries one interface per attached tap.
+  ASSERT_NE(monitor->tap(), nullptr);
+  EXPECT_EQ(monitor->tap()->stats().captured, counters.frames);
+  EXPECT_EQ(monitor->tap()->stats().offered, monitor->tap()->stats().captured);
+  EXPECT_GE(monitor->capture().interface_count(), 1u);
   EXPECT_NE(monitor->Summary().find("ip=3"), std::string::npos);
 
   // The monitor's counters are not private state: they live in the watcher

@@ -1,0 +1,198 @@
+// Capture-tap tests (DESIGN.md §16): predicate scoping through pf::Engine,
+// sampling, snaplen, budgets, the TapSet stage mask and port scoping, the
+// demux-side stage offers (demux-in / deliver / drop), and the pcapng
+// stream the taps share — including the comment cross-reference with the
+// flight recorder's flow signatures.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/net/pup_endpoint.h"
+#include "src/obs/flow_stats.h"
+#include "src/pf/demux.h"
+#include "src/pf/tap.h"
+#include "tests/test_packets.h"
+
+namespace {
+
+using pf::CaptureTap;
+using pf::TapConfig;
+using pf::TapPacketMeta;
+using pf::TapSet;
+using pf::TapStage;
+
+TEST(TapCommentTest, FormatsKnownFields) {
+  TapPacketMeta meta;
+  meta.flow_sig = 0xabcdef;
+  meta.flow_id = 7;
+  meta.port = 3;
+  meta.drop_reason = static_cast<int>(pf::DropReason::kQueueOverflow);
+  const std::string comment = pf::TapComment(meta);
+  EXPECT_NE(comment.find("sig=0x0000000000abcdef"), std::string::npos);
+  EXPECT_NE(comment.find("flow=7"), std::string::npos);
+  EXPECT_NE(comment.find("port=3"), std::string::npos);
+  EXPECT_NE(comment.find("reason=queue_overflow"), std::string::npos);
+  EXPECT_TRUE(pf::TapComment(TapPacketMeta{}).empty());
+}
+
+TEST(TapTest, EmptyFilterCapturesEverything) {
+  TapSet taps;
+  TapConfig config;
+  config.stage = TapStage::kDemuxIn;
+  const int id = taps.Attach(std::move(config));
+  ASSERT_GT(id, 0);
+  EXPECT_TRUE(taps.stage_active(TapStage::kDemuxIn));
+  EXPECT_FALSE(taps.stage_active(TapStage::kDrop));
+  const std::vector<uint8_t> frame = pftest::MakePupFrame(8, 35);
+  taps.Offer(TapStage::kDemuxIn, frame, TapPacketMeta{.timestamp_ns = 5});
+  taps.Offer(TapStage::kDrop, frame, TapPacketMeta{});  // wrong stage: ignored
+  const CaptureTap* tap = taps.Find(id);
+  ASSERT_NE(tap, nullptr);
+  EXPECT_EQ(tap->stats().offered, 1u);
+  EXPECT_EQ(tap->stats().captured, 1u);
+  EXPECT_EQ(taps.pcapng().record_count(), 1u);
+}
+
+TEST(TapTest, FilterPredicateScopesTheCapture) {
+  TapSet taps;
+  TapConfig config;
+  config.stage = TapStage::kDemuxIn;
+  config.filter = pfnet::MakePupSocketFilter(35, 10);
+  const int id = taps.Attach(std::move(config));
+  ASSERT_GT(id, 0);
+  taps.Offer(TapStage::kDemuxIn, pftest::MakePupFrame(8, 35), TapPacketMeta{});
+  taps.Offer(TapStage::kDemuxIn, pftest::MakePupFrame(8, 44), TapPacketMeta{});
+  taps.Offer(TapStage::kDemuxIn, pftest::MakePupFrame(8, 35), TapPacketMeta{});
+  const CaptureTap* tap = taps.Find(id);
+  EXPECT_EQ(tap->stats().offered, 3u);
+  EXPECT_EQ(tap->stats().matched, 2u);
+  EXPECT_EQ(tap->stats().captured, 2u);
+}
+
+TEST(TapTest, InvalidFilterIsRejectedWithDiagnosis) {
+  TapSet taps;
+  TapConfig config;
+  config.filter.words = {9};  // unassigned stack action: fails validation
+  pf::ValidationResult error;
+  EXPECT_EQ(taps.Attach(std::move(config), &error), 0);
+  EXPECT_FALSE(error.ok);
+  EXPECT_EQ(taps.size(), 0u);
+  EXPECT_EQ(taps.pcapng().interface_count(), 0u);
+}
+
+TEST(TapTest, SamplingKeepsEveryNthMatch) {
+  TapSet taps;
+  TapConfig config;
+  config.sample_every = 3;
+  const int id = taps.Attach(std::move(config));
+  const std::vector<uint8_t> frame = pftest::MakePupFrame(8, 35);
+  for (int i = 0; i < 9; ++i) {
+    taps.Offer(TapStage::kDemuxIn, frame, TapPacketMeta{});
+  }
+  const CaptureTap* tap = taps.Find(id);
+  EXPECT_EQ(tap->stats().matched, 9u);
+  EXPECT_EQ(tap->stats().captured, 3u);
+  EXPECT_EQ(tap->stats().sampled_out, 6u);
+}
+
+TEST(TapTest, SnaplenTruncatesAndBudgetStops) {
+  TapSet taps;
+  TapConfig config;
+  config.snaplen = 16;
+  config.max_packets = 2;
+  const int id = taps.Attach(std::move(config));
+  const std::vector<uint8_t> frame = pftest::MakePupFrame(8, 35);
+  ASSERT_GT(frame.size(), 16u);
+  for (int i = 0; i < 4; ++i) {
+    taps.Offer(TapStage::kDemuxIn, frame, TapPacketMeta{});
+  }
+  const CaptureTap* tap = taps.Find(id);
+  EXPECT_EQ(tap->stats().captured, 2u);
+  EXPECT_EQ(tap->stats().truncated, 2u);
+  EXPECT_EQ(tap->stats().budget_stop, 2u);
+  EXPECT_EQ(taps.pcapng().record_count(), 2u);
+}
+
+TEST(TapTest, PortScopeFiltersDeliverEvents) {
+  TapSet taps;
+  TapConfig config;
+  config.stage = TapStage::kDeliver;
+  config.port = 2;
+  const int id = taps.Attach(std::move(config));
+  const std::vector<uint8_t> frame = pftest::MakePupFrame(8, 35);
+  taps.Offer(TapStage::kDeliver, frame, TapPacketMeta{.port = 1});
+  taps.Offer(TapStage::kDeliver, frame, TapPacketMeta{.port = 2});
+  const CaptureTap* tap = taps.Find(id);
+  // Out-of-scope events are not even offered, so the funnel stays honest.
+  EXPECT_EQ(tap->stats().offered, 1u);
+  EXPECT_EQ(tap->stats().captured, 1u);
+}
+
+TEST(TapTest, DetachClearsTheStageMask) {
+  TapSet taps;
+  TapConfig demux_in;
+  demux_in.stage = TapStage::kDemuxIn;
+  TapConfig drop;
+  drop.stage = TapStage::kDrop;
+  const int a = taps.Attach(std::move(demux_in));
+  const int b = taps.Attach(std::move(drop));
+  EXPECT_TRUE(taps.stage_active(TapStage::kDemuxIn));
+  EXPECT_TRUE(taps.stage_active(TapStage::kDrop));
+  EXPECT_TRUE(taps.Detach(a));
+  EXPECT_FALSE(taps.stage_active(TapStage::kDemuxIn));
+  EXPECT_TRUE(taps.stage_active(TapStage::kDrop));
+  EXPECT_TRUE(taps.Detach(b));
+  EXPECT_FALSE(taps.stage_active(TapStage::kDrop));
+  EXPECT_FALSE(taps.Detach(b));  // already gone
+}
+
+// The demux offers its three stages; the drop tap's packets carry the same
+// flow signature the DropRecorder ring stamps, so the two cross-reference.
+TEST(TapTest, DemuxStagesFeedTapsAndCrossReferenceTheRecorder) {
+  pf::PacketFilter filter;
+  TapSet taps;
+  filter.AttachTaps(&taps);
+  filter.SetFlightRecorder(16);
+  const pf::PortId p35 = filter.OpenPort();
+  ASSERT_TRUE(filter.SetFilter(p35, pfnet::MakePupSocketFilter(35, 10)).ok);
+  filter.SetQueueLimit(p35, 1);
+
+  TapConfig demux_in;
+  demux_in.stage = TapStage::kDemuxIn;
+  TapConfig deliver;
+  deliver.stage = TapStage::kDeliver;
+  TapConfig drop;
+  drop.stage = TapStage::kDrop;
+  const int in_id = taps.Attach(std::move(demux_in));
+  const int deliver_id = taps.Attach(std::move(deliver));
+  const int drop_id = taps.Attach(std::move(drop));
+
+  filter.Demux(pftest::MakePupFrame(8, 35), 100);  // delivered
+  filter.Demux(pftest::MakePupFrame(8, 35), 200);  // queue overflow
+  filter.Demux(pftest::MakePupFrame(8, 99), 300);  // unclaimed drop
+
+  EXPECT_EQ(taps.Find(in_id)->stats().captured, 3u);
+  EXPECT_EQ(taps.Find(deliver_id)->stats().captured, 1u);
+  EXPECT_EQ(taps.Find(drop_id)->stats().captured, 2u);
+  EXPECT_EQ(taps.pcapng().record_count(), 6u);
+  EXPECT_EQ(taps.pcapng().interface_count(), 3u);
+
+  // Every ring entry now carries the flow signature; the drop tap's pcapng
+  // comments embed the same value, so captures and the flight recorder join.
+  const pf::DropRecorder* recorder = filter.flight_recorder();
+  ASSERT_NE(recorder, nullptr);
+  ASSERT_EQ(recorder->size(), 2u);
+  const std::string blob(
+      reinterpret_cast<const char*>(taps.pcapng().buffer().data()),
+      taps.pcapng().buffer().size());
+  for (const pf::DropRecord& record : recorder->Tail(2)) {
+    EXPECT_NE(record.flow_sig, 0u);
+    char sig[32];
+    std::snprintf(sig, sizeof(sig), "sig=0x%016llx", (unsigned long long)record.flow_sig);
+    EXPECT_NE(blob.find(sig), std::string::npos) << sig;
+    EXPECT_NE(recorder->ToText().find("sig="), std::string::npos);
+  }
+}
+
+}  // namespace

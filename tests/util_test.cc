@@ -2,6 +2,8 @@
 // writer's file format.
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "src/util/byte_order.h"
 #include "src/util/checksum.h"
 #include "src/util/hexdump.h"
@@ -178,6 +180,79 @@ TEST(PcapWriterTest, WritesFile) {
   pfutil::PcapWriter writer(pfutil::PcapWriter::kLinktypeEthernet);
   writer.AddRecord(0, std::vector<uint8_t>{1, 2, 3});
   const std::string path = ::testing::TempDir() + "/pf_test.pcap";
+  ASSERT_TRUE(writer.WriteFile(path));
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  EXPECT_EQ(static_cast<size_t>(std::ftell(f)), writer.buffer().size());
+  std::fclose(f);
+}
+
+uint32_t ReadU32(const std::vector<uint8_t>& buf, size_t at) {
+  uint32_t v;
+  std::memcpy(&v, buf.data() + at, sizeof(v));
+  return v;
+}
+
+TEST(PcapngWriterTest, SectionHeaderOpensTheStream) {
+  pfutil::PcapngWriter writer;
+  const auto& buf = writer.buffer();
+  ASSERT_EQ(buf.size(), 28u);  // minimal SHB, no options
+  EXPECT_EQ(ReadU32(buf, 0), pfutil::PcapngWriter::kBlockSectionHeader);
+  EXPECT_EQ(ReadU32(buf, 4), 28u);               // leading total length
+  EXPECT_EQ(ReadU32(buf, 8), pfutil::PcapngWriter::kByteOrderMagic);
+  EXPECT_EQ(ReadU32(buf, 24), 28u);              // trailing duplicate length
+  EXPECT_EQ(buf[12], 1);                         // version 1.0
+  EXPECT_EQ(buf[14], 0);
+}
+
+TEST(PcapngWriterTest, InterfaceBlocksCarryNameAndResolution) {
+  pfutil::PcapngWriter writer;
+  const uint32_t id0 = writer.AddInterface(1, 64, "nic-rx");
+  const uint32_t id1 = writer.AddInterface(1, 128, "drop:overflow");
+  EXPECT_EQ(id0, 0u);
+  EXPECT_EQ(id1, 1u);
+  EXPECT_EQ(writer.interface_count(), 2u);
+  const auto& buf = writer.buffer();
+  // The first IDB sits right after the 28-byte SHB.
+  EXPECT_EQ(ReadU32(buf, 28), pfutil::PcapngWriter::kBlockInterface);
+  const uint32_t total = ReadU32(buf, 32);
+  EXPECT_EQ(total % 4, 0u);
+  EXPECT_EQ(ReadU32(buf, 28 + total - 4), total);  // trailing length agrees
+  EXPECT_EQ(ReadU32(buf, 40), 64u);                // snaplen field
+  const std::string blob(reinterpret_cast<const char*>(buf.data()), buf.size());
+  EXPECT_NE(blob.find("nic-rx"), std::string::npos);
+  EXPECT_NE(blob.find("drop:overflow"), std::string::npos);
+}
+
+TEST(PcapngWriterTest, PacketBlocksAlignAndKeepComments) {
+  pfutil::PcapngWriter writer;
+  const uint32_t iface = writer.AddInterface(1, 65535, "t");
+  const std::vector<uint8_t> data = {0xAA, 0xBB, 0xCC};  // odd: needs padding
+  writer.AddPacket(iface, 1234567890ull, data, 90, "sig=0xdeadbeef");
+  EXPECT_EQ(writer.record_count(), 1u);
+  const auto& buf = writer.buffer();
+  EXPECT_EQ(buf.size() % 4, 0u);  // every block 32-bit aligned
+  const std::string blob(reinterpret_cast<const char*>(buf.data()), buf.size());
+  EXPECT_NE(blob.find("sig=0xdeadbeef"), std::string::npos);
+  // Walk to the EPB (SHB, then one IDB) and check its fixed fields.
+  size_t at = 28;
+  at += ReadU32(buf, at + 4);  // skip the IDB
+  ASSERT_EQ(ReadU32(buf, at), pfutil::PcapngWriter::kBlockEnhancedPacket);
+  EXPECT_EQ(ReadU32(buf, at + 8), iface);
+  const uint64_t ts = (static_cast<uint64_t>(ReadU32(buf, at + 12)) << 32) |
+                      ReadU32(buf, at + 16);
+  EXPECT_EQ(ts, 1234567890ull);  // nanosecond resolution, no division
+  EXPECT_EQ(ReadU32(buf, at + 20), 3u);   // captured length
+  EXPECT_EQ(ReadU32(buf, at + 24), 90u);  // original length preserved
+  const uint32_t total = ReadU32(buf, at + 4);
+  EXPECT_EQ(ReadU32(buf, at + total - 4), total);
+}
+
+TEST(PcapngWriterTest, WritesFile) {
+  pfutil::PcapngWriter writer;
+  writer.AddPacket(writer.AddInterface(1, 256, "x"), 0, std::vector<uint8_t>{1, 2, 3, 4}, 4);
+  const std::string path = ::testing::TempDir() + "/pf_test.pcapng";
   ASSERT_TRUE(writer.WriteFile(path));
   std::FILE* f = std::fopen(path.c_str(), "rb");
   ASSERT_NE(f, nullptr);
