@@ -33,6 +33,14 @@
 //                      drop-reason drill-down for flows still resident in
 //                      the exact table
 //   --top-k N          how many flows the pftop table shows (default 8)
+//   --conn             enable stateful connection tracking (pf::ConnDB,
+//                      DESIGN.md §17) with a deliberately small table plus
+//                      a token-bucket rate limit on socket 44 and a seeded
+//                      random-block on socket 77, and render the conndb
+//                      panel — live connections, transition counters, the
+//                      created == live+expired+evicted+refused identity,
+//                      watermark state, and verdict-cache residency —
+//                      under the port table each period
 //   --pcapng PATH      attach a sampled, filter-scoped capture tap (src/pf/
 //                      tap.h) at the demux-in stage — predicate: the Pup
 //                      socket-35 filter, 1-in-2 sampling, snaplen 96 — and
@@ -69,6 +77,7 @@ struct Options {
   const char* trend_path = nullptr;
   bool top = false;
   int top_k = 8;
+  bool conn = false;
   const char* pcapng_path = nullptr;
 };
 
@@ -124,6 +133,8 @@ bool ParseOptions(int argc, char** argv, Options* options) {
       if (v == nullptr || std::atoi(v) <= 0) return false;
       options->top_k = std::atoi(v);
       options->top = true;
+    } else if (std::strcmp(argv[i], "--conn") == 0) {
+      options->conn = true;
     } else if (std::strcmp(argv[i], "--pcapng") == 0) {
       if ((options->pcapng_path = value()) == nullptr) return false;
     } else {
@@ -340,6 +351,71 @@ void RenderTopFlows(pfkern::Machine& machine, size_t k, double now_ms) {
   std::printf("\n");
 }
 
+// The conndb panel (--conn): live connections with their verdicts, the
+// transition counters and their partition identity, watermark/emergency
+// state, verdict-cache residency (the pf.demux.cache.* gauges), and the
+// per-port extension veto counts.
+void RenderConnPanel(pfkern::Machine& machine, double now_ms) {
+  const pf::ConnDB* db = machine.pf().ConnDb();
+  if (db == nullptr) {
+    return;
+  }
+  const pf::ConnDB::Stats& s = db->stats();
+  std::printf("=== pfconn %-8s t=%.3f ms live=%zu/%zu %s ===\n", machine.name().c_str(),
+              now_ms, db->live(), db->capacity(),
+              db->emergency() ? "EMERGENCY" : "normal");
+  std::printf(" lookups=%llu hits=%llu misses=%llu stale-epoch=%llu\n",
+              (unsigned long long)s.lookups, (unsigned long long)s.hits,
+              (unsigned long long)s.misses, (unsigned long long)s.stale_epoch);
+  std::printf(" created=%llu updated=%llu refused=%llu expired=%llu (lazy=%llu gc=%llu)"
+              " evicted=%llu (cap=%llu emerg=%llu stale=%llu)\n",
+              (unsigned long long)s.created, (unsigned long long)s.updated,
+              (unsigned long long)s.refused, (unsigned long long)s.expired(),
+              (unsigned long long)s.expired_lazy, (unsigned long long)s.expired_gc,
+              (unsigned long long)s.evicted(), (unsigned long long)s.evicted_capacity,
+              (unsigned long long)s.evicted_emergency, (unsigned long long)s.evicted_stale);
+  std::printf(" identity created == live+expired+evicted+refused: %llu == %zu+%llu+%llu+%llu"
+              " [%s]\n",
+              (unsigned long long)s.created, db->live(), (unsigned long long)s.expired(),
+              (unsigned long long)s.evicted(), (unsigned long long)s.refused,
+              db->IdentityHolds() ? "ok" : "VIOLATED");
+  std::printf(" emergency transitions: engaged=%llu disengaged=%llu | gc: sweeps=%llu"
+              " scanned=%llu reclaimed=%llu\n",
+              (unsigned long long)s.emergency_engaged,
+              (unsigned long long)s.emergency_disengaged, (unsigned long long)s.gc_sweeps,
+              (unsigned long long)s.gc_scanned, (unsigned long long)s.expired_gc);
+  const pfobs::Gauge* cache_size = machine.metrics().FindGauge("pf.demux.cache.size");
+  const pfobs::Gauge* cache_cap = machine.metrics().FindGauge("pf.demux.cache.capacity");
+  if (cache_size != nullptr && cache_cap != nullptr) {
+    std::printf(" verdict cache residency: %lld/%lld entries\n",
+                (long long)cache_size->value(), (long long)cache_cap->value());
+  }
+  pf::PacketFilter& core = machine.pf().core();
+  for (const pf::PortId id : core.Ports()) {
+    const pf::PortExtension* ext = core.Extension(id);
+    if (ext != nullptr) {
+      std::printf(" port %u ext %-9s inspected=%llu vetoed=%llu (%s)\n", id,
+                  ext->name().c_str(), (unsigned long long)ext->inspected(),
+                  (unsigned long long)ext->vetoed(), pf::ToString(ext->reason()).c_str());
+    }
+  }
+  size_t shown = 0;
+  for (const pf::ConnDB::Entry& entry : db->Snapshot()) {
+    if (shown == 0) {
+      std::printf("  %-16s %4s %8s %9s %12s\n", "connection", "port", "pkts", "bytes",
+                  "idle us");
+    }
+    if (++shown > 6) {
+      break;
+    }
+    std::printf("  %016llx %4u %8llu %9llu %12.1f\n", (unsigned long long)entry.signature,
+                entry.port, (unsigned long long)entry.packets,
+                (unsigned long long)entry.bytes,
+                (now_ms * 1e3) - static_cast<double>(entry.last_seen_ns) / 1e3);
+  }
+  std::printf("\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -350,7 +426,7 @@ int main(int argc, char** argv) {
                  "              [--strategy checked|fast|tree|predecoded|indexed]\n"
                  "              [--loss P] [--ring N] [--csv PATH] [--json PATH|-]\n"
                  "              [--flight-json PATH] [--trend BENCH.json]\n"
-                 "              [--top] [--top-k N] [--pcapng PATH]\n");
+                 "              [--top] [--top-k N] [--conn] [--pcapng PATH]\n");
     return 2;
   }
   if (options.trend_path != nullptr) {
@@ -404,6 +480,14 @@ int main(int argc, char** argv) {
   pf::PortId overflow_port = pf::kInvalidPort;
   auto receiver_setup = [&]() -> pfsim::Task {
     const int pid = receiver.NewPid();
+    if (options.conn) {
+      // A deliberately small table so the panel shows watermark pressure,
+      // and a short TTL so the GC worker has something to reclaim.
+      pf::ConnDB::Config conn;
+      conn.capacity = 8;
+      conn.ttl_ns = 20'000'000;  // 20 simulated ms
+      co_await receiver.pf().EnableConnTracking(pid, conn);
+    }
     const pf::PortId port35 = co_await receiver.pf().Open(pid);
     co_await receiver.pf().SetFilter(pid, port35, pfnet::MakePupSocketFilter(35, 10));
     const pf::PortId port44 = co_await receiver.pf().Open(pid);
@@ -414,6 +498,21 @@ int main(int argc, char** argv) {
     tiny.queue_limit = 2;
     co_await receiver.pf().Configure(pid, port77, tiny);
     overflow_port = port77;
+    if (options.conn) {
+      // Socket 44: token bucket well under the sender's achieved rate
+      // (~75 pps once Write costs serialize), so the panel shows
+      // rate-limited vetoes. Socket 77: seeded 25% rndblock.
+      pf::RateLimitExt::Config limit;
+      limit.rate_pps = 25;
+      limit.burst = 1;
+      co_await receiver.pf().AttachExtension(pid, port44,
+                                             std::make_unique<pf::RateLimitExt>(limit));
+      pf::RndBlockExt::Config rnd;
+      rnd.drop_ppm = 250'000;
+      rnd.seed = 42;
+      co_await receiver.pf().AttachExtension(pid, port77,
+                                             std::make_unique<pf::RndBlockExt>(rnd));
+    }
 
     // Drain the two live sockets for the duration of the run.
     for (const pf::PortId port : {port35, port44}) {
@@ -455,6 +554,9 @@ int main(int argc, char** argv) {
       } else {
         RenderTable(receiver, now_ms);
       }
+      if (options.conn) {
+        RenderConnPanel(receiver, now_ms);
+      }
     }
   };
 
@@ -475,6 +577,9 @@ int main(int argc, char** argv) {
     if (options.top) {
       RenderTopFlows(receiver, static_cast<size_t>(options.top_k),
                      pfsim::ToMilliseconds(sim.Now().time_since_epoch()));
+    }
+    if (options.conn) {
+      RenderConnPanel(receiver, pfsim::ToMilliseconds(sim.Now().time_since_epoch()));
     }
     if (overflow_port != pf::kInvalidPort) {
       const std::string dump = receiver.pf().ProfileDump(overflow_port);

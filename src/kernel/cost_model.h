@@ -58,6 +58,12 @@ struct CostModel {
   // One flow-verdict-cache lookup in Demux (hash of an already-computed
   // signature): cheaper than a filter instruction.
   pfsim::Duration flow_cache_lookup = pfsim::Microseconds(20);
+  // One connection-database operation per packet (lookup, and on a miss
+  // the establish that follows): a hash probe plus an LRU splice — the
+  // same order of work as a flow-cache lookup plus a little bookkeeping.
+  pfsim::Duration conn_lookup = pfsim::Microseconds(30);
+  // One incremental conndb GC sweep (worker timer): a bounded slab scan.
+  pfsim::Duration conn_gc_sweep = pfsim::Microseconds(100);
 
   // Kernel-resident IP: §6.1 "the IP layer processing ... about 0.49 mSec";
   // full input to TCP/UDP is 1.77 ms, so the transport share is ~0.9 ms

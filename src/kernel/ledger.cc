@@ -50,6 +50,10 @@ std::string ToString(Cost category) {
       return "ring reap";
     case Cost::kPollLoop:
       return "poll loop";
+    case Cost::kConnDb:
+      return "conndb lookup";
+    case Cost::kConnGc:
+      return "conndb gc sweep";
     case Cost::kCount:
       break;
   }
@@ -102,6 +106,10 @@ std::string ToSlug(Cost category) {
       return "ring_reap";
     case Cost::kPollLoop:
       return "poll_loop";
+    case Cost::kConnDb:
+      return "conn_db";
+    case Cost::kConnGc:
+      return "conn_gc";
     case Cost::kCount:
       break;
   }

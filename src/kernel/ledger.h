@@ -36,6 +36,8 @@ enum class Cost : uint8_t {
   kRingPost,        // shared-memory ring: descriptor posted at demux time
   kRingReap,        // shared-memory ring: descriptor reaped by the user
   kPollLoop,        // poll-mode NIC receive: per-round + per-frame polling
+  kConnDb,          // connection-database lookup/establish per packet
+  kConnGc,          // conndb incremental GC sweeps (worker timer context)
   kCount,
 };
 

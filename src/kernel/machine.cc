@@ -180,7 +180,7 @@ void Machine::RecordNicDrop(pf::DropReason reason, const pflink::Frame& frame) {
   if (recorder != nullptr || tap_drop) {
     // The same flow identity the demux stamps, so NIC-level losses
     // cross-reference flow-table rows and tap captures too.
-    sig = pfobs::FlowSignature(frame.AsSpan());
+    sig = pfobs::FlowSignature::Of(frame.AsSpan());
   }
   if (recorder != nullptr) {
     pf::DropRecord record;
@@ -211,7 +211,7 @@ void Machine::OnFrameDelivered(const pflink::Frame& frame, pfsim::TimePoint at) 
     pf::TapPacketMeta meta;
     meta.timestamp_ns = static_cast<uint64_t>(sim_->Now().time_since_epoch().count());
     meta.flow_id = frame.flow_id;
-    meta.flow_sig = pfobs::FlowSignature(frame.AsSpan());
+    meta.flow_sig = pfobs::FlowSignature::Of(frame.AsSpan());
     taps_.Offer(pf::TapStage::kNicRx, frame.AsSpan(), meta);
   }
   if (rx_ring_capacity_ > 0 && rx_pending_ >= rx_ring_capacity_) {

@@ -374,6 +374,44 @@ pfsim::ValueTask<void> PacketFilterDevice::SetProfiling(int pid, bool enabled) {
   filter_.SetProfiling(enabled);
 }
 
+pfsim::ValueTask<void> PacketFilterDevice::EnableConnTracking(int pid,
+                                                              pf::ConnDB::Config config) {
+  co_await machine_->Run(pid, Cost::kSyscall, machine_->costs().syscall);
+  filter_.EnableConnTracking(config);
+}
+
+pfsim::ValueTask<void> PacketFilterDevice::AttachExtension(
+    int pid, pf::PortId port, std::unique_ptr<pf::PortExtension> extension) {
+  co_await machine_->Run(pid, Cost::kSyscall, machine_->costs().syscall);
+  filter_.AttachExtension(port, std::move(extension));
+}
+
+void PacketFilterDevice::ArmConnGc() {
+  if (conn_gc_armed_ || filter_.conndb() == nullptr) {
+    return;
+  }
+  conn_gc_armed_ = true;
+  machine_->sim()->Schedule(conn_gc_interval_, [this] { ConnGcTick(); });
+}
+
+void PacketFilterDevice::ConnGcTick() {
+  conn_gc_armed_ = false;
+  pf::ConnDB* db = filter_.conndb();
+  if (db == nullptr) {
+    return;
+  }
+  db->GcSweep(static_cast<uint64_t>(machine_->sim()->NowNanos()));
+  // Worker context: the sweep's CPU is charged straight to the ledger (one
+  // kConnGc per sweep, so ledger.conn_gc.charges == pf.conn.gc.sweeps —
+  // micro_flood reconciles this bit-exactly).
+  machine_->ledger().Charge(Cost::kConnGc, machine_->costs().conn_gc_sweep);
+  // Keep sweeping while any state remains; disarm when the table drains so
+  // the simulator's event queue can run dry.
+  if (db->live() > 0) {
+    ArmConnGc();
+  }
+}
+
 const pf::ProgramProfile* PacketFilterDevice::Profile(pf::PortId port) const {
   return filter_.Profile(port);
 }
@@ -417,6 +455,12 @@ pfsim::ValueTask<void> PacketFilterDevice::HandlePacket(const pf::PacketBuf& pac
     // reconciles exactly with ledger.flow_cache.* (asserted in obs_test).
     flow_cache_hist_->Record(cache_cost.count());
   }
+  if (result.conn_lookup) {
+    // One kConnDb charge per consulting packet (lookup, plus the establish
+    // a miss performs under the same CPU acquisition), so
+    // ledger.conn_db.charges == pf.conn.lookups bit-exactly.
+    charges.emplace_back(Cost::kConnDb, machine_->costs().conn_lookup);
+  }
   if (result.deliveries > 0) {
     charges.emplace_back(Cost::kPfBookkeeping,
                          machine_->costs().pf_bookkeeping * result.deliveries);
@@ -451,6 +495,11 @@ pfsim::ValueTask<void> PacketFilterDevice::HandlePacket(const pf::PacketBuf& pac
   }
   const int64_t demux_latency_ns = machine_->sim()->NowNanos() - demux_start_ns;
   demux_latency_hist_->Record(demux_latency_ns);
+  // Arm the conndb GC worker whenever tracked state exists (idempotent; the
+  // worker disarms itself once the table drains).
+  if (const pf::ConnDB* db = filter_.conndb(); db != nullptr && db->live() > 0) {
+    ArmConnGc();
+  }
   // Per-flow latency: the demux already keyed this packet's flow signature
   // when flow accounting is on; fold the same simulated latency sample in,
   // so pf.flow.latency.count/sum reconcile exactly with pf.demux.latency.

@@ -126,6 +126,24 @@ class PacketFilterDevice {
   }
   const pfobs::FlowTable* FlowStats() const { return filter_.flow_stats(); }
 
+  // --- Stateful connection tracking (DESIGN.md §17) ---
+  // Enables the pf::ConnDB in the demux core (one syscall charge — this
+  // ioctl changes demux behavior, unlike the status ioctls above) and
+  // starts the npf_worker-style GC: a simulated-clock timer that calls
+  // ConnDB::GcSweep once per interval while the table holds state, charging
+  // Cost::kConnGc per sweep. The timer is armed lazily from HandlePacket
+  // and disarms itself when the table drains, so an idle machine's event
+  // queue still runs dry (the simulation terminates).
+  pfsim::ValueTask<void> EnableConnTracking(int pid, pf::ConnDB::Config config = {});
+  const pf::ConnDB* ConnDb() const { return filter_.conndb(); }
+  // GC sweep cadence (simulated time); takes effect at the next (re)arm.
+  void SetConnGcInterval(pfsim::Duration interval) { conn_gc_interval_ = interval; }
+
+  // Attaches a filter extension (ext.h) to `port`'s accept path — the
+  // npf extension-module ioctl (one syscall charge).
+  pfsim::ValueTask<void> AttachExtension(int pid, pf::PortId port,
+                                         std::unique_ptr<pf::PortExtension> extension);
+
   static constexpr size_t kFlightRecorderDepth = 64;
 
   // --- Kernel-side entry, interrupt context ---
@@ -148,6 +166,10 @@ class PacketFilterDevice {
   };
 
   PortExtra* Extra(pf::PortId port);
+  // The conndb GC worker (see EnableConnTracking): arm-if-idle and the
+  // per-tick sweep body.
+  void ArmConnGc();
+  void ConnGcTick();
   // The reap half of ring delivery (Read dispatches here for ring ports).
   pfsim::ValueTask<std::vector<pf::ReceivedPacket>> ReapRing(int pid, pf::PortId port,
                                                              PortExtra* extra,
@@ -159,6 +181,8 @@ class PacketFilterDevice {
   std::vector<pf::PortId> pending_signals_;
   std::vector<pfsim::MsgQueue<char>*> select_doorbells_;  // one per active Select
   size_t ring_slots_ = 0;  // device-wide ring default (0 = legacy reads)
+  pfsim::Duration conn_gc_interval_ = pfsim::Milliseconds(10);
+  bool conn_gc_armed_ = false;
 
   // Observability (src/obs): registered into the machine's registry once at
   // construction, recorded by pointer on the hot paths. The per-strategy

@@ -5,7 +5,7 @@
 
 namespace pfobs {
 
-uint64_t FlowSignature(std::span<const uint8_t> frame) {
+uint64_t FlowSignature::Of(std::span<const uint8_t> frame) {
   // FNV-1a 64-bit over the header prefix.
   uint64_t hash = 0xcbf29ce484222325ull;
   const size_t n = frame.size() < kFlowSignaturePrefix ? frame.size() : kFlowSignaturePrefix;

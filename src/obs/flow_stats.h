@@ -47,7 +47,15 @@ namespace pfobs {
 // only in payload). Never returns 0, so 0 can mean "no signature computed".
 inline constexpr size_t kFlowSignaturePrefix = 64;
 
-uint64_t FlowSignature(std::span<const uint8_t> frame);
+// The one home of the flow-signature computation (ROADMAP item 4): the
+// demux, the drop recorder, the capture taps, the FlowTable, and the
+// connection database all key on FlowSignature::Of(frame), so a flow's
+// identity cross-references across every plane. The hash values are pinned
+// by unit test (flow_stats_test) — changing the function invalidates
+// recorded pcapng/flight-recorder cross-references.
+struct FlowSignature {
+  static uint64_t Of(std::span<const uint8_t> frame);
+};
 
 // Opaque per-flow drop-reason slots (pf::DropReason has 8 reasons today;
 // spare room costs 8 bytes per entry and saves a layering dependency).
@@ -164,6 +172,11 @@ class FlowTable {
   std::vector<SpaceSavingSketch::Entry> TopK(size_t n = SIZE_MAX) const;
 
   void Clear();
+
+  // Test hook: forces the touch counter so tests can pin down wraparound
+  // behavior (eviction order is list order, never a generation compare, so
+  // a wrapped generation only affects the post-hoc stamps).
+  void SetGenerationForTest(uint64_t generation) { generation_ = generation; }
 
  private:
   Entry* Touch(uint64_t signature, uint64_t now_ns);

@@ -1,0 +1,331 @@
+#include "src/pf/conndb.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pf {
+
+ConnDB::ConnDB(Config config) : config_(config) {
+  if (config_.capacity == 0) {
+    config_.capacity = 1;
+  }
+  if (config_.emergency_evict_batch == 0) {
+    config_.emergency_evict_batch = 1;
+  }
+  if (config_.gc_batch == 0) {
+    config_.gc_batch = 1;
+  }
+  config_.high_water_pct = std::min<uint32_t>(config_.high_water_pct, 100);
+  if (config_.low_water_pct >= config_.high_water_pct) {
+    config_.low_water_pct =
+        config_.high_water_pct == 0 ? 0 : config_.high_water_pct - 1;
+  }
+  // Integer thresholds: live >= high_count_ engages, live <= low_count_
+  // disengages. high_count_ is at least 1 so a zero-percent config still
+  // means "any state at all is overload" rather than dividing by zero.
+  high_count_ = std::max<size_t>(
+      1, config_.capacity * config_.high_water_pct / 100);
+  low_count_ = config_.capacity * config_.low_water_pct / 100;
+}
+
+void ConnDB::AttachMetrics(pfobs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    metrics_ = Metrics{};
+    return;
+  }
+  metrics_.lookups = registry->counter("pf.conn.lookups");
+  metrics_.hits = registry->counter("pf.conn.hits");
+  metrics_.misses = registry->counter("pf.conn.misses");
+  metrics_.stale_epoch = registry->counter("pf.conn.stale_epoch");
+  metrics_.created = registry->counter("pf.conn.created");
+  metrics_.updated = registry->counter("pf.conn.updated");
+  metrics_.refused = registry->counter("pf.conn.refused");
+  metrics_.expired_lazy = registry->counter("pf.conn.expired.lazy");
+  metrics_.expired_gc = registry->counter("pf.conn.expired.gc");
+  metrics_.evicted_capacity = registry->counter("pf.conn.evicted.capacity");
+  metrics_.evicted_emergency = registry->counter("pf.conn.evicted.emergency");
+  metrics_.evicted_stale = registry->counter("pf.conn.evicted.stale");
+  metrics_.emergency_engaged = registry->counter("pf.conn.emergency.engaged");
+  metrics_.emergency_disengaged =
+      registry->counter("pf.conn.emergency.disengaged");
+  metrics_.gc_sweeps = registry->counter("pf.conn.gc.sweeps");
+  metrics_.gc_scanned = registry->counter("pf.conn.gc.scanned");
+  metrics_.gc_reclaimed = registry->counter("pf.conn.gc.reclaimed");
+  metrics_.live = registry->gauge("pf.conn.live");
+  metrics_.capacity = registry->gauge("pf.conn.capacity");
+  metrics_.emergency = registry->gauge("pf.conn.emergency");
+  metrics_.capacity->Set(static_cast<int64_t>(config_.capacity));
+  UpdateGauges();
+}
+
+void ConnDB::UpdateGauges() {
+  if (metrics_.live != nullptr) {
+    metrics_.live->Set(static_cast<int64_t>(live_));
+    metrics_.emergency->Set(emergency_ ? 1 : 0);
+  }
+}
+
+void ConnDB::LruDetach(uint32_t i) {
+  Slot& slot = slots_[i];
+  if (slot.lru_prev != kNil) {
+    slots_[slot.lru_prev].lru_next = slot.lru_next;
+  } else {
+    lru_head_ = slot.lru_next;
+  }
+  if (slot.lru_next != kNil) {
+    slots_[slot.lru_next].lru_prev = slot.lru_prev;
+  } else {
+    lru_tail_ = slot.lru_prev;
+  }
+  slot.lru_prev = kNil;
+  slot.lru_next = kNil;
+}
+
+void ConnDB::LruPushFront(uint32_t i) {
+  Slot& slot = slots_[i];
+  slot.lru_prev = kNil;
+  slot.lru_next = lru_head_;
+  if (lru_head_ != kNil) {
+    slots_[lru_head_].lru_prev = i;
+  }
+  lru_head_ = i;
+  if (lru_tail_ == kNil) {
+    lru_tail_ = i;
+  }
+}
+
+void ConnDB::Remove(uint32_t i, RemoveCause cause) {
+  Slot& slot = slots_[i];
+  assert(slot.in_use);
+  index_.erase(slot.entry.signature);
+  LruDetach(i);
+  slot.in_use = false;
+  slot.entry = Entry{};
+  free_.push_back(i);
+  --live_;
+  switch (cause) {
+    case RemoveCause::kExpiredLazy:
+      ++stats_.expired_lazy;
+      if (metrics_.expired_lazy != nullptr) metrics_.expired_lazy->Add();
+      break;
+    case RemoveCause::kExpiredGc:
+      ++stats_.expired_gc;
+      if (metrics_.expired_gc != nullptr) metrics_.expired_gc->Add();
+      break;
+    case RemoveCause::kEvictedCapacity:
+      ++stats_.evicted_capacity;
+      if (metrics_.evicted_capacity != nullptr) metrics_.evicted_capacity->Add();
+      break;
+    case RemoveCause::kEvictedEmergency:
+      ++stats_.evicted_emergency;
+      if (metrics_.evicted_emergency != nullptr) {
+        metrics_.evicted_emergency->Add();
+      }
+      break;
+    case RemoveCause::kEvictedStale:
+      ++stats_.evicted_stale;
+      if (metrics_.evicted_stale != nullptr) metrics_.evicted_stale->Add();
+      break;
+  }
+}
+
+void ConnDB::UpdateWatermark() {
+  if (!emergency_ && live_ >= high_count_) {
+    emergency_ = true;
+    ++stats_.emergency_engaged;
+    if (metrics_.emergency_engaged != nullptr) {
+      metrics_.emergency_engaged->Add();
+    }
+  } else if (emergency_ && live_ <= low_count_) {
+    emergency_ = false;
+    ++stats_.emergency_disengaged;
+    if (metrics_.emergency_disengaged != nullptr) {
+      metrics_.emergency_disengaged->Add();
+    }
+  }
+}
+
+const ConnDB::Entry* ConnDB::Lookup(uint64_t signature, uint64_t now_ns,
+                                    uint64_t epoch, size_t bytes) {
+  ++stats_.lookups;
+  if (metrics_.lookups != nullptr) metrics_.lookups->Add();
+  const auto it = index_.find(signature);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    if (metrics_.misses != nullptr) metrics_.misses->Add();
+    return nullptr;
+  }
+  const uint32_t i = it->second;
+  Entry& entry = slots_[i].entry;
+  if (Expired(entry, now_ns)) {
+    Remove(i, RemoveCause::kExpiredLazy);
+    UpdateWatermark();
+    UpdateGauges();
+    ++stats_.misses;
+    if (metrics_.misses != nullptr) metrics_.misses->Add();
+    return nullptr;
+  }
+  if (entry.epoch != epoch) {
+    // The filter configuration changed since this entry was stamped: the
+    // stored verdict is untrustworthy, but the entry survives — the
+    // caller's full walk will Establish() over it (kUpdated) and restamp.
+    ++stats_.stale_epoch;
+    ++stats_.misses;
+    if (metrics_.stale_epoch != nullptr) metrics_.stale_epoch->Add();
+    if (metrics_.misses != nullptr) metrics_.misses->Add();
+    return nullptr;
+  }
+  ++generation_;
+  LruDetach(i);
+  LruPushFront(i);
+  entry.last_seen_ns = now_ns;
+  entry.generation = generation_;
+  ++entry.packets;
+  entry.bytes += bytes;
+  ++stats_.hits;
+  if (metrics_.hits != nullptr) metrics_.hits->Add();
+  return &entry;
+}
+
+ConnDB::EstablishOutcome ConnDB::Establish(uint64_t signature, uint32_t port,
+                                           uint64_t now_ns, uint64_t epoch,
+                                           size_t bytes) {
+  const auto it = index_.find(signature);
+  if (it != index_.end()) {
+    // Present (e.g. the epoch moved, or a collision was re-walked): refresh
+    // the verdict and restamp rather than churning create/evict counters.
+    const uint32_t i = it->second;
+    Entry& entry = slots_[i].entry;
+    ++generation_;
+    LruDetach(i);
+    LruPushFront(i);
+    entry.port = port;
+    entry.epoch = epoch;
+    entry.last_seen_ns = now_ns;
+    entry.generation = generation_;
+    ++entry.packets;
+    entry.bytes += bytes;
+    ++stats_.updated;
+    if (metrics_.updated != nullptr) metrics_.updated->Add();
+    return EstablishOutcome::kUpdated;
+  }
+
+  // Every instantiation attempt for an absent flow counts as created —
+  // including ones refused below — so the partition identity
+  // created == live + expired + evicted + refused holds at all times.
+  ++stats_.created;
+  if (metrics_.created != nullptr) metrics_.created->Add();
+
+  if (emergency_) {
+    // Shed the oldest-generation (LRU-tail) entries, bounded per attempt so
+    // flood-time per-packet work stays O(emergency_evict_batch).
+    size_t batch = std::min(config_.emergency_evict_batch, live_);
+    while (batch-- > 0) {
+      Remove(lru_tail_, RemoveCause::kEvictedEmergency);
+    }
+    UpdateWatermark();  // the shed may drain below low water
+    if (emergency_ && config_.refuse_new_in_emergency) {
+      ++stats_.refused;
+      if (metrics_.refused != nullptr) metrics_.refused->Add();
+      UpdateGauges();
+      return EstablishOutcome::kRefused;
+    }
+  }
+  if (live_ >= config_.capacity) {
+    Remove(lru_tail_, RemoveCause::kEvictedCapacity);
+  }
+
+  uint32_t i;
+  if (!free_.empty()) {
+    i = free_.back();
+    free_.pop_back();
+  } else {
+    i = static_cast<uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& slot = slots_[i];
+  slot.in_use = true;
+  ++generation_;
+  slot.entry = Entry{};
+  slot.entry.signature = signature;
+  slot.entry.port = port;
+  slot.entry.epoch = epoch;
+  slot.entry.packets = 1;
+  slot.entry.bytes = bytes;
+  slot.entry.created_ns = now_ns;
+  slot.entry.last_seen_ns = now_ns;
+  slot.entry.generation = generation_;
+  index_[signature] = i;
+  LruPushFront(i);
+  ++live_;
+  UpdateWatermark();
+  UpdateGauges();
+  return EstablishOutcome::kCreated;
+}
+
+void ConnDB::Invalidate(uint64_t signature) {
+  const auto it = index_.find(signature);
+  if (it == index_.end()) {
+    return;
+  }
+  Remove(it->second, RemoveCause::kEvictedStale);
+  UpdateWatermark();
+  UpdateGauges();
+}
+
+size_t ConnDB::GcSweep(uint64_t now_ns) {
+  ++stats_.gc_sweeps;
+  if (metrics_.gc_sweeps != nullptr) metrics_.gc_sweeps->Add();
+  size_t reclaimed = 0;
+  const size_t span = std::min(config_.gc_batch, slots_.size());
+  for (size_t n = 0; n < span; ++n) {
+    if (gc_cursor_ >= slots_.size()) {
+      gc_cursor_ = 0;
+    }
+    const uint32_t i = static_cast<uint32_t>(gc_cursor_++);
+    ++stats_.gc_scanned;
+    if (slots_[i].in_use && Expired(slots_[i].entry, now_ns)) {
+      Remove(i, RemoveCause::kExpiredGc);
+      ++reclaimed;
+    }
+  }
+  if (metrics_.gc_scanned != nullptr) metrics_.gc_scanned->Add(span);
+  if (metrics_.gc_reclaimed != nullptr && reclaimed > 0) {
+    metrics_.gc_reclaimed->Add(reclaimed);
+  }
+  if (reclaimed > 0) {
+    UpdateWatermark();
+    UpdateGauges();
+  }
+  return reclaimed;
+}
+
+const ConnDB::Entry* ConnDB::Find(uint64_t signature) const {
+  const auto it = index_.find(signature);
+  return it == index_.end() ? nullptr : &slots_[it->second].entry;
+}
+
+std::vector<ConnDB::Entry> ConnDB::Snapshot() const {
+  std::vector<Entry> out;
+  out.reserve(live_);
+  for (uint32_t i = lru_head_; i != kNil; i = slots_[i].lru_next) {
+    out.push_back(slots_[i].entry);
+  }
+  return out;
+}
+
+void ConnDB::Clear() {
+  slots_.clear();
+  free_.clear();
+  index_.clear();
+  lru_head_ = kNil;
+  lru_tail_ = kNil;
+  live_ = 0;
+  gc_cursor_ = 0;
+  emergency_ = false;
+  generation_ = 0;
+  stats_ = Stats{};
+  UpdateGauges();
+}
+
+}  // namespace pf

@@ -112,6 +112,7 @@ void PacketFilter::SetStrategy(Strategy strategy) {
 void PacketFilter::SetFlowCacheCapacity(size_t capacity) {
   flow_cache_capacity_ = capacity;
   InvalidateFlowCache();
+  UpdateCacheGauges();
 }
 
 void PacketFilter::SetProfiling(bool enabled) { engine_.SetProfiling(enabled); }
@@ -140,6 +141,10 @@ std::vector<PortId> PacketFilter::Ports() const {
 }
 
 void PacketFilter::InvalidateFlowCache() {
+  // Everything that stales the verdict cache equally stales conndb-served
+  // verdicts: bump the epoch so stamped entries stop being served (they
+  // survive, and the next full walk restamps them).
+  ++conn_epoch_;
   if (flow_cache_.empty()) {
     return;
   }
@@ -148,6 +153,35 @@ void PacketFilter::InvalidateFlowCache() {
   if (metrics_.cache_invalidations != nullptr) {
     metrics_.cache_invalidations->Add();
   }
+  UpdateCacheGauges();
+}
+
+void PacketFilter::UpdateCacheGauges() {
+  if (metrics_.cache_size != nullptr) {
+    metrics_.cache_size->Set(static_cast<int64_t>(flow_cache_.size()));
+    metrics_.cache_capacity->Set(static_cast<int64_t>(flow_cache_capacity_));
+  }
+}
+
+void PacketFilter::EnableConnTracking(ConnDB::Config config) {
+  conndb_ = std::make_unique<ConnDB>(config);
+  if (registry_ != nullptr) {
+    conndb_->AttachMetrics(registry_);
+  }
+  order_dirty_ = true;  // recompute conn_servable_ on the next demux
+}
+
+void PacketFilter::DisableConnTracking() { conndb_.reset(); }
+
+void PacketFilter::AttachExtension(PortId id, std::unique_ptr<PortExtension> extension) {
+  if (PortState* port = Find(id)) {
+    port->extension = std::move(extension);
+  }
+}
+
+const PortExtension* PacketFilter::Extension(PortId id) const {
+  const PortState* port = Find(id);
+  return port == nullptr ? nullptr : port->extension.get();
 }
 
 void PacketFilter::AttachMetrics(pfobs::MetricsRegistry* registry) {
@@ -168,10 +202,16 @@ void PacketFilter::AttachMetrics(pfobs::MetricsRegistry* registry) {
     metrics_.cache_hits = registry->counter("pf.demux.cache.hits");
     metrics_.cache_insertions = registry->counter("pf.demux.cache.insertions");
     metrics_.cache_invalidations = registry->counter("pf.demux.cache.invalidations");
+    metrics_.cache_size = registry->gauge("pf.demux.cache.size");
+    metrics_.cache_capacity = registry->gauge("pf.demux.cache.capacity");
+    UpdateCacheGauges();
     for (size_t i = 0; i < kDropReasonCount; ++i) {
       metrics_.drop_reasons[i] =
           registry->counter("pf.drop." + ToSlug(static_cast<DropReason>(i)));
     }
+  }
+  if (conndb_ != nullptr) {
+    conndb_->AttachMetrics(registry);
   }
   engine_.AttachMetrics(registry);
 }
@@ -196,6 +236,20 @@ void PacketFilter::RebuildOrder() {
     }
     return a->open_seq < b->open_seq;
   });
+  // Conndb serve-soundness: the FlowSignature hashes the first
+  // kFlowSignaturePrefix bytes, so stored verdicts are only trustworthy
+  // when every bound filter's verdict is a function of that prefix — no
+  // indirect addressing, and no word read at or past the prefix boundary
+  // (16-bit words: word index w reads bytes 2w..2w+1).
+  conn_servable_ = true;
+  for (const PortState* port : ordered_) {
+    const ValidationResult& meta = port->binding->program.meta();
+    if (meta.uses_indirect ||
+        2 * (static_cast<size_t>(meta.max_word_index) + 1) > pfobs::kFlowSignaturePrefix) {
+      conn_servable_ = false;
+      break;
+    }
+  }
   order_dirty_ = false;
 }
 
@@ -245,6 +299,19 @@ void PacketFilter::DeliverTo(PortState& port, std::span<const uint8_t> packet,
                              const PacketBuf* buf, uint64_t timestamp_ns, uint64_t flow_id,
                              DemuxResult* result) {
   ++port.stats.accepts;
+  // Extension veto (ext.h): the claim stands — the copy is accounted
+  // exactly like a queue overflow, just under the extension's reason —
+  // so `accepts == enqueued + dropped` survives unchanged.
+  if (port.extension != nullptr &&
+      !port.extension->Inspect(SigOf(packet), packet.size(), timestamp_ns)) {
+    ++port.stats.dropped;
+    ++port.lost_since_enqueue;
+    ++result->drops;
+    CountDrop(&port, port.extension->reason(), packet, timestamp_ns, flow_id, /*pc=*/-1);
+    assert(port.stats.accepts == port.stats.enqueued + port.stats.dropped);
+    assert(port.stats.dropped == TotalDrops(port.stats.drops_by_reason));
+    return;
+  }
   if (port.queue.size() >= port.queue_limit) {
     ++port.stats.dropped;
     ++port.lost_since_enqueue;
@@ -325,12 +392,52 @@ DemuxResult PacketFilter::DemuxImpl(std::span<const uint8_t> packet, const Packe
   bool saw_other_error = false;
   int32_t error_pc = -1;
 
+  // Conndb fast path (when tracking is enabled it replaces the verdict
+  // cache below): if every bound filter's verdict is determined by the
+  // hashed prefix and this flow has established state, re-confirm with the
+  // stored port's own filter and skip the priority walk.
+  bool served_from_conn = false;
+  if (conndb_ != nullptr && conn_servable_ && !ordered_.empty()) {
+    const uint64_t conn_sig = SigOf(packet);
+    result.conn_lookup = true;
+    const ConnDB::Entry* entry =
+        conndb_->Lookup(conn_sig, timestamp_ns, conn_epoch_, packet.size());
+    if (entry != nullptr) {
+      PortState* port = Find(entry->port);
+      if (port != nullptr && port->has_filter && !port->deliver_to_lower) {
+        Engine::MatchPass pass = engine_.Match(packet);
+        const Verdict verdict = pass.Test(port->id, port->binding);
+        result.exec += pass.telemetry();
+        if (verdict.status != ExecStatus::kOk) {
+          ++port->stats.filter_errors;
+          ++filter_errors;
+          (verdict.status == ExecStatus::kOutOfPacket ? saw_short : saw_other_error) = true;
+          if (error_pc < 0 && verdict.insns_executed > 0) {
+            error_pc = static_cast<int32_t>(verdict.insns_executed) - 1;
+          }
+        }
+        if (verdict.accept) {
+          DeliverTo(*port, packet, buf, timestamp_ns, flow_id, &result);
+          result.accepted = true;
+          result.conn_hit = true;
+          served_from_conn = true;
+        }
+      }
+      if (!served_from_conn) {
+        // Signature collision (the stored port's filter rejected the actual
+        // bytes): the state is wrong for this flow — drop it and take the
+        // full walk.
+        conndb_->Invalidate(conn_sig);
+      }
+    }
+  }
+
   // Flow-cache fast path: if the engine's discriminating-word signature
   // fully determines every filter's verdict and we have seen this flow
   // claim a port before, re-confirm with that port's own filter and skip
   // the priority walk entirely.
   std::optional<uint64_t> signature;
-  if (flow_cache_capacity_ > 0) {
+  if (conndb_ == nullptr && flow_cache_capacity_ > 0) {
     signature = engine_.IndexSignature(packet);
     if (signature.has_value() && !engine_.index_covers_all()) {
       signature.reset();
@@ -368,11 +475,12 @@ DemuxResult PacketFilter::DemuxImpl(std::span<const uint8_t> packet, const Packe
         // drop the entry and take the full walk below.
         flow_cache_.erase(it);
         ++flow_cache_stats_.stale;
+        UpdateCacheGauges();
       }
     }
   }
 
-  if (!served_from_cache) {
+  if (!served_from_cache && !served_from_conn) {
     // One engine pass per packet: under kTree its construction walks the
     // tree once for every conjunction filter; under kIndexed it probes the
     // hash index once; the sequential strategies evaluate lazily, so
@@ -416,6 +524,16 @@ DemuxResult PacketFilter::DemuxImpl(std::span<const uint8_t> packet, const Packe
       if (metrics_.cache_insertions != nullptr) {
         metrics_.cache_insertions->Add();
       }
+      UpdateCacheGauges();
+    }
+
+    // Establish connection state under the same exclusivity rule the cache
+    // uses. The DB may refuse (emergency mode) — then this flow simply
+    // keeps taking the stateless walk.
+    if (conndb_ != nullptr && conn_servable_ && accepts == 1 &&
+        claimer != nullptr && !claimer->deliver_to_lower) {
+      conndb_->Establish(SigOf(packet), claimer->id, timestamp_ns, conn_epoch_,
+                         packet.size());
     }
   }
 

@@ -30,8 +30,10 @@
 #include <vector>
 
 #include "src/obs/flow_stats.h"
+#include "src/pf/conndb.h"
 #include "src/pf/drop.h"
 #include "src/pf/engine.h"
+#include "src/pf/ext.h"
 #include "src/pf/packet_buf.h"
 #include "src/pf/program.h"
 #include "src/pf/tap.h"
@@ -73,9 +75,10 @@ struct PortStats {
   // covered in demux_test.cc).
   uint64_t accepts = 0;
   uint64_t filter_errors = 0;  // interpreter errors while testing packets
-  // Per-reason decomposition of this port's losses. For a port the only
-  // applicable reason today is kQueueOverflow, so
-  // `dropped == TotalDrops(drops_by_reason)` (asserted in demux.cc).
+  // Per-reason decomposition of this port's losses. A port's copies are
+  // lost to kQueueOverflow or to an extension veto (kRateLimited /
+  // kRndBlock — ext.h), so `dropped == TotalDrops(drops_by_reason)`
+  // (asserted in demux.cc).
   DropCounts drops_by_reason{};
 };
 
@@ -85,6 +88,8 @@ struct DemuxResult {
   uint32_t drops = 0;          // copies lost to full queues
   bool cache_lookup = false;   // the flow verdict cache was consulted
   bool cache_hit = false;      // delivery served from the cache (re-confirmed)
+  bool conn_lookup = false;    // the connection database was consulted
+  bool conn_hit = false;       // delivery served from conndb state (re-confirmed)
   uint64_t flow_sig = 0;       // the packet's flow signature, when flow
                                // accounting / taps / the recorder needed it
                                // (0 = never computed); the kernel device
@@ -225,6 +230,43 @@ class PacketFilter {
   pfobs::FlowTable* flow_stats() { return flow_table_.get(); }
   const pfobs::FlowTable* flow_stats() const { return flow_table_.get(); }
 
+  // --- Stateful connection tracking (conndb.h, DESIGN.md §17) ---
+  // Opt-in: promotes the flow verdict cache into a full connection database
+  // (verdict + accounting + TTL expiry + overload watermarks). While
+  // enabled it *replaces* the verdict cache as the fast path; disabled (the
+  // default) the demux is byte-identical to the pre-conndb behavior, which
+  // is what keeps the clean-path observatory baselines stable.
+  //
+  // Soundness mirrors the verdict cache, with one difference: the key is
+  // the strategy-independent pfobs::FlowSignature (FNV over the first 64
+  // bytes), so state is only consulted when every bound filter's verdict is
+  // determined by that prefix — `conn_servable()`: every filter has
+  // uses_indirect == false and max_word_index within the prefix. Every hit
+  // is re-confirmed by the claimed port's own filter; entries are stamped
+  // with `conn_epoch()`, which bumps on any filter/port/priority/strategy
+  // change, so reconfiguration never serves a stale verdict (the entry
+  // survives and is restamped by the next full walk). deliver_to_lower
+  // ports are never served from (or entered into) the database. When the
+  // DB refuses state (emergency mode), the flow simply stays on the
+  // stateless priority-walk path — graceful degradation, never blocking.
+  void EnableConnTracking(ConnDB::Config config = {});
+  void DisableConnTracking();
+  ConnDB* conndb() { return conndb_.get(); }
+  const ConnDB* conndb() const { return conndb_.get(); }
+  uint64_t conn_epoch() const { return conn_epoch_; }
+  // True when the current filter set's verdicts are all determined by the
+  // hashed prefix (recomputed by RebuildOrder; meaningless until the first
+  // Demux after a binding change).
+  bool conn_servable() const { return conn_servable_; }
+
+  // --- Filter extensions (ext.h) ---
+  // Attaches per-port accept-path policy: the extension inspects every
+  // accepted copy before it is enqueued and may veto it (counted under the
+  // extension's DropReason, reported via dropped_before like an overflow).
+  // Null detaches. The port owns the extension.
+  void AttachExtension(PortId id, std::unique_ptr<PortExtension> extension);
+  const PortExtension* Extension(PortId id) const;
+
   // --- Capture taps (tap.h) ---
   // Attaches the stage-tap registry this demux offers packets to
   // (kDemuxIn / kDeliver / kDrop; the NIC offers kNicRx). Null detaches;
@@ -244,6 +286,9 @@ class PacketFilter {
     std::deque<ReceivedPacket> queue;
     uint32_t lost_since_enqueue = 0;
     std::function<void()> on_enqueue;
+    // Accept-path policy hook (ext.h); null = no extension (one null check
+    // per accepted copy).
+    std::unique_ptr<PortExtension> extension;
     PortStats stats;
     // Cached engine binding handle (refreshed by RebuildOrder), so the
     // demux walk does no per-(packet, port) hash lookup. nullptr when no
@@ -263,7 +308,7 @@ class PacketFilter {
   // pass (cur_sig_ is reset at DemuxImpl entry; 0 = not yet computed).
   uint64_t SigOf(std::span<const uint8_t> packet) {
     if (cur_sig_ == 0) {
-      cur_sig_ = pfobs::FlowSignature(packet);
+      cur_sig_ = pfobs::FlowSignature::Of(packet);
     }
     return cur_sig_;
   }
@@ -290,6 +335,13 @@ class PacketFilter {
   std::unordered_map<uint64_t, PortId> flow_cache_;
   size_t flow_cache_capacity_ = kDefaultFlowCacheCapacity;
   FlowCacheStats flow_cache_stats_;
+  void UpdateCacheGauges();
+
+  // Connection database (null = disabled, the default — see
+  // EnableConnTracking above).
+  std::unique_ptr<ConnDB> conndb_;
+  uint64_t conn_epoch_ = 1;
+  bool conn_servable_ = false;
 
   // Flight recorder (null = disabled, the default).
   std::unique_ptr<DropRecorder> recorder_;
@@ -314,6 +366,10 @@ class PacketFilter {
     pfobs::Counter* cache_hits = nullptr;
     pfobs::Counter* cache_insertions = nullptr;
     pfobs::Counter* cache_invalidations = nullptr;
+    // Residency gauges next to the counters above, so pfstat can show
+    // cache pressure without diffing counters across samples.
+    pfobs::Gauge* cache_size = nullptr;
+    pfobs::Gauge* cache_capacity = nullptr;
     // "pf.drop.<reason>", indexed by DropReason.
     pfobs::Counter* drop_reasons[kDropReasonCount] = {};
   };

@@ -25,6 +25,10 @@ std::string ToString(DropReason reason) {
       return "truncated";
     case DropReason::kRingOverflow:
       return "ring-overflow";
+    case DropReason::kRateLimited:
+      return "rate-limited";
+    case DropReason::kRndBlock:
+      return "rnd-block";
     case DropReason::kCount:
       break;
   }

@@ -42,6 +42,8 @@ enum class DropReason : uint8_t {
   kBadCrc,          // NIC: frame check sequence mismatch (in-flight corruption)
   kTruncated,       // NIC: frame shorter than its transmitted length
   kRingOverflow,    // NIC: bounded receive ring was full
+  kRateLimited,     // extension: per-copy token-bucket veto (ext.h)
+  kRndBlock,        // extension: per-copy seeded probabilistic veto (ext.h)
   kCount,
 };
 inline constexpr size_t kDropReasonCount = static_cast<size_t>(DropReason::kCount);

@@ -1,0 +1,67 @@
+#include "src/pf/ext.h"
+
+#include <algorithm>
+
+namespace pf {
+
+RateLimitExt::RateLimitExt(Config config) : config_(config) {
+  if (config_.rate_pps == 0) {
+    config_.rate_pps = 1;
+  }
+  if (config_.burst == 0) {
+    config_.burst = 1;
+  }
+  if (config_.max_flows == 0) {
+    config_.max_flows = 1;
+  }
+  cap_ = config_.burst * kTokenScale;
+}
+
+bool RateLimitExt::Take(Bucket* bucket, uint64_t now_ns) {
+  if (!bucket->primed) {
+    bucket->primed = true;
+    bucket->tokens = cap_;
+    bucket->last_ns = now_ns;
+  } else if (now_ns > bucket->last_ns) {
+    // elapsed_ns * rate_pps nano-tokens == elapsed seconds * rate packets,
+    // exactly. Saturate at the burst cap.
+    const uint64_t refill = (now_ns - bucket->last_ns) * config_.rate_pps;
+    bucket->tokens = std::min(cap_, bucket->tokens + refill);
+    bucket->last_ns = now_ns;
+  }
+  if (bucket->tokens < kTokenScale) {
+    return false;
+  }
+  bucket->tokens -= kTokenScale;
+  return true;
+}
+
+bool RateLimitExt::Inspect(uint64_t flow_sig, size_t bytes, uint64_t now_ns) {
+  (void)bytes;
+  if (!config_.per_flow) {
+    return Count(Take(&port_bucket_, now_ns));
+  }
+  auto it = flows_.find(flow_sig);
+  if (it == flows_.end()) {
+    if (flows_.size() >= config_.max_flows) {
+      flows_.clear();
+      ++wipes_;
+    }
+    it = flows_.emplace(flow_sig, Bucket{}).first;
+  }
+  return Count(Take(&it->second, now_ns));
+}
+
+RndBlockExt::RndBlockExt(Config config)
+    : config_(config), rng_(config.seed) {
+  config_.drop_ppm = std::min<uint32_t>(config_.drop_ppm, 1'000'000);
+}
+
+bool RndBlockExt::Inspect(uint64_t flow_sig, size_t bytes, uint64_t now_ns) {
+  (void)flow_sig;
+  (void)bytes;
+  (void)now_ns;
+  return Count(rng_.Below(1'000'000) >= config_.drop_ppm);
+}
+
+}  // namespace pf

@@ -19,11 +19,14 @@
 #include "src/link/impair.h"
 #include "src/obs/flow_stats.h"
 #include "src/net/bsp.h"
+#include "src/net/pup_endpoint.h"
 #include "src/net/rarp.h"
 #include "src/net/rto.h"
 #include "src/net/vmtp.h"
 #include "src/obs/metrics.h"
+#include "src/pf/conndb.h"
 #include "src/proto/ip.h"
+#include "tests/test_packets.h"
 
 namespace {
 
@@ -459,6 +462,123 @@ TEST(ChaosTest, RttEstimateConvergesToCleanPathRtt) {
   EXPECT_GT(srtt, pfsim::Duration::zero());
   EXPECT_LT(srtt, Milliseconds(20));
   EXPECT_EQ(rto, pfnet::BspStream::kAckTimeout);
+}
+
+// --- Connection-database flood churn (DESIGN.md §17) -------------------------
+
+// A flow flood far past the conndb's capacity, with the wire itself
+// misbehaving: whatever the impairments drop or duplicate, the partition
+// identity `created == live + expired + evicted + refused` must hold, the
+// watermarks must engage under pressure and disengage once the flood
+// drains, the "pf.conn.*" metrics must equal the DB's own counters
+// bit-exactly, and the cost ledger must show exactly one conndb charge per
+// consulting packet and one GC charge per sweep.
+TEST(ChaosTest, ConnDbFloodChurnHoldsIdentityAndReconcilesLedger) {
+  struct FloodCell {
+    const char* name;
+    ImpairmentConfig config;
+    bool refuse;
+  };
+  std::vector<FloodCell> cells;
+  cells.push_back({"baseline", {}, false});
+  {
+    FloodCell c{"loss20", {}, false};
+    c.config.loss = 0.20;
+    cells.push_back(c);
+  }
+  {
+    FloodCell c{"duplicate15_refuse", {}, true};
+    c.config.duplicate = 0.15;
+    cells.push_back(c);
+  }
+
+  for (const FloodCell& cell : cells) {
+    SCOPED_TRACE(cell.name);
+    Simulator sim;
+    EthernetSegment segment(&sim, LinkType::kExperimental3Mb);
+    Machine sender(&sim, &segment, MacAddr::Experimental(1),
+                   pfkern::MicroVaxUltrixCosts(), "sender");
+    Machine receiver(&sim, &segment, MacAddr::Experimental(2),
+                     pfkern::MicroVaxUltrixCosts(), "receiver");
+    if (cell.config.Any()) {
+      segment.SetImpairments(cell.config);
+    }
+
+    bool sent_all = false;
+    auto rx_setup = [&]() -> Task {
+      const int pid = receiver.NewPid();
+      pf::ConnDB::Config cfg;
+      cfg.capacity = 16;  // tiny on purpose: the flood dwarfs it
+      cfg.ttl_ns = 80'000'000;
+      cfg.high_water_pct = 75;
+      cfg.low_water_pct = 25;
+      cfg.emergency_evict_batch = 2;
+      cfg.refuse_new_in_emergency = cell.refuse;
+      cfg.gc_batch = 8;
+      co_await receiver.pf().EnableConnTracking(pid, cfg);
+      const pf::PortId port = co_await receiver.pf().Open(pid);
+      co_await receiver.pf().SetFilter(pid, port, pfnet::MakePupSocketFilter(35, 10));
+      // Nobody reads during the flood: the queue overflows too, so the
+      // copy-drop taxonomy churns alongside the connection state.
+      receiver.pf().core().SetQueueLimit(port, 4);
+    };
+    auto tx_flood = [&]() -> Task {
+      const int pid = sender.NewPid();
+      co_await sim.Delay(Milliseconds(5));
+      for (int i = 0; i < 240; ++i) {
+        // Four "elephant" flows revisited every few milliseconds (they stay
+        // near the LRU front and keep hitting) interleaved with a stream of
+        // one-shot flood flows — the churn that drives the table through
+        // high water and keeps the emergency shed busy.
+        const bool flood = (i % 3) == 2;
+        const uint8_t src = flood ? static_cast<uint8_t>(100 + i / 3)
+                                  : static_cast<uint8_t>(3 + (i % 4));
+        co_await sender.pf().Write(pid, pftest::MakePupFrame(8, 35, 2, src));
+      }
+      sent_all = true;
+    };
+    sim.Spawn(rx_setup());
+    sim.Spawn(tx_flood());
+    // Runs to quiescence: once the flood drains and the GC reclaims the
+    // last entry, the worker timer disarms and the event queue runs dry.
+    sim.RunUntil(pfsim::TimePoint{} + Seconds(60));
+    ASSERT_TRUE(sent_all);
+
+    const pf::ConnDB* db = receiver.pf().ConnDb();
+    ASSERT_NE(db, nullptr);
+    const pf::ConnDB::Stats& st = db->stats();
+    EXPECT_TRUE(db->IdentityHolds())
+        << "created=" << st.created << " live=" << db->live()
+        << " expired=" << st.expired() << " evicted=" << st.evicted()
+        << " refused=" << st.refused;
+    EXPECT_GT(st.created, static_cast<uint64_t>(db->capacity()));
+    EXPECT_GT(st.hits, 0u);
+    EXPECT_GT(st.emergency_engaged, 0u);
+    EXPECT_EQ(st.refused > 0, cell.refuse);
+    // The flood drained: GC reclaimed everything, emergency disengaged.
+    EXPECT_EQ(db->live(), 0u);
+    EXPECT_FALSE(db->emergency());
+    EXPECT_EQ(st.emergency_engaged, st.emergency_disengaged);
+    EXPECT_GT(st.expired_gc, 0u);
+
+    // Metrics reconcile bit-exactly with the DB's own counters.
+    pfobs::MetricsRegistry& metrics = receiver.metrics();
+    EXPECT_EQ(metrics.counter("pf.conn.lookups")->value(), st.lookups);
+    EXPECT_EQ(metrics.counter("pf.conn.hits")->value(), st.hits);
+    EXPECT_EQ(metrics.counter("pf.conn.created")->value(), st.created);
+    EXPECT_EQ(metrics.counter("pf.conn.refused")->value(), st.refused);
+    EXPECT_EQ(metrics.counter("pf.conn.expired.gc")->value(), st.expired_gc);
+    EXPECT_EQ(metrics.counter("pf.conn.evicted.emergency")->value(),
+              st.evicted_emergency);
+    EXPECT_EQ(metrics.counter("pf.conn.emergency.engaged")->value(),
+              st.emergency_engaged);
+    EXPECT_EQ(metrics.counter("pf.conn.gc.sweeps")->value(), st.gc_sweeps);
+
+    // Ledger reconciliation: one kConnDb charge per packet that consulted
+    // the DB, one kConnGc charge per sweep the worker ran.
+    EXPECT_EQ(receiver.ledger().count(pfkern::Cost::kConnDb), st.lookups);
+    EXPECT_EQ(receiver.ledger().count(pfkern::Cost::kConnGc), st.gc_sweeps);
+  }
 }
 
 }  // namespace

@@ -26,12 +26,12 @@ using pfobs::SpaceSavingSketch;
 
 TEST(FlowSignatureTest, NeverZeroAndDeterministic) {
   const std::vector<uint8_t> frame = pftest::MakePupFrame(8, 35);
-  const uint64_t sig = FlowSignature(frame);
+  const uint64_t sig = FlowSignature::Of(frame);
   EXPECT_NE(sig, 0u);
-  EXPECT_EQ(sig, FlowSignature(frame));
-  EXPECT_NE(sig, FlowSignature(pftest::MakePupFrame(8, 44)));
-  EXPECT_EQ(FlowSignature({}), FlowSignature({}));  // empty frames hash too
-  EXPECT_NE(FlowSignature({}), 0u);
+  EXPECT_EQ(sig, FlowSignature::Of(frame));
+  EXPECT_NE(sig, FlowSignature::Of(pftest::MakePupFrame(8, 44)));
+  EXPECT_EQ(FlowSignature::Of({}), FlowSignature::Of({}));  // empty frames hash too
+  EXPECT_NE(FlowSignature::Of({}), 0u);
 }
 
 TEST(FlowSignatureTest, OnlyThePrefixDiscriminates) {
@@ -40,10 +40,74 @@ TEST(FlowSignatureTest, OnlyThePrefixDiscriminates) {
   std::vector<uint8_t> a(pfobs::kFlowSignaturePrefix + 32, 0x41);
   std::vector<uint8_t> b = a;
   b.back() = 0x42;  // differs beyond the prefix
-  EXPECT_EQ(FlowSignature(a), FlowSignature(b));
+  EXPECT_EQ(FlowSignature::Of(a), FlowSignature::Of(b));
   b = a;
   b[4] ^= 1;  // differs inside the prefix
-  EXPECT_NE(FlowSignature(a), FlowSignature(b));
+  EXPECT_NE(FlowSignature::Of(a), FlowSignature::Of(b));
+}
+
+TEST(FlowSignatureTest, PinnedValues) {
+  // The signature is the cross-reference key between the flight recorder,
+  // the flow table, the conndb, and the pcapng comments — recorded
+  // artifacts outlive processes, so the hash itself is part of the wire
+  // contract. These are FNV-1a 64-bit reference values; if this test
+  // breaks, existing captures stop cross-referencing.
+  EXPECT_EQ(FlowSignature::Of({}), 0xcbf29ce484222325ull);  // offset basis
+  const std::vector<uint8_t> one = {0x01};
+  EXPECT_EQ(FlowSignature::Of(one), 0xaf63bc4c8601b62cull);
+  const std::vector<uint8_t> beef = {0xde, 0xad, 0xbe, 0xef};
+  EXPECT_EQ(FlowSignature::Of(beef), 0x277045760cdd0993ull);
+  std::vector<uint8_t> ramp(80);
+  for (size_t i = 0; i < ramp.size(); ++i) {
+    ramp[i] = static_cast<uint8_t>(i);
+  }
+  EXPECT_EQ(FlowSignature::Of(ramp), 0x8368214f77995ee5ull);
+  ramp.resize(pfobs::kFlowSignaturePrefix);  // bytes past the prefix never hashed
+  EXPECT_EQ(FlowSignature::Of(ramp), 0x8368214f77995ee5ull);
+}
+
+TEST(FlowTableTest, GenerationWraparoundKeepsLruOrder) {
+  // Eviction order is LRU-list order, never a generation comparison, so a
+  // wrapped touch counter must not change who gets evicted — the stamps
+  // just wrap along with it.
+  FlowTable table({.capacity = 2, .top_k = 4});
+  table.SetGenerationForTest(UINT64_MAX - 1);
+  table.Record(0xA, 10, 0, 100);  // generation UINT64_MAX
+  table.Record(0xB, 10, 0, 200);  // generation 0 (wrapped)
+  EXPECT_EQ(table.Find(0xA)->generation, UINT64_MAX);
+  EXPECT_EQ(table.Find(0xB)->generation, 0u);
+  table.Record(0xA, 10, 0, 300);  // touch A: now B is least recent
+  table.Record(0xC, 10, 0, 400);  // evicts B, not A, despite A's huge stamp
+  EXPECT_NE(table.Find(0xA), nullptr);
+  EXPECT_EQ(table.Find(0xB), nullptr);
+  EXPECT_NE(table.Find(0xC), nullptr);
+  EXPECT_EQ(table.totals().evictions, 1u);
+  // The fold identity survives the wrap: live + evicted == recorded.
+  EXPECT_EQ(table.totals().packets,
+            table.Find(0xA)->packets + table.Find(0xC)->packets +
+                table.totals().evicted_packets);
+}
+
+TEST(FlowTableTest, CapacityOneDegenerateBound) {
+  // The tightest legal table: every new flow evicts the previous one, and
+  // the evicted_* folds still reconcile exactly.
+  FlowTable table({.capacity = 1, .top_k = 2});
+  table.Record(0xA, 5, 1, 10);
+  table.Record(0xA, 5, 1, 20);
+  table.Record(0xB, 7, 0, 30);  // evicts A (packets=2, bytes=10, deliveries=2)
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.Find(0xA), nullptr);
+  ASSERT_NE(table.Find(0xB), nullptr);
+  EXPECT_EQ(table.totals().evictions, 1u);
+  EXPECT_EQ(table.totals().evicted_packets, 2u);
+  EXPECT_EQ(table.totals().evicted_bytes, 10u);
+  EXPECT_EQ(table.totals().evicted_deliveries, 2u);
+  table.RecordDrop(0xC, 0, 40);  // a drop-first flow also evicts
+  EXPECT_EQ(table.Find(0xB), nullptr);
+  EXPECT_EQ(table.totals().evictions, 2u);
+  EXPECT_EQ(table.totals().packets,
+            table.Find(0xC)->packets + table.totals().evicted_packets);
+  EXPECT_EQ(table.totals().drops, 1u);
 }
 
 TEST(SpaceSavingSketchTest, ExactUnderCapacity) {
@@ -336,7 +400,7 @@ TEST(FlowReconciliationTest, FlowTotalsMatchDemuxCounters) {
             totals.drops);
   // Per-flow drill-down: whatever part of socket 77's history is still
   // resident (the LRU churns here), its drops are all queue overflows.
-  const uint64_t sig77 = FlowSignature(pftest::MakePupFrame(8, 77));
+  const uint64_t sig77 = FlowSignature::Of(pftest::MakePupFrame(8, 77));
   const pfobs::FlowTable::Entry* entry77 = flows->Find(sig77);
   if (entry77 != nullptr) {
     EXPECT_EQ(entry77->drops,
